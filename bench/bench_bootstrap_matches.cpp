@@ -1,0 +1,86 @@
+// Ablation (beyond the paper's tables, motivated by §3.1): where do the
+// historical offer-to-product matches come from? The paper lists universal
+// identifiers, manual matching, and automated title matching. This bench
+// bootstraps the matches with the title-based matcher and compares the
+// resulting end-to-end synthesis quality against the curated-match run —
+// quantifying how robust the approach is to the match source.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/synthesis_eval.h"
+#include "src/matching/title_matcher.h"
+#include "src/pipeline/synthesizer.h"
+
+using namespace prodsyn;
+using namespace prodsyn::bench;
+
+namespace {
+
+SynthesisQuality RunWith(const World& world, const MatchStore& matches) {
+  ProductSynthesizer synthesizer(&world.catalog);
+  PRODSYN_CHECK_OK(synthesizer.LearnOffline(world.historical_offers, matches));
+  auto result =
+      *synthesizer.Synthesize(world.incoming_offers, world.pages);
+  EvaluationOracle oracle(&world);
+  return EvaluateSynthesis(result, oracle);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: curated vs title-bootstrapped historical matches",
+              "paper section 3.1: matches may come from identifiers, manual "
+              "work, or automated title matchers");
+
+  WorldConfig config = FullWorldConfig();
+  World world = *World::Generate(config);
+
+  // --- Bootstrap matches from titles only.
+  TitleOfferProductMatcher title_matcher;
+  TitleMatcherStats stats;
+  MatchStore bootstrapped =
+      *title_matcher.Match(world.catalog, world.historical_offers, &stats);
+
+  // Bootstrap accuracy against the curated store.
+  size_t agree = 0, disagree = 0, extra = 0;
+  for (const auto& [offer, product] : bootstrapped.matches()) {
+    const ProductId truth = world.historical_matches.ProductOf(offer);
+    if (truth == kInvalidProduct) {
+      ++extra;  // curated store left it unmatched; not necessarily wrong
+    } else if (truth == product) {
+      ++agree;
+    } else {
+      ++disagree;
+    }
+  }
+  std::printf(
+      "\nTitle matcher: %zu offers considered, %zu with candidates, %zu "
+      "matched\n  vs curated store: %zu agree, %zu disagree, %zu extra "
+      "(accuracy on overlap %.3f)\n",
+      stats.offers_considered, stats.offers_with_candidates,
+      stats.matches_made, agree, disagree, extra,
+      agree + disagree == 0
+          ? 0.0
+          : static_cast<double>(agree) / static_cast<double>(agree +
+                                                             disagree));
+
+  // --- End-to-end with each match source.
+  const SynthesisQuality curated = RunWith(world, world.historical_matches);
+  const SynthesisQuality boot = RunWith(world, bootstrapped);
+
+  TextTable table({"Match source", "Products", "Attr precision",
+                   "Product precision"});
+  table.AddRow({"Curated matches", FormatCount(curated.synthesized_products),
+                FormatDouble(curated.attribute_precision),
+                FormatDouble(curated.product_precision)});
+  table.AddRow({"Title-bootstrapped", FormatCount(boot.synthesized_products),
+                FormatDouble(boot.attribute_precision),
+                FormatDouble(boot.product_precision)});
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected shape: bootstrapped quality within a few points of "
+      "curated — the distributional features tolerate partial, imperfect "
+      "match coverage.\n");
+  return 0;
+}

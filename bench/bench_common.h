@@ -1,0 +1,106 @@
+// Shared setup for the experiment harness: standard world scales and
+// curve-printing helpers. Every bench binary regenerates one table or
+// figure of the paper's §5 and prints the paper's reported values next to
+// the measured ones. Absolute sizes differ (synthetic world at laptop
+// scale vs. 856K Bing offers); the comparison is about SHAPE — who wins,
+// by roughly what factor, and where the curves sit.
+
+#ifndef PRODSYN_BENCH_BENCH_COMMON_H_
+#define PRODSYN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/datagen/world.h"
+#include "src/eval/correspondence_eval.h"
+#include "src/eval/oracle.h"
+#include "src/eval/report.h"
+
+namespace prodsyn {
+namespace bench {
+
+/// \brief The full-scale world for the end-to-end experiments (Tables
+/// 2–4): every domain, every archetype instantiated twice.
+inline WorldConfig FullWorldConfig(uint64_t seed = 2011) {
+  WorldConfig config;
+  config.seed = seed;
+  config.categories_per_archetype = 2;
+  config.merchants = 220;
+  config.products_per_category = 70;
+  return config;
+}
+
+/// \brief The schema-matching world (Figs. 6–9): the paper runs these on
+/// the 92 Computing subcategories; we use the Computing subtree of a
+/// two-instance world. Smaller products count keeps the quadratic DUMAS
+/// baseline affordable.
+inline WorldConfig MatchingWorldConfig(uint64_t seed = 2011) {
+  WorldConfig config;
+  config.seed = seed;
+  config.categories_per_archetype = 2;
+  config.merchants = 180;
+  config.products_per_category = 45;
+  return config;
+}
+
+/// \brief Matching context over the historical data of `world`, optionally
+/// restricted to the Computing subtree (as Figs. 7–9 are).
+inline MatchingContext HistoricalContext(const World& world,
+                                         bool computing_only) {
+  MatchingContext ctx;
+  ctx.catalog = &world.catalog;
+  ctx.offers = &world.historical_offers;
+  ctx.matches = &world.historical_matches;
+  if (computing_only) {
+    ctx.categories = world.CategoriesOfDomain("Computing");
+  }
+  return ctx;
+}
+
+/// \brief Prints a precision/coverage curve as an aligned table.
+inline void PrintCurve(const std::string& label,
+                       const std::vector<PrecisionCoveragePoint>& curve) {
+  std::printf("\n-- %s --\n", label.c_str());
+  TextTable table({"theta", "coverage", "precision"});
+  for (const auto& point : curve) {
+    table.AddRow({FormatDouble(point.theta, 3), FormatCount(point.coverage),
+                  FormatDouble(point.precision, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+/// \brief Prints the headline comparison used by Figs. 6–9: coverage each
+/// matcher reaches while precision stays above the bar (higher coverage at
+/// equal precision = higher relative recall, Appendix B).
+inline void PrintCoverageAtPrecision(
+    const std::vector<std::pair<std::string,
+                                std::vector<AttributeCorrespondence>>>&
+        results,
+    const EvaluationOracle& oracle, std::vector<double> precision_bars) {
+  std::vector<std::string> headers = {"matcher"};
+  for (double bar : precision_bars) {
+    headers.push_back("cov@p>=" + FormatDouble(bar, 2));
+  }
+  TextTable table(headers);
+  for (const auto& [name, corrs] : results) {
+    std::vector<std::string> row = {name};
+    for (double bar : precision_bars) {
+      row.push_back(FormatCount(CoverageAtPrecision(corrs, oracle, bar)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n%s", table.ToString().c_str());
+}
+
+inline void PrintHeader(const char* title, const char* paper_line) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paper_line);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace prodsyn
+
+#endif  // PRODSYN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Figure 6 — Our classifier-combined feature set vs single distributional
+// features (JS-MC alone, Jaccard-MC alone).
+//
+// Paper: at 20K correspondences our approach holds precision 0.87 while
+// JS-MC drops to 0.76 and Jaccard-MC to 0.69. Shape: the classifier
+// dominates both single-feature scorers across the entire coverage range.
+//
+// Extra (DESIGN.md ablation): leave-one-feature-out runs quantify what
+// each grouping level contributes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/matching/classifier_matcher.h"
+#include "src/matching/single_feature_matcher.h"
+
+using namespace prodsyn;
+using namespace prodsyn::bench;
+
+int main() {
+  PrintHeader("Figure 6: classifier-combined features vs single features",
+              "ours 0.87 @20K vs JS-MC 0.76 and Jaccard-MC 0.69 @20K");
+
+  World world = *World::Generate(MatchingWorldConfig());
+  EvaluationOracle oracle(&world);
+  const MatchingContext ctx = HistoricalContext(world, /*computing_only=*/false);
+
+  std::vector<std::pair<std::string, std::vector<AttributeCorrespondence>>>
+      results;
+  {
+    ClassifierMatcher ours;
+    results.emplace_back("Our approach", *ours.Generate(ctx));
+  }
+  results.emplace_back("JS-MC", *MakeJsMcBaseline()->Generate(ctx));
+  results.emplace_back("Jaccard-MC",
+                       *MakeJaccardMcBaseline()->Generate(ctx));
+
+  for (const auto& [name, corrs] : results) {
+    PrintCurve(name, PrecisionCoverageCurve(corrs, oracle));
+  }
+  PrintCoverageAtPrecision(results, oracle, {0.9, 0.85, 0.8, 0.7});
+
+  // ---- Ablation: drop one grouping level at a time.
+  std::printf("\n-- Ablation: leave-one-grouping-out (coverage @ p>=0.85) --\n");
+  struct Ablation {
+    const char* label;
+    FeatureSet features;
+  };
+  FeatureSet no_mc = FeatureSet::All();
+  no_mc.js_mc = no_mc.jaccard_mc = false;
+  FeatureSet no_c = FeatureSet::All();
+  no_c.js_c = no_c.jaccard_c = false;
+  FeatureSet no_m = FeatureSet::All();
+  no_m.js_m = no_m.jaccard_m = false;
+  FeatureSet js_only = FeatureSet::All();
+  js_only.jaccard_mc = js_only.jaccard_c = js_only.jaccard_m = false;
+  FeatureSet jaccard_only = FeatureSet::All();
+  jaccard_only.js_mc = jaccard_only.js_c = jaccard_only.js_m = false;
+  const Ablation ablations[] = {
+      {"all six features", FeatureSet::All()},
+      {"without MC features", no_mc},
+      {"without C features", no_c},
+      {"without M features", no_m},
+      {"JS features only", js_only},
+      {"Jaccard features only", jaccard_only},
+  };
+  TextTable ablation_table({"feature set", "cov@p>=0.85", "cov@p>=0.7"});
+  for (const auto& ablation : ablations) {
+    ClassifierMatcherOptions options;
+    options.features = ablation.features;
+    ClassifierMatcher matcher(options);
+    auto corrs = *matcher.Generate(ctx);
+    ablation_table.AddRow(
+        {ablation.label,
+         FormatCount(CoverageAtPrecision(corrs, oracle, 0.85)),
+         FormatCount(CoverageAtPrecision(corrs, oracle, 0.7))});
+  }
+  std::printf("%s", ablation_table.ToString().c_str());
+  return 0;
+}

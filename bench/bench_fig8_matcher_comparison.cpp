@@ -1,0 +1,75 @@
+// Figure 8 — Our schema reconciliation vs existing schema matchers.
+//
+// Paper (92 Computing subcategories): ours reaches 10K correspondences at
+// precision 0.8 while instance-based Naive Bayes (LSD), DUMAS, and the
+// COMA++ configurations sit between 0.28 and 0.6. Instance-based COMA++
+// is precise only at tiny coverage; name-based COMA++ starts lower;
+// the combined matcher is their best but still clearly below ours.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/matching/classifier_matcher.h"
+#include "src/matching/coma_matcher.h"
+#include "src/matching/dumas_matcher.h"
+#include "src/matching/lsd_matcher.h"
+
+using namespace prodsyn;
+using namespace prodsyn::bench;
+
+int main() {
+  PrintHeader("Figure 8: comparison against existing matching approaches",
+              "ours 0.8 @10K vs 0.28-0.6 for NB/DUMAS/COMA++ variants");
+
+  World world = *World::Generate(MatchingWorldConfig());
+  EvaluationOracle oracle(&world);
+  const MatchingContext ctx = HistoricalContext(world, /*computing_only=*/true);
+  std::printf("Computing subtree: %zu categories\n", ctx.categories.size());
+
+  std::vector<std::pair<std::string, std::vector<AttributeCorrespondence>>>
+      results;
+  {
+    ClassifierMatcher ours;
+    results.emplace_back("Our approach", *ours.Generate(ctx));
+  }
+  {
+    // The paper's §7 future work, implemented: instance features + name
+    // features in one classifier.
+    auto augmented = MakeNameAugmentedMatcher();
+    results.emplace_back(augmented->name(), *augmented->Generate(ctx));
+  }
+  {
+    LsdNaiveBayesMatcher lsd;
+    results.emplace_back(lsd.name(), *lsd.Generate(ctx));
+  }
+  {
+    DumasMatcher dumas;
+    results.emplace_back(dumas.name(), *dumas.Generate(ctx));
+  }
+  for (ComaStrategy strategy : {ComaStrategy::kName, ComaStrategy::kInstance,
+                                ComaStrategy::kCombined}) {
+    ComaMatcherOptions options;
+    options.strategy = strategy;
+    options.delta = ComaMatcherOptions::kDeltaInfinity;  // full curves
+    ComaMatcher coma(options);
+    results.emplace_back(coma.name(), *coma.Generate(ctx));
+  }
+
+  for (const auto& [name, corrs] : results) {
+    PrintCurve(name, PrecisionCoverageCurve(corrs, oracle));
+  }
+  PrintCoverageAtPrecision(results, oracle, {0.9, 0.8, 0.6, 0.4});
+
+  // Precision at the coverage every matcher can reach, for a direct read
+  // of the Fig. 8 vertical slice.
+  std::printf("\n-- Precision at fixed coverage --\n");
+  TextTable table({"matcher", "p@500", "p@2000", "p@5000"});
+  for (const auto& [name, corrs] : results) {
+    table.AddRow({name,
+                  FormatDouble(PrecisionAtCoverage(corrs, oracle, 500), 3),
+                  FormatDouble(PrecisionAtCoverage(corrs, oracle, 2000), 3),
+                  FormatDouble(PrecisionAtCoverage(corrs, oracle, 5000), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

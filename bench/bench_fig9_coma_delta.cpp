@@ -1,0 +1,63 @@
+// Figure 9 (Appendix D) — COMA++ delta sensitivity.
+//
+// Paper: with the default δ=0.01 COMA++ keeps only near-best candidates
+// per attribute, which buys precision at the cost of relative recall;
+// δ=∞ ranks every pair and trails at equal coverage. Our approach stays
+// above all COMA++ configurations throughout.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/matching/classifier_matcher.h"
+#include "src/matching/coma_matcher.h"
+
+using namespace prodsyn;
+using namespace prodsyn::bench;
+
+int main() {
+  PrintHeader("Figure 9: COMA++ delta = 0.01 (default) vs delta = inf",
+              "delta=0.01 beats delta=inf at equal coverage; ours beats "
+              "both");
+
+  World world = *World::Generate(MatchingWorldConfig());
+  EvaluationOracle oracle(&world);
+  const MatchingContext ctx = HistoricalContext(world, /*computing_only=*/true);
+
+  std::vector<std::pair<std::string, std::vector<AttributeCorrespondence>>>
+      results;
+  {
+    ClassifierMatcher ours;
+    results.emplace_back("Our approach", *ours.Generate(ctx));
+  }
+  struct Config {
+    ComaStrategy strategy;
+    double delta;
+  };
+  const Config configs[] = {
+      {ComaStrategy::kName, 0.01},
+      {ComaStrategy::kName, ComaMatcherOptions::kDeltaInfinity},
+      {ComaStrategy::kInstance, 0.01},
+      {ComaStrategy::kCombined, 0.01},
+      {ComaStrategy::kCombined, ComaMatcherOptions::kDeltaInfinity},
+  };
+  for (const auto& config : configs) {
+    ComaMatcherOptions options;
+    options.strategy = config.strategy;
+    options.delta = config.delta;
+    ComaMatcher coma(options);
+    results.emplace_back(coma.name(), *coma.Generate(ctx));
+  }
+
+  for (const auto& [name, corrs] : results) {
+    PrintCurve(name, PrecisionCoverageCurve(corrs, oracle));
+  }
+  PrintCoverageAtPrecision(results, oracle, {0.8, 0.6, 0.4});
+
+  std::printf("\n-- Output sizes (the delta knob's direct effect) --\n");
+  TextTable table({"configuration", "correspondences emitted"});
+  for (const auto& [name, corrs] : results) {
+    table.AddRow({name, FormatCount(corrs.size())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Performance micro/meso benchmarks (google-benchmark): not in the paper,
+// but they substantiate the "scalable" claim — per-stage throughput of the
+// substrates and of the end-to-end pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datagen/page_gen.h"
+#include "src/datagen/world.h"
+#include "src/html/table_extractor.h"
+#include "src/matching/bag_index.h"
+#include "src/matching/classifier_matcher.h"
+#include "src/matching/features.h"
+#include "src/matching/hungarian.h"
+#include "src/pipeline/synthesizer.h"
+#include "src/pipeline/value_fusion.h"
+#include "src/text/divergence.h"
+#include "src/text/jaro_winkler.h"
+
+namespace prodsyn {
+namespace {
+
+WorldConfig SmallWorld() {
+  WorldConfig config;
+  config.seed = 99;
+  config.categories_per_archetype = 1;
+  config.merchants = 50;
+  config.products_per_category = 25;
+  return config;
+}
+
+const World& SharedWorld() {
+  static const World* world = new World(*World::Generate(SmallWorld()));
+  return *world;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string text =
+      "Hitachi Deskstar T7K500 hard drive 500 GB SATA-300 7200rpm 16MB";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_JensenShannon(benchmark::State& state) {
+  BagOfWords a, b;
+  Rng rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    a.Add("t" + std::to_string(rng.NextBelow(64)));
+    b.Add("t" + std::to_string(rng.NextBelow(64)));
+  }
+  const TermDistribution pa{a}, pb{b};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JensenShannonDivergence(pa, pb));
+  }
+}
+BENCHMARK(BM_JensenShannon)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaroWinklerSimilarity("manufacturer part number", "mfr part no"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_HtmlExtraction(benchmark::State& state) {
+  Rng rng(2);
+  MerchantProfile merchant;
+  merchant.page_template = PageTemplate::kNestedTable;
+  merchant.name = "BenchShop";
+  OfferContent content;
+  content.title = "Benchmark Product 500GB";
+  for (int i = 0; i < 12; ++i) {
+    content.merchant_spec.push_back(
+        {"Attribute " + std::to_string(i), "value " + std::to_string(i)});
+  }
+  const std::string html =
+      RenderLandingPage(content, merchant, SmallWorld(), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractPairsFromHtml(html));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_HtmlExtraction);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> weights(n, std::vector<double>(n));
+  for (auto& row : weights) {
+    for (double& w : row) w = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightBipartiteMatching(weights));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ValueFusion(benchmark::State& state) {
+  std::vector<std::string> values;
+  for (int i = 0; i < state.range(0); ++i) {
+    values.push_back(i % 3 == 0 ? "Microsoft Windows Vista"
+                    : i % 3 == 1 ? "Windows Vista"
+                                 : "Microsoft Vista");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FuseValues(values));
+  }
+}
+BENCHMARK(BM_ValueFusion)->Arg(3)->Arg(10)->Arg(50);
+
+void BM_BagIndexBuild(benchmark::State& state) {
+  const World& world = SharedWorld();
+  MatchingContext ctx;
+  ctx.catalog = &world.catalog;
+  ctx.offers = &world.historical_offers;
+  ctx.matches = &world.historical_matches;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatchedBagIndex::Build(ctx));
+  }
+}
+BENCHMARK(BM_BagIndexBuild);
+
+void BM_FeatureComputation(benchmark::State& state) {
+  const World& world = SharedWorld();
+  MatchingContext ctx;
+  ctx.catalog = &world.catalog;
+  ctx.offers = &world.historical_offers;
+  ctx.matches = &world.historical_matches;
+  static const MatchedBagIndex* index =
+      new MatchedBagIndex(*MatchedBagIndex::Build(ctx));
+  FeatureComputer computer(index);
+  size_t i = 0;
+  const auto& candidates = index->candidates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computer.Compute(candidates[i]));
+    i = (i + 1) % candidates.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureComputation);
+
+void BM_OfflineLearning(benchmark::State& state) {
+  const World& world = SharedWorld();
+  MatchingContext ctx;
+  ctx.catalog = &world.catalog;
+  ctx.offers = &world.historical_offers;
+  ctx.matches = &world.historical_matches;
+  for (auto _ : state) {
+    ClassifierMatcher matcher;
+    benchmark::DoNotOptimize(matcher.Generate(ctx));
+  }
+}
+BENCHMARK(BM_OfflineLearning)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSynthesis(benchmark::State& state) {
+  const World& world = SharedWorld();
+  ProductSynthesizer synthesizer(&world.catalog);
+  if (!synthesizer
+           .LearnOffline(world.historical_offers, world.historical_matches)
+           .ok()) {
+    state.SkipWithError("offline learning failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synthesizer.Synthesize(world.incoming_offers, world.pages));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(world.incoming_offers.size()));
+  state.SetLabel("items = offers");
+}
+BENCHMARK(BM_EndToEndSynthesis)->Unit(benchmark::kMillisecond);
+
+void BM_WorldGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(World::Generate(SmallWorld()));
+  }
+}
+BENCHMARK(BM_WorldGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prodsyn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 4 — Precision and recall of synthesized attributes, split by the
+// number of offers behind each product.
+//
+// Paper: products with >= 10 offers reach attribute recall 0.66 at
+// precision 0.89; products with < 10 offers only 0.47 at 0.91. The
+// discussion adds the candidate-pool statistic (84.6 vs 9 page pairs per
+// product) and synthesized-attribute counts (13.3 vs 3.1). Shape: more
+// offers -> much higher recall at similar precision, because any single
+// merchant with a learned correspondence for an attribute rescues it.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/synthesis_eval.h"
+#include "src/pipeline/synthesizer.h"
+
+using namespace prodsyn;
+using namespace prodsyn::bench;
+
+int main() {
+  PrintHeader("Table 4: precision/recall by offer-set size",
+              ">=10 offers: recall 0.66 / precision 0.89; <10 offers: "
+              "recall 0.47 / precision 0.91");
+
+  World world = *World::Generate(FullWorldConfig());
+  ProductSynthesizer synthesizer(&world.catalog);
+  PRODSYN_CHECK_OK(synthesizer.LearnOffline(world.historical_offers,
+                                            world.historical_matches));
+  const auto result =
+      *synthesizer.Synthesize(world.incoming_offers, world.pages);
+  EvaluationOracle oracle(&world);
+  const auto rows = EvaluateRecallByOfferCount(result, oracle, 10);
+
+  const char* paper_recall[] = {"0.66", "0.47"};
+  const char* paper_precision[] = {"0.89", "0.91"};
+  const char* paper_pool[] = {"84.6", "9"};
+  const char* paper_synth[] = {"13.3", "3.1"};
+
+  TextTable table({"Bucket", "Products", "Attr recall (paper)",
+                   "Attr precision (paper)", "Page pairs/product (paper)",
+                   "Synth attrs/product (paper)"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    table.AddRow({row.label, FormatCount(row.products),
+                  FormatDouble(row.attribute_recall) + " (" +
+                      paper_recall[i] + ")",
+                  FormatDouble(row.attribute_precision) + " (" +
+                      paper_precision[i] + ")",
+                  FormatDouble(row.avg_page_pairs_per_product, 1) + " (" +
+                      paper_pool[i] + ")",
+                  FormatDouble(row.avg_synthesized_attributes, 1) + " (" +
+                      paper_synth[i] + ")"});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+
+  if (rows.size() == 2 && rows[0].products > 0 && rows[1].products > 0) {
+    std::printf(
+        "\nShape check: recall(>=10 offers) %.2f %s recall(<10 offers) "
+        "%.2f; precision gap |%.2f - %.2f| = %.2f (paper: small)\n",
+        rows[0].attribute_recall,
+        rows[0].attribute_recall > rows[1].attribute_recall ? ">" : "<=",
+        rows[1].attribute_recall, rows[0].attribute_precision,
+        rows[1].attribute_precision,
+        rows[0].attribute_precision > rows[1].attribute_precision
+            ? rows[0].attribute_precision - rows[1].attribute_precision
+            : rows[1].attribute_precision - rows[0].attribute_precision);
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Operational CLI: the shape a production integration would take.
+//
+//   feed_to_products <workdir>
+//
+// On first run it provisions <workdir> with a synthetic marketplace:
+//   historical_offers.tsv     categorized offers (feed TSV, Fig. 3 format)
+//   matches.tsv               historical offer-to-product matches
+//   incoming_offers.tsv       the offers to synthesize products from
+//   pages/                    landing pages as .html files
+// plus an in-memory catalog. It then runs Offline Learning, persists the
+// learned correspondences to correspondences.tsv, re-loads them (as a
+// separate run-time process would), synthesizes products from the
+// incoming feed, and writes products.tsv.
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "src/catalog/feed.h"
+#include "src/datagen/world.h"
+#include "src/matching/correspondence_io.h"
+#include "src/pipeline/synthesizer.h"
+#include "src/util/file.h"
+#include "src/util/random.h"
+#include "src/util/string_util.h"
+
+using namespace prodsyn;
+
+namespace {
+
+// URL -> file name: strip the scheme, map '/' to '_'.
+std::string PageFileName(const std::string& url) {
+  std::string name = ReplaceAll(url, "http://", "");
+  name = ReplaceAll(name, "/", "_");
+  return name + ".html";
+}
+
+// Landing pages from a directory of .html files.
+class DirectoryPageProvider : public LandingPageProvider {
+ public:
+  explicit DirectoryPageProvider(std::string dir) : dir_(std::move(dir)) {}
+  Result<std::string> Fetch(const std::string& url) const override {
+    return ReadFileToString(dir_ + "/" + PageFileName(url));
+  }
+
+ private:
+  std::string dir_;
+};
+
+FeedRecord ToFeedRecord(const Offer& offer, const World& world) {
+  FeedRecord record;
+  record.url = offer.url;
+  record.title = offer.title;
+  record.price = offer.price;
+  record.seller = (*world.merchants.GetMerchant(offer.merchant))->name;
+  if (offer.category != kInvalidCategory) {
+    record.category_path = *world.catalog.taxonomy().Path(offer.category);
+  }
+  record.spec = offer.spec;
+  return record;
+}
+
+Status Provision(const World& world, const std::string& dir) {
+  ::mkdir(dir.c_str(), 0755);
+  ::mkdir((dir + "/pages").c_str(), 0755);
+
+  std::vector<FeedRecord> historical, incoming;
+  std::string matches_tsv = "offer_index\tproduct_id\n";
+  for (const auto& offer : world.historical_offers.offers()) {
+    historical.push_back(ToFeedRecord(offer, world));
+    const ProductId match = world.historical_matches.ProductOf(offer.id);
+    if (match != kInvalidProduct) {
+      matches_tsv += std::to_string(offer.id) + "\t" +
+                     std::to_string(match) + "\n";
+    }
+  }
+  for (const auto& offer : world.incoming_offers.offers()) {
+    incoming.push_back(ToFeedRecord(offer, world));
+  }
+  PRODSYN_RETURN_NOT_OK(WriteStringToFile(dir + "/historical_offers.tsv",
+                                          SerializeFeed(historical)));
+  PRODSYN_RETURN_NOT_OK(
+      WriteStringToFile(dir + "/matches.tsv", matches_tsv));
+  PRODSYN_RETURN_NOT_OK(WriteStringToFile(dir + "/incoming_offers.tsv",
+                                          SerializeFeed(incoming)));
+  size_t pages_written = 0;
+  for (const auto* store :
+       {&world.historical_offers, &world.incoming_offers}) {
+    for (const auto& offer : store->offers()) {
+      auto page = world.pages.Fetch(offer.url);
+      if (!page.ok()) continue;  // dead link
+      PRODSYN_RETURN_NOT_OK(WriteStringToFile(
+          dir + "/pages/" + PageFileName(offer.url), *page));
+      ++pages_written;
+    }
+  }
+  std::printf("Provisioned %s: %zu historical offers, %zu incoming, %zu "
+              "pages\n",
+              dir.c_str(), historical.size(), incoming.size(), pages_written);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "feed_demo";
+
+  // World (catalog + ground truth generator) — stands in for the PSE's
+  // existing catalog and merchant integration.
+  WorldConfig config;
+  config.seed = 101;
+  config.categories_per_archetype = 1;
+  config.merchants = 60;
+  config.products_per_category = 25;
+  World world = *World::Generate(config);
+
+  if (!FileExists(dir + "/incoming_offers.tsv")) {
+    PRODSYN_CHECK_OK(Provision(world, dir));
+  }
+
+  // ---- Load the feeds back (as an independent process would).
+  auto historical_tsv = *ReadFileToString(dir + "/historical_offers.tsv");
+  auto historical_records = *ParseFeed(historical_tsv);
+  OfferStore historical;
+  for (const auto& record : historical_records) {
+    Offer offer;
+    offer.merchant = *world.merchants.FindByName(record.seller);
+    offer.title = record.title;
+    offer.price = record.price;
+    offer.url = record.url;
+    offer.spec = record.spec;
+    if (!record.category_path.empty()) {
+      offer.category = *world.catalog.taxonomy().FindByPath(
+          record.category_path);
+    }
+    PRODSYN_CHECK_OK(historical.AddOffer(offer).status());
+  }
+  MatchStore matches;
+  const auto match_lines = Split(*ReadFileToString(dir + "/matches.tsv"),
+                                 '\n');
+  for (size_t i = 1; i < match_lines.size(); ++i) {
+    if (Trim(match_lines[i]).empty()) continue;
+    const auto fields = Split(match_lines[i], '\t');
+    PRODSYN_CHECK_OK(matches.AddMatch(ParseNonNegativeInt(fields[0]),
+                                      ParseNonNegativeInt(fields[1])));
+  }
+  auto incoming_records = *ParseFeed(
+      *ReadFileToString(dir + "/incoming_offers.tsv"));
+  OfferStore incoming;
+  for (const auto& record : incoming_records) {
+    Offer offer;
+    offer.merchant = *world.merchants.FindByName(record.seller);
+    offer.title = record.title;
+    offer.price = record.price;
+    offer.url = record.url;
+    offer.spec = record.spec;
+    PRODSYN_CHECK_OK(incoming.AddOffer(offer).status());
+  }
+  DirectoryPageProvider pages(dir + "/pages");
+
+  // ---- Offline Learning, persisted then re-loaded.
+  ProductSynthesizer learner(&world.catalog);
+  PRODSYN_CHECK_OK(learner.LearnOffline(historical, matches));
+  PRODSYN_CHECK_OK(WriteStringToFile(
+      dir + "/correspondences.tsv",
+      SerializeCorrespondences(learner.correspondences())));
+  std::printf("Learned %zu scored correspondences -> %s\n",
+              learner.correspondences().size(),
+              (dir + "/correspondences.tsv").c_str());
+
+  ProductSynthesizer runtime(&world.catalog);
+  runtime.SetCorrespondences(*ParseCorrespondences(
+      *ReadFileToString(dir + "/correspondences.tsv")));
+  // Incoming offers carry no category here; reuse the learner's trained
+  // title classifier by re-learning in the runtime instance.
+  PRODSYN_CHECK_OK(runtime.LearnOffline(historical, matches));
+
+  auto result = *runtime.Synthesize(incoming, pages);
+
+  // ---- Products out.
+  std::string products_tsv = "category\tkey\toffers\tspec\n";
+  for (const auto& product : result.products) {
+    products_tsv += *world.catalog.taxonomy().Path(product.category);
+    products_tsv += '\t';
+    products_tsv += product.key;
+    products_tsv += '\t';
+    products_tsv += std::to_string(product.source_offers.size());
+    products_tsv += '\t';
+    products_tsv += EscapeTsvField(SerializeSpec(product.spec));
+    products_tsv += '\n';
+  }
+  PRODSYN_CHECK_OK(WriteStringToFile(dir + "/products.tsv", products_tsv));
+  std::printf("Synthesized %zu products from %zu offers -> %s\n",
+              result.products.size(), result.stats.input_offers,
+              (dir + "/products.tsv").c_str());
+  return 0;
+}

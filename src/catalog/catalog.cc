@@ -1,0 +1,129 @@
+#include "src/catalog/catalog.h"
+
+namespace prodsyn {
+
+namespace {
+const std::vector<ProductId> kNoProducts;
+const std::vector<OfferId> kNoOffers;
+}  // namespace
+
+Result<ProductId> Catalog::AddProduct(CategoryId category, Specification spec) {
+  if (!taxonomy_.Contains(category)) {
+    return Status::NotFound("unknown category " + std::to_string(category));
+  }
+  PRODSYN_ASSIGN_OR_RETURN(const CategorySchema* schema,
+                           schemas_.Get(category));
+  for (const auto& av : spec) {
+    if (!schema->HasAttribute(av.name)) {
+      return Status::InvalidArgument(
+          "attribute '" + av.name + "' not in schema of category " +
+          std::to_string(category));
+    }
+  }
+  const ProductId id = static_cast<ProductId>(products_.size());
+  products_.push_back(Product{id, category, std::move(spec)});
+  by_category_[category].push_back(id);
+  return id;
+}
+
+Result<const Product*> Catalog::GetProduct(ProductId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= products_.size()) {
+    return Status::NotFound("unknown product " + std::to_string(id));
+  }
+  return &products_[static_cast<size_t>(id)];
+}
+
+const std::vector<ProductId>& Catalog::ProductsInCategory(
+    CategoryId category) const {
+  auto it = by_category_.find(category);
+  return it == by_category_.end() ? kNoProducts : it->second;
+}
+
+Result<OfferId> OfferStore::AddOffer(Offer offer) {
+  if (offer.merchant == kInvalidMerchant) {
+    return Status::InvalidArgument("offer must name a merchant");
+  }
+  const OfferId id = static_cast<OfferId>(offers_.size());
+  offer.id = id;
+  by_merchant_[offer.merchant].push_back(id);
+  if (offer.category != kInvalidCategory) {
+    by_category_[offer.category].push_back(id);
+  }
+  offers_.push_back(std::move(offer));
+  return id;
+}
+
+Result<const Offer*> OfferStore::GetOffer(OfferId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= offers_.size()) {
+    return Status::NotFound("unknown offer " + std::to_string(id));
+  }
+  return &offers_[static_cast<size_t>(id)];
+}
+
+Result<Offer*> OfferStore::GetMutableOffer(OfferId id) {
+  if (id < 0 || static_cast<size_t>(id) >= offers_.size()) {
+    return Status::NotFound("unknown offer " + std::to_string(id));
+  }
+  return &offers_[static_cast<size_t>(id)];
+}
+
+const std::vector<OfferId>& OfferStore::OffersOfMerchant(
+    MerchantId merchant) const {
+  auto it = by_merchant_.find(merchant);
+  return it == by_merchant_.end() ? kNoOffers : it->second;
+}
+
+const std::vector<OfferId>& OfferStore::OffersInCategory(
+    CategoryId category) const {
+  auto it = by_category_.find(category);
+  return it == by_category_.end() ? kNoOffers : it->second;
+}
+
+Status OfferStore::UpdateCategory(OfferId id, CategoryId category) {
+  PRODSYN_ASSIGN_OR_RETURN(Offer * offer, GetMutableOffer(id));
+  if (offer->category == category) return Status::OK();
+  if (offer->category != kInvalidCategory) {
+    auto& old_bucket = by_category_[offer->category];
+    for (size_t i = 0; i < old_bucket.size(); ++i) {
+      if (old_bucket[i] == id) {
+        old_bucket.erase(old_bucket.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  offer->category = category;
+  if (category != kInvalidCategory) {
+    by_category_[category].push_back(id);
+  }
+  return Status::OK();
+}
+
+Result<MerchantId> MerchantRegistry::AddMerchant(std::string name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("merchant name must be non-empty");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("merchant '" + name + "' already exists");
+  }
+  const MerchantId id = static_cast<MerchantId>(merchants_.size());
+  by_name_.emplace(name, id);
+  merchants_.push_back(Merchant{id, std::move(name)});
+  return id;
+}
+
+Result<const Merchant*> MerchantRegistry::GetMerchant(MerchantId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= merchants_.size()) {
+    return Status::NotFound("unknown merchant " + std::to_string(id));
+  }
+  return &merchants_[static_cast<size_t>(id)];
+}
+
+Result<MerchantId> MerchantRegistry::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no merchant named '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,105 @@
+// The product catalog store: taxonomy + schemas + product instances with
+// the secondary indexes the matching components need (by category).
+
+#ifndef PRODSYN_CATALOG_CATALOG_H_
+#define PRODSYN_CATALOG_CATALOG_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/entities.h"
+#include "src/catalog/schema.h"
+#include "src/catalog/taxonomy.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief In-memory product catalog of a Product Search Engine.
+///
+/// Owns the taxonomy, the per-category schemas, and the product instances.
+/// Products are validated against their category schema on insert: every
+/// attribute name must belong to the schema (paper §2).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Taxonomy& taxonomy() { return taxonomy_; }
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+
+  SchemaRegistry& schemas() { return schemas_; }
+  const SchemaRegistry& schemas() const { return schemas_; }
+
+  /// \brief Inserts a product; assigns and returns its id.
+  ///
+  /// Fails if the category has no schema or the spec mentions an attribute
+  /// outside the schema.
+  Result<ProductId> AddProduct(CategoryId category, Specification spec);
+
+  /// \brief Product lookup; NotFound for unknown ids.
+  Result<const Product*> GetProduct(ProductId id) const;
+
+  /// \brief All products of a category (empty vector if none).
+  const std::vector<ProductId>& ProductsInCategory(CategoryId category) const;
+
+  size_t product_count() const { return products_.size(); }
+
+  /// \brief Iterates all products in insertion order.
+  const std::vector<Product>& products() const { return products_; }
+
+ private:
+  Taxonomy taxonomy_;
+  SchemaRegistry schemas_;
+  std::vector<Product> products_;
+  std::unordered_map<CategoryId, std::vector<ProductId>> by_category_;
+};
+
+/// \brief Store of offers received from merchant feeds, with per-merchant
+/// and per-category indexes.
+class OfferStore {
+ public:
+  OfferStore() = default;
+
+  /// \brief Inserts an offer; assigns and returns its id. The offer must
+  /// name a merchant.
+  Result<OfferId> AddOffer(Offer offer);
+
+  Result<const Offer*> GetOffer(OfferId id) const;
+
+  /// \brief Mutable access (the pipeline sets category and extracted spec).
+  Result<Offer*> GetMutableOffer(OfferId id);
+
+  const std::vector<OfferId>& OffersOfMerchant(MerchantId merchant) const;
+  const std::vector<OfferId>& OffersInCategory(CategoryId category) const;
+
+  /// \brief Re-indexes one offer after its category was (re)assigned.
+  Status UpdateCategory(OfferId id, CategoryId category);
+
+  size_t size() const { return offers_.size(); }
+  const std::vector<Offer>& offers() const { return offers_; }
+
+ private:
+  std::vector<Offer> offers_;
+  std::unordered_map<MerchantId, std::vector<OfferId>> by_merchant_;
+  std::unordered_map<CategoryId, std::vector<OfferId>> by_category_;
+};
+
+/// \brief Registry of merchants.
+class MerchantRegistry {
+ public:
+  /// \brief Adds a merchant by unique name; returns its id.
+  Result<MerchantId> AddMerchant(std::string name);
+
+  Result<const Merchant*> GetMerchant(MerchantId id) const;
+  Result<MerchantId> FindByName(const std::string& name) const;
+
+  size_t size() const { return merchants_.size(); }
+  const std::vector<Merchant>& merchants() const { return merchants_; }
+
+ private:
+  std::vector<Merchant> merchants_;
+  std::unordered_map<std::string, MerchantId> by_name_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_CATALOG_CATALOG_H_

@@ -1,0 +1,46 @@
+// Products, merchants and offers — the instances flowing through the
+// synthesis pipeline (paper §2).
+
+#ifndef PRODSYN_CATALOG_ENTITIES_H_
+#define PRODSYN_CATALOG_ENTITIES_H_
+
+#include <string>
+
+#include "src/catalog/types.h"
+
+namespace prodsyn {
+
+/// \brief A catalog product: p = (C, {⟨A1,v1⟩, …, ⟨An,vn⟩}) where every
+/// attribute name belongs to the schema of category C.
+struct Product {
+  ProductId id = kInvalidProduct;
+  CategoryId category = kInvalidCategory;
+  Specification spec;
+};
+
+/// \brief A merchant that submits offer feeds.
+struct Merchant {
+  MerchantId id = kInvalidMerchant;
+  std::string name;
+};
+
+/// \brief A merchant offer: o = (M, price, image, C, URL, title, spec).
+///
+/// `category` is the catalog category the offer was classified into
+/// (kInvalidCategory before classification). `spec` starts as whatever the
+/// feed carried (often empty, see paper Fig. 3) and is populated by
+/// Web-page attribute extraction.
+struct Offer {
+  OfferId id = kInvalidOffer;
+  MerchantId merchant = kInvalidMerchant;
+  CategoryId category = kInvalidCategory;
+  std::string title;
+  double price = 0.0;
+  std::string url;
+  std::string image_url;
+  Specification spec;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_CATALOG_ENTITIES_H_

@@ -1,0 +1,182 @@
+#include "src/catalog/feed.h"
+
+#include <charconv>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+constexpr std::string_view kHeader =
+    "source_url\ttitle\tdescription\tprice\tseller\tcategory\tspec";
+
+Result<double> ParsePrice(std::string_view s, size_t line_no) {
+  if (TrimView(s).empty()) return 0.0;
+  const std::string trimmed = Trim(s);
+  double value = 0.0;
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": bad price '" + trimmed + "'");
+  }
+  return value;
+}
+}  // namespace
+
+std::string EscapeTsvField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeTsvField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\' || i + 1 == field.size()) {
+      out.push_back(field[i]);
+      continue;
+    }
+    ++i;
+    switch (field[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      default:  // unknown escape: keep both characters
+        out.push_back('\\');
+        out.push_back(field[i]);
+    }
+  }
+  return out;
+}
+
+std::string SerializeSpec(const Specification& spec) {
+  std::string out;
+  auto escape = [](std::string_view s) {
+    std::string e;
+    for (char c : s) {
+      if (c == '\\' || c == '=' || c == ';') e.push_back('\\');
+      e.push_back(c);
+    }
+    return e;
+  };
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (i > 0) out.push_back(';');
+    out += escape(spec[i].name);
+    out.push_back('=');
+    out += escape(spec[i].value);
+  }
+  return out;
+}
+
+Result<Specification> ParseSpec(std::string_view text) {
+  Specification spec;
+  if (TrimView(text).empty()) return spec;
+  std::string name, value;
+  std::string* current = &name;
+  auto flush = [&]() -> Status {
+    if (current == &name && !name.empty()) {
+      return Status::ParseError("spec pair '" + name + "' has no '='");
+    }
+    if (!name.empty()) spec.push_back({name, value});
+    name.clear();
+    value.clear();
+    current = &name;
+    return Status::OK();
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      current->push_back(text[++i]);
+    } else if (c == '=' && current == &name) {
+      current = &value;
+    } else if (c == ';') {
+      PRODSYN_RETURN_NOT_OK(flush());
+    } else {
+      current->push_back(c);
+    }
+  }
+  PRODSYN_RETURN_NOT_OK(flush());
+  return spec;
+}
+
+std::string SerializeFeed(const std::vector<FeedRecord>& records) {
+  std::string out(kHeader);
+  out.push_back('\n');
+  for (const auto& r : records) {
+    out += EscapeTsvField(r.url);
+    out.push_back('\t');
+    out += EscapeTsvField(r.title);
+    out.push_back('\t');
+    out += EscapeTsvField(r.description);
+    out.push_back('\t');
+    out += std::to_string(r.price);
+    out.push_back('\t');
+    out += EscapeTsvField(r.seller);
+    out.push_back('\t');
+    out += EscapeTsvField(r.category_path);
+    out.push_back('\t');
+    out += EscapeTsvField(SerializeSpec(r.spec));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<FeedRecord>> ParseFeed(std::string_view tsv) {
+  std::vector<FeedRecord> records;
+  const auto lines = Split(tsv, '\n');
+  if (lines.empty() || TrimView(lines[0]) != kHeader) {
+    return Status::ParseError("feed missing header line");
+  }
+  for (size_t line_no = 1; line_no < lines.size(); ++line_no) {
+    const auto& line = lines[line_no];
+    if (TrimView(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 7) {
+      return Status::ParseError("line " + std::to_string(line_no + 1) +
+                                ": expected 7 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    FeedRecord r;
+    r.url = UnescapeTsvField(fields[0]);
+    r.title = UnescapeTsvField(fields[1]);
+    r.description = UnescapeTsvField(fields[2]);
+    PRODSYN_ASSIGN_OR_RETURN(r.price, ParsePrice(fields[3], line_no + 1));
+    r.seller = UnescapeTsvField(fields[4]);
+    r.category_path = UnescapeTsvField(fields[5]);
+    PRODSYN_ASSIGN_OR_RETURN(r.spec, ParseSpec(UnescapeTsvField(fields[6])));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,52 @@
+// Merchant offer feeds: the TSV interchange format of paper Fig. 3
+// (Source Url | Title | Description | Price | Seller | Category), extended
+// with optional inline attribute–value pairs ("name=value;name=value").
+
+#ifndef PRODSYN_CATALOG_FEED_H_
+#define PRODSYN_CATALOG_FEED_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/catalog/entities.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief One feed line, before resolution against the merchant registry
+/// and taxonomy.
+struct FeedRecord {
+  std::string url;
+  std::string title;
+  std::string description;
+  double price = 0.0;
+  std::string seller;
+  std::string category_path;  ///< "Computing|Storage|Hard Drives"
+  Specification spec;         ///< usually empty in real feeds
+};
+
+/// \brief Serializes records to feed TSV (with header). Tabs/newlines in
+/// fields are escaped as \t and \n; backslash as \\.
+std::string SerializeFeed(const std::vector<FeedRecord>& records);
+
+/// \brief Parses feed TSV produced by SerializeFeed (or hand-written with
+/// the same header). Returns ParseError with a line number on bad input.
+Result<std::vector<FeedRecord>> ParseFeed(std::string_view tsv);
+
+/// \brief Escapes a single field for TSV embedding.
+std::string EscapeTsvField(std::string_view field);
+
+/// \brief Reverses EscapeTsvField.
+std::string UnescapeTsvField(std::string_view field);
+
+/// \brief Serializes a Specification to "name=value;name=value" form with
+/// escaping of '=', ';' and '\'.
+std::string SerializeSpec(const Specification& spec);
+
+/// \brief Reverses SerializeSpec.
+Result<Specification> ParseSpec(std::string_view text);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_CATALOG_FEED_H_

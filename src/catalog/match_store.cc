@@ -1,0 +1,34 @@
+#include "src/catalog/match_store.h"
+
+namespace prodsyn {
+
+namespace {
+const std::vector<OfferId> kNoOffers;
+}  // namespace
+
+Status MatchStore::AddMatch(OfferId offer, ProductId product) {
+  if (offer == kInvalidOffer || product == kInvalidProduct) {
+    return Status::InvalidArgument("match requires valid offer and product");
+  }
+  auto [it, inserted] = product_of_.emplace(offer, product);
+  if (!inserted) {
+    if (it->second == product) return Status::OK();  // idempotent
+    return Status::AlreadyExists("offer " + std::to_string(offer) +
+                                 " already matched to product " +
+                                 std::to_string(it->second));
+  }
+  offers_of_[product].push_back(offer);
+  return Status::OK();
+}
+
+ProductId MatchStore::ProductOf(OfferId offer) const {
+  auto it = product_of_.find(offer);
+  return it == product_of_.end() ? kInvalidProduct : it->second;
+}
+
+const std::vector<OfferId>& MatchStore::OffersOf(ProductId product) const {
+  auto it = offers_of_.find(product);
+  return it == offers_of_.end() ? kNoOffers : it->second;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,49 @@
+// Historical offer-to-product matches (paper §3.1): the instance-level
+// associations that power distributional-similarity features. In production
+// these come from universal identifiers (GTIN/UPC/EAN), manual matching, or
+// title matchers; here they are an input to the offline learning phase.
+
+#ifndef PRODSYN_CATALOG_MATCH_STORE_H_
+#define PRODSYN_CATALOG_MATCH_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/types.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Many-offers-to-one-product association store.
+class MatchStore {
+ public:
+  MatchStore() = default;
+
+  /// \brief Records that `offer` is (historically) matched to `product`.
+  /// An offer can match at most one product.
+  Status AddMatch(OfferId offer, ProductId product);
+
+  /// \brief The matched product of `offer`, or kInvalidProduct.
+  ProductId ProductOf(OfferId offer) const;
+
+  /// \brief All offers matched to `product` (empty if none).
+  const std::vector<OfferId>& OffersOf(ProductId product) const;
+
+  bool IsMatched(OfferId offer) const {
+    return ProductOf(offer) != kInvalidProduct;
+  }
+
+  size_t size() const { return product_of_.size(); }
+
+  const std::unordered_map<OfferId, ProductId>& matches() const {
+    return product_of_;
+  }
+
+ private:
+  std::unordered_map<OfferId, ProductId> product_of_;
+  std::unordered_map<ProductId, std::vector<OfferId>> offers_of_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_CATALOG_MATCH_STORE_H_

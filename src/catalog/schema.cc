@@ -1,0 +1,66 @@
+#include "src/catalog/schema.h"
+
+namespace prodsyn {
+
+Status CategorySchema::AddAttribute(AttributeDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  if (index_.count(def.name) > 0) {
+    return Status::AlreadyExists("attribute '" + def.name +
+                                 "' already in schema");
+  }
+  index_.emplace(def.name, attributes_.size());
+  attributes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+bool CategorySchema::HasAttribute(std::string_view name) const {
+  return index_.count(std::string(name)) > 0;
+}
+
+Result<AttributeDef> CategorySchema::GetAttribute(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("attribute '" + std::string(name) +
+                            "' not in schema");
+  }
+  return attributes_[it->second];
+}
+
+std::vector<std::string> CategorySchema::KeyAttributeNames() const {
+  std::vector<std::string> keys;
+  for (const auto& def : attributes_) {
+    if (def.is_key) keys.push_back(def.name);
+  }
+  return keys;
+}
+
+Status SchemaRegistry::Register(CategorySchema schema) {
+  const CategoryId category = schema.category();
+  if (category == kInvalidCategory) {
+    return Status::InvalidArgument("schema must name a category");
+  }
+  if (schemas_.count(category) > 0) {
+    return Status::AlreadyExists("schema for category " +
+                                 std::to_string(category) +
+                                 " already registered");
+  }
+  schemas_.emplace(category, std::move(schema));
+  return Status::OK();
+}
+
+bool SchemaRegistry::Contains(CategoryId category) const {
+  return schemas_.count(category) > 0;
+}
+
+Result<const CategorySchema*> SchemaRegistry::Get(CategoryId category) const {
+  auto it = schemas_.find(category);
+  if (it == schemas_.end()) {
+    return Status::NotFound("no schema for category " +
+                            std::to_string(category));
+  }
+  return &it->second;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,86 @@
+// Category schemas: the set of catalog attributes for each category
+// (paper §2: "each category ... is represented by a schema that contains a
+// set of attributes"). Key attributes (MPN/UPC) drive clustering (§4).
+
+#ifndef PRODSYN_CATALOG_SCHEMA_H_
+#define PRODSYN_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/types.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Broad value kind of a catalog attribute; informs data generation
+/// and value normalization but is not required by the matching algorithms
+/// (which are schema-agnostic by design).
+enum class AttributeKind {
+  kCategorical,  ///< closed vocabulary (Brand, Interface, Color)
+  kNumeric,      ///< number, usually with a unit (Capacity, Speed)
+  kIdentifier,   ///< key-like code (MPN, UPC, EAN)
+  kText,         ///< free text (Product Description)
+};
+
+/// \brief Declaration of one catalog attribute.
+struct AttributeDef {
+  std::string name;
+  AttributeKind kind = AttributeKind::kText;
+  /// Key attributes identify the product (Model Part Number, UPC); the
+  /// clustering component groups offers by their reconciled key values.
+  bool is_key = false;
+};
+
+/// \brief The schema of one category: an ordered list of attribute
+/// definitions with unique names.
+class CategorySchema {
+ public:
+  CategorySchema() = default;
+  explicit CategorySchema(CategoryId category) : category_(category) {}
+
+  CategoryId category() const { return category_; }
+
+  /// \brief Adds an attribute; names must be unique within the schema.
+  Status AddAttribute(AttributeDef def);
+
+  bool HasAttribute(std::string_view name) const;
+
+  /// \brief Definition lookup by exact name.
+  Result<AttributeDef> GetAttribute(std::string_view name) const;
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// \brief Names of the key attributes, in schema order.
+  std::vector<std::string> KeyAttributeNames() const;
+
+  size_t size() const { return attributes_.size(); }
+
+ private:
+  CategoryId category_ = kInvalidCategory;
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// \brief Schema registry: one CategorySchema per category.
+class SchemaRegistry {
+ public:
+  /// \brief Registers a schema; one per category.
+  Status Register(CategorySchema schema);
+
+  bool Contains(CategoryId category) const;
+
+  /// \brief Schema for `category`; NotFound if unregistered.
+  Result<const CategorySchema*> Get(CategoryId category) const;
+
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::unordered_map<CategoryId, CategorySchema> schemas_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_CATALOG_SCHEMA_H_

@@ -1,0 +1,136 @@
+#include "src/catalog/taxonomy.h"
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+std::string SiblingKey(CategoryId parent, std::string_view name) {
+  return std::to_string(parent) + "/" + std::string(name);
+}
+}  // namespace
+
+Status Taxonomy::CheckId(CategoryId id) const {
+  if (!Contains(id)) {
+    return Status::NotFound("category id " + std::to_string(id) +
+                            " not in taxonomy");
+  }
+  return Status::OK();
+}
+
+Result<CategoryId> Taxonomy::AddCategory(std::string name, CategoryId parent) {
+  if (Trim(name).empty()) {
+    return Status::InvalidArgument("category name must be non-empty");
+  }
+  if (parent != kInvalidCategory) {
+    PRODSYN_RETURN_NOT_OK(CheckId(parent));
+  }
+  const std::string key = SiblingKey(parent, name);
+  if (by_parent_and_name_.count(key) > 0) {
+    return Status::AlreadyExists("duplicate sibling category '" + name + "'");
+  }
+  const CategoryId id = static_cast<CategoryId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), parent, {}});
+  by_parent_and_name_.emplace(key, id);
+  if (parent != kInvalidCategory) {
+    nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  }
+  return id;
+}
+
+Result<std::string> Taxonomy::Name(CategoryId id) const {
+  PRODSYN_RETURN_NOT_OK(CheckId(id));
+  return nodes_[static_cast<size_t>(id)].name;
+}
+
+Result<CategoryId> Taxonomy::Parent(CategoryId id) const {
+  PRODSYN_RETURN_NOT_OK(CheckId(id));
+  return nodes_[static_cast<size_t>(id)].parent;
+}
+
+Result<std::vector<CategoryId>> Taxonomy::Children(CategoryId id) const {
+  PRODSYN_RETURN_NOT_OK(CheckId(id));
+  return nodes_[static_cast<size_t>(id)].children;
+}
+
+Result<bool> Taxonomy::IsLeaf(CategoryId id) const {
+  PRODSYN_RETURN_NOT_OK(CheckId(id));
+  return nodes_[static_cast<size_t>(id)].children.empty();
+}
+
+std::vector<CategoryId> Taxonomy::Leaves() const {
+  std::vector<CategoryId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].children.empty()) out.push_back(static_cast<CategoryId>(i));
+  }
+  return out;
+}
+
+std::vector<CategoryId> Taxonomy::TopLevel() const {
+  std::vector<CategoryId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == kInvalidCategory) {
+      out.push_back(static_cast<CategoryId>(i));
+    }
+  }
+  return out;
+}
+
+Result<CategoryId> Taxonomy::TopLevelAncestor(CategoryId id) const {
+  PRODSYN_RETURN_NOT_OK(CheckId(id));
+  CategoryId current = id;
+  while (nodes_[static_cast<size_t>(current)].parent != kInvalidCategory) {
+    current = nodes_[static_cast<size_t>(current)].parent;
+  }
+  return current;
+}
+
+Result<std::string> Taxonomy::Path(CategoryId id, std::string_view sep) const {
+  PRODSYN_RETURN_NOT_OK(CheckId(id));
+  std::vector<const std::string*> parts;
+  CategoryId current = id;
+  while (current != kInvalidCategory) {
+    parts.push_back(&nodes_[static_cast<size_t>(current)].name);
+    current = nodes_[static_cast<size_t>(current)].parent;
+  }
+  std::string out;
+  for (size_t i = parts.size(); i-- > 0;) {
+    out += *parts[i];
+    if (i > 0) out += sep;
+  }
+  return out;
+}
+
+Result<CategoryId> Taxonomy::FindByPath(std::string_view path,
+                                        std::string_view sep) const {
+  if (sep.empty() || sep.size() != 1) {
+    return Status::InvalidArgument("path separator must be one character");
+  }
+  CategoryId current = kInvalidCategory;
+  for (const auto& part : Split(path, sep[0])) {
+    auto it = by_parent_and_name_.find(SiblingKey(current, Trim(part)));
+    if (it == by_parent_and_name_.end()) {
+      return Status::NotFound("no category with path '" + std::string(path) +
+                              "'");
+    }
+    current = it->second;
+  }
+  if (current == kInvalidCategory) {
+    return Status::InvalidArgument("empty category path");
+  }
+  return current;
+}
+
+Result<bool> Taxonomy::IsDescendantOf(CategoryId descendant,
+                                      CategoryId ancestor) const {
+  PRODSYN_RETURN_NOT_OK(CheckId(descendant));
+  PRODSYN_RETURN_NOT_OK(CheckId(ancestor));
+  CategoryId current = descendant;
+  while (current != kInvalidCategory) {
+    if (current == ancestor) return true;
+    current = nodes_[static_cast<size_t>(current)].parent;
+  }
+  return false;
+}
+
+}  // namespace prodsyn

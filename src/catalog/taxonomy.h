@@ -1,0 +1,83 @@
+// The catalog's category taxonomy: a forest of named categories. Offers are
+// classified into leaf categories; Table 3 of the paper aggregates results
+// by top-level category, which TopLevelAncestor supports.
+
+#ifndef PRODSYN_CATALOG_TAXONOMY_H_
+#define PRODSYN_CATALOG_TAXONOMY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/types.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief A forest of categories with stable integer ids.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// \brief Adds a category under `parent` (kInvalidCategory for top-level).
+  /// Sibling names must be unique. Returns the new id.
+  Result<CategoryId> AddCategory(std::string name,
+                                 CategoryId parent = kInvalidCategory);
+
+  /// \brief Number of categories.
+  size_t size() const { return nodes_.size(); }
+
+  bool Contains(CategoryId id) const {
+    return id >= 0 && static_cast<size_t>(id) < nodes_.size();
+  }
+
+  /// \brief Category display name.
+  Result<std::string> Name(CategoryId id) const;
+
+  /// \brief Parent id; kInvalidCategory for a top-level category.
+  Result<CategoryId> Parent(CategoryId id) const;
+
+  /// \brief Direct children.
+  Result<std::vector<CategoryId>> Children(CategoryId id) const;
+
+  /// \brief True iff the category has no children.
+  Result<bool> IsLeaf(CategoryId id) const;
+
+  /// \brief All leaf categories, in id order.
+  std::vector<CategoryId> Leaves() const;
+
+  /// \brief All top-level categories, in id order.
+  std::vector<CategoryId> TopLevel() const;
+
+  /// \brief The top-level ancestor of `id` (possibly itself).
+  Result<CategoryId> TopLevelAncestor(CategoryId id) const;
+
+  /// \brief "Computing|Storage|Hard Drives"-style path (paper Fig. 3).
+  Result<std::string> Path(CategoryId id, std::string_view sep = "|") const;
+
+  /// \brief Finds a category by its full path. NotFound if absent.
+  Result<CategoryId> FindByPath(std::string_view path,
+                                std::string_view sep = "|") const;
+
+  /// \brief True iff `descendant` is `ancestor` or below it.
+  Result<bool> IsDescendantOf(CategoryId descendant,
+                              CategoryId ancestor) const;
+
+ private:
+  struct Node {
+    std::string name;
+    CategoryId parent = kInvalidCategory;
+    std::vector<CategoryId> children;
+  };
+
+  Status CheckId(CategoryId id) const;
+
+  std::vector<Node> nodes_;
+  // Key: "<parent-id>/<name>" for sibling-uniqueness and path lookup.
+  std::unordered_map<std::string, CategoryId> by_parent_and_name_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_CATALOG_TAXONOMY_H_

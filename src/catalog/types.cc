@@ -1,0 +1,31 @@
+#include "src/catalog/types.h"
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+std::optional<std::string> FindValue(const Specification& spec,
+                                     std::string_view name) {
+  for (const auto& av : spec) {
+    if (av.name == name) return av.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FindValueNormalized(const Specification& spec,
+                                               std::string_view name) {
+  const std::string wanted = NormalizeAttributeName(name);
+  for (const auto& av : spec) {
+    if (NormalizeAttributeName(av.name) == wanted) return av.value;
+  }
+  return std::nullopt;
+}
+
+bool HasAttribute(const Specification& spec, std::string_view name) {
+  for (const auto& av : spec) {
+    if (av.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace prodsyn

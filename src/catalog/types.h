@@ -1,0 +1,54 @@
+// Core identifiers and the attribute–value representation shared by the
+// catalog, offers, and the synthesis pipeline (paper §2 data model).
+
+#ifndef PRODSYN_CATALOG_TYPES_H_
+#define PRODSYN_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prodsyn {
+
+using CategoryId = int32_t;
+using MerchantId = int32_t;
+using ProductId = int64_t;
+using OfferId = int64_t;
+
+inline constexpr CategoryId kInvalidCategory = -1;
+inline constexpr MerchantId kInvalidMerchant = -1;
+inline constexpr ProductId kInvalidProduct = -1;
+inline constexpr OfferId kInvalidOffer = -1;
+
+/// \brief One ⟨attribute, value⟩ pair of a product or offer specification.
+struct AttributeValue {
+  std::string name;
+  std::string value;
+
+  bool operator==(const AttributeValue& other) const {
+    return name == other.name && value == other.value;
+  }
+};
+
+/// \brief An ordered list of attribute–value pairs. Order is preserved as
+/// provided by the source (feed column order / page row order); duplicate
+/// names may occur in noisy offer specifications.
+using Specification = std::vector<AttributeValue>;
+
+/// \brief First value for `name` (exact match), if present.
+std::optional<std::string> FindValue(const Specification& spec,
+                                     std::string_view name);
+
+/// \brief First value whose *normalized* name equals the normalized `name`
+/// (see NormalizeAttributeName), if present.
+std::optional<std::string> FindValueNormalized(const Specification& spec,
+                                               std::string_view name);
+
+/// \brief True iff the spec contains an exact attribute `name`.
+bool HasAttribute(const Specification& spec, std::string_view name);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_CATALOG_TYPES_H_

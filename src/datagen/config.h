@@ -1,0 +1,112 @@
+// Configuration of the synthetic marketplace (the substitute for the
+// paper's Bing Shopping corpus — see DESIGN.md §1). Every knob is
+// deterministic under `seed`.
+
+#ifndef PRODSYN_DATAGEN_CONFIG_H_
+#define PRODSYN_DATAGEN_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prodsyn {
+
+/// \brief Parameters of WorldGenerator. Defaults produce a mid-size world
+/// (~40 leaf categories, ~10–30K offers) suitable for tests and examples;
+/// benches scale the counts up.
+struct WorldConfig {
+  uint64_t seed = 42;
+
+  // ----- Taxonomy scale ---------------------------------------------------
+  /// Leaf categories instantiated per built-in archetype (each instance
+  /// gets a distinguishing qualifier, its own products, and its own
+  /// merchant naming), e.g. "Hard Drives" / "Server Hard Drives".
+  size_t categories_per_archetype = 2;
+
+  // ----- Participants -----------------------------------------------------
+  size_t merchants = 120;
+  /// Probability that a merchant sells in any given category (merchants
+  /// are additionally biased towards one top-level domain).
+  double merchant_category_coverage = 0.18;
+  /// Fraction of merchants specialized in a single brand (the paper's
+  /// SonyStyle.com example; it skews per-merchant value distributions).
+  double brand_specialist_fraction = 0.15;
+
+  // ----- Products and offers ----------------------------------------------
+  size_t products_per_category = 50;
+  /// Fraction of true products already present in the catalog; the rest
+  /// are the "missing products" the pipeline must synthesize.
+  double catalog_fraction = 0.5;
+  /// Fraction of offers on catalog products that carry a historical
+  /// offer-to-product match (the rest are unmatched historical offers).
+  double historical_match_rate = 0.55;
+  /// Stale catalog: for every live catalog product, this many additional
+  /// catalog-only products exist that NO merchant currently sells —
+  /// discontinued models with legacy value distributions (the paper's
+  /// Fig. 5 Cheetah and the reason restricting bags to matched products
+  /// matters: unrestricted bags absorb this skewed mass).
+  double cold_catalog_ratio = 1.5;
+  /// Offers per product are 1 + Zipf(max_offers_per_product, zipf_s)
+  /// capped by the number of eligible merchants.
+  size_t max_offers_per_product = 24;
+  double offers_zipf_s = 1.15;
+
+  // ----- Market segments ----------------------------------------------------
+  /// Products belong to one of `segments` latent market segments (budget /
+  /// mainstream / premium). Segment-conditioned value models and merchant
+  /// segment affinity make each merchant's inventory distribution differ
+  /// from the whole catalog's — the phenomenon (paper's SonyStyle example)
+  /// that makes historical-match restriction matter (Fig. 7).
+  size_t segments = 3;
+  /// Probability a product's categorical/numeric value is drawn from its
+  /// segment's slice of the pool (rather than anywhere).
+  double segment_value_affinity = 0.75;
+  /// Seller acceptance probability for products inside / outside the
+  /// merchant's preferred segment.
+  double same_segment_accept = 0.9;
+  double cross_segment_accept = 0.2;
+
+  // ----- Merchant vocabulary behaviour -------------------------------------
+  /// Probability a merchant uses the catalog's exact attribute name
+  /// (these power the automated training set).
+  double name_identity_prob = 0.30;
+  /// Probability a merchant deviates from its global attribute-name choice
+  /// in a particular category.
+  double per_category_name_deviation = 0.20;
+  /// Each (merchant, attribute) pair is included in that merchant's specs
+  /// with a probability drawn uniformly from this range (key attributes
+  /// use the max so clustering is possible).
+  double attr_inclusion_min = 0.45;
+  double attr_inclusion_max = 0.95;
+
+  // ----- Noise -------------------------------------------------------------
+  /// Probability a numeric value is rendered without its unit.
+  double unit_omission_prob = 0.25;
+  /// Probability a non-key value has a character-level typo (key codes
+  /// are exempt: merchants copy MPN/UPC from inventory systems).
+  double typo_prob = 0.03;
+  /// Probability an offer lists an outright wrong value for an attribute.
+  double wrong_value_prob = 0.05;
+  /// Probability an offer's spec rows are misaligned (values rotated
+  /// across up to three adjacent non-key rows — a copy/paste or template
+  /// bug that makes several attributes wrong at once, so errors cluster
+  /// within products as they do in real extractions).
+  double spec_shift_prob = 0.05;
+  /// Junk rows (Shipping, Availability, ...) per landing page: uniform in
+  /// [junk_rows_min, junk_rows_max].
+  size_t junk_rows_min = 2;
+  size_t junk_rows_max = 5;
+  /// Fraction of merchants whose pages use bullet lists instead of spec
+  /// tables (the table extractor misses those entirely — paper §4).
+  double bullet_page_fraction = 0.12;
+  /// Probability an offer's landing page is a dead link.
+  double dead_link_prob = 0.02;
+
+  // ----- Feed behaviour -----------------------------------------------------
+  /// Whether incoming (to-be-synthesized) offers carry their category in
+  /// the feed. When false the pipeline must rely on the title classifier.
+  bool incoming_offers_have_category = false;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_DATAGEN_CONFIG_H_

@@ -1,0 +1,198 @@
+#include "src/datagen/merchant_gen.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+std::string MerchantAttrKey(CategoryId category, const std::string& attr) {
+  return std::to_string(category) + "/" + attr;
+}
+
+const std::string& MerchantProfile::AttrName(CategoryId category,
+                                             const std::string& attr) const {
+  static const std::string kEmpty;
+  auto it = attr_names.find(MerchantAttrKey(category, attr));
+  return it == attr_names.end() ? kEmpty : it->second;
+}
+
+double MerchantProfile::InclusionProb(CategoryId category,
+                                      const std::string& attr) const {
+  auto it = attr_inclusion.find(MerchantAttrKey(category, attr));
+  return it == attr_inclusion.end() ? 0.0 : it->second;
+}
+
+size_t MerchantProfile::UnitChoice(CategoryId category,
+                                   const std::string& attr) const {
+  auto it = unit_choice.find(MerchantAttrKey(category, attr));
+  return it == unit_choice.end() ? 0 : it->second;
+}
+
+namespace {
+
+// The merchant's *global* preference for an attribute archetype: either
+// the catalog name (name identity) or one of the synonyms. Keyed per
+// archetype so that e.g. "Capacity" of Hard Drives and of Blenders (which
+// have different synonym pools) are decided independently, while the same
+// attribute in sibling category instances of one archetype agrees — the
+// paper's "a merchant gives similar interpretations across categories".
+std::string GlobalNameChoice(const AttributeArchetype& attr,
+                             double identity_prob, Rng* rng) {
+  if (attr.synonyms.empty() || rng->NextBernoulli(identity_prob)) {
+    return attr.name;
+  }
+  return rng->Pick(attr.synonyms);
+}
+
+std::vector<std::string> AllBrands(
+    const std::vector<CategoryInstance>& instances) {
+  std::set<std::string> brands;
+  for (const auto& inst : instances) {
+    for (const auto& attr : inst.archetype->attributes) {
+      if (attr.name == "Brand") {
+        brands.insert(attr.value.pool.begin(), attr.value.pool.end());
+      }
+    }
+  }
+  return std::vector<std::string>(brands.begin(), brands.end());
+}
+
+}  // namespace
+
+std::vector<MerchantProfile> GenerateMerchants(
+    const WorldConfig& config, const std::vector<CategoryInstance>& instances,
+    Rng* rng) {
+  std::vector<MerchantProfile> merchants;
+  merchants.reserve(config.merchants);
+
+  std::vector<CategoryId> top_levels;
+  for (const auto& inst : instances) {
+    if (std::find(top_levels.begin(), top_levels.end(), inst.top_level) ==
+        top_levels.end()) {
+      top_levels.push_back(inst.top_level);
+    }
+  }
+  const std::vector<std::string> brands = AllBrands(instances);
+
+  std::set<std::string> used_names;
+  for (size_t m = 0; m < config.merchants; ++m) {
+    MerchantProfile profile;
+    profile.id = static_cast<MerchantId>(m);
+
+    // Unique readable name.
+    for (;;) {
+      std::string candidate = rng->Pick(MerchantNameRoots()) +
+                              rng->Pick(MerchantNameSuffixes());
+      if (used_names.insert(candidate).second) {
+        profile.name = std::move(candidate);
+        break;
+      }
+      // Collision: append a numeral and retry uniqueness.
+      candidate += std::to_string(rng->NextBelow(100));
+      if (used_names.insert(candidate).second) {
+        profile.name = std::move(candidate);
+        break;
+      }
+    }
+    profile.url_host = "www." + ToLower(profile.name) + ".example.com";
+
+    // Page template mix.
+    if (rng->NextBernoulli(config.bullet_page_fraction)) {
+      profile.page_template = PageTemplate::kBulletList;
+    } else if (rng->NextBernoulli(0.35)) {
+      profile.page_template = PageTemplate::kNestedTable;
+    } else {
+      profile.page_template = PageTemplate::kSpecTable;
+    }
+
+    profile.domain_bias = top_levels.empty()
+                              ? kInvalidCategory
+                              : top_levels[rng->PickIndex(top_levels)];
+    if (!brands.empty() &&
+        rng->NextBernoulli(config.brand_specialist_fraction)) {
+      profile.brand_filter = brands[rng->PickIndex(brands)];
+    }
+    profile.preferred_segment =
+        config.segments > 1
+            ? static_cast<size_t>(rng->NextBelow(config.segments))
+            : 0;
+
+    // Category coverage: biased domain gets 3x the base probability.
+    for (const auto& inst : instances) {
+      const double boost = inst.top_level == profile.domain_bias ? 3.0 : 1.0;
+      if (rng->NextBernoulli(
+              std::min(1.0, config.merchant_category_coverage * boost))) {
+        profile.categories.insert(inst.id);
+      }
+    }
+    // Every merchant sells somewhere.
+    if (profile.categories.empty()) {
+      profile.categories.insert(instances[rng->PickIndex(instances)].id);
+    }
+
+    // Global naming preferences per archetype, then per-category
+    // resolution with deviations and intra-category uniqueness.
+    std::unordered_map<std::string, std::string> global_choice;
+    for (const auto& inst : instances) {
+      if (profile.categories.count(inst.id) == 0) continue;
+      for (const auto& attr : inst.archetype->attributes) {
+        const std::string key = inst.archetype->name + "/" + attr.name;
+        if (global_choice.count(key) == 0) {
+          global_choice[key] =
+              GlobalNameChoice(attr, config.name_identity_prob, rng);
+        }
+      }
+    }
+    for (const auto& inst : instances) {
+      if (profile.categories.count(inst.id) == 0) continue;
+      std::set<std::string> used_in_category;
+      for (const auto& attr : inst.archetype->attributes) {
+        std::string chosen =
+            global_choice[inst.archetype->name + "/" + attr.name];
+        if (rng->NextBernoulli(config.per_category_name_deviation)) {
+          chosen = GlobalNameChoice(attr, config.name_identity_prob, rng);
+        }
+        // Enforce uniqueness of names within the category: fall back to
+        // the remaining options, ultimately the catalog name.
+        if (used_in_category.count(chosen) > 0) {
+          std::vector<std::string> options = {attr.name};
+          options.insert(options.end(), attr.synonyms.begin(),
+                         attr.synonyms.end());
+          for (const auto& option : options) {
+            if (used_in_category.count(option) == 0) {
+              chosen = option;
+              break;
+            }
+          }
+        }
+        used_in_category.insert(chosen);
+        const std::string map_key = MerchantAttrKey(inst.id, attr.name);
+        profile.attr_names[map_key] = chosen;
+
+        // Inclusion probability: keys stay near the max so clustering is
+        // possible; other attributes scale with the archetype richness.
+        double inclusion =
+            config.attr_inclusion_min +
+            rng->NextDouble() *
+                (config.attr_inclusion_max - config.attr_inclusion_min);
+        if (attr.is_key) {
+          inclusion = config.attr_inclusion_max;
+        } else {
+          inclusion *= inst.archetype->inclusion_scale;
+        }
+        profile.attr_inclusion[map_key] = inclusion;
+
+        if (!attr.value.unit_variants.empty()) {
+          profile.unit_choice[map_key] =
+              rng->PickIndex(attr.value.unit_variants);
+        }
+      }
+    }
+    merchants.push_back(std::move(profile));
+  }
+  return merchants;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,89 @@
+// Merchant profile generation: each merchant gets a name, a landing-page
+// template, a (mostly) globally consistent private attribute vocabulary
+// with per-category deviations, per-attribute inclusion probabilities, and
+// value-formatting habits. These behaviours are exactly the statistical
+// structure the paper's groupings (§3.1) exploit.
+
+#ifndef PRODSYN_DATAGEN_MERCHANT_GEN_H_
+#define PRODSYN_DATAGEN_MERCHANT_GEN_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/catalog/types.h"
+#include "src/datagen/config.h"
+#include "src/datagen/vocab.h"
+#include "src/util/random.h"
+
+namespace prodsyn {
+
+/// \brief Landing-page rendering style of a merchant.
+enum class PageTemplate {
+  kSpecTable,    ///< plain 2-column spec table (extractor-friendly)
+  kNestedTable,  ///< spec table nested in layout tables, extra junk tables
+  kBulletList,   ///< <ul><li>name: value</li>; the table extractor misses it
+};
+
+/// \brief One leaf category the world instantiated from an archetype.
+struct CategoryInstance {
+  CategoryId id = kInvalidCategory;
+  CategoryId top_level = kInvalidCategory;
+  std::string name;
+  /// Qualifier distinguishing this instance from its archetype siblings
+  /// ("Server", "Gaming", ...); empty for the first instance. It appears
+  /// in offer titles — the signal the title classifier uses to separate
+  /// sibling categories, just as real product titles do.
+  std::string qualifier;
+  const CategoryArchetype* archetype = nullptr;
+};
+
+/// \brief Everything about one merchant's behaviour.
+struct MerchantProfile {
+  MerchantId id = kInvalidMerchant;
+  std::string name;
+  std::string url_host;  ///< "www.techforless.example.com"
+  PageTemplate page_template = PageTemplate::kSpecTable;
+  /// Top-level category this merchant is biased towards.
+  CategoryId domain_bias = kInvalidCategory;
+  /// If set, the merchant only sells products of this brand.
+  std::optional<std::string> brand_filter;
+  /// The market segment (0..segments-1) this merchant mostly carries
+  /// (discount shops vs premium resellers); biases its inventory and thus
+  /// its value distributions.
+  size_t preferred_segment = 0;
+  /// Leaf categories the merchant sells in.
+  std::unordered_set<CategoryId> categories;
+
+  /// Attribute name the merchant uses for catalog attribute `attr` in
+  /// category `category` (already resolved, unique within the category).
+  /// Key: "<category>/<attr>".
+  std::unordered_map<std::string, std::string> attr_names;
+  /// Probability the merchant's spec includes the attribute.
+  /// Key: "<category>/<attr>".
+  std::unordered_map<std::string, double> attr_inclusion;
+  /// Unit-variant index per attribute (into ValueModel::unit_variants).
+  /// Key: "<category>/<attr>".
+  std::unordered_map<std::string, size_t> unit_choice;
+
+  /// \brief Lookup helpers.
+  const std::string& AttrName(CategoryId category,
+                              const std::string& attr) const;
+  double InclusionProb(CategoryId category, const std::string& attr) const;
+  size_t UnitChoice(CategoryId category, const std::string& attr) const;
+};
+
+/// \brief Generates `config.merchants` profiles over the category
+/// instances. Deterministic under `rng`.
+std::vector<MerchantProfile> GenerateMerchants(
+    const WorldConfig& config, const std::vector<CategoryInstance>& instances,
+    Rng* rng);
+
+/// \brief Composite key used by the profile maps.
+std::string MerchantAttrKey(CategoryId category, const std::string& attr);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_DATAGEN_MERCHANT_GEN_H_

@@ -1,0 +1,178 @@
+#include "src/datagen/offer_gen.h"
+
+#include <cctype>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+bool IsNumericKind(ValueModelKind kind) {
+  return kind == ValueModelKind::kNumericPool ||
+         kind == ValueModelKind::kNumericRange;
+}
+
+// Splits "500 GB" into ("500", "GB"); values without a space come back
+// with an empty unit part.
+std::pair<std::string, std::string> SplitNumberUnit(
+    const std::string& canonical) {
+  const size_t space = canonical.find(' ');
+  if (space == std::string::npos) return {canonical, std::string()};
+  return {canonical.substr(0, space), canonical.substr(space + 1)};
+}
+
+const AttributeArchetype* FindArchetypeAttr(const CategoryArchetype& archetype,
+                                            const std::string& name) {
+  for (const auto& attr : archetype.attributes) {
+    if (attr.name == name) return &attr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string ApplyTypo(const std::string& value, Rng* rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  const size_t pos = static_cast<size_t>(rng->NextBelow(out.size()));
+  const char c = out[pos];
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+    out[pos] = static_cast<char>('0' + rng->NextBelow(10));
+  } else if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+    const char base =
+        std::isupper(static_cast<unsigned char>(c)) != 0 ? 'A' : 'a';
+    out[pos] = static_cast<char>(base + rng->NextBelow(26));
+  } else {
+    out[pos] = '-';
+  }
+  return out;
+}
+
+std::string FormatValueForMerchant(const std::string& canonical,
+                                   const ValueModel& model,
+                                   size_t unit_choice,
+                                   const WorldConfig& config, Rng* rng) {
+  if (IsNumericKind(model.kind)) {
+    auto [number, unit] = SplitNumberUnit(canonical);
+    (void)unit;
+    if (model.unit_variants.empty() ||
+        rng->NextBernoulli(config.unit_omission_prob)) {
+      return number;
+    }
+    const std::string& variant =
+        model.unit_variants[unit_choice % model.unit_variants.size()];
+    if (variant.empty()) return number;
+    // Half the merchants glue the unit to the number ("500GB").
+    return rng->NextBernoulli(0.5) ? number + variant
+                                   : number + " " + variant;
+  }
+  if (model.kind == ValueModelKind::kIdentifier) {
+    // Occasionally hyphenate after the letter prefix ("WD-123456AB").
+    if (rng->NextBernoulli(0.3)) {
+      size_t split = 0;
+      while (split < canonical.size() &&
+             std::isalpha(static_cast<unsigned char>(canonical[split])) != 0) {
+        ++split;
+      }
+      if (split > 0 && split < canonical.size()) {
+        return canonical.substr(0, split) + "-" + canonical.substr(split);
+      }
+    }
+    return canonical;
+  }
+  // Categorical / digits / text: occasional case shifts.
+  if (rng->NextBernoulli(0.12)) return ToLower(canonical);
+  if (rng->NextBernoulli(0.06)) return ToUpper(canonical);
+  return canonical;
+}
+
+OfferContent GenerateOfferContent(const TrueProduct& product,
+                                  const CategoryInstance& instance,
+                                  const MerchantProfile& merchant,
+                                  const WorldConfig& config, Rng* rng) {
+  OfferContent content;
+  const CategoryArchetype& archetype = *instance.archetype;
+
+  for (const auto& av : product.spec) {
+    const AttributeArchetype* attr = FindArchetypeAttr(archetype, av.name);
+    if (attr == nullptr) continue;
+    if (!rng->NextBernoulli(merchant.InclusionProb(instance.id, av.name))) {
+      continue;  // this merchant does not list the attribute
+    }
+    std::string canonical = av.value;
+    if (!attr->is_key && rng->NextBernoulli(config.wrong_value_prob)) {
+      // Outright wrong value: re-sample (may coincide, which is fine).
+      canonical = SampleCanonicalValue(attr->value, product.brand, rng);
+    }
+    std::string formatted = FormatValueForMerchant(
+        canonical, attr->value, merchant.UnitChoice(instance.id, av.name),
+        config, rng);
+    // Key codes (MPN/UPC) are copied from inventory systems and virtually
+    // never typo'd; free-form values are.
+    if (!attr->is_key && rng->NextBernoulli(config.typo_prob)) {
+      formatted = ApplyTypo(formatted, rng);
+    }
+    content.merchant_spec.push_back(
+        AttributeValue{merchant.AttrName(instance.id, av.name), formatted});
+    content.included_attributes.push_back(av.name);
+  }
+
+  // Row misalignment: rotate the values of up to three adjacent non-key
+  // rows (errors then cluster within one offer, as they do on real pages).
+  if (content.merchant_spec.size() >= 3 &&
+      rng->NextBernoulli(config.spec_shift_prob)) {
+    std::vector<size_t> shiftable;
+    for (size_t i = 0; i < content.merchant_spec.size(); ++i) {
+      const AttributeArchetype* attr =
+          FindArchetypeAttr(archetype, content.included_attributes[i]);
+      if (attr != nullptr && !attr->is_key) shiftable.push_back(i);
+    }
+    if (shiftable.size() >= 3) {
+      const size_t start =
+          static_cast<size_t>(rng->NextBelow(shiftable.size() - 2));
+      std::string tmp = content.merchant_spec[shiftable[start]].value;
+      content.merchant_spec[shiftable[start]].value =
+          content.merchant_spec[shiftable[start + 1]].value;
+      content.merchant_spec[shiftable[start + 1]].value =
+          content.merchant_spec[shiftable[start + 2]].value;
+      content.merchant_spec[shiftable[start + 2]].value = std::move(tmp);
+    }
+  }
+
+  // Title: "<Brand> <Model-or-MPN> <salient value> <noun>[ suffix]".
+  std::string title = product.brand;
+  if (auto model = FindValue(product.spec, "Model"); model.has_value()) {
+    title += " " + *model;
+  } else if (auto mpn = FindValue(product.spec, "Model Part Number");
+             mpn.has_value()) {
+    title += " " + *mpn;
+  }
+  // First numeric attribute value is usually the headline spec
+  // ("500 GB", "12 MP").
+  for (const auto& attr : archetype.attributes) {
+    if (IsNumericKind(attr.value.kind)) {
+      if (auto v = FindValue(product.spec, attr.name); v.has_value()) {
+        title += " " + *v;
+        break;
+      }
+    }
+  }
+  title += " ";
+  if (!instance.qualifier.empty()) title += instance.qualifier + " ";
+  title += archetype.title_nouns[rng->PickIndex(archetype.title_nouns)];
+  if (rng->NextBernoulli(0.2)) {
+    static const char* kSuffixes[] = {"- NEW", "(Refurbished)", "- OEM",
+                                      "Free Shipping", "- Retail Box"};
+    title += " ";
+    title += kSuffixes[rng->NextBelow(5)];
+  }
+  content.title = title;
+
+  content.price = archetype.price_min +
+                  rng->NextDouble() * (archetype.price_max -
+                                       archetype.price_min);
+  return content;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,47 @@
+// Offer content generation: project a ground-truth product through a
+// merchant's lens — the merchant's attribute names, its value formatting
+// habits, attribute dropout, and value noise — plus a feed title and price.
+
+#ifndef PRODSYN_DATAGEN_OFFER_GEN_H_
+#define PRODSYN_DATAGEN_OFFER_GEN_H_
+
+#include <string>
+
+#include "src/datagen/config.h"
+#include "src/datagen/merchant_gen.h"
+#include "src/datagen/product_gen.h"
+
+namespace prodsyn {
+
+/// \brief The merchant-side rendering of one offer.
+struct OfferContent {
+  /// What the landing page will show: merchant attribute names, formatted
+  /// (possibly noisy) values.
+  Specification merchant_spec;
+  /// Canonical (catalog) names of the attributes included in
+  /// merchant_spec, parallel to it. This is ground truth for attribute
+  /// recall: "the attributes mentioned on the merchant pages" (§5.1).
+  std::vector<std::string> included_attributes;
+  std::string title;
+  double price = 0.0;
+};
+
+/// \brief Formats a canonical value the way this merchant renders it
+/// (unit variant or omission, spacing, case, hyphenated identifiers).
+std::string FormatValueForMerchant(const std::string& canonical,
+                                   const ValueModel& model,
+                                   size_t unit_choice,
+                                   const WorldConfig& config, Rng* rng);
+
+/// \brief Applies a single-character typo to `value` (non-empty input).
+std::string ApplyTypo(const std::string& value, Rng* rng);
+
+/// \brief Generates the merchant-side content for one offer of `product`.
+OfferContent GenerateOfferContent(const TrueProduct& product,
+                                  const CategoryInstance& instance,
+                                  const MerchantProfile& merchant,
+                                  const WorldConfig& config, Rng* rng);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_DATAGEN_OFFER_GEN_H_

@@ -1,0 +1,90 @@
+#include "src/datagen/page_gen.h"
+
+#include "src/html/html_parser.h"
+
+namespace prodsyn {
+
+namespace {
+
+// Spec rows plus sampled junk rows, junk interleaved at random positions.
+Specification RowsWithJunk(const OfferContent& content,
+                           const WorldConfig& config, Rng* rng) {
+  Specification rows = content.merchant_spec;
+  const size_t junk_count =
+      config.junk_rows_min +
+      rng->NextBelow(config.junk_rows_max - config.junk_rows_min + 1);
+  const auto& junk_pool = JunkAttributes();
+  std::vector<size_t> junk_indices(junk_pool.size());
+  for (size_t i = 0; i < junk_indices.size(); ++i) junk_indices[i] = i;
+  rng->Shuffle(&junk_indices);
+  for (size_t k = 0; k < junk_count && k < junk_indices.size(); ++k) {
+    const auto& junk = junk_pool[junk_indices[k]];
+    AttributeValue row{junk.name, junk.values[rng->PickIndex(junk.values)]};
+    const size_t pos = rng->NextBelow(rows.size() + 1);
+    rows.insert(rows.begin() + static_cast<ptrdiff_t>(pos), std::move(row));
+  }
+  return rows;
+}
+
+std::string SpecTableHtml(const Specification& rows) {
+  std::string html = "<table class=\"specs\">\n";
+  for (const auto& row : rows) {
+    html += "  <tr><td>" + EscapeHtml(row.name) + "</td><td>" +
+            EscapeHtml(row.value) + "</td></tr>\n";
+  }
+  html += "</table>\n";
+  return html;
+}
+
+std::string BulletListHtml(const Specification& rows) {
+  std::string html = "<ul class=\"specs\">\n";
+  for (const auto& row : rows) {
+    html += "  <li>" + EscapeHtml(row.name) + ": " + EscapeHtml(row.value) +
+            "</li>\n";
+  }
+  html += "</ul>\n";
+  return html;
+}
+
+std::string PageShell(const std::string& title, const std::string& body) {
+  return "<!DOCTYPE html>\n<html>\n<head><title>" + EscapeHtml(title) +
+         "</title>\n<style>.specs td { padding: 2px; }</style>\n"
+         "<script>var analytics = 'loaded';</script>\n"
+         "</head>\n<body>\n<h1>" +
+         EscapeHtml(title) + "</h1>\n" + body +
+         "<p>Ships from our warehouse. All sales subject to our terms."
+         "</p>\n</body>\n</html>\n";
+}
+
+}  // namespace
+
+std::string RenderLandingPage(const OfferContent& content,
+                              const MerchantProfile& merchant,
+                              const WorldConfig& config, Rng* rng) {
+  const Specification rows = RowsWithJunk(content, config, rng);
+  std::string body;
+  switch (merchant.page_template) {
+    case PageTemplate::kSpecTable:
+      body = "<div class=\"product\">\n" + SpecTableHtml(rows) + "</div>\n";
+      break;
+    case PageTemplate::kNestedTable: {
+      // Layout table: navigation sidebar (a 1-column table that yields no
+      // pairs) + a cell holding the real spec table.
+      body =
+          "<table class=\"layout\"><tr>\n"
+          "<td><table class=\"nav\">"
+          "<tr><td>Home</td></tr><tr><td>Deals</td></tr>"
+          "<tr><td>Contact</td></tr></table></td>\n"
+          "<td>\n" +
+          SpecTableHtml(rows) +
+          "</td>\n</tr></table>\n";
+      break;
+    }
+    case PageTemplate::kBulletList:
+      body = "<div class=\"product\">\n" + BulletListHtml(rows) + "</div>\n";
+      break;
+  }
+  return PageShell(content.title + " | " + merchant.name, body);
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,26 @@
+// Landing-page rendering: turns an offer's merchant-side content into the
+// HTML document the Web-page Attribute Extraction component will parse.
+// Three templates mirror real merchant-page diversity: a clean spec table,
+// a spec table nested inside layout tables with junk sidebars, and a
+// bullet list the table extractor cannot read (paper §4's coverage gap).
+
+#ifndef PRODSYN_DATAGEN_PAGE_GEN_H_
+#define PRODSYN_DATAGEN_PAGE_GEN_H_
+
+#include <string>
+
+#include "src/datagen/config.h"
+#include "src/datagen/merchant_gen.h"
+#include "src/datagen/offer_gen.h"
+
+namespace prodsyn {
+
+/// \brief Renders the landing page for one offer. Junk rows (Shipping,
+/// Availability, ...) are interleaved with the real specification rows.
+std::string RenderLandingPage(const OfferContent& content,
+                              const MerchantProfile& merchant,
+                              const WorldConfig& config, Rng* rng);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_DATAGEN_PAGE_GEN_H_

@@ -1,0 +1,184 @@
+#include "src/datagen/product_gen.h"
+
+#include <cctype>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+// Two-to-three upper-case letters derived from the brand ("Western
+// Digital" -> "WD", "Seagate" -> "SG").
+std::string BrandPrefix(const std::string& brand) {
+  std::string prefix;
+  bool word_start = true;
+  for (char c : brand) {
+    if (std::isalpha(static_cast<unsigned char>(c)) == 0) {
+      word_start = true;
+      continue;
+    }
+    if (word_start) {
+      prefix.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      word_start = false;
+    }
+  }
+  if (prefix.size() < 2) {
+    for (char c : brand) {
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 &&
+          prefix.size() < 2) {
+        prefix.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+  }
+  if (prefix.size() > 3) prefix.resize(3);
+  return prefix.empty() ? "XX" : prefix;
+}
+
+std::string RandomDigits(size_t n, Rng* rng) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('0' + rng->NextBelow(10)));
+  }
+  return out;
+}
+
+std::string RandomUpperLetters(size_t n, Rng* rng) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('A' + rng->NextBelow(26)));
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// The slice [begin, end) of an n-element pool owned by `segment`.
+std::pair<size_t, size_t> SegmentSlice(size_t n, int segment,
+                                       size_t segment_count) {
+  const size_t s = static_cast<size_t>(segment);
+  const size_t begin = s * n / segment_count;
+  size_t end = (s + 1) * n / segment_count;
+  if (end <= begin) end = begin + 1;  // tiny pools: at least one element
+  return {begin, std::min(end, n)};
+}
+
+}  // namespace
+
+std::string SampleCanonicalValue(const ValueModel& model,
+                                 const std::string& brand, Rng* rng,
+                                 int segment, size_t segment_count,
+                                 double segment_affinity) {
+  const bool use_segment =
+      segment >= 0 && segment_count > 1 &&
+      static_cast<size_t>(segment) < segment_count &&
+      rng->NextBernoulli(segment_affinity);
+  switch (model.kind) {
+    case ValueModelKind::kCategorical: {
+      if (model.pool.empty()) return std::string();
+      if (use_segment && model.pool.size() >= segment_count) {
+        const auto [begin, end] =
+            SegmentSlice(model.pool.size(), segment, segment_count);
+        return model.pool[begin + rng->NextBelow(end - begin)];
+      }
+      return rng->Pick(model.pool);
+    }
+    case ValueModelKind::kNumericPool: {
+      if (model.numeric_pool.empty()) return std::string();
+      long long v;
+      if (use_segment && model.numeric_pool.size() >= segment_count) {
+        const auto [begin, end] =
+            SegmentSlice(model.numeric_pool.size(), segment, segment_count);
+        v = model.numeric_pool[begin + rng->NextBelow(end - begin)];
+      } else {
+        v = model.numeric_pool[rng->PickIndex(model.numeric_pool)];
+      }
+      return model.unit.empty() ? std::to_string(v)
+                                : std::to_string(v) + " " + model.unit;
+    }
+    case ValueModelKind::kNumericRange: {
+      const long long steps = (model.max - model.min) / model.step;
+      long long step_count = steps > 0 ? steps : 0;
+      long long first_step = 0;
+      if (use_segment && step_count + 1 >=
+                             static_cast<long long>(segment_count)) {
+        const auto [begin, end] = SegmentSlice(
+            static_cast<size_t>(step_count + 1), segment, segment_count);
+        first_step = static_cast<long long>(begin);
+        step_count = static_cast<long long>(end - begin - 1);
+      }
+      const long long v =
+          model.min + model.step * (first_step +
+                                    rng->NextInRange(0, step_count));
+      return model.unit.empty() ? std::to_string(v)
+                                : std::to_string(v) + " " + model.unit;
+    }
+    case ValueModelKind::kIdentifier:
+      return BrandPrefix(brand) + RandomDigits(6, rng) +
+             RandomUpperLetters(2, rng);
+    case ValueModelKind::kDigits:
+      return RandomDigits(model.digit_length, rng);
+    case ValueModelKind::kText: {
+      std::string out;
+      const size_t fragments = 2 + rng->NextBelow(3);
+      for (size_t i = 0; i < fragments && !model.pool.empty(); ++i) {
+        if (i > 0) out.push_back(' ');
+        out += rng->Pick(model.pool);
+      }
+      return out;
+    }
+  }
+  return std::string();
+}
+
+TrueProduct GenerateTrueProduct(const CategoryArchetype& archetype,
+                                CategoryId category, Rng* rng,
+                                const std::vector<std::string>* brand_pool,
+                                size_t segment_count,
+                                double segment_affinity,
+                                int forced_segment) {
+  TrueProduct product;
+  product.category = category;
+  if (forced_segment >= 0) {
+    product.segment = static_cast<size_t>(forced_segment);
+  } else {
+    product.segment =
+        segment_count > 1 ? static_cast<size_t>(rng->NextBelow(segment_count))
+                          : 0;
+  }
+
+  // Brand first: identifier codes derive from it.
+  for (const auto& attr : archetype.attributes) {
+    if (attr.name == "Brand") {
+      if (brand_pool != nullptr && !brand_pool->empty()) {
+        product.brand = (*brand_pool)[rng->PickIndex(*brand_pool)];
+      } else {
+        product.brand = SampleCanonicalValue(attr.value, "", rng);
+      }
+      break;
+    }
+  }
+
+  for (const auto& attr : archetype.attributes) {
+    std::string value =
+        attr.name == "Brand"
+            ? product.brand
+            : SampleCanonicalValue(attr.value, product.brand, rng,
+                                   static_cast<int>(product.segment),
+                                   segment_count, segment_affinity);
+    if (value.empty()) continue;
+    if (attr.name == "Model Part Number") {
+      product.key = NormalizeKey(value);
+    }
+    product.spec.push_back(AttributeValue{attr.name, std::move(value)});
+  }
+  return product;
+}
+
+}  // namespace prodsyn

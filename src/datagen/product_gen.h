@@ -1,0 +1,61 @@
+// Ground-truth product generation: canonical attribute values drawn from
+// the archetype value models. Canonical form is what the catalog stores
+// and what manufacturer pages would show — merchant offers derive from it
+// with formatting variation and noise (offer_gen).
+
+#ifndef PRODSYN_DATAGEN_PRODUCT_GEN_H_
+#define PRODSYN_DATAGEN_PRODUCT_GEN_H_
+
+#include <string>
+
+#include "src/catalog/types.h"
+#include "src/datagen/vocab.h"
+#include "src/util/random.h"
+
+namespace prodsyn {
+
+/// \brief A ground-truth product before catalog insertion: canonical spec
+/// under catalog attribute names.
+struct TrueProduct {
+  CategoryId category = kInvalidCategory;
+  Specification spec;        ///< canonical values, catalog attribute names
+  std::string brand;         ///< convenience copy of the Brand value
+  std::string key;           ///< NormalizeKey of the MPN (cluster identity)
+  /// Latent market segment (0..segments-1); biases value draws and which
+  /// merchants carry the product.
+  size_t segment = 0;
+};
+
+/// \brief Samples canonical values for one attribute.
+///
+/// \param brand the product's brand (identifier codes derive a prefix
+/// from it); may be empty for non-identifier models.
+/// \param segment when >= 0, categorical/numeric draws prefer the
+/// segment's slice of the pool with probability `segment_affinity`.
+std::string SampleCanonicalValue(const ValueModel& model,
+                                 const std::string& brand, Rng* rng,
+                                 int segment = -1, size_t segment_count = 3,
+                                 double segment_affinity = 0.75);
+
+/// \brief Generates a full ground-truth product for `archetype`.
+/// MPN codes embed a serial drawn from `rng`, so distinct calls produce
+/// distinct keys with overwhelming probability.
+///
+/// \param brand_pool when non-null, Brand is drawn from this subset
+/// instead of the archetype's full pool. Sibling category instances use
+/// rotated sub-pools so their brand distributions differ, as real sibling
+/// categories' do (server drives and portable drives have different
+/// vendor mixes) — this is also what makes offer titles classifiable.
+/// \param forced_segment when >= 0, the product's segment is pinned
+/// instead of drawn (used for cold/legacy catalog products).
+TrueProduct GenerateTrueProduct(const CategoryArchetype& archetype,
+                                CategoryId category, Rng* rng,
+                                const std::vector<std::string>* brand_pool =
+                                    nullptr,
+                                size_t segment_count = 3,
+                                double segment_affinity = 0.75,
+                                int forced_segment = -1);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_DATAGEN_PRODUCT_GEN_H_

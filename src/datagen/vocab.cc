@@ -1,0 +1,1138 @@
+#include "src/datagen/vocab.h"
+
+namespace prodsyn {
+
+namespace {
+
+using Strings = std::vector<std::string>;
+
+AttributeArchetype Categorical(std::string name, Strings synonyms,
+                               Strings pool) {
+  AttributeArchetype a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kCategorical;
+  a.synonyms = std::move(synonyms);
+  a.value.kind = ValueModelKind::kCategorical;
+  a.value.pool = std::move(pool);
+  return a;
+}
+
+AttributeArchetype NumericPool(std::string name, Strings synonyms,
+                               std::vector<long long> values,
+                               std::string unit, Strings unit_variants) {
+  AttributeArchetype a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kNumeric;
+  a.synonyms = std::move(synonyms);
+  a.value.kind = ValueModelKind::kNumericPool;
+  a.value.numeric_pool = std::move(values);
+  a.value.unit = std::move(unit);
+  a.value.unit_variants = std::move(unit_variants);
+  return a;
+}
+
+AttributeArchetype NumericRange(std::string name, Strings synonyms,
+                                long long min, long long max, long long step,
+                                std::string unit, Strings unit_variants) {
+  AttributeArchetype a;
+  a.name = std::move(name);
+  a.kind = AttributeKind::kNumeric;
+  a.synonyms = std::move(synonyms);
+  a.value.kind = ValueModelKind::kNumericRange;
+  a.value.min = min;
+  a.value.max = max;
+  a.value.step = step;
+  a.value.unit = std::move(unit);
+  a.value.unit_variants = std::move(unit_variants);
+  return a;
+}
+
+AttributeArchetype Mpn() {
+  AttributeArchetype a;
+  a.name = "Model Part Number";
+  a.kind = AttributeKind::kIdentifier;
+  a.is_key = true;
+  a.synonyms = {"MPN", "Mfr. Part #", "Manufacturer Part Number",
+                "Part Number", "Mfg Part No"};
+  a.value.kind = ValueModelKind::kIdentifier;
+  return a;
+}
+
+AttributeArchetype Upc() {
+  AttributeArchetype a;
+  a.name = "UPC";
+  a.kind = AttributeKind::kIdentifier;
+  a.is_key = true;
+  a.synonyms = {"UPC Code", "Universal Product Code", "EAN", "GTIN"};
+  a.value.kind = ValueModelKind::kDigits;
+  a.value.digit_length = 12;
+  return a;
+}
+
+AttributeArchetype Model() {
+  AttributeArchetype a;
+  a.name = "Model";
+  a.kind = AttributeKind::kIdentifier;
+  a.synonyms = {"Model Name", "Model No", "Series"};
+  a.value.kind = ValueModelKind::kIdentifier;
+  return a;
+}
+
+AttributeArchetype Brand(Strings pool) {
+  return Categorical("Brand", {"Manufacturer", "Make", "Mfg", "Brand Name"},
+                     std::move(pool));
+}
+
+AttributeArchetype Color() {
+  return Categorical("Color", {"Colour", "Finish", "Color Family"},
+                     {"Black", "White", "Silver", "Red", "Blue", "Green",
+                      "Beige", "Brown", "Gray", "Ivory"});
+}
+
+AttributeArchetype Material() {
+  return Categorical("Material", {"Fabric", "Materials", "Composition"},
+                     {"Cotton", "Polyester", "Linen", "Silk", "Wool",
+                      "Microfiber", "Velvet", "Bamboo", "Leather"});
+}
+
+std::vector<CategoryArchetype> BuildArchetypes() {
+  std::vector<CategoryArchetype> out;
+
+  // ========================= Computing =========================
+  {
+    CategoryArchetype c;
+    c.name = "Hard Drives";
+    c.domain = "Computing";
+    c.qualifiers = {"Server", "External", "Portable"};
+    c.title_nouns = {"Hard Drive", "HDD", "Internal Hard Drive"};
+    c.price_min = 40;
+    c.price_max = 400;
+    c.attributes = {
+        Brand({"Seagate", "Western Digital", "Hitachi", "Samsung", "Toshiba",
+               "Fujitsu", "Maxtor", "Quantum"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Capacity", {"Hard Disk Size", "Storage Capacity",
+                                 "Disk Capacity", "Size"},
+                    {80, 120, 160, 250, 320, 400, 500, 640, 750, 1000, 1500,
+                     2000},
+                    "GB", {"GB", "gb", "Gb", "gigabytes"}),
+        NumericPool("Speed", {"RPM", "Rotational Speed", "Spindle Speed"},
+                    {4200, 5400, 5900, 7200, 10000, 15000}, "rpm",
+                    {"rpm", "RPM", "r/min"}),
+        Categorical("Interface",
+                    {"Interface Type", "Int. Type", "Connection Type"},
+                    {"SATA 300", "SATA 150", "SATA 600", "ATA 100", "ATA 133",
+                     "SCSI", "SAS", "IDE"}),
+        NumericPool("Buffer Size", {"Cache", "Cache Size", "Buffer"},
+                    {2, 8, 16, 32, 64}, "MB", {"MB", "mb", "megabytes"}),
+        Categorical("Form Factor", {"Disk Size", "Drive Size"},
+                    {"2.5 inch", "3.5 inch", "1.8 inch"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Laptops";
+    c.domain = "Computing";
+    c.qualifiers = {"Gaming", "Business", "Budget"};
+    c.title_nouns = {"Laptop", "Notebook", "Notebook PC"};
+    c.price_min = 300;
+    c.price_max = 2500;
+    c.attributes = {
+        Brand({"Dell", "HP", "Lenovo", "Asus", "Acer", "Toshiba", "Sony",
+               "Apple", "Samsung", "MSI"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Screen Size", {"Display Size", "Display", "LCD Size"},
+                    {11, 12, 13, 14, 15, 17}, "inch",
+                    {"inch", "in", "\"", "inches"}),
+        NumericPool("Memory", {"RAM", "Installed RAM", "System Memory"},
+                    {2, 4, 6, 8, 12, 16, 32}, "GB", {"GB", "gb", "GB RAM"}),
+        NumericPool("Storage", {"Hard Drive Capacity", "HDD Capacity",
+                                "Hard Drive Size"},
+                    {128, 256, 320, 500, 750, 1000}, "GB",
+                    {"GB", "gb", "gigabytes"}),
+        Categorical("Processor", {"CPU", "Processor Type", "Chipset"},
+                    {"Intel Core i3", "Intel Core i5", "Intel Core i7",
+                     "AMD Ryzen 3", "AMD Ryzen 5", "AMD Ryzen 7",
+                     "Intel Celeron", "Intel Pentium"}),
+        Categorical("Operating System", {"OS", "Platform", "Preloaded OS"},
+                    {"Windows 7 Home", "Windows 7 Professional",
+                     "Windows Vista", "Windows XP", "Linux", "Mac OS X",
+                     "FreeDOS"}),
+        Categorical("Graphics", {"Video Card", "GPU", "Graphics Card"},
+                    {"Intel HD Graphics", "NVIDIA GeForce GT", "AMD Radeon HD",
+                     "Intel Iris", "NVIDIA Quadro"}),
+        NumericPool("Battery Cells", {"Battery", "Cells"}, {3, 4, 6, 8, 9},
+                    "cell", {"cell", "cells", "-cell"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Monitors";
+    c.domain = "Computing";
+    c.qualifiers = {"Widescreen", "Professional"};
+    c.title_nouns = {"Monitor", "LCD Monitor", "Display"};
+    c.price_min = 90;
+    c.price_max = 900;
+    c.attributes = {
+        Brand({"Samsung", "Dell", "LG", "Acer", "ViewSonic", "BenQ", "HP",
+               "NEC", "Philips"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Screen Size", {"Display Size", "Diagonal Size",
+                                    "Viewable Size"},
+                    {17, 19, 20, 22, 24, 27, 30}, "inch",
+                    {"inch", "in", "\"", "inches"}),
+        Categorical("Resolution", {"Native Resolution", "Max Resolution"},
+                    {"1280 x 1024", "1440 x 900", "1680 x 1050", "1920 x 1080",
+                     "1920 x 1200", "2560 x 1440"}),
+        NumericPool("Response Time", {"Response", "Pixel Response"},
+                    {2, 4, 5, 6, 8, 12}, "ms", {"ms", "msec", "milliseconds"}),
+        Categorical("Panel Type", {"Panel", "Display Technology"},
+                    {"TN", "IPS", "VA", "PVA", "MVA"}),
+        NumericPool("Brightness", {"Luminance", "Max Brightness"},
+                    {250, 300, 350, 400, 450}, "cd/m2",
+                    {"cd/m2", "nits", "cd/m^2"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Printers";
+    c.domain = "Computing";
+    c.qualifiers = {"Laser", "Photo"};
+    c.title_nouns = {"Printer", "All-in-One Printer"};
+    c.price_min = 50;
+    c.price_max = 700;
+    c.attributes = {
+        Brand({"HP", "Canon", "Epson", "Brother", "Lexmark", "Samsung",
+               "Xerox", "Dell"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Technology", {"Print Technology", "Printer Type"},
+                    {"Inkjet", "Laser", "LED", "Thermal", "Dot Matrix"}),
+        NumericPool("Print Speed", {"PPM", "Pages Per Minute", "Speed"},
+                    {12, 18, 22, 28, 33, 40}, "ppm",
+                    {"ppm", "pages/min", "PPM"}),
+        Categorical("Connectivity", {"Interfaces", "Connection"},
+                    {"USB", "USB Ethernet", "USB WiFi", "USB Ethernet WiFi",
+                     "Parallel"}),
+        NumericPool("Max Resolution", {"Print Resolution", "DPI"},
+                    {600, 1200, 2400, 4800, 9600}, "dpi",
+                    {"dpi", "DPI", "dots per inch"}),
+        Categorical("Duplex", {"Duplex Printing", "Two Sided Printing"},
+                    {"Automatic", "Manual", "None"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Routers";
+    c.domain = "Computing";
+    c.qualifiers = {"Wireless", "Gigabit"};
+    c.title_nouns = {"Router", "Wireless Router", "WiFi Router"};
+    c.price_min = 25;
+    c.price_max = 300;
+    c.attributes = {
+        Brand({"Linksys", "Netgear", "D-Link", "TP-Link", "Belkin", "Asus",
+               "Buffalo", "Cisco"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Wireless Standard", {"WiFi Standard", "Standard",
+                                          "Protocol"},
+                    {"802.11b", "802.11g", "802.11n", "802.11a",
+                     "802.11b/g/n"}),
+        NumericPool("Data Rate", {"Speed", "Max Speed", "Transfer Rate"},
+                    {54, 150, 300, 450, 600}, "Mbps",
+                    {"Mbps", "mbps", "Mb/s", "megabits"}),
+        NumericPool("LAN Ports", {"Ports", "Ethernet Ports"}, {1, 4, 5, 8},
+                    "port", {"port", "ports", "x RJ45"}),
+        Categorical("Security", {"Encryption", "Security Features"},
+                    {"WEP", "WPA", "WPA2", "WPA/WPA2", "WPS"}),
+        NumericPool("Antennas", {"Antenna Count", "External Antennas"},
+                    {1, 2, 3, 4}, "antenna", {"antenna", "antennas", "x"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Graphics Cards";
+    c.domain = "Computing";
+    c.qualifiers = {"Workstation"};
+    c.title_nouns = {"Graphics Card", "Video Card", "GPU"};
+    c.price_min = 60;
+    c.price_max = 800;
+    c.attributes = {
+        Brand({"EVGA", "Asus", "MSI", "Gigabyte", "Sapphire", "XFX", "Zotac",
+               "PNY"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Chipset", {"GPU", "Graphics Processor", "GPU Model"},
+                    {"GeForce GTX 460", "GeForce GTX 470", "GeForce GTS 450",
+                     "Radeon HD 5770", "Radeon HD 5850", "Radeon HD 6870",
+                     "Quadro 600"}),
+        NumericPool("Video Memory", {"Memory", "Memory Size", "VRAM"},
+                    {512, 768, 1024, 1280, 2048}, "MB",
+                    {"MB", "mb", "megabytes"}),
+        Categorical("Memory Type", {"Memory Technology", "RAM Type"},
+                    {"GDDR3", "GDDR5", "DDR3", "DDR2"}),
+        NumericPool("Core Clock", {"GPU Clock", "Engine Clock"},
+                    {550, 625, 675, 700, 725, 775, 850}, "MHz",
+                    {"MHz", "mhz", "megahertz"}),
+        Categorical("Outputs", {"Ports", "Video Outputs", "Connectors"},
+                    {"DVI HDMI", "DVI VGA", "DVI HDMI DisplayPort",
+                     "2x DVI mini-HDMI", "VGA DVI HDMI"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Memory Modules";
+    c.domain = "Computing";
+    c.qualifiers = {"Server"};
+    c.title_nouns = {"Memory Module", "RAM", "Memory Kit"};
+    c.price_min = 15;
+    c.price_max = 250;
+    c.attributes = {
+        Brand({"Kingston", "Corsair", "Crucial", "G.Skill", "Patriot",
+               "Mushkin", "OCZ", "Samsung"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Capacity", {"Size", "Module Size", "Total Capacity"},
+                    {1, 2, 4, 8, 16}, "GB", {"GB", "gb", "gigabytes"}),
+        Categorical("Type", {"Memory Type", "Technology", "Form"},
+                    {"DDR2 DIMM", "DDR3 DIMM", "DDR2 SODIMM", "DDR3 SODIMM"}),
+        NumericPool("Bus Speed", {"Speed", "Frequency", "Clock Speed"},
+                    {667, 800, 1066, 1333, 1600}, "MHz",
+                    {"MHz", "mhz", "megahertz"}),
+        Categorical("CAS Latency", {"Latency", "Timing", "CL"},
+                    {"CL5", "CL6", "CL7", "CL8", "CL9", "CL11"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Keyboards";
+    c.domain = "Computing";
+    c.qualifiers = {"Ergonomic"};
+    c.title_nouns = {"Keyboard", "USB Keyboard"};
+    c.price_min = 10;
+    c.price_max = 150;
+    c.attributes = {
+        Brand({"Logitech", "Microsoft", "Razer", "Corsair", "SteelSeries",
+               "Cherry", "Adesso"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Connection", {"Interface", "Connectivity",
+                                   "Connection Type"},
+                    {"USB", "PS/2", "Wireless USB", "Bluetooth"}),
+        Categorical("Layout", {"Key Layout", "Keyboard Layout"},
+                    {"US QWERTY", "UK QWERTY", "104-key", "87-key compact"}),
+        Categorical("Backlight", {"Backlighting", "Illumination"},
+                    {"None", "White", "RGB", "Blue"}),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Computer Mice";
+    c.domain = "Computing";
+    c.qualifiers = {"Gaming", "Travel"};
+    c.title_nouns = {"Mouse", "Optical Mouse", "Wireless Mouse"};
+    c.price_min = 8;
+    c.price_max = 120;
+    c.attributes = {
+        Brand({"Logitech", "Microsoft", "Razer", "SteelSeries", "HP",
+               "Kensington", "Targus"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Connection", {"Interface", "Connectivity"},
+                    {"USB", "Wireless 2.4GHz", "Bluetooth", "PS/2"}),
+        NumericPool("Resolution", {"DPI", "Sensor Resolution", "Tracking"},
+                    {800, 1000, 1600, 2400, 3200, 5600}, "dpi",
+                    {"dpi", "DPI", "dots/inch"}),
+        NumericPool("Buttons", {"Button Count", "Programmable Buttons"},
+                    {2, 3, 5, 7, 9, 12}, "button",
+                    {"button", "buttons", "-button"}),
+        Categorical("Hand Orientation", {"Handedness", "Orientation"},
+                    {"Right", "Left", "Ambidextrous"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Solid State Drives";
+    c.domain = "Computing";
+    c.qualifiers = {"Enterprise"};
+    c.title_nouns = {"SSD", "Solid State Drive"};
+    c.price_min = 60;
+    c.price_max = 900;
+    c.attributes = {
+        Brand({"Intel", "Samsung", "Crucial", "OCZ", "Kingston", "Corsair",
+               "SanDisk", "Plextor"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Capacity", {"Drive Capacity", "Storage Size", "Size"},
+                    {32, 40, 60, 80, 120, 160, 240, 256, 480, 512}, "GB",
+                    {"GB", "gb", "gigabytes"}),
+        NumericPool("Read Speed", {"Sequential Read", "Max Read",
+                                   "Read Rate"},
+                    {170, 210, 250, 285, 355, 415, 550}, "MB/s",
+                    {"MB/s", "MBps", "mb/sec"}),
+        NumericPool("Write Speed", {"Sequential Write", "Max Write",
+                                    "Write Rate"},
+                    {70, 100, 130, 170, 215, 275, 520}, "MB/s",
+                    {"MB/s", "MBps", "mb/sec"}),
+        Categorical("Controller", {"Controller Type", "Chipset"},
+                    {"SandForce SF-1200", "SandForce SF-2281", "Marvell",
+                     "Indilinx Barefoot", "Samsung MDX", "Intel PC29AS21"}),
+        Categorical("Form Factor", {"Drive Bay", "Size Class"},
+                    {"2.5 inch", "1.8 inch", "mSATA", "3.5 inch"}),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Webcams";
+    c.domain = "Computing";
+    c.qualifiers = {"Conference"};
+    c.title_nouns = {"Webcam", "Web Camera", "USB Camera"};
+    c.price_min = 15;
+    c.price_max = 200;
+    c.attributes = {
+        Brand({"Logitech", "Microsoft", "Creative", "HP", "A4Tech"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Resolution", {"Video Resolution", "Sensor Resolution"},
+                    {640, 720, 1080, 1280, 1920}, "p",
+                    {"p", "px", "pixels"}),
+        NumericPool("Frame Rate", {"FPS", "Max Frame Rate"},
+                    {15, 24, 30, 60}, "fps", {"fps", "FPS", "frames/sec"}),
+        Categorical("Focus", {"Focus Type", "Focusing"},
+                    {"Fixed", "Autofocus", "Manual"}),
+        Categorical("Microphone", {"Built-in Mic", "Audio"},
+                    {"Mono", "Stereo", "None", "Dual noise-cancelling"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "MP3 Players";
+    c.domain = "Computing";
+    c.qualifiers = {"Sport"};
+    c.title_nouns = {"MP3 Player", "Media Player", "Digital Audio Player"};
+    c.price_min = 25;
+    c.price_max = 350;
+    c.attributes = {
+        Brand({"Apple", "SanDisk", "Sony", "Creative", "Samsung", "iRiver",
+               "Archos"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Storage", {"Capacity", "Memory Size", "Flash Memory"},
+                    {2, 4, 8, 16, 32, 64}, "GB", {"GB", "gb", "gigabytes"}),
+        NumericPool("Screen Size", {"Display Size", "LCD Size"},
+                    {1, 2, 3}, "inch", {"inch", "in", "\""}),
+        NumericPool("Battery Life", {"Playback Time", "Battery Hours"},
+                    {8, 12, 18, 24, 36, 50}, "hours",
+                    {"hours", "hrs", "h"}),
+        Categorical("Supported Formats", {"Audio Formats", "Playback Formats"},
+                    {"MP3 WMA", "MP3 AAC", "MP3 WMA FLAC", "MP3 AAC ALAC",
+                     "MP3 OGG FLAC"}),
+    };
+    out.push_back(std::move(c));
+  }
+
+  // ========================= Cameras =========================
+  {
+    CategoryArchetype c;
+    c.name = "Digital Cameras";
+    c.domain = "Cameras";
+    c.qualifiers = {"Compact", "DSLR"};
+    c.title_nouns = {"Digital Camera", "Camera"};
+    c.price_min = 80;
+    c.price_max = 1500;
+    c.attributes = {
+        Brand({"Canon", "Nikon", "Sony", "Olympus", "Panasonic", "Fujifilm",
+               "Pentax", "Kodak", "Casio"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Resolution", {"Megapixels", "Effective Pixels",
+                                   "Sensor Resolution"},
+                    {8, 10, 12, 14, 16, 18, 21, 24}, "MP",
+                    {"MP", "megapixel", "megapixels", "mp"}),
+        NumericPool("Optical Zoom", {"Zoom", "Zoom Ratio", "Optical Zoom Ratio"},
+                    {3, 4, 5, 8, 10, 12, 18, 24, 30}, "x",
+                    {"x", "X", "times"}),
+        NumericPool("Screen Size", {"LCD Size", "Display Size", "LCD Screen"},
+                    {2, 3}, "inch", {"inch", "in", "\""}),
+        Categorical("Sensor Type", {"Sensor", "Image Sensor"},
+                    {"CCD", "CMOS", "BSI-CMOS", "Foveon"}),
+        Categorical("Video Quality", {"Movie Mode", "Video Recording",
+                                      "Video Resolution"},
+                    {"VGA", "720p HD", "1080p Full HD", "1080i"}),
+        Categorical("Media Type", {"Memory Card", "Storage Media",
+                                   "Card Slot"},
+                    {"SD/SDHC", "SDXC", "CompactFlash", "Memory Stick"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Camera Lenses";
+    c.domain = "Cameras";
+    c.qualifiers = {"Telephoto", "Prime"};
+    c.title_nouns = {"Lens", "Camera Lens", "Zoom Lens"};
+    c.price_min = 100;
+    c.price_max = 2200;
+    c.attributes = {
+        Brand({"Canon", "Nikon", "Sigma", "Tamron", "Sony", "Tokina",
+               "Olympus", "Zeiss"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Focal Length", {"Focal Range", "Zoom Range"},
+                    {"18-55 mm", "55-200 mm", "70-300 mm", "50 mm", "85 mm",
+                     "24-70 mm", "10-22 mm", "100-400 mm"}),
+        Categorical("Maximum Aperture", {"Max Aperture", "Aperture",
+                                         "F-Stop"},
+                    {"f/1.4", "f/1.8", "f/2.8", "f/3.5-5.6", "f/4",
+                     "f/4.5-5.6"}),
+        Categorical("Mount", {"Lens Mount", "Mount Type", "Compatible Mount"},
+                    {"Canon EF", "Canon EF-S", "Nikon F", "Sony Alpha",
+                     "Micro Four Thirds", "Pentax K"}),
+        NumericPool("Filter Size", {"Filter Diameter", "Filter Thread"},
+                    {49, 52, 58, 62, 67, 72, 77}, "mm",
+                    {"mm", "millimeters", "MM"}),
+        Categorical("Image Stabilization", {"Stabilization", "IS", "VR"},
+                    {"Yes", "No", "Optical", "In-body"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Camcorders";
+    c.domain = "Cameras";
+    c.qualifiers = {"HD"};
+    c.title_nouns = {"Camcorder", "Video Camera"};
+    c.price_min = 120;
+    c.price_max = 1200;
+    c.attributes = {
+        Brand({"Sony", "Canon", "Panasonic", "JVC", "Samsung", "Toshiba"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Recording Format", {"Format", "Video Format"},
+                    {"AVCHD", "MPEG-4", "MiniDV", "DVD", "HDV"}),
+        NumericPool("Optical Zoom", {"Zoom", "Zoom Ratio"},
+                    {10, 12, 20, 25, 32, 40}, "x", {"x", "X", "times"}),
+        Categorical("Storage", {"Media", "Recording Media", "Storage Type"},
+                    {"Internal Flash", "SD Card", "Hard Drive", "MiniDV Tape",
+                     "DVD-R"}),
+        NumericPool("Screen Size", {"LCD Size", "Display"}, {2, 3}, "inch",
+                    {"inch", "in", "\""}),
+        Categorical("Sensor Type", {"Sensor", "Image Sensor"},
+                    {"CCD", "CMOS", "3CCD", "Exmor R CMOS"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Camera Flashes";
+    c.domain = "Cameras";
+    c.qualifiers = {"Ring"};
+    c.title_nouns = {"Flash", "Speedlight", "Camera Flash"};
+    c.price_min = 40;
+    c.price_max = 600;
+    c.attributes = {
+        Brand({"Canon", "Nikon", "Metz", "Sigma", "Nissin", "Sunpak",
+               "Yongnuo"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Guide Number", {"GN", "Guide No"},
+                    {24, 36, 42, 50, 58, 60}, "m", {"m", "meters", "M"}),
+        Categorical("Mount", {"Compatible Mount", "Fit", "Shoe Mount"},
+                    {"Canon E-TTL", "Nikon i-TTL", "Sony ADI", "Universal"}),
+        Categorical("Swivel Head", {"Bounce Head", "Tilt", "Swivel"},
+                    {"Yes", "No", "Tilt only"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Tripods";
+    c.domain = "Cameras";
+    c.qualifiers = {"Travel"};
+    c.title_nouns = {"Tripod", "Camera Tripod"};
+    c.price_min = 20;
+    c.price_max = 500;
+    c.attributes = {
+        Brand({"Manfrotto", "Gitzo", "Velbon", "Slik", "Benro", "Vanguard"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Maximum Height", {"Max Height", "Extended Height",
+                                       "Height"},
+                    {48, 53, 57, 61, 65, 70}, "inch",
+                    {"inch", "in", "\"", "inches"}),
+        NumericPool("Load Capacity", {"Max Load", "Weight Capacity",
+                                      "Supports"},
+                    {4, 6, 8, 11, 15, 20}, "lb", {"lb", "lbs", "pounds"}),
+        Material(),
+        NumericPool("Leg Sections", {"Sections", "Leg Section Count"},
+                    {3, 4, 5}, "section", {"section", "sections", ""}),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Binoculars";
+    c.domain = "Cameras";
+    c.qualifiers = {"Marine"};
+    c.title_nouns = {"Binoculars", "Binocular"};
+    c.price_min = 25;
+    c.price_max = 900;
+    c.attributes = {
+        Brand({"Nikon", "Bushnell", "Canon", "Leica", "Zeiss", "Celestron",
+               "Pentax"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        Categorical("Magnification", {"Power", "Zoom Power"},
+                    {"7x35", "8x42", "10x42", "10x50", "12x50", "15x70"}),
+        NumericPool("Field of View", {"FOV", "Angle of View"},
+                    {262, 305, 330, 367, 420}, "ft",
+                    {"ft", "feet", "ft/1000yd"}),
+        Categorical("Prism Type", {"Prism", "Prism System"},
+                    {"Roof", "Porro", "Abbe-Koenig"}),
+        Categorical("Waterproof", {"Water Resistance", "Weather Sealing"},
+                    {"Yes", "No", "Fog-proof"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Camera Batteries";
+    c.domain = "Cameras";
+    c.qualifiers = {"Extended"};
+    c.title_nouns = {"Camera Battery", "Battery Pack", "Rechargeable Battery"};
+    c.price_min = 10;
+    c.price_max = 120;
+    c.inclusion_scale = 0.7;
+    c.attributes = {
+        Brand({"Canon", "Nikon", "Sony", "Wasabi", "Watson", "Duracell"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Capacity", {"Battery Capacity", "mAh Rating", "Charge"},
+                    {850, 1020, 1150, 1400, 1800, 2000}, "mAh",
+                    {"mAh", "mah", "milliamp hours"}),
+        NumericPool("Voltage", {"Output Voltage", "Volts"},
+                    {3, 7, 11}, "V", {"V", "volts", "v"}),
+        Categorical("Chemistry", {"Battery Type", "Cell Type"},
+                    {"Li-ion", "NiMH", "Li-polymer"}),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Camera Bags";
+    c.domain = "Cameras";
+    c.qualifiers = {"Sling"};
+    c.title_nouns = {"Camera Bag", "Camera Case", "Gadget Bag"};
+    c.price_min = 12;
+    c.price_max = 250;
+    c.inclusion_scale = 0.6;
+    c.attributes = {
+        Brand({"Lowepro", "Tamrac", "Case Logic", "Think Tank", "Domke",
+               "Crumpler"}),
+        Mpn(),
+        Upc(),
+        Categorical("Type", {"Bag Style", "Carry Style"},
+                    {"Shoulder bag", "Backpack", "Holster", "Sling",
+                     "Rolling case"}),
+        Material(),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+
+  // ========================= Home Furnishings =========================
+  {
+    CategoryArchetype c;
+    c.name = "Bedspreads";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Quilted"};
+    c.title_nouns = {"Bedspread", "Coverlet", "Bedding Set"};
+    c.price_min = 25;
+    c.price_max = 250;
+    c.inclusion_scale = 0.30;
+    c.attributes = {
+        Brand({"Martha Stewart", "Laura Ashley", "Waverly", "Croscill",
+               "Nautica", "Tommy Hilfiger"}),
+        Mpn(),
+        Upc(),
+        Categorical("Size", {"Bed Size", "Dimensions Class"},
+                    {"Twin", "Full", "Queen", "King", "California King"}),
+        Material(),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Curtains";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Blackout"};
+    c.title_nouns = {"Curtain Panel", "Drapes", "Window Panel"};
+    c.price_min = 12;
+    c.price_max = 140;
+    c.inclusion_scale = 0.30;
+    c.attributes = {
+        Brand({"Eclipse", "Sun Zero", "Exclusive Home", "Waverly",
+               "Madison Park"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Length", {"Panel Length", "Drop Length"},
+                    {63, 84, 95, 108, 120}, "inch",
+                    {"inch", "in", "\"", "inches"}),
+        Material(),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Table Lamps";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Accent"};
+    c.title_nouns = {"Table Lamp", "Desk Lamp", "Lamp"};
+    c.price_min = 18;
+    c.price_max = 300;
+    c.inclusion_scale = 0.33;
+    c.attributes = {
+        Brand({"Kenroy Home", "Lite Source", "Kichler", "Dimond", "Catalina",
+               "Adesso"}),
+        Mpn(),
+        Upc(),
+        NumericRange("Height", {"Lamp Height", "Overall Height"}, 18, 32, 2,
+                     "inch", {"inch", "in", "\"", "inches"}),
+        Categorical("Shade Material", {"Shade", "Shade Fabric"},
+                    {"Linen", "Fabric", "Glass", "Paper", "Burlap"}),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Area Rugs";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Outdoor"};
+    c.title_nouns = {"Area Rug", "Rug"};
+    c.price_min = 30;
+    c.price_max = 800;
+    c.inclusion_scale = 0.33;
+    c.attributes = {
+        Brand({"Safavieh", "nuLOOM", "Mohawk Home", "Surya", "Oriental Weavers"}),
+        Mpn(),
+        Upc(),
+        Categorical("Size", {"Rug Size", "Dimensions"},
+                    {"2 x 3 ft", "4 x 6 ft", "5 x 8 ft", "8 x 10 ft",
+                     "9 x 12 ft", "Runner 2 x 8 ft"}),
+        Material(),
+        Categorical("Weave", {"Construction", "Weave Type"},
+                    {"Hand-tufted", "Machine-made", "Hand-knotted", "Flatweave",
+                     "Braided"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Throw Pillows";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Decorative"};
+    c.title_nouns = {"Throw Pillow", "Accent Pillow", "Pillow"};
+    c.price_min = 8;
+    c.price_max = 90;
+    c.inclusion_scale = 0.30;
+    c.attributes = {
+        Brand({"Pillow Perfect", "Rizzy Home", "Safavieh", "Waverly",
+               "Madison Park"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Size", {"Pillow Size", "Dimensions"},
+                    {12, 14, 16, 18, 20, 24}, "inch",
+                    {"inch", "in", "\"", "x"}),
+        Material(),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Wall Mirrors";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Framed"};
+    c.title_nouns = {"Wall Mirror", "Mirror", "Accent Mirror"};
+    c.price_min = 20;
+    c.price_max = 400;
+    c.inclusion_scale = 0.35;
+    c.attributes = {
+        Brand({"Uttermost", "Howard Elliott", "Kichler", "Ren-Wil",
+               "Cooper Classics"}),
+        Mpn(),
+        Upc(),
+        Categorical("Shape", {"Mirror Shape", "Form"},
+                    {"Rectangular", "Round", "Oval", "Square", "Arched"}),
+        NumericPool("Width", {"Mirror Width", "Overall Width"},
+                    {16, 20, 24, 30, 36, 42}, "inch",
+                    {"inch", "in", "\"", "inches"}),
+        Categorical("Frame Material", {"Frame", "Frame Finish"},
+                    {"Wood", "Metal", "Resin", "Frameless", "Bamboo"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Bookcases";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Corner"};
+    c.title_nouns = {"Bookcase", "Bookshelf", "Shelving Unit"};
+    c.price_min = 40;
+    c.price_max = 600;
+    c.inclusion_scale = 0.4;
+    c.attributes = {
+        Brand({"Sauder", "Bush Furniture", "South Shore", "Ameriwood",
+               "Prepac"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Shelves", {"Shelf Count", "Number of Shelves"},
+                    {2, 3, 4, 5, 6}, "shelf", {"shelf", "shelves", "-shelf"}),
+        NumericRange("Height", {"Overall Height", "Unit Height"}, 30, 84, 6,
+                     "inch", {"inch", "in", "\"", "inches"}),
+        Material(),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Throw Blankets";
+    c.domain = "Home Furnishings";
+    c.qualifiers = {"Fleece"};
+    c.title_nouns = {"Throw Blanket", "Throw", "Blanket"};
+    c.price_min = 10;
+    c.price_max = 150;
+    c.inclusion_scale = 0.35;
+    c.attributes = {
+        Brand({"Biddeford", "Sunbeam", "Eddie Bauer", "Woolrich",
+               "Berkshire"}),
+        Mpn(),
+        Upc(),
+        Categorical("Size", {"Blanket Size", "Dimensions"},
+                    {"50 x 60 in", "50 x 70 in", "60 x 80 in", "Twin",
+                     "Full/Queen"}),
+        Material(),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+
+  // ========================= Kitchen & Housewares =========================
+  {
+    CategoryArchetype c;
+    c.name = "Dishwashers";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Portable"};
+    c.title_nouns = {"Dishwasher", "Built-In Dishwasher"};
+    c.price_min = 250;
+    c.price_max = 1400;
+    c.inclusion_scale = 0.38;
+    c.attributes = {
+        Brand({"Bosch", "Whirlpool", "GE", "KitchenAid", "Maytag",
+               "Frigidaire", "LG"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Place Settings", {"Capacity", "Setting Capacity"},
+                    {8, 10, 12, 14, 16}, "settings",
+                    {"settings", "place settings", ""}),
+        NumericPool("Noise Level", {"Sound Rating", "Decibels", "Sound Level"},
+                    {44, 46, 48, 50, 52, 55}, "dB", {"dB", "dBA", "decibels"}),
+        Categorical("Tub Material", {"Interior", "Tub"},
+                    {"Stainless Steel", "Plastic", "Hybrid"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Air Conditioners";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Window"};
+    c.title_nouns = {"Air Conditioner", "AC Unit"};
+    c.price_min = 120;
+    c.price_max = 800;
+    c.inclusion_scale = 0.38;
+    c.attributes = {
+        Brand({"Frigidaire", "LG", "GE", "Haier", "Friedrich", "Sharp"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Cooling Capacity", {"BTU", "BTU Rating", "Capacity"},
+                    {5000, 6000, 8000, 10000, 12000, 15000, 18000}, "BTU",
+                    {"BTU", "btu", "BTU/hr"}),
+        NumericPool("Coverage Area", {"Room Size", "Cools Up To", "Area"},
+                    {150, 250, 350, 450, 550, 700, 1000}, "sq ft",
+                    {"sq ft", "sqft", "square feet"}),
+        NumericPool("Energy Efficiency", {"EER", "Efficiency Ratio"},
+                    {9, 10, 11, 12}, "EER", {"EER", "eer", ""}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Blenders";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Immersion"};
+    c.title_nouns = {"Blender", "Countertop Blender"};
+    c.price_min = 20;
+    c.price_max = 450;
+    c.inclusion_scale = 0.33;
+    c.attributes = {
+        Brand({"Oster", "Hamilton Beach", "KitchenAid", "Vitamix", "Ninja",
+               "Cuisinart", "Waring"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Power", {"Wattage", "Motor Power", "Watts"},
+                    {300, 450, 600, 700, 900, 1200, 1500}, "W",
+                    {"W", "watts", "watt", "-watt"}),
+        NumericPool("Capacity", {"Jar Size", "Pitcher Capacity"},
+                    {40, 48, 56, 64, 72}, "oz", {"oz", "ounce", "ounces"}),
+        NumericPool("Speeds", {"Speed Settings", "Speed Count"},
+                    {2, 3, 5, 10, 12, 16}, "speed",
+                    {"speed", "speeds", "-speed"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Toasters";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Retro"};
+    c.title_nouns = {"Toaster", "2-Slice Toaster"};
+    c.price_min = 15;
+    c.price_max = 180;
+    c.inclusion_scale = 0.30;
+    c.attributes = {
+        Brand({"Cuisinart", "Breville", "Hamilton Beach", "Oster",
+               "Black+Decker", "KitchenAid"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Slices", {"Slice Capacity", "Slots"}, {2, 4}, "slice",
+                    {"slice", "slices", "-slice"}),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Cookware Sets";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Nonstick"};
+    c.title_nouns = {"Cookware Set", "Pots and Pans Set"};
+    c.price_min = 40;
+    c.price_max = 600;
+    c.inclusion_scale = 0.33;
+    c.attributes = {
+        Brand({"T-fal", "Cuisinart", "Calphalon", "All-Clad", "Rachael Ray",
+               "Farberware"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Pieces", {"Piece Count", "Set Size"},
+                    {7, 8, 10, 12, 14, 17}, "piece",
+                    {"piece", "pieces", "-piece", "pc"}),
+        Categorical("Material", {"Construction", "Cookware Material"},
+                    {"Stainless Steel", "Hard Anodized", "Aluminum Nonstick",
+                     "Cast Iron", "Copper", "Ceramic"}),
+        Categorical("Oven Safe", {"Oven Safe To", "Max Oven Temp"},
+                    {"350 F", "400 F", "450 F", "500 F", "Not oven safe"}),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Coffee Makers";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Single Serve"};
+    c.title_nouns = {"Coffee Maker", "Coffeemaker", "Drip Coffee Machine"};
+    c.price_min = 20;
+    c.price_max = 300;
+    c.inclusion_scale = 0.45;
+    c.attributes = {
+        Brand({"Mr. Coffee", "Cuisinart", "Keurig", "Hamilton Beach",
+               "Bunn", "Black+Decker"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Cups", {"Cup Capacity", "Carafe Capacity", "Serves"},
+                    {1, 4, 5, 10, 12, 14}, "cup",
+                    {"cup", "cups", "-cup"}),
+        Categorical("Carafe Type", {"Carafe", "Pot Type"},
+                    {"Glass", "Thermal Stainless", "None"}),
+        Categorical("Programmable", {"Timer", "Auto Brew"},
+                    {"Yes", "No", "24-hour"}),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Microwave Ovens";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Over-the-Range"};
+    c.title_nouns = {"Microwave", "Microwave Oven"};
+    c.price_min = 60;
+    c.price_max = 600;
+    c.inclusion_scale = 0.5;
+    c.attributes = {
+        Brand({"Panasonic", "GE", "Sharp", "LG", "Whirlpool", "Samsung",
+               "Frigidaire"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Power", {"Wattage", "Cooking Power", "Watts"},
+                    {700, 900, 1000, 1100, 1200, 1250}, "W",
+                    {"W", "watts", "watt"}),
+        NumericPool("Capacity", {"Oven Capacity", "Interior Size"},
+                    {7, 9, 11, 12, 14, 16, 20}, "cu ft",
+                    {"cu ft", "cubic feet", "cuft"}),
+        Categorical("Type", {"Installation Type", "Style"},
+                    {"Countertop", "Over-the-Range", "Built-In"}),
+    };
+    out.push_back(std::move(c));
+  }
+
+  {
+    CategoryArchetype c;
+    c.name = "Vacuum Cleaners";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Canister"};
+    c.title_nouns = {"Vacuum", "Vacuum Cleaner", "Upright Vacuum"};
+    c.price_min = 50;
+    c.price_max = 700;
+    c.inclusion_scale = 0.5;
+    c.attributes = {
+        Brand({"Dyson", "Hoover", "Bissell", "Shark", "Eureka", "Miele",
+               "Dirt Devil"}),
+        Model(),
+        Mpn(),
+        Upc(),
+        NumericPool("Power", {"Wattage", "Motor Power", "Amps"},
+                    {6, 8, 10, 12}, "amp", {"amp", "amps", "A"}),
+        Categorical("Bag Type", {"Dust Collection", "Bagged/Bagless"},
+                    {"Bagless", "Bagged", "Cyclonic bin"}),
+        Categorical("Filtration", {"Filter", "Filter Type"},
+                    {"HEPA", "Washable foam", "Standard", "Lifetime HEPA"}),
+        NumericPool("Cord Length", {"Power Cord", "Cord"},
+                    {18, 20, 25, 30, 35}, "ft", {"ft", "feet", "foot"}),
+    };
+    out.push_back(std::move(c));
+  }
+  {
+    CategoryArchetype c;
+    c.name = "Stand Mixers";
+    c.domain = "Kitchen & Housewares";
+    c.qualifiers = {"Professional"};
+    c.title_nouns = {"Stand Mixer", "Mixer", "Kitchen Mixer"};
+    c.price_min = 60;
+    c.price_max = 700;
+    c.inclusion_scale = 0.5;
+    c.attributes = {
+        Brand({"KitchenAid", "Cuisinart", "Hamilton Beach", "Sunbeam",
+               "Breville"}),
+        Mpn(),
+        Upc(),
+        NumericPool("Bowl Capacity", {"Bowl Size", "Capacity"},
+                    {4, 5, 6, 7, 8}, "qt", {"qt", "quart", "quarts"}),
+        NumericPool("Power", {"Wattage", "Motor Power"},
+                    {250, 300, 325, 450, 575, 1000}, "W",
+                    {"W", "watts", "watt"}),
+        NumericPool("Speeds", {"Speed Settings", "Speed Count"},
+                    {6, 8, 10, 12}, "speed", {"speed", "speeds", "-speed"}),
+        Color(),
+    };
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CategoryArchetype>& BuiltinCategoryArchetypes() {
+  static const std::vector<CategoryArchetype> kArchetypes = BuildArchetypes();
+  return kArchetypes;
+}
+
+const std::vector<std::string>& BuiltinDomains() {
+  static const std::vector<std::string> kDomains = {
+      "Cameras", "Computing", "Home Furnishings", "Kitchen & Housewares"};
+  return kDomains;
+}
+
+const std::vector<JunkAttribute>& JunkAttributes() {
+  static const std::vector<JunkAttribute> kJunk = {
+      {"Availability", {"In Stock", "Out of Stock", "Ships in 2-3 days",
+                        "Backordered", "Limited Stock"}},
+      {"Shipping", {"Free Shipping", "$4.99", "$9.99", "Free over $25",
+                    "Expedited available"}},
+      {"Condition", {"New", "Refurbished", "Open Box", "Used - Like New"}},
+      {"Warranty", {"1 Year", "90 Days", "2 Years Limited", "30 Day",
+                    "Manufacturer Warranty"}},
+      {"Return Policy", {"30 days", "14 days", "No returns", "60 days"}},
+      {"Item Number", {"SKU-10293", "SKU-22981", "SKU-33310", "SKU-48112",
+                       "SKU-59123"}},
+      {"Our Price", {"$19.99", "$49.99", "$99.99", "$149.99", "$299.99"}},
+  };
+  return kJunk;
+}
+
+const std::vector<std::string>& MerchantNameRoots() {
+  static const std::vector<std::string> kRoots = {
+      "Tech",    "Mega",   "Super",  "Best",   "Prime",  "Value",
+      "Smart",   "Swift",  "Metro",  "Global", "Rapid",  "Alpha",
+      "Summit",  "Pioneer", "Harbor", "Cedar",  "Lunar",  "Nova",
+      "Quantum", "Vertex", "Zephyr", "Cobalt", "Amber",  "Falcon",
+      "Orchid",  "Maple",  "Aspen",  "Juniper", "Willow", "Ember"};
+  return kRoots;
+}
+
+const std::vector<std::string>& MerchantNameSuffixes() {
+  static const std::vector<std::string> kSuffixes = {
+      "ForLess",  "Depot",  "Outlet", "Mart",    "Store",  "Shop",
+      "Bargains", "Direct", "Deals",  "Express", "Source", "Supply",
+      "Warehouse", "World", "Zone",   "Hub",     "Market", "Trading"};
+  return kSuffixes;
+}
+
+}  // namespace prodsyn

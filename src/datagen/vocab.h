@@ -1,0 +1,90 @@
+// The lexicon of the synthetic marketplace: category archetypes (schema +
+// value models + merchant synonym pools), junk landing-page attributes,
+// and merchant-name material. Hand-authored to mirror the domains of the
+// paper's Table 3: Cameras, Computing, Home Furnishings, Kitchen &
+// Housewares.
+
+#ifndef PRODSYN_DATAGEN_VOCAB_H_
+#define PRODSYN_DATAGEN_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+
+namespace prodsyn {
+
+/// \brief How an attribute's values are produced.
+enum class ValueModelKind {
+  kCategorical,   ///< uniform draw from `pool`
+  kNumericPool,   ///< draw from `numeric_pool`, rendered with `unit`
+  kNumericRange,  ///< uniform integer in [min, max] stepped, with `unit`
+  kIdentifier,    ///< code derived from brand + random alphanumerics
+  kDigits,        ///< fixed-length digit string (UPC/EAN)
+  kText,          ///< 2–4 fragments drawn from `pool`
+};
+
+/// \brief Value generator description for one attribute.
+struct ValueModel {
+  ValueModelKind kind = ValueModelKind::kCategorical;
+  std::vector<std::string> pool;
+  std::vector<long long> numeric_pool;
+  long long min = 0;
+  long long max = 0;
+  long long step = 1;
+  std::string unit;                        ///< canonical catalog unit
+  std::vector<std::string> unit_variants;  ///< merchant-side renderings
+  size_t digit_length = 12;                ///< for kDigits
+};
+
+/// \brief One attribute of a category archetype.
+struct AttributeArchetype {
+  std::string name;  ///< the catalog name
+  AttributeKind kind = AttributeKind::kCategorical;
+  bool is_key = false;
+  /// Names merchants may use instead of `name` (never contains `name`).
+  std::vector<std::string> synonyms;
+  ValueModel value;
+};
+
+/// \brief One category archetype; each instance of it becomes a leaf
+/// category of the taxonomy.
+struct CategoryArchetype {
+  std::string name;    ///< "Hard Drives"
+  std::string domain;  ///< top-level category: "Computing", "Cameras", ...
+  /// Qualifiers distinguishing instances beyond the first ("Server",
+  /// "Portable", ...): instance k>0 is named "<qualifier[k-1]> <name>".
+  std::vector<std::string> qualifiers;
+  /// Noun phrases for offer titles ("Hard Drive", "HDD").
+  std::vector<std::string> title_nouns;
+  double price_min = 10.0;
+  double price_max = 500.0;
+  /// Scales the inclusion probability of non-key attributes on landing
+  /// pages; Furnishings/Kitchen pages list far fewer attributes (Table 3).
+  double inclusion_scale = 1.0;
+  std::vector<AttributeArchetype> attributes;
+};
+
+/// \brief The built-in archetypes (23 archetypes across 4 domains).
+const std::vector<CategoryArchetype>& BuiltinCategoryArchetypes();
+
+/// \brief Names of the four top-level domains, in display order.
+const std::vector<std::string>& BuiltinDomains();
+
+/// \brief A junk attribute that appears on landing pages but corresponds
+/// to no catalog attribute (the extractor picks these up; reconciliation
+/// must filter them).
+struct JunkAttribute {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+const std::vector<JunkAttribute>& JunkAttributes();
+
+/// \brief Word material for merchant names ("TechForLess", "MegaDeals"...).
+const std::vector<std::string>& MerchantNameRoots();
+const std::vector<std::string>& MerchantNameSuffixes();
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_DATAGEN_VOCAB_H_

@@ -1,0 +1,293 @@
+#include "src/datagen/world.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/datagen/offer_gen.h"
+#include "src/datagen/page_gen.h"
+#include "src/util/logging.h"
+
+namespace prodsyn {
+
+void SyntheticPageStore::AddPage(std::string url, std::string html) {
+  pages_[std::move(url)] = std::move(html);
+}
+
+Result<std::string> SyntheticPageStore::Fetch(const std::string& url) const {
+  auto it = pages_.find(url);
+  if (it == pages_.end()) {
+    return Status::NotFound("no page at '" + url + "'");
+  }
+  return it->second;
+}
+
+std::string NamingTruthKey(MerchantId merchant, CategoryId category) {
+  return std::to_string(merchant) + "/" + std::to_string(category);
+}
+
+const CategoryInstance* World::InstanceOf(CategoryId id) const {
+  for (const auto& inst : category_instances) {
+    if (inst.id == id) return &inst;
+  }
+  return nullptr;
+}
+
+std::string World::TrueCatalogAttribute(MerchantId merchant,
+                                        CategoryId category,
+                                        const std::string& offer_attr) const {
+  auto it = naming_truth.find(NamingTruthKey(merchant, category));
+  if (it == naming_truth.end()) return std::string();
+  auto attr_it = it->second.find(offer_attr);
+  return attr_it == it->second.end() ? std::string() : attr_it->second;
+}
+
+std::vector<CategoryId> World::CategoriesOfDomain(
+    const std::string& domain) const {
+  std::vector<CategoryId> out;
+  for (const auto& inst : category_instances) {
+    auto name = catalog.taxonomy().Name(inst.top_level);
+    if (name.ok() && *name == domain) out.push_back(inst.id);
+  }
+  return out;
+}
+
+namespace {
+
+std::string InstanceQualifier(const CategoryArchetype& archetype, size_t k) {
+  if (k == 0) return std::string();
+  const size_t qualifier_count = archetype.qualifiers.size();
+  if (k - 1 < qualifier_count) return archetype.qualifiers[k - 1];
+  return "Series " + std::to_string(k);
+}
+
+std::string InstanceName(const CategoryArchetype& archetype, size_t k) {
+  const std::string qualifier = InstanceQualifier(archetype, k);
+  return qualifier.empty() ? archetype.name
+                           : qualifier + " " + archetype.name;
+}
+
+}  // namespace
+
+Result<World> World::Generate(const WorldConfig& config) {
+  World world;
+  world.config = config;
+  Rng rng(config.seed);
+
+  // ---- 1. Taxonomy + schemas.
+  std::map<std::string, CategoryId> domain_ids;
+  for (const auto& domain : BuiltinDomains()) {
+    PRODSYN_ASSIGN_OR_RETURN(CategoryId id,
+                             world.catalog.taxonomy().AddCategory(domain));
+    domain_ids[domain] = id;
+  }
+  for (const auto& archetype : BuiltinCategoryArchetypes()) {
+    for (size_t k = 0; k < config.categories_per_archetype; ++k) {
+      const std::string name = InstanceName(archetype, k);
+      PRODSYN_ASSIGN_OR_RETURN(
+          CategoryId id, world.catalog.taxonomy().AddCategory(
+                             name, domain_ids.at(archetype.domain)));
+      CategorySchema schema(id);
+      for (const auto& attr : archetype.attributes) {
+        PRODSYN_RETURN_NOT_OK(schema.AddAttribute(
+            AttributeDef{attr.name, attr.kind, attr.is_key}));
+      }
+      PRODSYN_RETURN_NOT_OK(world.catalog.schemas().Register(std::move(schema)));
+      world.category_instances.push_back(
+          CategoryInstance{id, domain_ids.at(archetype.domain), name,
+                           InstanceQualifier(archetype, k), &archetype});
+    }
+  }
+
+  // ---- 2. Merchants.
+  Rng merchant_rng = rng.Fork(0x6d65726368616e74ULL);
+  world.merchant_profiles =
+      GenerateMerchants(config, world.category_instances, &merchant_rng);
+  for (const auto& profile : world.merchant_profiles) {
+    PRODSYN_ASSIGN_OR_RETURN(MerchantId id,
+                             world.merchants.AddMerchant(profile.name));
+    if (id != profile.id) {
+      return Status::Internal("merchant id mismatch during generation");
+    }
+  }
+
+  // ---- 3. Naming ground truth.
+  for (const auto& profile : world.merchant_profiles) {
+    for (CategoryId category : profile.categories) {
+      const CategoryInstance* inst = world.InstanceOf(category);
+      if (inst == nullptr) continue;
+      auto& map = world.naming_truth[NamingTruthKey(profile.id, category)];
+      for (const auto& attr : inst->archetype->attributes) {
+        map[profile.AttrName(category, attr.name)] = attr.name;
+      }
+    }
+  }
+
+  // ---- 4. Products and offers.
+  Rng product_rng = rng.Fork(0x70726f64756374ULL);
+  Rng offer_rng = rng.Fork(0x6f666665727321ULL);
+  const ZipfDistribution offer_count_zipf(config.max_offers_per_product,
+                                          config.offers_zipf_s);
+  uint64_t url_counter = 0;
+
+  // Per-instance brand sub-pools: sibling instances of one archetype take
+  // rotated half-windows of the brand list so their brand mixes differ.
+  std::map<CategoryId, std::vector<std::string>> instance_brands;
+  {
+    std::map<const CategoryArchetype*, size_t> sibling_index;
+    for (const auto& inst : world.category_instances) {
+      const size_t k = sibling_index[inst.archetype]++;
+      const std::vector<std::string>* full_pool = nullptr;
+      for (const auto& attr : inst.archetype->attributes) {
+        if (attr.name == "Brand") {
+          full_pool = &attr.value.pool;
+          break;
+        }
+      }
+      if (full_pool == nullptr || full_pool->empty()) continue;
+      const size_t n = full_pool->size();
+      const size_t window = std::max<size_t>(3, n / 2);
+      std::vector<std::string> subset;
+      for (size_t i = 0; i < std::min(window, n); ++i) {
+        subset.push_back((*full_pool)[(k * 4 + i) % n]);
+      }
+      instance_brands[inst.id] = std::move(subset);
+    }
+  }
+
+  for (const auto& inst : world.category_instances) {
+    // Merchants selling in this category.
+    std::vector<const MerchantProfile*> eligible;
+    for (const auto& profile : world.merchant_profiles) {
+      if (profile.categories.count(inst.id) > 0) eligible.push_back(&profile);
+    }
+    if (eligible.empty()) continue;
+    auto brands_it = instance_brands.find(inst.id);
+    const std::vector<std::string>* brand_pool =
+        brands_it == instance_brands.end() ? nullptr : &brands_it->second;
+
+    // Cold catalog: discontinued products no merchant sells. Their value
+    // distributions are legacy-skewed (pinned to the lowest segment) and
+    // their brands come from outside the live sub-pool, so unrestricted
+    // bags absorb a distribution the current offers never exhibit (the
+    // Fig. 5 Cheetah effect, at scale).
+    const size_t cold_count = static_cast<size_t>(
+        static_cast<double>(config.products_per_category) *
+        config.cold_catalog_ratio);
+    std::vector<std::string> legacy_brands;
+    if (brand_pool != nullptr) {
+      for (const auto& attr : inst.archetype->attributes) {
+        if (attr.name != "Brand") continue;
+        for (const auto& brand : attr.value.pool) {
+          if (std::find(brand_pool->begin(), brand_pool->end(), brand) ==
+              brand_pool->end()) {
+            legacy_brands.push_back(brand);
+          }
+        }
+        break;
+      }
+    }
+    for (size_t p = 0; p < cold_count; ++p) {
+      TrueProduct cold = GenerateTrueProduct(
+          *inst.archetype, inst.id, &product_rng,
+          legacy_brands.empty() ? brand_pool : &legacy_brands,
+          config.segments, /*segment_affinity=*/0.95, /*forced_segment=*/0);
+      PRODSYN_RETURN_NOT_OK(
+          world.catalog.AddProduct(inst.id, std::move(cold.spec)).status());
+    }
+
+    for (size_t p = 0; p < config.products_per_category; ++p) {
+      TrueProduct product = GenerateTrueProduct(
+          *inst.archetype, inst.id, &product_rng, brand_pool,
+          config.segments, config.segment_value_affinity);
+      const bool in_catalog = product_rng.NextBernoulli(config.catalog_fraction);
+      ProductId catalog_id = kInvalidProduct;
+      size_t novel_index = 0;
+      if (in_catalog) {
+        PRODSYN_ASSIGN_OR_RETURN(catalog_id,
+                                 world.catalog.AddProduct(inst.id,
+                                                          product.spec));
+      } else {
+        novel_index = world.novel_products.size();
+        world.novel_products.push_back(product);
+      }
+
+      // Pick distinct merchants for this product's offers.
+      size_t offer_target =
+          1 + offer_count_zipf.Sample(&offer_rng);
+      std::vector<const MerchantProfile*> sellers = eligible;
+      offer_rng.Shuffle(&sellers);
+      size_t made = 0;
+      for (const MerchantProfile* seller : sellers) {
+        if (made >= offer_target) break;
+        if (seller->brand_filter.has_value() &&
+            *seller->brand_filter != product.brand) {
+          continue;  // brand specialist does not carry this product
+        }
+        // Segment affinity: a merchant mostly carries its own segment.
+        const double accept = seller->preferred_segment == product.segment
+                                  ? config.same_segment_accept
+                                  : config.cross_segment_accept;
+        if (!offer_rng.NextBernoulli(accept)) continue;
+        OfferContent content =
+            GenerateOfferContent(product, inst, *seller, config, &offer_rng);
+        Offer offer;
+        offer.merchant = seller->id;
+        offer.title = content.title;
+        offer.price = content.price;
+        offer.url = "http://" + seller->url_host + "/item/" +
+                    std::to_string(url_counter++);
+        offer.image_url = offer.url + "/image.jpg";
+
+        const bool dead_link = offer_rng.NextBernoulli(config.dead_link_prob);
+        if (!dead_link) {
+          world.pages.AddPage(
+              offer.url,
+              RenderLandingPage(content, *seller, config, &offer_rng));
+        }
+
+        if (in_catalog) {
+          offer.category = inst.id;  // historical offers are categorized
+          PRODSYN_ASSIGN_OR_RETURN(OfferId oid,
+                                   world.historical_offers.AddOffer(offer));
+          if (offer_rng.NextBernoulli(config.historical_match_rate)) {
+            PRODSYN_RETURN_NOT_OK(
+                world.historical_matches.AddMatch(oid, catalog_id));
+          }
+        } else {
+          offer.category = config.incoming_offers_have_category
+                               ? inst.id
+                               : kInvalidCategory;
+          PRODSYN_ASSIGN_OR_RETURN(OfferId oid,
+                                   world.incoming_offers.AddOffer(offer));
+          world.incoming_truth[oid] = novel_index;
+          world.incoming_category[oid] = inst.id;
+          world.incoming_page_attrs[oid] = content.included_attributes;
+        }
+        ++made;
+      }
+    }
+  }
+
+  // ---- 5. Historical offers get their specs through the same Web-page
+  // attribute extraction the run-time pipeline uses: the offline phase
+  // must see the extractor's noise (junk rows, missed bullet pages).
+  for (const auto& offer : world.historical_offers.offers()) {
+    PRODSYN_ASSIGN_OR_RETURN(Specification spec,
+                             ExtractOfferSpecification(offer, world.pages));
+    PRODSYN_ASSIGN_OR_RETURN(Offer * mutable_offer,
+                             world.historical_offers.GetMutableOffer(offer.id));
+    mutable_offer->spec = std::move(spec);
+  }
+
+  PRODSYN_LOG(Info) << "world: " << world.category_instances.size()
+                    << " leaf categories, " << world.merchant_profiles.size()
+                    << " merchants, " << world.catalog.product_count()
+                    << " catalog products, " << world.novel_products.size()
+                    << " novel products, "
+                    << world.historical_offers.size() << " historical offers ("
+                    << world.historical_matches.size() << " matched), "
+                    << world.incoming_offers.size() << " incoming offers";
+  return world;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,85 @@
+// The synthetic marketplace: catalog, merchants, historical offers with
+// offer-to-product matches, incoming offers for missing products, landing
+// pages — plus the complete ground truth that replaces the paper's human
+// labelers (DESIGN.md §1).
+
+#ifndef PRODSYN_DATAGEN_WORLD_H_
+#define PRODSYN_DATAGEN_WORLD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/catalog/match_store.h"
+#include "src/datagen/config.h"
+#include "src/datagen/merchant_gen.h"
+#include "src/datagen/product_gen.h"
+#include "src/pipeline/attribute_extraction.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief In-memory landing-page corpus, keyed by URL.
+class SyntheticPageStore : public LandingPageProvider {
+ public:
+  void AddPage(std::string url, std::string html);
+  Result<std::string> Fetch(const std::string& url) const override;
+  size_t size() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> pages_;
+};
+
+/// \brief A generated marketplace with ground truth.
+struct World {
+  WorldConfig config;
+
+  // --- The data the pipeline sees (same artifacts as the paper's system).
+  Catalog catalog;
+  MerchantRegistry merchants;
+  OfferStore historical_offers;  ///< categorized; specs already extracted
+  MatchStore historical_matches;
+  OfferStore incoming_offers;  ///< offers on products missing from catalog
+  SyntheticPageStore pages;
+
+  // --- Generation metadata.
+  std::vector<CategoryInstance> category_instances;
+  std::vector<MerchantProfile> merchant_profiles;
+
+  // --- Ground truth (the oracle's raw material).
+  /// Products missing from the catalog; index is the "novel product id".
+  std::vector<TrueProduct> novel_products;
+  /// incoming offer id -> index into novel_products.
+  std::unordered_map<OfferId, size_t> incoming_truth;
+  /// incoming offer id -> true category (offers may be stored uncategorized).
+  std::unordered_map<OfferId, CategoryId> incoming_category;
+  /// incoming offer id -> catalog names of the attributes its landing page
+  /// actually mentions (recall ground truth, §5.1 methodology).
+  std::unordered_map<OfferId, std::vector<std::string>> incoming_page_attrs;
+  /// "<merchant>/<category>" -> (merchant attribute name -> catalog name).
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::string>>
+      naming_truth;
+
+  /// \brief Instance metadata for a leaf category (null if unknown).
+  const CategoryInstance* InstanceOf(CategoryId id) const;
+
+  /// \brief The true catalog attribute behind `offer_attr` of (M, C), or
+  /// empty when the name is junk / unknown.
+  std::string TrueCatalogAttribute(MerchantId merchant, CategoryId category,
+                                   const std::string& offer_attr) const;
+
+  /// \brief Leaf categories under the top-level category named `domain`.
+  std::vector<CategoryId> CategoriesOfDomain(const std::string& domain) const;
+
+  /// \brief Generates a world from `config`. Deterministic per seed.
+  static Result<World> Generate(const WorldConfig& config);
+};
+
+/// \brief Key into World::naming_truth.
+std::string NamingTruthKey(MerchantId merchant, CategoryId category);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_DATAGEN_WORLD_H_

@@ -1,0 +1,101 @@
+#include "src/eval/correspondence_eval.h"
+
+#include <algorithm>
+
+#include "src/matching/training_set.h"
+
+namespace prodsyn {
+
+namespace {
+
+// Sorted non-identity correspondences plus a parallel correctness vector.
+struct JudgedList {
+  std::vector<AttributeCorrespondence> corrs;
+  std::vector<bool> correct;
+};
+
+JudgedList Prepare(const std::vector<AttributeCorrespondence>& input,
+                   const EvaluationOracle& oracle,
+                   const CurveOptions& options) {
+  JudgedList out;
+  out.corrs.reserve(input.size());
+  for (const auto& c : input) {
+    if (options.exclude_name_identities && IsNameIdentity(c.tuple)) continue;
+    out.corrs.push_back(c);
+  }
+  SortByScoreDescending(&out.corrs);
+  out.correct.reserve(out.corrs.size());
+  for (const auto& c : out.corrs) {
+    out.correct.push_back(oracle.IsCorrespondenceCorrect(c.tuple));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PrecisionCoveragePoint> PrecisionCoverageCurve(
+    const std::vector<AttributeCorrespondence>& correspondences,
+    const EvaluationOracle& oracle, const CurveOptions& options) {
+  const JudgedList judged = Prepare(correspondences, oracle, options);
+  std::vector<PrecisionCoveragePoint> curve;
+  if (judged.corrs.empty()) return curve;
+
+  const size_t n = judged.corrs.size();
+  const size_t points = std::min(options.max_points, n);
+  size_t correct_prefix = 0;
+  size_t emitted = 0;
+  size_t next_emit =
+      points == 0 ? n : std::max<size_t>(1, n / points);
+  for (size_t i = 0; i < n; ++i) {
+    if (judged.correct[i]) ++correct_prefix;
+    const bool boundary =
+        (i + 1 == n) || judged.corrs[i + 1].score != judged.corrs[i].score;
+    // Emit at evenly spaced prefix sizes, but only on score boundaries so
+    // that each point is realizable by an actual θ.
+    if (boundary && (i + 1 >= next_emit || i + 1 == n)) {
+      PrecisionCoveragePoint point;
+      point.theta = judged.corrs[i].score;
+      point.coverage = i + 1;
+      point.precision =
+          static_cast<double>(correct_prefix) / static_cast<double>(i + 1);
+      curve.push_back(point);
+      ++emitted;
+      next_emit = (emitted + 1) * std::max<size_t>(1, n / points);
+    }
+  }
+  return curve;
+}
+
+double PrecisionAtCoverage(
+    const std::vector<AttributeCorrespondence>& correspondences,
+    const EvaluationOracle& oracle, size_t coverage,
+    const CurveOptions& options) {
+  const JudgedList judged = Prepare(correspondences, oracle, options);
+  if (coverage == 0 || judged.corrs.size() < coverage) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < coverage; ++i) {
+    if (judged.correct[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(coverage);
+}
+
+size_t CoverageAtPrecision(
+    const std::vector<AttributeCorrespondence>& correspondences,
+    const EvaluationOracle& oracle, double min_precision,
+    const CurveOptions& options) {
+  const JudgedList judged = Prepare(correspondences, oracle, options);
+  size_t best = 0;
+  size_t correct = 0;
+  for (size_t i = 0; i < judged.corrs.size(); ++i) {
+    if (judged.correct[i]) ++correct;
+    const bool boundary = (i + 1 == judged.corrs.size()) ||
+                          judged.corrs[i + 1].score != judged.corrs[i].score;
+    if (!boundary) continue;
+    const double precision =
+        static_cast<double>(correct) / static_cast<double>(i + 1);
+    if (precision >= min_precision) best = i + 1;
+  }
+  return best;
+}
+
+}  // namespace prodsyn

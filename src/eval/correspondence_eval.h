@@ -1,0 +1,57 @@
+// Precision-vs-coverage evaluation of schema matchers (paper §5.2): sweep
+// the score threshold θ; coverage at θ is the number of correspondences
+// scoring above θ, precision is the fraction of those that are correct.
+// Name-identity candidates are excluded (they seed the training set, so
+// evaluating on them would be circular — the paper does the same).
+
+#ifndef PRODSYN_EVAL_CORRESPONDENCE_EVAL_H_
+#define PRODSYN_EVAL_CORRESPONDENCE_EVAL_H_
+
+#include <vector>
+
+#include "src/eval/oracle.h"
+#include "src/matching/types.h"
+
+namespace prodsyn {
+
+/// \brief One point of a precision-coverage curve.
+struct PrecisionCoveragePoint {
+  double theta = 0.0;     ///< score threshold
+  size_t coverage = 0;    ///< correspondences with score > theta
+  double precision = 0.0; ///< fraction of those that are correct
+};
+
+/// \brief Options for curve construction.
+struct CurveOptions {
+  /// Maximum number of curve points (evenly spaced over coverage).
+  size_t max_points = 25;
+  /// Drop name-identity tuples before sweeping (paper §5.2 methodology).
+  bool exclude_name_identities = true;
+};
+
+/// \brief Builds the precision-coverage curve of a matcher's output.
+/// Points are ordered by increasing coverage (decreasing θ).
+std::vector<PrecisionCoveragePoint> PrecisionCoverageCurve(
+    const std::vector<AttributeCorrespondence>& correspondences,
+    const EvaluationOracle& oracle, const CurveOptions& options = {});
+
+/// \brief Precision over the top-`coverage` correspondences (by score).
+/// Returns 0 when the output is smaller than `coverage` — used to compare
+/// matchers at a common operating point.
+double PrecisionAtCoverage(
+    const std::vector<AttributeCorrespondence>& correspondences,
+    const EvaluationOracle& oracle, size_t coverage,
+    const CurveOptions& options = {});
+
+/// \brief The largest coverage whose precision is still ≥ `min_precision`
+/// (0 when even the top-scored prefix falls below it). Higher is better:
+/// at equal precision, higher coverage implies higher relative recall
+/// (paper Appendix B).
+size_t CoverageAtPrecision(
+    const std::vector<AttributeCorrespondence>& correspondences,
+    const EvaluationOracle& oracle, double min_precision,
+    const CurveOptions& options = {});
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_EVAL_CORRESPONDENCE_EVAL_H_

@@ -1,0 +1,151 @@
+#include "src/eval/oracle.h"
+
+#include <set>
+
+#include "src/text/tokenizer.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+std::string KeyOf(CategoryId category, const std::string& normalized_key) {
+  return std::to_string(category) + "/" + normalized_key;
+}
+}  // namespace
+
+namespace {
+
+bool TokenSetsEquivalent(std::set<std::string> sa, std::set<std::string> sb,
+                         const std::string& raw_a, const std::string& raw_b) {
+  if (sa.empty() && sb.empty()) return Trim(raw_a) == Trim(raw_b);
+  if (sa.empty() || sb.empty()) return false;
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  for (const auto& t : small) {
+    if (large.count(t) == 0) return false;
+  }
+  return true;  // the smaller token set is contained in the larger
+}
+
+std::set<std::string> TokenSet(const std::string& value) {
+  const auto tokens = Tokenize(value);
+  return std::set<std::string>(tokens.begin(), tokens.end());
+}
+
+// attr name -> tokens that are unit spellings for that attribute, derived
+// from every archetype's declared unit variants (a labeler's unit table).
+const std::unordered_map<std::string, std::set<std::string>>& UnitTokens() {
+  static const auto* kMap = [] {
+    auto* map = new std::unordered_map<std::string, std::set<std::string>>();
+    for (const auto& archetype : BuiltinCategoryArchetypes()) {
+      for (const auto& attr : archetype.attributes) {
+        if (attr.value.unit.empty() && attr.value.unit_variants.empty()) {
+          continue;
+        }
+        auto& tokens = (*map)[attr.name];
+        for (const auto& t : Tokenize(attr.value.unit)) tokens.insert(t);
+        for (const auto& variant : attr.value.unit_variants) {
+          for (const auto& t : Tokenize(variant)) tokens.insert(t);
+        }
+      }
+    }
+    return map;
+  }();
+  return *kMap;
+}
+
+}  // namespace
+
+bool ValuesEquivalent(const std::string& a, const std::string& b) {
+  return TokenSetsEquivalent(TokenSet(a), TokenSet(b), a, b);
+}
+
+bool ValuesEquivalentForAttribute(const std::string& attr_name,
+                                  const std::string& a, const std::string& b) {
+  std::set<std::string> sa = TokenSet(a);
+  std::set<std::string> sb = TokenSet(b);
+  const auto& units = UnitTokens();
+  auto it = units.find(attr_name);
+  if (it != units.end()) {
+    std::set<std::string> stripped_a, stripped_b;
+    for (const auto& t : sa) {
+      if (it->second.count(t) == 0) stripped_a.insert(t);
+    }
+    for (const auto& t : sb) {
+      if (it->second.count(t) == 0) stripped_b.insert(t);
+    }
+    // Only strip when something substantive remains on both sides.
+    if (!stripped_a.empty() && !stripped_b.empty()) {
+      sa = std::move(stripped_a);
+      sb = std::move(stripped_b);
+    }
+  }
+  return TokenSetsEquivalent(std::move(sa), std::move(sb), a, b);
+}
+
+EvaluationOracle::EvaluationOracle(const World* world) : world_(world) {
+  for (size_t i = 0; i < world_->novel_products.size(); ++i) {
+    const TrueProduct& p = world_->novel_products[i];
+    if (!p.key.empty()) {
+      key_to_novel_.emplace(KeyOf(p.category, p.key), i);
+    }
+    if (auto upc = FindValue(p.spec, "UPC"); upc.has_value()) {
+      key_to_novel_.emplace(KeyOf(p.category, NormalizeKey(*upc)), i);
+    }
+    // Composite Brand+Model key, for the alternative clustering strategy.
+    const std::string composite = CompositeKey(p.spec, {"Brand", "Model"});
+    if (!composite.empty()) {
+      key_to_novel_.emplace(KeyOf(p.category, composite), i);
+    }
+  }
+}
+
+bool EvaluationOracle::IsCorrespondenceCorrect(
+    const CandidateTuple& tuple) const {
+  const std::string truth = world_->TrueCatalogAttribute(
+      tuple.merchant, tuple.category, tuple.offer_attribute);
+  return !truth.empty() && truth == tuple.catalog_attribute;
+}
+
+ProductJudgment EvaluationOracle::JudgeProduct(
+    const SynthesizedProduct& product) const {
+  ProductJudgment judgment;
+  judgment.total_attributes = product.spec.size();
+  auto it = key_to_novel_.find(KeyOf(product.category, product.key));
+  if (it == key_to_novel_.end()) {
+    return judgment;  // no such product: the whole specification is invalid
+  }
+  judgment.found_product = true;
+  const TrueProduct& truth = world_->novel_products[it->second];
+  for (const auto& av : product.spec) {
+    auto true_value = FindValue(truth.spec, av.name);
+    if (true_value.has_value() &&
+        ValuesEquivalentForAttribute(av.name, av.value, *true_value)) {
+      ++judgment.correct_attributes;
+    }
+  }
+  return judgment;
+}
+
+std::vector<std::string> EvaluationOracle::PageAttributeUnion(
+    const std::vector<OfferId>& source_offers) const {
+  std::set<std::string> attrs;
+  for (OfferId oid : source_offers) {
+    auto it = world_->incoming_page_attrs.find(oid);
+    if (it == world_->incoming_page_attrs.end()) continue;
+    attrs.insert(it->second.begin(), it->second.end());
+  }
+  return std::vector<std::string>(attrs.begin(), attrs.end());
+}
+
+size_t EvaluationOracle::PagePairCount(
+    const std::vector<OfferId>& source_offers) const {
+  size_t count = 0;
+  for (OfferId oid : source_offers) {
+    auto it = world_->incoming_page_attrs.find(oid);
+    if (it != world_->incoming_page_attrs.end()) count += it->second.size();
+  }
+  return count;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,83 @@
+// EvaluationOracle: the stand-in for the paper's human labelers. It judges
+// attribute correspondences against the generator's naming ground truth,
+// and synthesized products against the true (manufacturer-side) product
+// specifications — under the same metric definitions as §5.
+
+#ifndef PRODSYN_EVAL_ORACLE_H_
+#define PRODSYN_EVAL_ORACLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/datagen/world.h"
+#include "src/matching/types.h"
+#include "src/pipeline/synthesizer.h"
+
+namespace prodsyn {
+
+/// \brief Semantic equivalence of two attribute values: their normalized
+/// token sets are equal or one contains the other (a human labeler accepts
+/// "500" for "500 GB" and "500GB" for "500 GB", but not "400 GB").
+/// Untokenizable values fall back to exact string comparison.
+bool ValuesEquivalent(const std::string& a, const std::string& b);
+
+/// \brief Like ValuesEquivalent, but with the labeler's unit knowledge:
+/// tokens that are known unit spellings of `attr_name` (from the vocab's
+/// declared unit variants — "MHz"/"megahertz", "lb"/"lbs"/"pounds", ...)
+/// are dropped from both sides before comparison, so "700megahertz"
+/// matches "700 MHz" while "600 MHz" still does not.
+bool ValuesEquivalentForAttribute(const std::string& attr_name,
+                                  const std::string& a, const std::string& b);
+
+/// \brief Verdict on one synthesized product.
+struct ProductJudgment {
+  /// The cluster key resolved to a true missing product of that category.
+  bool found_product = false;
+  size_t total_attributes = 0;
+  size_t correct_attributes = 0;
+
+  /// Paper's strict product precision: every synthesized attribute correct
+  /// (an unresolved product counts all attributes as wrong).
+  bool AllCorrect() const {
+    return found_product && correct_attributes == total_attributes;
+  }
+};
+
+/// \brief Ground-truth judge over a generated World.
+class EvaluationOracle {
+ public:
+  /// \param world must outlive the oracle.
+  explicit EvaluationOracle(const World* world);
+
+  /// \brief True iff the merchant really uses `tuple.offer_attribute` to
+  /// mean `tuple.catalog_attribute` in that category. Junk attributes
+  /// (Shipping, ...) are never correct.
+  bool IsCorrespondenceCorrect(const CandidateTuple& tuple) const;
+
+  /// \brief Judges a synthesized product: resolves its cluster key against
+  /// the true missing products (by MPN, then UPC) of its category, then
+  /// checks every synthesized attribute against the true specification.
+  ProductJudgment JudgeProduct(const SynthesizedProduct& product) const;
+
+  /// \brief Recall ground truth for a synthesized product: the distinct
+  /// catalog attributes mentioned on its source offers' landing pages
+  /// (the paper's manually-integrated p_gt).
+  std::vector<std::string> PageAttributeUnion(
+      const std::vector<OfferId>& source_offers) const;
+
+  /// \brief Total attribute-value pairs across the source offers' pages
+  /// (the "pool of candidates" statistic of Table 4's discussion).
+  size_t PagePairCount(const std::vector<OfferId>& source_offers) const;
+
+  const World& world() const { return *world_; }
+
+ private:
+  const World* world_;
+  /// "(category, normalized key)" -> index into world_->novel_products.
+  std::unordered_map<std::string, size_t> key_to_novel_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_EVAL_ORACLE_H_

@@ -1,0 +1,63 @@
+#include "src/eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace prodsyn {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t j = 0; j < headers_.size(); ++j) {
+    widths[j] = headers_[j].size();
+    for (const auto& row : rows_) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t j = 0; j < cells.size(); ++j) {
+      line += cells[j];
+      if (j + 1 < cells.size()) {
+        line.append(widths[j] - cells[j].size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatCount(size_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t count = 0;
+  for (size_t i = digits.size(); i-- > 0;) {
+    out.push_back(digits[i]);
+    if (++count % 3 == 0 && i > 0) out.push_back(',');
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,39 @@
+// Plain-text report formatting for the bench harness: aligned tables that
+// mirror the rows/series the paper prints.
+
+#ifndef PRODSYN_EVAL_REPORT_H_
+#define PRODSYN_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief A fixed-column text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// \brief Adds one row; it must have as many cells as there are headers
+  /// (short rows are padded, long rows truncated).
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Fixed-precision decimal formatting ("0.92").
+std::string FormatDouble(double value, int precision = 2);
+
+/// \brief Thousands-separated integer formatting ("856,781").
+std::string FormatCount(size_t value);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_EVAL_REPORT_H_

@@ -1,0 +1,50 @@
+#include "src/eval/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace prodsyn {
+
+size_t SampleSizeFor95Confidence(size_t population, double margin) {
+  if (population == 0) return 0;
+  const double z = 1.959963985;  // 97.5th percentile of the standard normal
+  const double n0 = z * z * 0.25 / (margin * margin);
+  const double n = population * n0 /
+                   (n0 + static_cast<double>(population) - 1.0);
+  const size_t rounded = static_cast<size_t>(std::ceil(n));
+  return std::min(rounded, population);
+}
+
+std::vector<size_t> SampleIndices(size_t population, size_t n, Rng* rng) {
+  n = std::min(n, population);
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(n);
+  // Floyd's algorithm: uniform sample of n distinct values.
+  for (size_t j = population - n; j < population; ++j) {
+    const size_t t = static_cast<size_t>(rng->NextBelow(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ProportionEstimate EstimateProportion(const std::vector<bool>& outcomes,
+                                      size_t sample_size, Rng* rng) {
+  ProportionEstimate est;
+  if (outcomes.empty()) return est;
+  const auto indices = SampleIndices(outcomes.size(), sample_size, rng);
+  est.sample_size = indices.size();
+  size_t positives = 0;
+  for (size_t i : indices) positives += outcomes[i] ? 1 : 0;
+  const double n = static_cast<double>(indices.size());
+  est.value = static_cast<double>(positives) / n;
+  const double z = 1.959963985;
+  const double half = z * std::sqrt(est.value * (1.0 - est.value) / n);
+  est.low = std::max(0.0, est.value - half);
+  est.high = std::min(1.0, est.value + half);
+  return est;
+}
+
+}  // namespace prodsyn

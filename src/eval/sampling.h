@@ -1,0 +1,41 @@
+// The paper's sampling methodology (§5.1 cites interval estimation [14]
+// for its 384/400-element samples at 95% confidence). With the oracle we
+// can measure exactly, but the harness also implements the sampled
+// estimator so the methodology itself is testable and comparable.
+
+#ifndef PRODSYN_EVAL_SAMPLING_H_
+#define PRODSYN_EVAL_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace prodsyn {
+
+/// \brief Sample size for estimating a proportion at 95% confidence with
+/// the given margin of error, with finite-population correction.
+/// margin=0.05 over a large population gives the familiar n = 384.
+size_t SampleSizeFor95Confidence(size_t population, double margin = 0.05);
+
+/// \brief Draws `n` distinct indices uniformly from [0, population) —
+/// Floyd's algorithm, deterministic under `rng`. n is clamped to the
+/// population size. The result is sorted.
+std::vector<size_t> SampleIndices(size_t population, size_t n, Rng* rng);
+
+/// \brief A proportion estimate with a 95% normal-approximation interval.
+struct ProportionEstimate {
+  double value = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+  size_t sample_size = 0;
+};
+
+/// \brief Estimates the share of `true` entries of `outcomes` from a
+/// random sample of the given size.
+ProportionEstimate EstimateProportion(const std::vector<bool>& outcomes,
+                                      size_t sample_size, Rng* rng);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_EVAL_SAMPLING_H_

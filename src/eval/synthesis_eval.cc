@@ -1,0 +1,195 @@
+#include "src/eval/synthesis_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace prodsyn {
+
+SynthesisQuality EvaluateSynthesis(const SynthesisResult& result,
+                                   const EvaluationOracle& oracle) {
+  SynthesisQuality q;
+  q.input_offers = result.stats.input_offers;
+  q.synthesized_products = result.products.size();
+  size_t correct_attrs = 0;
+  size_t total_attrs = 0;
+  size_t correct_products = 0;
+  for (const auto& product : result.products) {
+    const ProductJudgment j = oracle.JudgeProduct(product);
+    total_attrs += j.total_attributes;
+    correct_attrs += j.correct_attributes;
+    if (j.AllCorrect()) ++correct_products;
+  }
+  q.synthesized_attributes = total_attrs;
+  q.attribute_precision =
+      total_attrs == 0 ? 0.0
+                       : static_cast<double>(correct_attrs) /
+                             static_cast<double>(total_attrs);
+  q.product_precision =
+      result.products.empty()
+          ? 0.0
+          : static_cast<double>(correct_products) /
+                static_cast<double>(result.products.size());
+  return q;
+}
+
+std::vector<DomainQualityRow> EvaluateByDomain(const SynthesisResult& result,
+                                               const EvaluationOracle& oracle) {
+  struct Accumulator {
+    size_t products = 0;
+    size_t attrs = 0;
+    size_t correct_attrs = 0;
+    size_t correct_products = 0;
+  };
+  const World& world = oracle.world();
+  std::map<std::string, Accumulator> by_domain;
+
+  for (const auto& product : result.products) {
+    auto top = world.catalog.taxonomy().TopLevelAncestor(product.category);
+    if (!top.ok()) continue;
+    auto name = world.catalog.taxonomy().Name(*top);
+    if (!name.ok()) continue;
+    Accumulator& acc = by_domain[*name];
+    const ProductJudgment j = oracle.JudgeProduct(product);
+    ++acc.products;
+    acc.attrs += j.total_attributes;
+    acc.correct_attrs += j.correct_attributes;
+    if (j.AllCorrect()) ++acc.correct_products;
+  }
+
+  std::vector<DomainQualityRow> rows;
+  for (const auto& [domain, acc] : by_domain) {
+    DomainQualityRow row;
+    row.domain = domain;
+    row.products = acc.products;
+    row.avg_attributes_per_product =
+        acc.products == 0 ? 0.0
+                          : static_cast<double>(acc.attrs) /
+                                static_cast<double>(acc.products);
+    row.attribute_precision =
+        acc.attrs == 0 ? 0.0
+                       : static_cast<double>(acc.correct_attrs) /
+                             static_cast<double>(acc.attrs);
+    row.product_precision =
+        acc.products == 0 ? 0.0
+                          : static_cast<double>(acc.correct_products) /
+                                static_cast<double>(acc.products);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<CategoryQualityRow> EvaluateByCategory(
+    const SynthesisResult& result, const EvaluationOracle& oracle) {
+  struct Accumulator {
+    size_t products = 0;
+    size_t attrs = 0;
+    size_t correct_attrs = 0;
+    size_t correct_products = 0;
+  };
+  std::map<CategoryId, Accumulator> by_category;
+  for (const auto& product : result.products) {
+    Accumulator& acc = by_category[product.category];
+    const ProductJudgment j = oracle.JudgeProduct(product);
+    ++acc.products;
+    acc.attrs += j.total_attributes;
+    acc.correct_attrs += j.correct_attributes;
+    if (j.AllCorrect()) ++acc.correct_products;
+  }
+
+  const World& world = oracle.world();
+  std::vector<CategoryQualityRow> rows;
+  rows.reserve(by_category.size());
+  for (const auto& [category, acc] : by_category) {
+    CategoryQualityRow row;
+    row.category = category;
+    auto path = world.catalog.taxonomy().Path(category);
+    row.path = path.ok() ? *path : std::to_string(category);
+    row.products = acc.products;
+    row.avg_attributes_per_product =
+        acc.products == 0 ? 0.0
+                          : static_cast<double>(acc.attrs) /
+                                static_cast<double>(acc.products);
+    row.attribute_precision =
+        acc.attrs == 0 ? 0.0
+                       : static_cast<double>(acc.correct_attrs) /
+                             static_cast<double>(acc.attrs);
+    row.product_precision =
+        acc.products == 0 ? 0.0
+                          : static_cast<double>(acc.correct_products) /
+                                static_cast<double>(acc.products);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CategoryQualityRow& a, const CategoryQualityRow& b) {
+              if (a.product_precision != b.product_precision) {
+                return a.product_precision < b.product_precision;
+              }
+              return a.category < b.category;
+            });
+  return rows;
+}
+
+std::vector<OfferCountBucketRow> EvaluateRecallByOfferCount(
+    const SynthesisResult& result, const EvaluationOracle& oracle,
+    size_t threshold) {
+  struct Accumulator {
+    size_t products = 0;
+    size_t recall_num = 0;    ///< synthesized ∩ page-union attributes
+    size_t recall_denom = 0;  ///< page-union attributes
+    size_t attrs = 0;
+    size_t correct_attrs = 0;
+    size_t page_pairs = 0;
+  };
+  Accumulator large, small;
+
+  for (const auto& product : result.products) {
+    Accumulator& acc =
+        product.source_offers.size() >= threshold ? large : small;
+    ++acc.products;
+    const ProductJudgment j = oracle.JudgeProduct(product);
+    acc.attrs += j.total_attributes;
+    acc.correct_attrs += j.correct_attributes;
+    acc.page_pairs += oracle.PagePairCount(product.source_offers);
+
+    const auto ground_truth = oracle.PageAttributeUnion(product.source_offers);
+    std::set<std::string> synthesized;
+    for (const auto& av : product.spec) synthesized.insert(av.name);
+    acc.recall_denom += ground_truth.size();
+    for (const auto& attr : ground_truth) {
+      if (synthesized.count(attr) > 0) ++acc.recall_num;
+    }
+  }
+
+  auto to_row = [&](const Accumulator& acc, std::string label) {
+    OfferCountBucketRow row;
+    row.label = std::move(label);
+    row.products = acc.products;
+    row.attribute_recall =
+        acc.recall_denom == 0 ? 0.0
+                              : static_cast<double>(acc.recall_num) /
+                                    static_cast<double>(acc.recall_denom);
+    row.attribute_precision =
+        acc.attrs == 0 ? 0.0
+                       : static_cast<double>(acc.correct_attrs) /
+                             static_cast<double>(acc.attrs);
+    row.avg_page_pairs_per_product =
+        acc.products == 0 ? 0.0
+                          : static_cast<double>(acc.page_pairs) /
+                                static_cast<double>(acc.products);
+    row.avg_synthesized_attributes =
+        acc.products == 0 ? 0.0
+                          : static_cast<double>(acc.attrs) /
+                                static_cast<double>(acc.products);
+    return row;
+  };
+
+  return {
+      to_row(large, "Products with >= " + std::to_string(threshold) +
+                        " offers"),
+      to_row(small, "Products with < " + std::to_string(threshold) +
+                        " offers"),
+  };
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,77 @@
+// End-to-end synthesis quality metrics: the numbers behind the paper's
+// Table 2 (overall), Table 3 (per top-level category) and Table 4
+// (precision/recall by offer-set size). With the oracle these are exact,
+// not sampled.
+
+#ifndef PRODSYN_EVAL_SYNTHESIS_EVAL_H_
+#define PRODSYN_EVAL_SYNTHESIS_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/oracle.h"
+#include "src/pipeline/synthesizer.h"
+
+namespace prodsyn {
+
+/// \brief Overall quality (Table 2).
+struct SynthesisQuality {
+  size_t input_offers = 0;
+  size_t synthesized_products = 0;
+  size_t synthesized_attributes = 0;
+  double attribute_precision = 0.0;
+  double product_precision = 0.0;  ///< strict: all attributes correct
+};
+
+SynthesisQuality EvaluateSynthesis(const SynthesisResult& result,
+                                   const EvaluationOracle& oracle);
+
+/// \brief One Table-3 row: aggregate over a top-level category.
+struct DomainQualityRow {
+  std::string domain;
+  size_t products = 0;
+  double avg_attributes_per_product = 0.0;
+  double attribute_precision = 0.0;
+  double product_precision = 0.0;
+};
+
+/// \brief Breaks results down by top-level category, in taxonomy order.
+std::vector<DomainQualityRow> EvaluateByDomain(const SynthesisResult& result,
+                                               const EvaluationOracle& oracle);
+
+/// \brief One per-leaf-category row (finer than Table 3's domain rollup;
+/// useful for debugging which categories drag quality down).
+struct CategoryQualityRow {
+  CategoryId category = kInvalidCategory;
+  std::string path;  ///< "Computing|Hard Drives"
+  size_t products = 0;
+  double avg_attributes_per_product = 0.0;
+  double attribute_precision = 0.0;
+  double product_precision = 0.0;
+};
+
+/// \brief Breaks results down by leaf category, ordered by ascending
+/// product precision (worst offenders first).
+std::vector<CategoryQualityRow> EvaluateByCategory(
+    const SynthesisResult& result, const EvaluationOracle& oracle);
+
+/// \brief One Table-4 row: products bucketed by offer-set size.
+struct OfferCountBucketRow {
+  std::string label;
+  size_t products = 0;
+  double attribute_recall = 0.0;
+  double attribute_precision = 0.0;
+  double avg_page_pairs_per_product = 0.0;   ///< the "pool" statistic
+  double avg_synthesized_attributes = 0.0;
+};
+
+/// \brief Splits synthesized products into ≥ threshold and < threshold
+/// offers, computing attribute recall against the page-attribute union
+/// (paper §5.1 recall methodology).
+std::vector<OfferCountBucketRow> EvaluateRecallByOfferCount(
+    const SynthesisResult& result, const EvaluationOracle& oracle,
+    size_t threshold = 10);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_EVAL_SYNTHESIS_EVAL_H_

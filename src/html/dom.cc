@@ -1,0 +1,88 @@
+#include "src/html/dom.h"
+
+#include <cctype>
+
+namespace prodsyn {
+
+std::unique_ptr<DomNode> DomNode::Element(std::string tag) {
+  auto node = std::unique_ptr<DomNode>(new DomNode(NodeType::kElement));
+  node->tag_ = std::move(tag);
+  return node;
+}
+
+std::unique_ptr<DomNode> DomNode::Text(std::string text) {
+  auto node = std::unique_ptr<DomNode>(new DomNode(NodeType::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+const std::string& DomNode::attribute(const std::string& name) const {
+  static const std::string kEmpty;
+  auto it = attributes_.find(name);
+  return it == attributes_.end() ? kEmpty : it->second;
+}
+
+void DomNode::SetAttribute(std::string name, std::string value) {
+  attributes_[std::move(name)] = std::move(value);
+}
+
+DomNode* DomNode::AddChild(std::unique_ptr<DomNode> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+void DomNode::CollectText(std::string* out) const {
+  if (is_text()) {
+    // Collapse whitespace runs; insert a single separating space.
+    bool pending_space = !out->empty();
+    for (char c : text_) {
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        pending_space = !out->empty();
+      } else {
+        if (pending_space) out->push_back(' ');
+        pending_space = false;
+        out->push_back(c);
+      }
+    }
+    return;
+  }
+  for (const auto& child : children_) child->CollectText(out);
+}
+
+std::string DomNode::InnerText() const {
+  std::string out;
+  CollectText(&out);
+  // CollectText may leave a leading space when the first text run follows
+  // earlier empty output; trim defensively.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  size_t start = 0;
+  while (start < out.size() && out[start] == ' ') ++start;
+  return out.substr(start);
+}
+
+void DomNode::CollectElements(const std::string& tag,
+                              std::vector<const DomNode*>* out) const {
+  for (const auto& child : children_) {
+    if (child->is_element()) {
+      if (child->tag_ == tag) out->push_back(child.get());
+      child->CollectElements(tag, out);
+    }
+  }
+}
+
+std::vector<const DomNode*> DomNode::FindAll(const std::string& tag) const {
+  std::vector<const DomNode*> out;
+  CollectElements(tag, &out);
+  return out;
+}
+
+std::vector<const DomNode*> DomNode::ChildElements(
+    const std::string& tag) const {
+  std::vector<const DomNode*> out;
+  for (const auto& child : children_) {
+    if (child->is_element() && child->tag_ == tag) out.push_back(child.get());
+  }
+  return out;
+}
+
+}  // namespace prodsyn

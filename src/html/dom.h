@@ -1,0 +1,80 @@
+// A small DOM: the tree produced by HtmlParser and consumed by the
+// table-based attribute extractor (paper §4 "parses the DOM tree of the
+// Web page and returns all tables on the page").
+
+#ifndef PRODSYN_HTML_DOM_H_
+#define PRODSYN_HTML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief Node kind: an element (with tag/attributes/children) or a text run.
+enum class NodeType { kElement, kText };
+
+/// \brief One DOM node. Elements own their children.
+class DomNode {
+ public:
+  /// Creates an element node with the given (lower-case) tag.
+  static std::unique_ptr<DomNode> Element(std::string tag);
+
+  /// Creates a text node.
+  static std::unique_ptr<DomNode> Text(std::string text);
+
+  NodeType type() const { return type_; }
+  bool is_element() const { return type_ == NodeType::kElement; }
+  bool is_text() const { return type_ == NodeType::kText; }
+
+  /// \brief Lower-case tag name; empty for text nodes.
+  const std::string& tag() const { return tag_; }
+
+  /// \brief Raw text; empty for element nodes.
+  const std::string& text() const { return text_; }
+
+  const std::unordered_map<std::string, std::string>& attributes() const {
+    return attributes_;
+  }
+
+  /// \brief Attribute value or "" when absent.
+  const std::string& attribute(const std::string& name) const;
+
+  void SetAttribute(std::string name, std::string value);
+
+  const std::vector<std::unique_ptr<DomNode>>& children() const {
+    return children_;
+  }
+
+  /// \brief Appends a child and returns a raw pointer to it.
+  DomNode* AddChild(std::unique_ptr<DomNode> child);
+
+  /// \brief All descendant text concatenated in document order, with
+  /// whitespace collapsed and single spaces between runs.
+  std::string InnerText() const;
+
+  /// \brief Depth-first search for all descendant elements with `tag`
+  /// (lower-case). Does not include this node.
+  std::vector<const DomNode*> FindAll(const std::string& tag) const;
+
+  /// \brief Direct children that are elements with `tag`.
+  std::vector<const DomNode*> ChildElements(const std::string& tag) const;
+
+ private:
+  explicit DomNode(NodeType type) : type_(type) {}
+
+  void CollectText(std::string* out) const;
+  void CollectElements(const std::string& tag,
+                       std::vector<const DomNode*>* out) const;
+
+  NodeType type_;
+  std::string tag_;
+  std::string text_;
+  std::unordered_map<std::string, std::string> attributes_;
+  std::vector<std::unique_ptr<DomNode>> children_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_HTML_DOM_H_

@@ -1,0 +1,350 @@
+#include "src/html/html_parser.h"
+
+#include <array>
+#include <cctype>
+#include <vector>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+bool IsVoidElement(const std::string& tag) {
+  static const std::array<const char*, 10> kVoid = {
+      "br", "hr", "img", "input", "meta", "link",
+      "area", "base", "col", "wbr"};
+  for (const char* v : kVoid) {
+    if (tag == v) return true;
+  }
+  return false;
+}
+
+bool IsRawTextElement(const std::string& tag) {
+  return tag == "script" || tag == "style";
+}
+
+// Tags that implicitly close an open instance of themselves or of related
+// tags when a new one starts (HTML5 tree-builder subset sufficient for
+// merchant-page markup).
+bool ClosesOnOpen(const std::string& open_tag, const std::string& new_tag) {
+  if (open_tag == "li" && new_tag == "li") return true;
+  if (open_tag == "p" && new_tag == "p") return true;
+  if (open_tag == "option" && new_tag == "option") return true;
+  if ((open_tag == "td" || open_tag == "th") &&
+      (new_tag == "td" || new_tag == "th" || new_tag == "tr")) {
+    return true;
+  }
+  if (open_tag == "tr" && new_tag == "tr") return true;
+  return false;
+}
+
+struct ParsedTag {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  bool self_closing = false;
+  bool closing = false;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view html) : html_(html) {}
+
+  std::unique_ptr<DomNode> Run() {
+    auto root = DomNode::Element("#document");
+    stack_.push_back(root.get());
+    while (pos_ < html_.size()) {
+      if (html_[pos_] == '<') {
+        if (TryComment() || TryDoctype()) continue;
+        ParseTag();
+      } else {
+        ParseText();
+      }
+    }
+    return root;
+  }
+
+ private:
+  bool TryComment() {
+    if (!StartsWith(html_.substr(pos_), "<!--")) return false;
+    const size_t end = html_.find("-->", pos_ + 4);
+    pos_ = end == std::string_view::npos ? html_.size() : end + 3;
+    return true;
+  }
+
+  bool TryDoctype() {
+    if (pos_ + 1 >= html_.size() || html_[pos_ + 1] != '!') return false;
+    const size_t end = html_.find('>', pos_);
+    pos_ = end == std::string_view::npos ? html_.size() : end + 1;
+    return true;
+  }
+
+  void ParseText() {
+    const size_t end = html_.find('<', pos_);
+    const size_t stop = end == std::string_view::npos ? html_.size() : end;
+    std::string_view raw = html_.substr(pos_, stop - pos_);
+    pos_ = stop;
+    if (TrimView(raw).empty()) return;
+    stack_.back()->AddChild(DomNode::Text(DecodeHtmlEntities(raw)));
+  }
+
+  void ParseTag() {
+    ParsedTag tag;
+    if (!LexTag(&tag)) {
+      // A stray '<' that does not start a tag: treat literally as text.
+      stack_.back()->AddChild(DomNode::Text("<"));
+      ++pos_;
+      return;
+    }
+    if (tag.closing) {
+      CloseTag(tag.name);
+      return;
+    }
+    OpenTag(tag);
+  }
+
+  // Lexes one <...> construct starting at pos_. Returns false if it is not
+  // a plausible tag (pos_ unchanged in that case).
+  bool LexTag(ParsedTag* out) {
+    size_t p = pos_ + 1;
+    if (p >= html_.size()) return false;
+    if (html_[p] == '/') {
+      out->closing = true;
+      ++p;
+    }
+    size_t name_start = p;
+    while (p < html_.size() &&
+           (std::isalnum(static_cast<unsigned char>(html_[p])) != 0)) {
+      ++p;
+    }
+    if (p == name_start) return false;
+    out->name = ToLower(html_.substr(name_start, p - name_start));
+
+    // Attributes until '>' (or "/>").
+    while (p < html_.size() && html_[p] != '>') {
+      if (html_[p] == '/' && p + 1 < html_.size() && html_[p + 1] == '>') {
+        out->self_closing = true;
+        p += 1;
+        break;
+      }
+      if (html_[p] == '/') {
+        // Stray slash inside a tag ("<a b/c>"): skip it, or the
+        // attribute-name loop below would never advance.
+        ++p;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(html_[p])) != 0) {
+        ++p;
+        continue;
+      }
+      // Attribute name.
+      size_t attr_start = p;
+      while (p < html_.size() && html_[p] != '=' && html_[p] != '>' &&
+             html_[p] != '/' &&
+             std::isspace(static_cast<unsigned char>(html_[p])) == 0) {
+        ++p;
+      }
+      std::string attr_name = ToLower(html_.substr(attr_start, p - attr_start));
+      std::string attr_value;
+      while (p < html_.size() &&
+             std::isspace(static_cast<unsigned char>(html_[p])) != 0) {
+        ++p;
+      }
+      if (p < html_.size() && html_[p] == '=') {
+        ++p;
+        while (p < html_.size() &&
+               std::isspace(static_cast<unsigned char>(html_[p])) != 0) {
+          ++p;
+        }
+        if (p < html_.size() && (html_[p] == '"' || html_[p] == '\'')) {
+          const char quote = html_[p];
+          ++p;
+          size_t value_start = p;
+          while (p < html_.size() && html_[p] != quote) ++p;
+          attr_value =
+              DecodeHtmlEntities(html_.substr(value_start, p - value_start));
+          if (p < html_.size()) ++p;  // closing quote
+        } else {
+          size_t value_start = p;
+          while (p < html_.size() && html_[p] != '>' &&
+                 std::isspace(static_cast<unsigned char>(html_[p])) == 0) {
+            ++p;
+          }
+          attr_value =
+              DecodeHtmlEntities(html_.substr(value_start, p - value_start));
+        }
+      }
+      if (!attr_name.empty()) {
+        out->attributes.emplace_back(std::move(attr_name),
+                                     std::move(attr_value));
+      }
+    }
+    if (p < html_.size() && html_[p] == '>') ++p;
+    pos_ = p;
+    return true;
+  }
+
+  void OpenTag(const ParsedTag& tag) {
+    // Implicit closes (e.g. <li> closes an open <li>).
+    while (stack_.size() > 1 && ClosesOnOpen(stack_.back()->tag(), tag.name)) {
+      stack_.pop_back();
+    }
+    auto element = DomNode::Element(tag.name);
+    for (const auto& [name, value] : tag.attributes) {
+      element->SetAttribute(name, value);
+    }
+    DomNode* raw = stack_.back()->AddChild(std::move(element));
+    if (tag.self_closing || IsVoidElement(tag.name)) return;
+    if (IsRawTextElement(tag.name)) {
+      SwallowRawText(raw, tag.name);
+      return;
+    }
+    stack_.push_back(raw);
+  }
+
+  // script/style content is raw text up to the matching close tag.
+  void SwallowRawText(DomNode* element, const std::string& tag) {
+    const std::string closer = "</" + tag;
+    size_t end = pos_;
+    for (;;) {
+      end = html_.find(closer, end);
+      if (end == std::string_view::npos) {
+        end = html_.size();
+        break;
+      }
+      const size_t after = end + closer.size();
+      if (after >= html_.size() || html_[after] == '>' ||
+          std::isspace(static_cast<unsigned char>(html_[after])) != 0) {
+        break;
+      }
+      ++end;
+    }
+    std::string_view raw = html_.substr(pos_, end - pos_);
+    if (!TrimView(raw).empty()) {
+      element->AddChild(DomNode::Text(std::string(raw)));
+    }
+    if (end < html_.size()) {
+      const size_t gt = html_.find('>', end);
+      pos_ = gt == std::string_view::npos ? html_.size() : gt + 1;
+    } else {
+      pos_ = html_.size();
+    }
+  }
+
+  void CloseTag(const std::string& name) {
+    // Find the nearest matching open element; if none, ignore the stray
+    // closer (browser behaviour).
+    for (size_t i = stack_.size(); i-- > 1;) {
+      if (stack_[i]->tag() == name) {
+        stack_.resize(i);
+        return;
+      }
+    }
+  }
+
+  std::string_view html_;
+  size_t pos_ = 0;
+  std::vector<DomNode*> stack_;
+};
+
+}  // namespace
+
+std::string DecodeHtmlEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i]);
+      ++i;
+      continue;
+    }
+    const size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back('&');
+      ++i;
+      continue;
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (entity == "nbsp") {
+      out.push_back(' ');
+    } else if (!entity.empty() && entity[0] == '#') {
+      long long code = -1;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = 0;
+        for (size_t k = 2; k < entity.size(); ++k) {
+          const char c = entity[k];
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (c >= 'a' && c <= 'f') {
+            digit = 10 + c - 'a';
+          } else if (c >= 'A' && c <= 'F') {
+            digit = 10 + c - 'A';
+          } else {
+            code = -1;
+            break;
+          }
+          code = code * 16 + digit;
+        }
+      } else {
+        code = ParseNonNegativeInt(entity.substr(1));
+      }
+      if (code >= 32 && code < 127) {
+        out.push_back(static_cast<char>(code));
+      } else if (code >= 0) {
+        out.push_back('?');  // non-ASCII: placeholder
+      } else {
+        out.append(text.substr(i, semi - i + 1));
+      }
+    } else {
+      out.append(text.substr(i, semi - i + 1));  // unknown entity: keep raw
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::string EscapeHtml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<DomNode>> ParseHtml(std::string_view html) {
+  if (TrimView(html).empty()) {
+    return Status::InvalidArgument("empty HTML document");
+  }
+  Parser parser(html);
+  return parser.Run();
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,34 @@
+// A forgiving HTML parser: tokenizes tags/text/comments and builds a DOM
+// with HTML5-ish error recovery (implicit closing of li/p/td/tr, void
+// elements, raw-text script/style, entity decoding). It is the substrate
+// for Web-page attribute extraction — merchant pages are never well-formed.
+
+#ifndef PRODSYN_HTML_HTML_PARSER_H_
+#define PRODSYN_HTML_HTML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/html/dom.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Parses `html` into a DOM tree rooted at a synthetic "#document"
+/// element. Never fails on malformed markup (unclosed tags, stray closers,
+/// attribute quirks); only a grossly invalid input (e.g. empty) is an error.
+Result<std::unique_ptr<DomNode>> ParseHtml(std::string_view html);
+
+/// \brief Decodes the HTML entities we emit/encounter: named (&amp; &lt;
+/// &gt; &quot; &apos; &nbsp;) and numeric (&#NN; &#xNN; — ASCII range only,
+/// others become '?').
+std::string DecodeHtmlEntities(std::string_view text);
+
+/// \brief Escapes &, <, >, " for safe embedding in markup (used by the
+/// landing-page generator).
+std::string EscapeHtml(std::string_view text);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_HTML_HTML_PARSER_H_

@@ -1,0 +1,77 @@
+#include "src/html/table_extractor.h"
+
+#include <unordered_set>
+
+#include "src/html/html_parser.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+// Collects the cell elements (td/th) that belong directly to `row`,
+// ignoring cells of tables nested inside a cell.
+std::vector<const DomNode*> DirectCells(const DomNode& row) {
+  std::vector<const DomNode*> cells;
+  for (const auto& child : row.children()) {
+    if (child->is_element() && (child->tag() == "td" || child->tag() == "th")) {
+      cells.push_back(child.get());
+    }
+  }
+  return cells;
+}
+
+// Rows directly under a table, including rows grouped in thead/tbody/tfoot,
+// but not rows of nested tables.
+void CollectDirectRows(const DomNode& table,
+                       std::vector<const DomNode*>* rows) {
+  for (const auto& child : table.children()) {
+    if (!child->is_element()) continue;
+    if (child->tag() == "tr") {
+      rows->push_back(child.get());
+    } else if (child->tag() == "thead" || child->tag() == "tbody" ||
+               child->tag() == "tfoot") {
+      CollectDirectRows(*child, rows);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ExtractedPair> ExtractPairsFromDom(
+    const DomNode& root, const TableExtractorOptions& options) {
+  std::vector<ExtractedPair> pairs;
+  for (const DomNode* table : root.FindAll("table")) {
+    std::vector<const DomNode*> rows;
+    CollectDirectRows(*table, &rows);
+    for (const DomNode* row : rows) {
+      const auto cells = DirectCells(*row);
+      if (cells.size() != 2) continue;  // the paper's 2-column heuristic
+      // A cell that itself contains a table marks a layout row, not data.
+      if (!cells[0]->FindAll("table").empty() ||
+          !cells[1]->FindAll("table").empty()) {
+        continue;
+      }
+      std::string name = Trim(cells[0]->InnerText());
+      std::string value = Trim(cells[1]->InnerText());
+      if (options.strip_trailing_colon && !name.empty() &&
+          name.back() == ':') {
+        name.pop_back();
+        name = Trim(name);
+      }
+      if (name.empty() || value.empty()) continue;
+      if (name.size() > options.max_name_length) continue;
+      if (value.size() > options.max_value_length) continue;
+      pairs.push_back({std::move(name), std::move(value)});
+    }
+  }
+  return pairs;
+}
+
+Result<std::vector<ExtractedPair>> ExtractPairsFromHtml(
+    std::string_view html, const TableExtractorOptions& options) {
+  PRODSYN_ASSIGN_OR_RETURN(auto dom, ParseHtml(html));
+  return ExtractPairsFromDom(*dom, options);
+}
+
+}  // namespace prodsyn

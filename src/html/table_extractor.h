@@ -1,0 +1,55 @@
+// Web-page attribute extraction (paper §4): return all tables on the page
+// and take every 2-column row as an attribute–value pair — first cell is
+// the name, second the value. Deliberately simple and deliberately noisy:
+// the paper relies on schema reconciliation downstream to filter mistakes.
+
+#ifndef PRODSYN_HTML_TABLE_EXTRACTOR_H_
+#define PRODSYN_HTML_TABLE_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/html/dom.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief One extracted attribute–value pair.
+struct ExtractedPair {
+  std::string name;
+  std::string value;
+
+  bool operator==(const ExtractedPair& other) const {
+    return name == other.name && value == other.value;
+  }
+};
+
+/// \brief Options for the extractor.
+struct TableExtractorOptions {
+  /// Drop pairs whose name exceeds this many characters (guards against
+  /// prose cells that happen to sit in 2-column rows).
+  size_t max_name_length = 60;
+  /// Drop pairs whose value exceeds this many characters.
+  size_t max_value_length = 200;
+  /// Strip one trailing ':' from names ("Brand:" -> "Brand").
+  bool strip_trailing_colon = true;
+};
+
+/// \brief Extracts attribute–value pairs from every <table> in the DOM.
+///
+/// A row contributes a pair iff it has exactly two cells (td/th) and both
+/// the name and the value are non-empty after trimming. Nested tables are
+/// visited too (their rows also appear via the outer FindAll); rows of a
+/// nested table are not double-counted.
+std::vector<ExtractedPair> ExtractPairsFromDom(
+    const DomNode& root, const TableExtractorOptions& options = {});
+
+/// \brief Convenience: parse `html` and extract. Returns an error only if
+/// the HTML cannot be parsed at all.
+Result<std::vector<ExtractedPair>> ExtractPairsFromHtml(
+    std::string_view html, const TableExtractorOptions& options = {});
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_HTML_TABLE_EXTRACTOR_H_

@@ -1,0 +1,243 @@
+#include "src/matching/bag_index.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace prodsyn {
+
+namespace {
+
+// Group key components that are irrelevant at a level are pinned to -1 so
+// that e.g. the kCategory bag of an attribute is shared by all merchants.
+void NormalizeGroupIds(GroupLevel level, MerchantId* merchant,
+                       CategoryId* category) {
+  switch (level) {
+    case GroupLevel::kMerchantCategory:
+      break;
+    case GroupLevel::kCategory:
+      *merchant = kInvalidMerchant;
+      break;
+    case GroupLevel::kMerchant:
+      *category = kInvalidCategory;
+      break;
+  }
+}
+
+char LevelTag(GroupLevel level) {
+  switch (level) {
+    case GroupLevel::kMerchantCategory:
+      return 'B';
+    case GroupLevel::kCategory:
+      return 'C';
+    case GroupLevel::kMerchant:
+      return 'M';
+  }
+  return '?';
+}
+
+constexpr GroupLevel kAllLevels[] = {GroupLevel::kMerchantCategory,
+                                     GroupLevel::kCategory,
+                                     GroupLevel::kMerchant};
+
+}  // namespace
+
+std::string MatchedBagIndex::Key(GroupLevel level, const std::string& attr,
+                                 MerchantId merchant, CategoryId category) {
+  NormalizeGroupIds(level, &merchant, &category);
+  std::string key;
+  key.reserve(attr.size() + 24);
+  key.push_back(LevelTag(level));
+  key.push_back('\x1f');
+  key += std::to_string(merchant);
+  key.push_back('\x1f');
+  key += std::to_string(category);
+  key.push_back('\x1f');
+  key += attr;
+  return key;
+}
+
+Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
+                                               const BagIndexOptions& options) {
+  if (ctx.catalog == nullptr || ctx.offers == nullptr ||
+      ctx.matches == nullptr) {
+    return Status::InvalidArgument(
+        "MatchingContext requires catalog, offers, and matches");
+  }
+  MatchedBagIndex index;
+
+  const std::vector<CategoryId> categories = EffectiveCategories(ctx);
+  const std::set<CategoryId> category_set(categories.begin(),
+                                          categories.end());
+
+  // --- Pass 1: offers. Offer bags at all levels + candidate attr names.
+  // Ordered containers keep candidate enumeration deterministic.
+  std::map<std::pair<MerchantId, CategoryId>, std::set<std::string>>
+      offer_attr_names;
+  std::map<std::pair<MerchantId, CategoryId>, std::set<ProductId>>
+      matched_products_mc;
+  std::map<CategoryId, std::set<ProductId>> matched_products_c;
+  std::map<MerchantId, std::set<ProductId>> matched_products_m;
+  std::map<MerchantId, std::set<CategoryId>> merchant_categories;
+
+  for (const auto& offer : ctx.offers->offers()) {
+    if (offer.category == kInvalidCategory ||
+        category_set.count(offer.category) == 0) {
+      continue;
+    }
+    const auto mc = std::make_pair(offer.merchant, offer.category);
+    merchant_categories[offer.merchant].insert(offer.category);
+    auto& names = offer_attr_names[mc];
+    for (const auto& av : offer.spec) {
+      names.insert(av.name);
+      for (GroupLevel level : kAllLevels) {
+        index.offer_bags_
+            .bags[Key(level, av.name, offer.merchant, offer.category)]
+            .AddText(av.value, options.tokenizer);
+      }
+    }
+    const ProductId matched = ctx.matches->ProductOf(offer.id);
+    if (matched != kInvalidProduct) {
+      matched_products_mc[mc].insert(matched);
+      matched_products_c[offer.category].insert(matched);
+      matched_products_m[offer.merchant].insert(matched);
+    }
+  }
+
+  // --- Pass 2: product bags.
+  auto add_product_values = [&](const Product& product, GroupLevel level,
+                                MerchantId merchant, CategoryId category) {
+    for (const auto& av : product.spec) {
+      index.product_bags_.bags[Key(level, av.name, merchant, category)]
+          .AddText(av.value, options.tokenizer);
+    }
+  };
+
+  if (options.restrict_products_to_matches) {
+    for (const auto& [mc, products] : matched_products_mc) {
+      for (ProductId pid : products) {
+        PRODSYN_ASSIGN_OR_RETURN(const Product* p, ctx.catalog->GetProduct(pid));
+        add_product_values(*p, GroupLevel::kMerchantCategory, mc.first,
+                           mc.second);
+      }
+    }
+    for (const auto& [category, products] : matched_products_c) {
+      for (ProductId pid : products) {
+        PRODSYN_ASSIGN_OR_RETURN(const Product* p, ctx.catalog->GetProduct(pid));
+        add_product_values(*p, GroupLevel::kCategory, kInvalidMerchant,
+                           category);
+      }
+    }
+    for (const auto& [merchant, products] : matched_products_m) {
+      for (ProductId pid : products) {
+        PRODSYN_ASSIGN_OR_RETURN(const Product* p, ctx.catalog->GetProduct(pid));
+        add_product_values(*p, GroupLevel::kMerchant, merchant,
+                           kInvalidCategory);
+      }
+    }
+  } else {
+    // Fig. 7 baseline: all products of each category, regardless of matches.
+    for (CategoryId category : categories) {
+      for (ProductId pid : ctx.catalog->ProductsInCategory(category)) {
+        PRODSYN_ASSIGN_OR_RETURN(const Product* p, ctx.catalog->GetProduct(pid));
+        add_product_values(*p, GroupLevel::kCategory, kInvalidMerchant,
+                           category);
+      }
+    }
+    // Per-(M,C) bags coincide with the per-category bags; per-merchant bags
+    // union the categories the merchant sells in.
+    for (const auto& [mc, names] : offer_attr_names) {
+      (void)names;
+      for (ProductId pid : ctx.catalog->ProductsInCategory(mc.second)) {
+        PRODSYN_ASSIGN_OR_RETURN(const Product* p, ctx.catalog->GetProduct(pid));
+        add_product_values(*p, GroupLevel::kMerchantCategory, mc.first,
+                           mc.second);
+      }
+    }
+    for (const auto& [merchant, cats] : merchant_categories) {
+      std::set<ProductId> seen;
+      for (CategoryId category : cats) {
+        for (ProductId pid : ctx.catalog->ProductsInCategory(category)) {
+          if (!seen.insert(pid).second) continue;
+          PRODSYN_ASSIGN_OR_RETURN(const Product* p,
+                                   ctx.catalog->GetProduct(pid));
+          add_product_values(*p, GroupLevel::kMerchant, merchant,
+                             kInvalidCategory);
+        }
+      }
+    }
+  }
+
+  // --- Distributions.
+  for (auto* side : {&index.product_bags_, &index.offer_bags_}) {
+    side->dists.reserve(side->bags.size());
+    for (const auto& [key, bag] : side->bags) {
+      side->dists.emplace(key, TermDistribution(bag));
+    }
+  }
+
+  // --- Candidates: schema attrs × observed offer attrs per (M, C).
+  for (const auto& [mc, names] : offer_attr_names) {
+    const auto [merchant, category] = mc;
+    index.merchant_categories_.emplace_back(merchant, category);
+    auto schema_result = ctx.catalog->schemas().Get(category);
+    if (!schema_result.ok()) continue;  // category without schema: skip
+    const CategorySchema* schema = schema_result.ValueOrDie();
+    std::vector<std::string> name_list(names.begin(), names.end());
+    index.offer_attrs_.emplace(
+        std::to_string(merchant) + "/" + std::to_string(category), name_list);
+    for (const auto& def : schema->attributes()) {
+      for (const auto& offer_attr : name_list) {
+        index.candidates_.push_back(
+            CandidateTuple{def.name, offer_attr, merchant, category});
+      }
+    }
+  }
+
+  return index;
+}
+
+const BagOfWords* MatchedBagIndex::ProductBag(GroupLevel level,
+                                              const std::string& attr,
+                                              MerchantId merchant,
+                                              CategoryId category) const {
+  auto it = product_bags_.bags.find(Key(level, attr, merchant, category));
+  return it == product_bags_.bags.end() ? nullptr : &it->second;
+}
+
+const BagOfWords* MatchedBagIndex::OfferBag(GroupLevel level,
+                                            const std::string& attr,
+                                            MerchantId merchant,
+                                            CategoryId category) const {
+  auto it = offer_bags_.bags.find(Key(level, attr, merchant, category));
+  return it == offer_bags_.bags.end() ? nullptr : &it->second;
+}
+
+const TermDistribution* MatchedBagIndex::ProductDist(
+    GroupLevel level, const std::string& attr, MerchantId merchant,
+    CategoryId category) const {
+  auto it = product_bags_.dists.find(Key(level, attr, merchant, category));
+  return it == product_bags_.dists.end() ? nullptr : &it->second;
+}
+
+const TermDistribution* MatchedBagIndex::OfferDist(GroupLevel level,
+                                                   const std::string& attr,
+                                                   MerchantId merchant,
+                                                   CategoryId category) const {
+  auto it = offer_bags_.dists.find(Key(level, attr, merchant, category));
+  return it == offer_bags_.dists.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::string>& MatchedBagIndex::OfferAttributes(
+    MerchantId merchant, CategoryId category) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = offer_attrs_.find(std::to_string(merchant) + "/" +
+                              std::to_string(category));
+  return it == offer_attrs_.end() ? kEmpty : it->second;
+}
+
+size_t MatchedBagIndex::bag_count() const {
+  return product_bags_.bags.size() + offer_bags_.bags.size();
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,100 @@
+// MatchedBagIndex — the workhorse of paper §3.1.
+//
+// For every (attribute, group) it assembles the bag of words of attribute
+// values, where groups are (merchant, category), (category), (merchant).
+// Offer bags draw from all offers in the group; product bags draw only
+// from catalog products that HISTORICALLY MATCH offers of the group (the
+// paper's key idea — set restrict_products_to_matches=false to get the
+// Fig. 7 baseline that uses all products of the category).
+//
+// It also enumerates the candidate tuples ⟨Ap, Ao, M, C⟩: Ap ranges over
+// the schema of C, Ao over attribute names observed in offers of M in C.
+
+#ifndef PRODSYN_MATCHING_BAG_INDEX_H_
+#define PRODSYN_MATCHING_BAG_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/matching/types.h"
+#include "src/text/divergence.h"
+#include "src/text/term_distribution.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Options controlling bag construction.
+struct BagIndexOptions {
+  /// The paper's approach: product bags contain only products that match
+  /// offers of the group. False reproduces the "No matching" baseline.
+  bool restrict_products_to_matches = true;
+  TokenizerOptions tokenizer;
+};
+
+/// \brief Immutable bag/distribution index over one MatchingContext.
+class MatchedBagIndex {
+ public:
+  /// \brief Builds the index; scans offers and products once per level.
+  static Result<MatchedBagIndex> Build(const MatchingContext& ctx,
+                                       const BagIndexOptions& options = {});
+
+  /// \brief Bag of values of catalog attribute `attr` for the group; null
+  /// when the group produced no values.
+  const BagOfWords* ProductBag(GroupLevel level, const std::string& attr,
+                               MerchantId merchant, CategoryId category) const;
+
+  /// \brief Bag of values of offer attribute `attr` for the group.
+  const BagOfWords* OfferBag(GroupLevel level, const std::string& attr,
+                             MerchantId merchant, CategoryId category) const;
+
+  /// \brief Term distribution of the product bag (null if no bag).
+  const TermDistribution* ProductDist(GroupLevel level, const std::string& attr,
+                                      MerchantId merchant,
+                                      CategoryId category) const;
+
+  /// \brief Term distribution of the offer bag (null if no bag).
+  const TermDistribution* OfferDist(GroupLevel level, const std::string& attr,
+                                    MerchantId merchant,
+                                    CategoryId category) const;
+
+  /// \brief All candidate tuples, grouped deterministically by (C, M).
+  const std::vector<CandidateTuple>& candidates() const { return candidates_; }
+
+  /// \brief Offer attribute names observed for (merchant, category).
+  const std::vector<std::string>& OfferAttributes(MerchantId merchant,
+                                                  CategoryId category) const;
+
+  /// \brief The (merchant, category) pairs with at least one offer.
+  const std::vector<std::pair<MerchantId, CategoryId>>& merchant_categories()
+      const {
+    return merchant_categories_;
+  }
+
+  /// \brief Number of distinct (attribute, group) bags held.
+  size_t bag_count() const;
+
+ private:
+  struct BagMap {
+    std::unordered_map<std::string, BagOfWords> bags;
+    std::unordered_map<std::string, TermDistribution> dists;
+  };
+
+  static std::string Key(GroupLevel level, const std::string& attr,
+                         MerchantId merchant, CategoryId category);
+
+  const BagMap& ForSide(bool product_side) const {
+    return product_side ? product_bags_ : offer_bags_;
+  }
+
+  BagMap product_bags_;
+  BagMap offer_bags_;
+  std::vector<CandidateTuple> candidates_;
+  std::unordered_map<std::string, std::vector<std::string>> offer_attrs_;
+  std::vector<std::pair<MerchantId, CategoryId>> merchant_categories_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_BAG_INDEX_H_

@@ -1,0 +1,116 @@
+#include "src/matching/classifier_matcher.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace prodsyn {
+
+ClassifierMatcher::ClassifierMatcher(ClassifierMatcherOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
+    const MatchingContext& ctx) {
+  stats_ = ClassifierRunStats{};
+  PRODSYN_ASSIGN_OR_RETURN(MatchedBagIndex index,
+                           MatchedBagIndex::Build(ctx, options_.bag_index));
+  FeatureComputer computer(&index, options_.features);
+
+  PRODSYN_ASSIGN_OR_RETURN(
+      CorrespondenceTrainingSet training,
+      BuildTrainingSet(index, &computer, options_.training));
+  stats_.training_examples = training.dataset.size();
+  stats_.training_positives = training.positives;
+  if (training.positives == 0 ||
+      training.negatives == 0) {
+    return Status::FailedPrecondition(
+        "automatic training set is degenerate (" +
+        std::to_string(training.positives) + " positives, " +
+        std::to_string(training.negatives) +
+        " negatives); need name-identity anchors with alternatives");
+  }
+
+  PRODSYN_RETURN_NOT_OK(scaler_.Fit(training.dataset));
+  PRODSYN_ASSIGN_OR_RETURN(Dataset scaled,
+                           scaler_.TransformDataset(training.dataset));
+  PRODSYN_RETURN_NOT_OK(model_.Fit(scaled, options_.regression));
+  stats_.lr_iterations = model_.iterations_used();
+
+  const auto& candidates = index.candidates();
+  stats_.candidates = candidates.size();
+  std::vector<AttributeCorrespondence> out(candidates.size());
+
+  size_t threads = options_.scoring_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<size_t>(1, candidates.size()));
+
+  std::atomic<size_t> predicted_valid{0};
+  std::atomic<bool> failed{false};
+  auto score_range = [&](size_t begin, size_t end) {
+    // Per-thread computer: the memoization caches are not shared, so each
+    // thread recomputes its own C/M-level entries but never races.
+    FeatureComputer local_computer(&index, options_.features);
+    size_t valid = 0;
+    for (size_t i = begin; i < end && !failed.load(std::memory_order_relaxed);
+         ++i) {
+      const CandidateTuple& tuple = candidates[i];
+      std::vector<double> features = local_computer.Compute(tuple);
+      if (!scaler_.Transform(&features).ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      auto p = model_.PredictProbability(features);
+      if (!p.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      double score = *p;
+      if (score > 0.5) ++valid;
+      if (options_.force_name_identity_score &&
+          IsNameIdentity(tuple, options_.training)) {
+        score = 1.0;
+      }
+      out[i] = AttributeCorrespondence{tuple, score};
+    }
+    predicted_valid.fetch_add(valid, std::memory_order_relaxed);
+  };
+
+  if (threads <= 1) {
+    score_range(0, candidates.size());
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const size_t chunk = (candidates.size() + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(candidates.size(), begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back(score_range, begin, end);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  if (failed.load()) {
+    return Status::Internal("candidate scoring failed (dimension mismatch)");
+  }
+  stats_.predicted_valid = predicted_valid.load();
+  SortByScoreDescending(&out);
+  return out;
+}
+
+std::unique_ptr<ClassifierMatcher> MakeNoMatchingBaseline() {
+  ClassifierMatcherOptions options;
+  options.display_name = "No matching";
+  options.bag_index.restrict_products_to_matches = false;
+  return std::make_unique<ClassifierMatcher>(std::move(options));
+}
+
+std::unique_ptr<ClassifierMatcher> MakeNameAugmentedMatcher() {
+  ClassifierMatcherOptions options;
+  options.display_name = "Our approach + name features";
+  options.features = FeatureSet::AllWithNames();
+  return std::make_unique<ClassifierMatcher>(std::move(options));
+}
+
+}  // namespace prodsyn

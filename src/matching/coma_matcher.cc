@@ -1,0 +1,115 @@
+#include "src/matching/coma_matcher.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/matching/bag_index.h"
+#include "src/text/edit_distance.h"
+#include "src/text/ngram.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+ComaMatcher::ComaMatcher(ComaMatcherOptions options) : options_(options) {}
+
+std::string ComaMatcher::name() const {
+  std::string base;
+  switch (options_.strategy) {
+    case ComaStrategy::kName:
+      base = "Name-based COMA++";
+      break;
+    case ComaStrategy::kInstance:
+      base = "Instance-based COMA++";
+      break;
+    case ComaStrategy::kCombined:
+      base = "Combined COMA++";
+      break;
+  }
+  if (std::isinf(options_.delta)) base += " (delta=inf)";
+  return base;
+}
+
+Result<std::vector<AttributeCorrespondence>> ComaMatcher::Generate(
+    const MatchingContext& ctx) {
+  // Bags without historical-match restriction: COMA++ sees raw schemas and
+  // instances, not offer-to-product associations.
+  BagIndexOptions bag_options;
+  bag_options.restrict_products_to_matches = false;
+  PRODSYN_ASSIGN_OR_RETURN(MatchedBagIndex index,
+                           MatchedBagIndex::Build(ctx, bag_options));
+
+  std::unordered_map<std::string, double> name_sim_cache;
+  auto name_similarity = [&](const std::string& a,
+                             const std::string& b) -> double {
+    std::string key = a + '\x1f' + b;
+    auto it = name_sim_cache.find(key);
+    if (it != name_sim_cache.end()) return it->second;
+    const std::string la = ToLower(a);
+    const std::string lb = ToLower(b);
+    const double sim =
+        0.5 * (EditSimilarity(la, lb) + TrigramSimilarity(la, lb));
+    name_sim_cache.emplace(std::move(key), sim);
+    return sim;
+  };
+
+  // Instance similarity on the unrestricted (M, C)-level bags; the product
+  // side equals the full-category bag by construction.
+  auto instance_similarity = [&](const CandidateTuple& t) -> double {
+    const BagOfWords* pb =
+        index.ProductBag(GroupLevel::kMerchantCategory, t.catalog_attribute,
+                         t.merchant, t.category);
+    const BagOfWords* ob =
+        index.OfferBag(GroupLevel::kMerchantCategory, t.offer_attribute,
+                       t.merchant, t.category);
+    if (pb == nullptr || ob == nullptr) return 0.0;
+    const TermDistribution* pd =
+        index.ProductDist(GroupLevel::kMerchantCategory, t.catalog_attribute,
+                          t.merchant, t.category);
+    const TermDistribution* od =
+        index.OfferDist(GroupLevel::kMerchantCategory, t.offer_attribute,
+                        t.merchant, t.category);
+    return 0.5 *
+           (JaccardCoefficient(*pb, *ob) + JensenShannonSimilarity(*pd, *od));
+  };
+
+  // Score all candidates, then apply the δ rule per (M, C, catalog attr).
+  std::map<std::tuple<MerchantId, CategoryId, std::string>,
+           std::vector<AttributeCorrespondence>>
+      per_attribute;
+  for (const auto& tuple : index.candidates()) {
+    double score = 0.0;
+    switch (options_.strategy) {
+      case ComaStrategy::kName:
+        score = name_similarity(tuple.catalog_attribute, tuple.offer_attribute);
+        break;
+      case ComaStrategy::kInstance:
+        score = instance_similarity(tuple);
+        break;
+      case ComaStrategy::kCombined:
+        score = 0.5 * (name_similarity(tuple.catalog_attribute,
+                                       tuple.offer_attribute) +
+                       instance_similarity(tuple));
+        break;
+    }
+    if (score <= 0.0) continue;
+    per_attribute[{tuple.merchant, tuple.category, tuple.catalog_attribute}]
+        .push_back(AttributeCorrespondence{tuple, score});
+  }
+
+  std::vector<AttributeCorrespondence> out;
+  for (auto& [key, candidates] : per_attribute) {
+    (void)key;
+    double best = 0.0;
+    for (const auto& c : candidates) best = std::max(best, c.score);
+    for (auto& c : candidates) {
+      if (std::isinf(options_.delta) || c.score >= best - options_.delta) {
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  SortByScoreDescending(&out);
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,52 @@
+// COMA++-style matcher family (paper §5.2, Figs. 8–9, Appendix D):
+// generic name-based and instance-based matchers with the δ candidate-
+// selection rule. Re-implemented from the COMA papers' matcher
+// descriptions — linguistic name similarity (edit distance + trigram) and
+// value-overlap instance similarity WITHOUT historical-match restriction.
+
+#ifndef PRODSYN_MATCHING_COMA_MATCHER_H_
+#define PRODSYN_MATCHING_COMA_MATCHER_H_
+
+#include <limits>
+#include <string>
+
+#include "src/matching/matcher.h"
+
+namespace prodsyn {
+
+/// \brief Which matcher library COMA++ combines.
+enum class ComaStrategy {
+  kName,      ///< average of normalized edit similarity and trigram Dice
+  kInstance,  ///< average of Jaccard and (1 − JS) on full-category bags
+  kCombined,  ///< average of name and instance scores
+};
+
+/// \brief Options of ComaMatcher.
+struct ComaMatcherOptions {
+  ComaStrategy strategy = ComaStrategy::kCombined;
+  /// Candidate-selection knob δ (Appendix D): per catalog attribute, keep
+  /// candidates scoring within δ of that attribute's best candidate.
+  /// The COMA++ default is 0.01; infinity keeps every scored pair.
+  double delta = 0.01;
+
+  static constexpr double kDeltaInfinity =
+      std::numeric_limits<double>::infinity();
+};
+
+/// \brief The COMA++-style baseline.
+class ComaMatcher : public SchemaMatcher {
+ public:
+  explicit ComaMatcher(ComaMatcherOptions options = {});
+
+  std::string name() const override;
+
+  Result<std::vector<AttributeCorrespondence>> Generate(
+      const MatchingContext& ctx) override;
+
+ private:
+  ComaMatcherOptions options_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_COMA_MATCHER_H_

@@ -1,0 +1,76 @@
+#include "src/matching/correspondence_io.h"
+
+#include <charconv>
+
+#include "src/catalog/feed.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+constexpr std::string_view kHeader =
+    "catalog_attribute\toffer_attribute\tmerchant\tcategory\tscore";
+}  // namespace
+
+std::string SerializeCorrespondences(
+    const std::vector<AttributeCorrespondence>& correspondences) {
+  std::string out(kHeader);
+  out.push_back('\n');
+  char score_buffer[64];
+  for (const auto& c : correspondences) {
+    out += EscapeTsvField(c.tuple.catalog_attribute);
+    out.push_back('\t');
+    out += EscapeTsvField(c.tuple.offer_attribute);
+    out.push_back('\t');
+    out += std::to_string(c.tuple.merchant);
+    out.push_back('\t');
+    out += std::to_string(c.tuple.category);
+    out.push_back('\t');
+    std::snprintf(score_buffer, sizeof(score_buffer), "%.17g", c.score);
+    out += score_buffer;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<AttributeCorrespondence>> ParseCorrespondences(
+    std::string_view tsv) {
+  const auto lines = Split(tsv, '\n');
+  if (lines.empty() || TrimView(lines[0]) != kHeader) {
+    return Status::ParseError("correspondence TSV missing header");
+  }
+  std::vector<AttributeCorrespondence> out;
+  for (size_t line_no = 1; line_no < lines.size(); ++line_no) {
+    const auto& line = lines[line_no];
+    if (TrimView(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 5) {
+      return Status::ParseError("line " + std::to_string(line_no + 1) +
+                                ": expected 5 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    AttributeCorrespondence c;
+    c.tuple.catalog_attribute = UnescapeTsvField(fields[0]);
+    c.tuple.offer_attribute = UnescapeTsvField(fields[1]);
+    const long long merchant = ParseNonNegativeInt(fields[2]);
+    const long long category = ParseNonNegativeInt(fields[3]);
+    if (merchant < 0 || category < 0) {
+      return Status::ParseError("line " + std::to_string(line_no + 1) +
+                                ": bad merchant/category id");
+    }
+    c.tuple.merchant = static_cast<MerchantId>(merchant);
+    c.tuple.category = static_cast<CategoryId>(category);
+    const std::string score_text = Trim(fields[4]);
+    const char* begin = score_text.data();
+    const char* end = begin + score_text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, c.score);
+    if (ec != std::errc() || ptr != end) {
+      return Status::ParseError("line " + std::to_string(line_no + 1) +
+                                ": bad score '" + score_text + "'");
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,31 @@
+// Serialization of learned attribute correspondences. In production the
+// Offline Learning phase runs periodically and the run-time pipeline
+// consumes its output; this TSV format is the hand-off artifact (and a
+// convenient way to inspect or hand-patch what was learned).
+
+#ifndef PRODSYN_MATCHING_CORRESPONDENCE_IO_H_
+#define PRODSYN_MATCHING_CORRESPONDENCE_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/matching/types.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Serializes correspondences to TSV with a header:
+/// catalog_attribute, offer_attribute, merchant, category, score.
+/// Fields are escaped like feed TSV (\t, \n, \\).
+std::string SerializeCorrespondences(
+    const std::vector<AttributeCorrespondence>& correspondences);
+
+/// \brief Parses TSV produced by SerializeCorrespondences. Returns
+/// ParseError with a line number on malformed input.
+Result<std::vector<AttributeCorrespondence>> ParseCorrespondences(
+    std::string_view tsv);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_CORRESPONDENCE_IO_H_

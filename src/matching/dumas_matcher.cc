@@ -1,0 +1,131 @@
+#include "src/matching/dumas_matcher.h"
+
+#include <map>
+#include <set>
+
+#include "src/matching/hungarian.h"
+#include "src/text/soft_tfidf.h"
+#include "src/text/tokenizer.h"
+
+namespace prodsyn {
+
+DumasMatcher::DumasMatcher(DumasMatcherOptions options) : options_(options) {}
+
+Result<std::vector<AttributeCorrespondence>> DumasMatcher::Generate(
+    const MatchingContext& ctx) {
+  if (ctx.catalog == nullptr || ctx.offers == nullptr ||
+      ctx.matches == nullptr) {
+    return Status::InvalidArgument(
+        "MatchingContext requires catalog, offers, and matches");
+  }
+  const std::vector<CategoryId> categories = EffectiveCategories(ctx);
+  const std::set<CategoryId> category_set(categories.begin(),
+                                          categories.end());
+
+  // Group historical associations by (merchant, category), preserving offer
+  // order for determinism.
+  std::map<std::pair<MerchantId, CategoryId>, std::vector<OfferId>>
+      associations;
+  for (const auto& offer : ctx.offers->offers()) {
+    if (offer.category == kInvalidCategory ||
+        category_set.count(offer.category) == 0) {
+      continue;
+    }
+    if (!ctx.matches->IsMatched(offer.id)) continue;
+    associations[{offer.merchant, offer.category}].push_back(offer.id);
+  }
+
+  // TF-IDF corpus over every field value involved (products and offers).
+  TfIdfCorpus corpus;
+  TokenizerOptions tok;
+  std::set<ProductId> corpus_products;
+  for (const auto& [group, offer_ids] : associations) {
+    (void)group;
+    for (OfferId oid : offer_ids) {
+      PRODSYN_ASSIGN_OR_RETURN(const Offer* offer, ctx.offers->GetOffer(oid));
+      for (const auto& av : offer->spec) {
+        corpus.AddDocument(Tokenize(av.value, tok));
+      }
+      corpus_products.insert(ctx.matches->ProductOf(oid));
+    }
+  }
+  for (ProductId pid : corpus_products) {
+    PRODSYN_ASSIGN_OR_RETURN(const Product* product, ctx.catalog->GetProduct(pid));
+    for (const auto& av : product->spec) {
+      corpus.AddDocument(Tokenize(av.value, tok));
+    }
+  }
+  SoftTfIdf soft(&corpus, options_.soft_tfidf_threshold);
+
+  std::vector<AttributeCorrespondence> out;
+  for (const auto& [group, offer_ids] : associations) {
+    const auto [merchant, category] = group;
+    auto schema_result = ctx.catalog->schemas().Get(category);
+    if (!schema_result.ok()) continue;
+    const CategorySchema* schema = schema_result.ValueOrDie();
+    const auto& catalog_attrs = schema->attributes();
+    if (catalog_attrs.empty()) continue;
+
+    // Offer attribute universe for this group (deterministic order).
+    std::set<std::string> offer_attr_set;
+    for (OfferId oid : offer_ids) {
+      PRODSYN_ASSIGN_OR_RETURN(const Offer* offer, ctx.offers->GetOffer(oid));
+      for (const auto& av : offer->spec) offer_attr_set.insert(av.name);
+    }
+    if (offer_attr_set.empty()) continue;
+    const std::vector<std::string> offer_attrs(offer_attr_set.begin(),
+                                               offer_attr_set.end());
+    std::map<std::string, size_t> offer_attr_index;
+    for (size_t j = 0; j < offer_attrs.size(); ++j) {
+      offer_attr_index[offer_attrs[j]] = j;
+    }
+
+    // Average the per-association similarity matrices S_k.
+    std::vector<std::vector<double>> avg(
+        catalog_attrs.size(), std::vector<double>(offer_attrs.size(), 0.0));
+    size_t pairs_used = 0;
+    for (OfferId oid : offer_ids) {
+      if (options_.max_pairs_per_group > 0 &&
+          pairs_used >= options_.max_pairs_per_group) {
+        break;
+      }
+      PRODSYN_ASSIGN_OR_RETURN(const Offer* offer, ctx.offers->GetOffer(oid));
+      PRODSYN_ASSIGN_OR_RETURN(
+          const Product* product,
+          ctx.catalog->GetProduct(ctx.matches->ProductOf(oid)));
+      ++pairs_used;
+      // Tokenize the offer's values once per association.
+      std::vector<std::pair<size_t, std::vector<std::string>>> offer_values;
+      for (const auto& av : offer->spec) {
+        offer_values.emplace_back(offer_attr_index.at(av.name),
+                                  Tokenize(av.value, tok));
+      }
+      for (size_t i = 0; i < catalog_attrs.size(); ++i) {
+        auto value = FindValue(product->spec, catalog_attrs[i].name);
+        if (!value.has_value()) continue;
+        const auto product_tokens = Tokenize(*value, tok);
+        for (const auto& [j, tokens] : offer_values) {
+          avg[i][j] += soft.Similarity(product_tokens, tokens);
+        }
+      }
+    }
+    if (pairs_used == 0) continue;
+    for (auto& row : avg) {
+      for (double& v : row) v /= static_cast<double>(pairs_used);
+    }
+
+    PRODSYN_ASSIGN_OR_RETURN(
+        std::vector<Assignment> matching,
+        MaxWeightBipartiteMatching(avg, options_.min_similarity));
+    for (const auto& a : matching) {
+      out.push_back(AttributeCorrespondence{
+          CandidateTuple{catalog_attrs[a.row].name, offer_attrs[a.col],
+                         merchant, category},
+          a.weight});
+    }
+  }
+  SortByScoreDescending(&out);
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,45 @@
+// DUMAS baseline (Bilke & Naumann '05; paper Appendix C): for every
+// historical (product, offer) association of merchant M in category C,
+// build an m×n SoftTFIDF similarity matrix between the record's field
+// values; average the matrices over all associations of M; solve maximum
+// bipartite matching on the average; the matched pairs are the candidate
+// correspondences, scored by their matrix entry.
+
+#ifndef PRODSYN_MATCHING_DUMAS_MATCHER_H_
+#define PRODSYN_MATCHING_DUMAS_MATCHER_H_
+
+#include <string>
+
+#include "src/matching/matcher.h"
+
+namespace prodsyn {
+
+/// \brief Options of DumasMatcher.
+struct DumasMatcherOptions {
+  /// Jaro–Winkler gate of the SoftTFIDF inner measure.
+  double soft_tfidf_threshold = 0.9;
+  /// Cap on associations averaged per (merchant, category); the matrices
+  /// stabilize quickly and the paper's corpus would otherwise make this
+  /// quadratic stage dominate. 0 = no cap.
+  size_t max_pairs_per_group = 200;
+  /// Matched pairs with average similarity ≤ this are dropped.
+  double min_similarity = 1e-9;
+};
+
+/// \brief The DUMAS duplicate-based matcher.
+class DumasMatcher : public SchemaMatcher {
+ public:
+  explicit DumasMatcher(DumasMatcherOptions options = {});
+
+  std::string name() const override { return "DUMAS"; }
+
+  Result<std::vector<AttributeCorrespondence>> Generate(
+      const MatchingContext& ctx) override;
+
+ private:
+  DumasMatcherOptions options_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_DUMAS_MATCHER_H_

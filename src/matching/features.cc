@@ -1,0 +1,139 @@
+#include "src/matching/features.h"
+
+#include "src/text/edit_distance.h"
+#include "src/text/ngram.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+size_t FeatureSet::Count() const {
+  size_t n = 0;
+  for (bool b : {js_mc, jaccard_mc, js_c, jaccard_c, js_m, jaccard_m,
+                 name_edit, name_trigram}) {
+    n += b ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<std::string> FeatureSet::Names() const {
+  std::vector<std::string> names;
+  if (js_mc) names.emplace_back("JS-MC");
+  if (jaccard_mc) names.emplace_back("Jaccard-MC");
+  if (js_c) names.emplace_back("JS-C");
+  if (jaccard_c) names.emplace_back("Jaccard-C");
+  if (js_m) names.emplace_back("JS-M");
+  if (jaccard_m) names.emplace_back("Jaccard-M");
+  if (name_edit) names.emplace_back("Name-Edit");
+  if (name_trigram) names.emplace_back("Name-Trigram");
+  return names;
+}
+
+FeatureSet FeatureSet::AllWithNames() {
+  FeatureSet fs;
+  fs.name_edit = true;
+  fs.name_trigram = true;
+  return fs;
+}
+
+FeatureSet FeatureSet::JsMcOnly() {
+  FeatureSet fs;
+  fs.js_mc = true;
+  fs.jaccard_mc = false;
+  fs.js_c = fs.jaccard_c = fs.js_m = fs.jaccard_m = false;
+  return fs;
+}
+
+FeatureSet FeatureSet::JaccardMcOnly() {
+  FeatureSet fs;
+  fs.js_mc = false;
+  fs.jaccard_mc = true;
+  fs.js_c = fs.jaccard_c = fs.js_m = fs.jaccard_m = false;
+  return fs;
+}
+
+FeatureComputer::FeatureComputer(const MatchedBagIndex* index,
+                                 FeatureSet feature_set)
+    : index_(index), feature_set_(feature_set) {}
+
+FeatureComputer::SimPair FeatureComputer::ComputeLevel(
+    GroupLevel level, const CandidateTuple& tuple) {
+  SimPair pair;
+  const BagOfWords* product_bag = index_->ProductBag(
+      level, tuple.catalog_attribute, tuple.merchant, tuple.category);
+  const BagOfWords* offer_bag = index_->OfferBag(
+      level, tuple.offer_attribute, tuple.merchant, tuple.category);
+  if (product_bag == nullptr || offer_bag == nullptr) return pair;
+  const TermDistribution* product_dist = index_->ProductDist(
+      level, tuple.catalog_attribute, tuple.merchant, tuple.category);
+  const TermDistribution* offer_dist = index_->OfferDist(
+      level, tuple.offer_attribute, tuple.merchant, tuple.category);
+  pair.js_sim = JensenShannonSimilarity(*product_dist, *offer_dist);
+  pair.jaccard = JaccardCoefficient(*product_bag, *offer_bag);
+  return pair;
+}
+
+FeatureComputer::SimPair FeatureComputer::MemoizedLevel(
+    GroupLevel level, const CandidateTuple& tuple,
+    std::unordered_map<std::string, SimPair>* cache) {
+  std::string key;
+  if (level == GroupLevel::kCategory) {
+    key = std::to_string(tuple.category);
+  } else {
+    key = std::to_string(tuple.merchant);
+  }
+  key.push_back('\x1f');
+  key += tuple.catalog_attribute;
+  key.push_back('\x1f');
+  key += tuple.offer_attribute;
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  SimPair pair = ComputeLevel(level, tuple);
+  cache->emplace(std::move(key), pair);
+  return pair;
+}
+
+std::vector<double> FeatureComputer::Compute(const CandidateTuple& tuple) {
+  std::vector<double> features;
+  features.reserve(feature_set_.Count());
+  if (feature_set_.js_mc || feature_set_.jaccard_mc) {
+    const SimPair mc = ComputeLevel(GroupLevel::kMerchantCategory, tuple);
+    if (feature_set_.js_mc) features.push_back(mc.js_sim);
+    if (feature_set_.jaccard_mc) features.push_back(mc.jaccard);
+  }
+  if (feature_set_.js_c || feature_set_.jaccard_c) {
+    const SimPair c =
+        MemoizedLevel(GroupLevel::kCategory, tuple, &category_cache_);
+    if (feature_set_.js_c) features.push_back(c.js_sim);
+    if (feature_set_.jaccard_c) features.push_back(c.jaccard);
+  }
+  if (feature_set_.js_m || feature_set_.jaccard_m) {
+    const SimPair m =
+        MemoizedLevel(GroupLevel::kMerchant, tuple, &merchant_cache_);
+    if (feature_set_.js_m) features.push_back(m.js_sim);
+    if (feature_set_.jaccard_m) features.push_back(m.jaccard);
+  }
+  if (feature_set_.name_edit || feature_set_.name_trigram) {
+    const NamePair names = MemoizedNames(tuple);
+    if (feature_set_.name_edit) features.push_back(names.edit);
+    if (feature_set_.name_trigram) features.push_back(names.trigram);
+  }
+  return features;
+}
+
+FeatureComputer::NamePair FeatureComputer::MemoizedNames(
+    const CandidateTuple& tuple) {
+  std::string key = tuple.catalog_attribute;
+  key.push_back('\x1f');
+  key += tuple.offer_attribute;
+  auto it = name_cache_.find(key);
+  if (it != name_cache_.end()) return it->second;
+  NamePair pair;
+  const std::string a = NormalizeAttributeName(tuple.catalog_attribute);
+  const std::string b = NormalizeAttributeName(tuple.offer_attribute);
+  pair.edit = EditSimilarity(a, b);
+  pair.trigram = TrigramSimilarity(a, b);
+  name_cache_.emplace(std::move(key), pair);
+  return pair;
+}
+
+}  // namespace prodsyn

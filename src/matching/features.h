@@ -1,0 +1,92 @@
+// The classifier feature set of paper Table 1: {JS, Jaccard} × {MC, C, M}.
+// JS divergences are exposed as similarities (1 − JS) so that every feature
+// grows with match quality; a group with no data contributes 0.
+
+#ifndef PRODSYN_MATCHING_FEATURES_H_
+#define PRODSYN_MATCHING_FEATURES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/matching/bag_index.h"
+
+namespace prodsyn {
+
+/// \brief Which of the six Table-1 features to compute (all on by default;
+/// single-feature baselines and ablations toggle these).
+///
+/// The two name-similarity features are OFF by default: the paper's
+/// system is purely instance-based (§5.2 notes that combining name
+/// matchers is future work). Enable them via AllWithNames() for the
+/// name-augmented configuration.
+struct FeatureSet {
+  bool js_mc = true;
+  bool jaccard_mc = true;
+  bool js_c = true;
+  bool jaccard_c = true;
+  bool js_m = true;
+  bool jaccard_m = true;
+  /// Normalized Levenshtein similarity of the two attribute names.
+  bool name_edit = false;
+  /// Trigram (Dice) similarity of the two attribute names.
+  bool name_trigram = false;
+
+  /// \brief Number of enabled features.
+  size_t Count() const;
+
+  /// \brief Names in emission order ("JS-MC", ..., "Name-Edit",
+  /// "Name-Trigram").
+  std::vector<std::string> Names() const;
+
+  static FeatureSet All() { return FeatureSet{}; }
+  /// \brief The paper's future-work configuration: Table-1 features plus
+  /// the two name-similarity features.
+  static FeatureSet AllWithNames();
+  static FeatureSet JsMcOnly();
+  static FeatureSet JaccardMcOnly();
+};
+
+/// \brief Computes feature vectors for candidate tuples against a bag index.
+///
+/// Category- and merchant-level similarities are memoized: they are shared
+/// by every merchant (resp. category) that produces the same (Ap, Ao) pair,
+/// which is what makes the full candidate sweep tractable.
+class FeatureComputer {
+ public:
+  /// \param index must outlive this computer.
+  explicit FeatureComputer(const MatchedBagIndex* index,
+                           FeatureSet feature_set = FeatureSet::All());
+
+  /// \brief Feature vector of `tuple`, in FeatureSet::Names() order.
+  std::vector<double> Compute(const CandidateTuple& tuple);
+
+  const FeatureSet& feature_set() const { return feature_set_; }
+
+ private:
+  // similarity pair = (1-JS, Jaccard) for one level's bags.
+  struct SimPair {
+    double js_sim = 0.0;
+    double jaccard = 0.0;
+  };
+
+  struct NamePair {
+    double edit = 0.0;
+    double trigram = 0.0;
+  };
+
+  SimPair ComputeLevel(GroupLevel level, const CandidateTuple& tuple);
+  SimPair MemoizedLevel(GroupLevel level, const CandidateTuple& tuple,
+                        std::unordered_map<std::string, SimPair>* cache);
+  NamePair MemoizedNames(const CandidateTuple& tuple);
+
+  const MatchedBagIndex* index_;
+  FeatureSet feature_set_;
+  std::unordered_map<std::string, SimPair> category_cache_;
+  std::unordered_map<std::string, SimPair> merchant_cache_;
+  std::unordered_map<std::string, NamePair> name_cache_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_FEATURES_H_

@@ -1,0 +1,91 @@
+#include "src/matching/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prodsyn {
+
+Result<std::vector<Assignment>> MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights, double min_weight) {
+  if (weights.empty()) return std::vector<Assignment>{};
+  const size_t rows = weights.size();
+  const size_t cols = weights[0].size();
+  for (const auto& row : weights) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("weight matrix is ragged");
+    }
+  }
+  if (cols == 0) return std::vector<Assignment>{};
+
+  // Square the matrix with zero padding and negate: the classic O(n³)
+  // potential-based Hungarian below solves min-cost assignment.
+  const size_t n = std::max(rows, cols);
+  auto cost = [&](size_t i, size_t j) -> double {
+    if (i < rows && j < cols) return -weights[i][j];
+    return 0.0;
+  };
+
+  // Potentials and matching arrays are 1-indexed (sentinel row/col 0).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> match_col(n + 1, 0);  // match_col[j] = row matched to j
+
+  for (size_t i = 1; i <= n; ++i) {
+    match_col[0] = i;
+    size_t j0 = 0;
+    std::vector<double> min_slack(n + 1, kInf);
+    std::vector<size_t> prev(n + 1, 0);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = match_col[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < min_slack[j]) {
+          min_slack[j] = cur;
+          prev[j] = j0;
+        }
+        if (min_slack[j] < delta) {
+          delta = min_slack[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match_col[j]] += delta;
+          v[j] -= delta;
+        } else {
+          min_slack[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match_col[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const size_t j1 = prev[j0];
+      match_col[j0] = match_col[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<Assignment> out;
+  for (size_t j = 1; j <= n; ++j) {
+    const size_t i = match_col[j];
+    if (i == 0) continue;
+    const size_t row = i - 1;
+    const size_t col = j - 1;
+    if (row >= rows || col >= cols) continue;  // padded cell
+    const double w = weights[row][col];
+    if (w > min_weight) out.push_back(Assignment{row, col, w});
+  }
+  std::sort(out.begin(), out.end(), [](const Assignment& a,
+                                       const Assignment& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  return out;
+}
+
+}  // namespace prodsyn

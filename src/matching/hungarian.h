@@ -1,0 +1,31 @@
+// Maximum-weight bipartite matching (Hungarian / Kuhn–Munkres with
+// potentials, O(n³)). DUMAS solves this over its averaged similarity
+// matrix to pick the maximal attribute matching (paper Appendix C).
+
+#ifndef PRODSYN_MATCHING_HUNGARIAN_H_
+#define PRODSYN_MATCHING_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief One assigned edge of the matching.
+struct Assignment {
+  size_t row = 0;
+  size_t col = 0;
+  double weight = 0.0;
+};
+
+/// \brief Solves max-weight assignment on an r×c weight matrix
+/// (`weights[i][j]` = weight of pairing row i with column j; all rows must
+/// have the same length). Rectangular inputs are handled by implicit
+/// zero-weight padding; only pairs with weight > min_weight are reported.
+Result<std::vector<Assignment>> MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights, double min_weight = 0.0);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_HUNGARIAN_H_

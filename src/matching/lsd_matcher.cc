@@ -1,0 +1,108 @@
+#include "src/matching/lsd_matcher.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/ml/naive_bayes.h"
+#include "src/text/tokenizer.h"
+
+namespace prodsyn {
+
+Result<std::vector<AttributeCorrespondence>> LsdNaiveBayesMatcher::Generate(
+    const MatchingContext& ctx) {
+  if (ctx.catalog == nullptr || ctx.offers == nullptr) {
+    return Status::InvalidArgument(
+        "MatchingContext requires catalog and offers");
+  }
+  const std::vector<CategoryId> categories = EffectiveCategories(ctx);
+  const std::set<CategoryId> category_set(categories.begin(),
+                                          categories.end());
+  TokenizerOptions tok;
+
+  // Distinct values per (merchant, category, offer attribute).
+  std::map<std::tuple<MerchantId, CategoryId, std::string>,
+           std::set<std::string>>
+      values_of;
+  for (const auto& offer : ctx.offers->offers()) {
+    if (offer.category == kInvalidCategory ||
+        category_set.count(offer.category) == 0) {
+      continue;
+    }
+    for (const auto& av : offer.spec) {
+      values_of[{offer.merchant, offer.category, av.name}].insert(av.value);
+    }
+  }
+
+  std::vector<AttributeCorrespondence> out;
+  for (CategoryId category : categories) {
+    auto schema_result = ctx.catalog->schemas().Get(category);
+    if (!schema_result.ok()) continue;
+    const CategorySchema* schema = schema_result.ValueOrDie();
+
+    // Train one NB per category on the entire catalog content: each
+    // attribute value of each product is a document of class = attribute.
+    MultinomialNaiveBayes nb;
+    for (ProductId pid : ctx.catalog->ProductsInCategory(category)) {
+      PRODSYN_ASSIGN_OR_RETURN(const Product* p, ctx.catalog->GetProduct(pid));
+      for (const auto& av : p->spec) {
+        nb.AddDocument(av.name, Tokenize(av.value, tok));
+      }
+    }
+    if (nb.class_count() == 0) continue;
+    const auto& classes = nb.classes();
+
+    // Posterior vectors are shared across merchants: memoize per value.
+    std::unordered_map<std::string, std::vector<double>> posterior_cache;
+    auto posteriors_of =
+        [&](const std::string& value) -> Result<const std::vector<double>*> {
+      auto it = posterior_cache.find(value);
+      if (it == posterior_cache.end()) {
+        PRODSYN_ASSIGN_OR_RETURN(std::vector<double> post,
+                                 nb.Posteriors(Tokenize(value, tok)));
+        it = posterior_cache.emplace(value, std::move(post)).first;
+      }
+      return &it->second;
+    };
+
+    // score(A, B, M, C) = avg over values v of B of P(A | v).
+    // Key: merchant -> offer attr -> score vector over classes.
+    std::map<MerchantId, std::map<std::string, std::vector<double>>> scores;
+    for (const auto& [key, values] : values_of) {
+      const auto& [merchant, value_category, offer_attr] = key;
+      if (value_category != category) continue;
+      std::vector<double> sum(classes.size(), 0.0);
+      for (const auto& v : values) {
+        PRODSYN_ASSIGN_OR_RETURN(const std::vector<double>* post,
+                                 posteriors_of(v));
+        for (size_t k = 0; k < sum.size(); ++k) sum[k] += (*post)[k];
+      }
+      for (double& s : sum) s /= static_cast<double>(values.size());
+      scores[merchant][offer_attr] = std::move(sum);
+    }
+
+    // Per (A, M): emit the best offer attribute B.
+    for (const auto& [merchant, per_attr] : scores) {
+      for (size_t k = 0; k < classes.size(); ++k) {
+        if (!schema->HasAttribute(classes[k])) continue;
+        double best = -1.0;
+        const std::string* best_attr = nullptr;
+        for (const auto& [offer_attr, vec] : per_attr) {
+          if (vec[k] > best) {
+            best = vec[k];
+            best_attr = &offer_attr;
+          }
+        }
+        if (best_attr != nullptr && best > 0.0) {
+          out.push_back(AttributeCorrespondence{
+              CandidateTuple{classes[k], *best_attr, merchant, category},
+              best});
+        }
+      }
+    }
+  }
+  SortByScoreDescending(&out);
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,29 @@
+// LSD instance-based Naive Bayes baseline (paper Appendix C): per category,
+// a multi-class NB classifier with catalog attributes as classes, trained
+// on the full catalog content. An offer attribute B of merchant M scores
+// against catalog attribute A as the average posterior P(A | v) over the
+// distinct values v of B; per (A, M, C) the best B becomes a candidate.
+
+#ifndef PRODSYN_MATCHING_LSD_MATCHER_H_
+#define PRODSYN_MATCHING_LSD_MATCHER_H_
+
+#include <string>
+
+#include "src/matching/matcher.h"
+
+namespace prodsyn {
+
+/// \brief The LSD-style instance Naive Bayes matcher.
+class LsdNaiveBayesMatcher : public SchemaMatcher {
+ public:
+  LsdNaiveBayesMatcher() = default;
+
+  std::string name() const override { return "Instance-based Naive Bayes"; }
+
+  Result<std::vector<AttributeCorrespondence>> Generate(
+      const MatchingContext& ctx) override;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_LSD_MATCHER_H_

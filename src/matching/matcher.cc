@@ -1,0 +1,14 @@
+#include "src/matching/matcher.h"
+
+namespace prodsyn {
+
+std::vector<AttributeCorrespondence> FilterByScore(
+    const std::vector<AttributeCorrespondence>& corrs, double theta) {
+  std::vector<AttributeCorrespondence> out;
+  for (const auto& c : corrs) {
+    if (c.score > theta) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,38 @@
+// SchemaMatcher: the interface every correspondence generator implements —
+// the paper's approach and all the baselines it is compared against
+// (Figs. 6–9). Matchers emit *scored* candidates; selection by score
+// threshold θ happens in evaluation / reconciliation.
+
+#ifndef PRODSYN_MATCHING_MATCHER_H_
+#define PRODSYN_MATCHING_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/matching/types.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Abstract correspondence generator.
+class SchemaMatcher {
+ public:
+  virtual ~SchemaMatcher() = default;
+
+  /// \brief Short display name for reports ("Our approach", "DUMAS", ...).
+  virtual std::string name() const = 0;
+
+  /// \brief Produces scored candidate correspondences over `ctx`.
+  /// Scores are matcher-specific but always higher-is-better.
+  virtual Result<std::vector<AttributeCorrespondence>> Generate(
+      const MatchingContext& ctx) = 0;
+};
+
+/// \brief Keeps only correspondences with score > theta (the paper's
+/// "coverage at θ" is the size of this set).
+std::vector<AttributeCorrespondence> FilterByScore(
+    const std::vector<AttributeCorrespondence>& corrs, double theta);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_MATCHER_H_

@@ -1,0 +1,42 @@
+#include "src/matching/single_feature_matcher.h"
+
+namespace prodsyn {
+
+SingleFeatureMatcher::SingleFeatureMatcher(FeatureSet feature_set,
+                                           std::string display_name,
+                                           BagIndexOptions bag_options)
+    : feature_set_(feature_set),
+      display_name_(std::move(display_name)),
+      bag_options_(bag_options) {}
+
+Result<std::vector<AttributeCorrespondence>> SingleFeatureMatcher::Generate(
+    const MatchingContext& ctx) {
+  if (feature_set_.Count() != 1) {
+    return Status::InvalidArgument(
+        "SingleFeatureMatcher requires exactly one enabled feature, got " +
+        std::to_string(feature_set_.Count()));
+  }
+  PRODSYN_ASSIGN_OR_RETURN(MatchedBagIndex index,
+                           MatchedBagIndex::Build(ctx, bag_options_));
+  FeatureComputer computer(&index, feature_set_);
+  std::vector<AttributeCorrespondence> out;
+  out.reserve(index.candidates().size());
+  for (const auto& tuple : index.candidates()) {
+    const std::vector<double> features = computer.Compute(tuple);
+    out.push_back(AttributeCorrespondence{tuple, features[0]});
+  }
+  SortByScoreDescending(&out);
+  return out;
+}
+
+std::unique_ptr<SingleFeatureMatcher> MakeJsMcBaseline() {
+  return std::make_unique<SingleFeatureMatcher>(FeatureSet::JsMcOnly(),
+                                                "JS-MC");
+}
+
+std::unique_ptr<SingleFeatureMatcher> MakeJaccardMcBaseline() {
+  return std::make_unique<SingleFeatureMatcher>(FeatureSet::JaccardMcOnly(),
+                                                "Jaccard-MC");
+}
+
+}  // namespace prodsyn

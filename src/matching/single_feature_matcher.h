@@ -1,0 +1,41 @@
+// Fig. 6 baselines: score each candidate with ONE distributional-similarity
+// feature (JS-MC or Jaccard-MC) — no classifier, no feature combination.
+
+#ifndef PRODSYN_MATCHING_SINGLE_FEATURE_MATCHER_H_
+#define PRODSYN_MATCHING_SINGLE_FEATURE_MATCHER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/matching/bag_index.h"
+#include "src/matching/features.h"
+#include "src/matching/matcher.h"
+
+namespace prodsyn {
+
+/// \brief Scores candidates with a single feature of the Table-1 set.
+class SingleFeatureMatcher : public SchemaMatcher {
+ public:
+  /// \param feature_set must enable exactly one feature.
+  /// \param display_name report label, e.g. "JS-MC".
+  SingleFeatureMatcher(FeatureSet feature_set, std::string display_name,
+                       BagIndexOptions bag_options = {});
+
+  std::string name() const override { return display_name_; }
+
+  Result<std::vector<AttributeCorrespondence>> Generate(
+      const MatchingContext& ctx) override;
+
+ private:
+  FeatureSet feature_set_;
+  std::string display_name_;
+  BagIndexOptions bag_options_;
+};
+
+/// \brief The two baselines evaluated in Fig. 6.
+std::unique_ptr<SingleFeatureMatcher> MakeJsMcBaseline();
+std::unique_ptr<SingleFeatureMatcher> MakeJaccardMcBaseline();
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_SINGLE_FEATURE_MATCHER_H_

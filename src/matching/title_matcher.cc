@@ -1,0 +1,125 @@
+#include "src/matching/title_matcher.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/text/soft_tfidf.h"
+#include "src/text/tokenizer.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+// Attributes whose values act as identifiers worth indexing.
+bool IsIdentifierAttribute(const CategorySchema& schema,
+                           const std::string& name) {
+  auto def = schema.GetAttribute(name);
+  return def.ok() && def->kind == AttributeKind::kIdentifier;
+}
+
+// All tokens of a product's values, for the SoftTFIDF comparison.
+std::vector<std::string> ProductDocument(const Product& product) {
+  std::vector<std::string> tokens;
+  for (const auto& av : product.spec) {
+    for (auto& t : Tokenize(av.value)) tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+TitleOfferProductMatcher::TitleOfferProductMatcher(
+    TitleMatcherOptions options)
+    : options_(options) {}
+
+Result<MatchStore> TitleOfferProductMatcher::Match(
+    const Catalog& catalog, const OfferStore& offers,
+    TitleMatcherStats* stats) const {
+  MatchStore matches;
+  if (stats != nullptr) *stats = TitleMatcherStats{};
+
+  // Group offers per category so each category's index is built once.
+  std::map<CategoryId, std::vector<const Offer*>> offers_by_category;
+  for (const auto& offer : offers.offers()) {
+    if (offer.category == kInvalidCategory) continue;
+    offers_by_category[offer.category].push_back(&offer);
+  }
+
+  for (const auto& [category, category_offers] : offers_by_category) {
+    auto schema_result = catalog.schemas().Get(category);
+    if (!schema_result.ok()) continue;
+    const CategorySchema& schema = **schema_result;
+
+    // Identifier-token inverted index + whole normalized identifiers (for
+    // codes like "WD740GD" whose token fragments are all short) +
+    // per-product documents + corpus.
+    std::unordered_map<std::string, std::vector<ProductId>> token_index;
+    std::vector<std::pair<std::string, ProductId>> whole_identifiers;
+    std::unordered_map<ProductId, std::vector<std::string>> documents;
+    TfIdfCorpus corpus;
+    for (ProductId pid : catalog.ProductsInCategory(category)) {
+      PRODSYN_ASSIGN_OR_RETURN(const Product* product,
+                               catalog.GetProduct(pid));
+      auto doc = ProductDocument(*product);
+      corpus.AddDocument(doc);
+      documents.emplace(pid, std::move(doc));
+      for (const auto& av : product->spec) {
+        if (!IsIdentifierAttribute(schema, av.name)) continue;
+        for (const auto& token : Tokenize(av.value)) {
+          if (token.size() < options_.min_identifier_token_length) continue;
+          token_index[token].push_back(pid);
+        }
+        const std::string whole = NormalizeKey(av.value);
+        if (whole.size() >= options_.min_identifier_token_length) {
+          whole_identifiers.emplace_back(whole, pid);
+        }
+      }
+    }
+    if (documents.empty()) continue;
+    const SoftTfIdf scorer(&corpus, options_.soft_tfidf_threshold);
+
+    for (const Offer* offer : category_offers) {
+      if (stats != nullptr) ++stats->offers_considered;
+      const auto title_tokens = Tokenize(offer->title);
+
+      // Candidate retrieval by identifier tokens, then by whole
+      // normalized identifier as a substring of the normalized title
+      // (catches hyphen/space-mangled codes and short-fragment codes).
+      std::set<ProductId> candidates;
+      for (const auto& token : title_tokens) {
+        auto it = token_index.find(token);
+        if (it == token_index.end()) continue;
+        candidates.insert(it->second.begin(), it->second.end());
+      }
+      const std::string normalized_title = NormalizeKey(offer->title);
+      for (const auto& [identifier, pid] : whole_identifiers) {
+        if (normalized_title.find(identifier) != std::string::npos) {
+          candidates.insert(pid);
+        }
+      }
+      if (candidates.empty()) continue;
+      if (stats != nullptr) ++stats->offers_with_candidates;
+
+      ProductId best = kInvalidProduct;
+      double best_score = options_.min_score;
+      for (ProductId pid : candidates) {
+        const double score =
+            scorer.Similarity(title_tokens, documents.at(pid));
+        if (score > best_score ||
+            (score == best_score && best != kInvalidProduct && pid < best)) {
+          best = pid;
+          best_score = score;
+        }
+      }
+      if (best != kInvalidProduct) {
+        PRODSYN_RETURN_NOT_OK(matches.AddMatch(offer->id, best));
+        if (stats != nullptr) ++stats->matches_made;
+      }
+    }
+  }
+  return matches;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,59 @@
+#include "src/matching/training_set.h"
+
+#include <set>
+#include <string>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+std::string CanonicalName(const std::string& name,
+                          const TrainingSetOptions& options) {
+  return options.normalize_names ? NormalizeAttributeName(name) : name;
+}
+}  // namespace
+
+bool IsNameIdentity(const CandidateTuple& tuple,
+                    const TrainingSetOptions& options) {
+  return CanonicalName(tuple.catalog_attribute, options) ==
+         CanonicalName(tuple.offer_attribute, options);
+}
+
+Result<CorrespondenceTrainingSet> BuildTrainingSet(
+    const MatchedBagIndex& index, FeatureComputer* computer,
+    const TrainingSetOptions& options) {
+  CorrespondenceTrainingSet out;
+
+  // First sweep: find, per (M, C), the catalog attributes that have a name
+  // identity among the candidates. Only those anchor labels.
+  // Key: "<merchant>/<category>/<catalog attr>".
+  std::set<std::string> anchored;
+  for (const auto& tuple : index.candidates()) {
+    if (IsNameIdentity(tuple, options)) {
+      anchored.insert(std::to_string(tuple.merchant) + "/" +
+                      std::to_string(tuple.category) + "/" +
+                      tuple.catalog_attribute);
+    }
+  }
+
+  for (const auto& tuple : index.candidates()) {
+    const std::string anchor_key = std::to_string(tuple.merchant) + "/" +
+                                   std::to_string(tuple.category) + "/" +
+                                   tuple.catalog_attribute;
+    if (anchored.count(anchor_key) == 0) continue;  // unlabeled
+    Example ex;
+    ex.features = computer->Compute(tuple);
+    ex.label = IsNameIdentity(tuple, options) ? 1 : 0;
+    PRODSYN_RETURN_NOT_OK(out.dataset.Add(std::move(ex)));
+    out.tuples.push_back(tuple);
+    if (IsNameIdentity(tuple, options)) {
+      ++out.positives;
+    } else {
+      ++out.negatives;
+    }
+  }
+  return out;
+}
+
+}  // namespace prodsyn

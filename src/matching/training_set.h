@@ -1,0 +1,52 @@
+// Automated training-set construction (paper §3.2): no hand labels.
+//
+//  * A name-identity candidate ⟨A, A, M, C⟩ (catalog and merchant use the
+//    same attribute name) is a POSITIVE example.
+//  * If ⟨A, A, M, C⟩ exists, every sibling candidate ⟨A, B, M, C⟩ with
+//    B ≠ A is a NEGATIVE example (a merchant uses one name per attribute).
+//  * All other candidates are unlabeled and excluded from training.
+
+#ifndef PRODSYN_MATCHING_TRAINING_SET_H_
+#define PRODSYN_MATCHING_TRAINING_SET_H_
+
+#include <vector>
+
+#include "src/matching/bag_index.h"
+#include "src/matching/features.h"
+#include "src/ml/dataset.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Options for training-set construction.
+struct TrainingSetOptions {
+  /// Compare attribute names after NormalizeAttributeName (case, spacing,
+  /// punctuation insensitive). The paper's "exactly the same name" is the
+  /// false setting; normalization is strictly more productive and is the
+  /// default here (validated by tests on both settings).
+  bool normalize_names = true;
+};
+
+/// \brief A labeled training set plus the tuples behind each example
+/// (useful for diagnostics and for excluding training tuples from
+/// evaluation, as the paper's §5.2 methodology requires).
+struct CorrespondenceTrainingSet {
+  Dataset dataset;
+  std::vector<CandidateTuple> tuples;  ///< parallel to dataset examples
+  size_t positives = 0;
+  size_t negatives = 0;
+};
+
+/// \brief True iff the tuple is a name identity under `options`.
+bool IsNameIdentity(const CandidateTuple& tuple,
+                    const TrainingSetOptions& options = {});
+
+/// \brief Builds the auto-labeled training set for all candidates of
+/// `index`, computing features with `computer`.
+Result<CorrespondenceTrainingSet> BuildTrainingSet(
+    const MatchedBagIndex& index, FeatureComputer* computer,
+    const TrainingSetOptions& options = {});
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_TRAINING_SET_H_

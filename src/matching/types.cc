@@ -1,0 +1,40 @@
+#include "src/matching/types.h"
+
+#include <algorithm>
+#include <set>
+
+namespace prodsyn {
+
+std::vector<CategoryId> EffectiveCategories(const MatchingContext& ctx) {
+  if (!ctx.categories.empty()) {
+    std::vector<CategoryId> out = ctx.categories;
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  std::set<CategoryId> seen;
+  for (const auto& offer : ctx.offers->offers()) {
+    if (offer.category != kInvalidCategory) seen.insert(offer.category);
+  }
+  return std::vector<CategoryId>(seen.begin(), seen.end());
+}
+
+void SortByScoreDescending(std::vector<AttributeCorrespondence>* corrs) {
+  std::sort(corrs->begin(), corrs->end(),
+            [](const AttributeCorrespondence& a,
+               const AttributeCorrespondence& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.tuple.category != b.tuple.category) {
+                return a.tuple.category < b.tuple.category;
+              }
+              if (a.tuple.merchant != b.tuple.merchant) {
+                return a.tuple.merchant < b.tuple.merchant;
+              }
+              if (a.tuple.catalog_attribute != b.tuple.catalog_attribute) {
+                return a.tuple.catalog_attribute < b.tuple.catalog_attribute;
+              }
+              return a.tuple.offer_attribute < b.tuple.offer_attribute;
+            });
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,64 @@
+// Schema-reconciliation core types (paper §3, Definition 1).
+
+#ifndef PRODSYN_MATCHING_TYPES_H_
+#define PRODSYN_MATCHING_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/catalog/match_store.h"
+
+namespace prodsyn {
+
+/// \brief A candidate tuple ⟨Ap, Ao, M, C⟩: catalog attribute Ap may
+/// correspond to attribute Ao of merchant M in category C.
+struct CandidateTuple {
+  std::string catalog_attribute;  ///< Ap, from the schema of `category`
+  std::string offer_attribute;    ///< Ao, from offers of `merchant`
+  MerchantId merchant = kInvalidMerchant;
+  CategoryId category = kInvalidCategory;
+
+  bool operator==(const CandidateTuple& other) const {
+    return catalog_attribute == other.catalog_attribute &&
+           offer_attribute == other.offer_attribute &&
+           merchant == other.merchant && category == other.category;
+  }
+};
+
+/// \brief A scored candidate: every matcher emits these; callers select a
+/// working set by thresholding the score (the paper's parametric knob θ).
+struct AttributeCorrespondence {
+  CandidateTuple tuple;
+  double score = 0.0;
+};
+
+/// \brief Read-only view of the data a matcher runs on.
+///
+/// `categories` restricts the run (Figs. 7–9 run on the Computing subtree
+/// only); when empty, every category that has offers participates.
+struct MatchingContext {
+  const Catalog* catalog = nullptr;
+  const OfferStore* offers = nullptr;
+  const MatchStore* matches = nullptr;
+  std::vector<CategoryId> categories;
+};
+
+/// \brief The three offer/product grouping levels of paper §3.1.
+enum class GroupLevel {
+  kMerchantCategory,  ///< bags over one merchant's offers in one category
+  kCategory,          ///< bags over all merchants' offers in one category
+  kMerchant,          ///< bags over one merchant's offers in all categories
+};
+
+/// \brief The categories a matcher run covers: ctx.categories if non-empty,
+/// otherwise every category with at least one offer, in ascending id order.
+std::vector<CategoryId> EffectiveCategories(const MatchingContext& ctx);
+
+/// \brief Sorts by descending score (stable tie-break on tuple contents so
+/// runs are deterministic).
+void SortByScoreDescending(std::vector<AttributeCorrespondence>* corrs);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_MATCHING_TYPES_H_

@@ -1,0 +1,23 @@
+#include "src/ml/dataset.h"
+
+namespace prodsyn {
+
+Status Dataset::Add(Example example) {
+  if (example.label != 0 && example.label != 1) {
+    return Status::InvalidArgument("label must be 0 or 1");
+  }
+  if (dimension_ == 0 && examples_.empty()) {
+    dimension_ = example.features.size();
+  }
+  if (example.features.size() != dimension_) {
+    return Status::InvalidArgument(
+        "feature vector has dimension " +
+        std::to_string(example.features.size()) + ", dataset expects " +
+        std::to_string(dimension_));
+  }
+  if (example.label == 1) ++positives_;
+  examples_.push_back(std::move(example));
+  return Status::OK();
+}
+
+}  // namespace prodsyn

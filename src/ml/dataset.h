@@ -1,0 +1,48 @@
+// Dense-feature dataset for the correspondence classifier (paper §3.2).
+
+#ifndef PRODSYN_ML_DATASET_H_
+#define PRODSYN_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief One training/inference example: a dense feature vector and a
+/// binary label (ignored at inference time).
+struct Example {
+  std::vector<double> features;
+  int label = 0;  ///< 0 or 1
+};
+
+/// \brief A fixed-dimension collection of examples.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(size_t dimension) : dimension_(dimension) {}
+
+  size_t dimension() const { return dimension_; }
+  size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+
+  /// \brief Adds an example; its feature vector must match the dataset
+  /// dimension (the first added example fixes the dimension when the
+  /// dataset was default-constructed).
+  Status Add(Example example);
+
+  const std::vector<Example>& examples() const { return examples_; }
+
+  /// \brief Count of examples with label == 1.
+  size_t positive_count() const { return positives_; }
+
+ private:
+  size_t dimension_ = 0;
+  size_t positives_ = 0;
+  std::vector<Example> examples_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_ML_DATASET_H_

@@ -1,0 +1,105 @@
+#include "src/ml/logistic_regression.h"
+
+#include <cmath>
+
+namespace prodsyn {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+Status LogisticRegression::Fit(const Dataset& data,
+                               const LogisticRegressionOptions& options) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit on empty dataset");
+  }
+  const size_t n = data.size();
+  const size_t positives = data.positive_count();
+  if (positives == 0 || positives == n) {
+    return Status::FailedPrecondition(
+        "training set must contain both classes (positives=" +
+        std::to_string(positives) + ", total=" + std::to_string(n) + ")");
+  }
+  const size_t dim = data.dimension();
+  weights_.assign(dim, 0.0);
+  intercept_ = 0.0;
+
+  // Class weights: total mass of each class equals n/2 when balancing.
+  const double negatives = static_cast<double>(n - positives);
+  const double w_pos =
+      options.balance_classes
+          ? static_cast<double>(n) / (2.0 * static_cast<double>(positives))
+          : 1.0;
+  const double w_neg =
+      options.balance_classes ? static_cast<double>(n) / (2.0 * negatives)
+                              : 1.0;
+  const double total_weight =
+      w_pos * static_cast<double>(positives) + w_neg * negatives;
+
+  std::vector<double> grad(dim, 0.0);
+  std::vector<double> velocity(dim, 0.0);
+  double intercept_velocity = 0.0;
+  iterations_used_ = 0;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++iterations_used_;
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_intercept = 0.0;
+    for (const auto& ex : data.examples()) {
+      double z = intercept_;
+      for (size_t j = 0; j < dim; ++j) z += weights_[j] * ex.features[j];
+      const double p = Sigmoid(z);
+      const double w = ex.label == 1 ? w_pos : w_neg;
+      const double err = w * (p - static_cast<double>(ex.label));
+      for (size_t j = 0; j < dim; ++j) grad[j] += err * ex.features[j];
+      grad_intercept += err;
+    }
+    double max_grad = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      grad[j] = grad[j] / total_weight + options.l2 * weights_[j];
+      max_grad = std::max(max_grad, std::fabs(grad[j]));
+    }
+    grad_intercept /= total_weight;
+    if (options.fit_intercept) {
+      max_grad = std::max(max_grad, std::fabs(grad_intercept));
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      velocity[j] = options.momentum * velocity[j] -
+                    options.learning_rate * grad[j];
+      weights_[j] += velocity[j];
+    }
+    if (options.fit_intercept) {
+      intercept_velocity = options.momentum * intercept_velocity -
+                           options.learning_rate * grad_intercept;
+      intercept_ += intercept_velocity;
+    }
+    if (max_grad < options.gradient_tolerance) break;
+  }
+  return Status::OK();
+}
+
+Result<double> LogisticRegression::PredictProbability(
+    const std::vector<double>& features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("model not fitted");
+  }
+  if (features.size() != weights_.size()) {
+    return Status::InvalidArgument(
+        "feature dimension " + std::to_string(features.size()) +
+        " does not match model dimension " + std::to_string(weights_.size()));
+  }
+  double z = intercept_;
+  for (size_t j = 0; j < features.size(); ++j) z += weights_[j] * features[j];
+  return Sigmoid(z);
+}
+
+Result<bool> LogisticRegression::Predict(const std::vector<double>& features,
+                                         double threshold) const {
+  PRODSYN_ASSIGN_OR_RETURN(double p, PredictProbability(features));
+  return p >= threshold;
+}
+
+}  // namespace prodsyn

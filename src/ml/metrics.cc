@@ -1,0 +1,99 @@
+#include "src/ml/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace prodsyn {
+
+double BinaryMetrics::Precision() const {
+  const size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double BinaryMetrics::Recall() const {
+  const size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double BinaryMetrics::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double BinaryMetrics::Accuracy() const {
+  const size_t total =
+      true_positives + false_positives + true_negatives + false_negatives;
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) /
+                          static_cast<double>(total);
+}
+
+Result<BinaryMetrics> ComputeBinaryMetrics(const std::vector<double>& scores,
+                                           const std::vector<int>& labels,
+                                           double threshold) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores and labels size mismatch");
+  }
+  BinaryMetrics m;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] == 1;
+    if (predicted && actual) {
+      ++m.true_positives;
+    } else if (predicted && !actual) {
+      ++m.false_positives;
+    } else if (!predicted && actual) {
+      ++m.false_negatives;
+    } else {
+      ++m.true_negatives;
+    }
+  }
+  return m;
+}
+
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores and labels size mismatch");
+  }
+  size_t positives = 0;
+  for (int y : labels) positives += (y == 1) ? 1 : 0;
+  const size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::FailedPrecondition("AUC requires both classes");
+  }
+  // Rank-sum (Mann–Whitney U) with average ranks for ties.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                                2.0 +
+                            1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) rank_sum_pos += ranks[k];
+  }
+  const double n_pos = static_cast<double>(positives);
+  const double n_neg = static_cast<double>(negatives);
+  const double u = rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0;
+  return u / (n_pos * n_neg);
+}
+
+}  // namespace prodsyn

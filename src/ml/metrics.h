@@ -1,0 +1,39 @@
+// Binary-classification metrics used by tests and the evaluation harness.
+
+#ifndef PRODSYN_ML_METRICS_H_
+#define PRODSYN_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Confusion-matrix derived metrics at a fixed threshold.
+struct BinaryMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+};
+
+/// \brief Computes metrics for scores vs 0/1 labels at `threshold`
+/// (score ≥ threshold predicts positive).
+Result<BinaryMetrics> ComputeBinaryMetrics(const std::vector<double>& scores,
+                                           const std::vector<int>& labels,
+                                           double threshold);
+
+/// \brief Area under the ROC curve via the rank statistic; 0.5 for random
+/// scores. Requires at least one example of each class.
+Result<double> ComputeAuc(const std::vector<double>& scores,
+                          const std::vector<int>& labels);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_ML_METRICS_H_

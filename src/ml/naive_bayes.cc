@@ -1,0 +1,95 @@
+#include "src/ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prodsyn {
+
+void MultinomialNaiveBayes::AddDocument(
+    const std::string& label, const std::vector<std::string>& tokens) {
+  auto [it, inserted] = classes_.try_emplace(label);
+  if (inserted) class_names_.push_back(label);
+  ClassStats& stats = it->second;
+  ++stats.documents;
+  ++total_documents_;
+  for (const auto& t : tokens) {
+    ++stats.token_counts[t];
+    ++stats.total_tokens;
+    vocabulary_.try_emplace(t, true);
+  }
+}
+
+const MultinomialNaiveBayes::ClassStats* MultinomialNaiveBayes::Find(
+    const std::string& label) const {
+  auto it = classes_.find(label);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+double MultinomialNaiveBayes::LogScoreFor(
+    const ClassStats& stats, const std::vector<std::string>& tokens) const {
+  const double vocab = static_cast<double>(std::max<size_t>(1, vocabulary_.size()));
+  double score = std::log(static_cast<double>(stats.documents) /
+                          static_cast<double>(total_documents_));
+  const double denom =
+      static_cast<double>(stats.total_tokens) + alpha_ * vocab;
+  for (const auto& t : tokens) {
+    auto it = stats.token_counts.find(t);
+    const double count =
+        it == stats.token_counts.end() ? 0.0 : static_cast<double>(it->second);
+    score += std::log((count + alpha_) / denom);
+  }
+  return score;
+}
+
+Result<double> MultinomialNaiveBayes::LogScore(
+    const std::string& label, const std::vector<std::string>& tokens) const {
+  if (total_documents_ == 0) {
+    return Status::FailedPrecondition("naive Bayes has no training data");
+  }
+  const ClassStats* stats = Find(label);
+  if (stats == nullptr) {
+    return Status::NotFound("unknown class '" + label + "'");
+  }
+  return LogScoreFor(*stats, tokens);
+}
+
+Result<std::vector<double>> MultinomialNaiveBayes::Posteriors(
+    const std::vector<std::string>& tokens) const {
+  if (total_documents_ == 0) {
+    return Status::FailedPrecondition("naive Bayes has no training data");
+  }
+  std::vector<double> log_scores;
+  log_scores.reserve(class_names_.size());
+  double max_log = -1e300;
+  for (const auto& name : class_names_) {
+    const double s = LogScoreFor(*Find(name), tokens);
+    log_scores.push_back(s);
+    max_log = std::max(max_log, s);
+  }
+  double total = 0.0;
+  for (double& s : log_scores) {
+    s = std::exp(s - max_log);
+    total += s;
+  }
+  for (double& s : log_scores) s /= total;
+  return log_scores;
+}
+
+Result<std::string> MultinomialNaiveBayes::Classify(
+    const std::vector<std::string>& tokens) const {
+  if (total_documents_ == 0) {
+    return Status::FailedPrecondition("naive Bayes has no training data");
+  }
+  double best = -1e300;
+  const std::string* best_name = nullptr;
+  for (const auto& name : class_names_) {
+    const double s = LogScoreFor(*Find(name), tokens);
+    if (s > best) {
+      best = s;
+      best_name = &name;
+    }
+  }
+  return *best_name;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,71 @@
+// Multinomial naive Bayes over token documents. Used twice:
+//  - the title → category classifier of the run-time pipeline (paper §2),
+//  - the LSD instance-based matcher baseline (paper Appendix C).
+
+#ifndef PRODSYN_ML_NAIVE_BAYES_H_
+#define PRODSYN_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Multinomial NB with Lidstone smoothing; class labels are strings.
+class MultinomialNaiveBayes {
+ public:
+  MultinomialNaiveBayes() = default;
+
+  /// \param alpha Lidstone smoothing constant. The default 1.0 is classic
+  /// Laplace. Use a small alpha (e.g. 0.05) when the vocabulary is much
+  /// larger than per-class token totals — with alpha=1 the smoothing
+  /// denominator swamps the class totals and larger classes spuriously
+  /// win every shared token (class-imbalance bias).
+  explicit MultinomialNaiveBayes(double alpha) : alpha_(alpha) {}
+
+  /// \brief Adds one training document under `label`.
+  void AddDocument(const std::string& label,
+                   const std::vector<std::string>& tokens);
+
+  /// \brief Number of classes observed so far.
+  size_t class_count() const { return classes_.size(); }
+
+  /// \brief All class labels, in first-seen order.
+  const std::vector<std::string>& classes() const { return class_names_; }
+
+  /// \brief Log P(class) + Σ log P(token | class), Laplace-smoothed.
+  /// FailedPrecondition if no documents were added.
+  Result<double> LogScore(const std::string& label,
+                          const std::vector<std::string>& tokens) const;
+
+  /// \brief Normalized posteriors P(class | tokens) over all classes,
+  /// in class-label first-seen order. Computed by log-sum-exp.
+  Result<std::vector<double>> Posteriors(
+      const std::vector<std::string>& tokens) const;
+
+  /// \brief Arg-max classification; ties break to the earlier-seen class.
+  Result<std::string> Classify(const std::vector<std::string>& tokens) const;
+
+ private:
+  struct ClassStats {
+    uint64_t documents = 0;
+    uint64_t total_tokens = 0;
+    std::unordered_map<std::string, uint64_t> token_counts;
+  };
+
+  const ClassStats* Find(const std::string& label) const;
+  double LogScoreFor(const ClassStats& stats,
+                     const std::vector<std::string>& tokens) const;
+
+  double alpha_ = 1.0;
+  std::unordered_map<std::string, ClassStats> classes_;
+  std::vector<std::string> class_names_;
+  std::unordered_map<std::string, bool> vocabulary_;
+  uint64_t total_documents_ = 0;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_ML_NAIVE_BAYES_H_

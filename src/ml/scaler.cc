@@ -1,0 +1,55 @@
+#include "src/ml/scaler.h"
+
+#include <cmath>
+
+namespace prodsyn {
+
+Status StandardScaler::Fit(const Dataset& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit scaler on empty dataset");
+  }
+  const size_t dim = data.dimension();
+  means_.assign(dim, 0.0);
+  stds_.assign(dim, 0.0);
+  const double n = static_cast<double>(data.size());
+  for (const auto& ex : data.examples()) {
+    for (size_t j = 0; j < dim; ++j) means_[j] += ex.features[j];
+  }
+  for (size_t j = 0; j < dim; ++j) means_[j] /= n;
+  for (const auto& ex : data.examples()) {
+    for (size_t j = 0; j < dim; ++j) {
+      const double d = ex.features[j] - means_[j];
+      stds_[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    stds_[j] = std::sqrt(stds_[j] / n);
+    if (stds_[j] < 1e-12) stds_[j] = 1.0;  // constant feature: pass through
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::Transform(std::vector<double>* features) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("scaler not fitted");
+  }
+  if (features->size() != means_.size()) {
+    return Status::InvalidArgument("feature dimension mismatch in Transform");
+  }
+  for (size_t j = 0; j < features->size(); ++j) {
+    (*features)[j] = ((*features)[j] - means_[j]) / stds_[j];
+  }
+  return Status::OK();
+}
+
+Result<Dataset> StandardScaler::TransformDataset(const Dataset& data) const {
+  Dataset out(data.dimension());
+  for (const auto& ex : data.examples()) {
+    Example copy = ex;
+    PRODSYN_RETURN_NOT_OK(Transform(&copy.features));
+    PRODSYN_RETURN_NOT_OK(out.Add(std::move(copy)));
+  }
+  return out;
+}
+
+}  // namespace prodsyn

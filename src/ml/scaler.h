@@ -1,0 +1,40 @@
+// Per-feature standardization (zero mean, unit variance): makes the
+// logistic-regression gradient descent well-conditioned regardless of the
+// raw feature ranges.
+
+#ifndef PRODSYN_ML_SCALER_H_
+#define PRODSYN_ML_SCALER_H_
+
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief z = (x − mean) / std, with std clamped away from zero for
+/// constant features.
+class StandardScaler {
+ public:
+  /// \brief Computes means and standard deviations from `data`.
+  Status Fit(const Dataset& data);
+
+  bool fitted() const { return !means_.empty(); }
+
+  /// \brief Transforms one feature vector in place.
+  Status Transform(std::vector<double>* features) const;
+
+  /// \brief Returns a standardized copy of an entire dataset.
+  Result<Dataset> TransformDataset(const Dataset& data) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_ML_SCALER_H_

@@ -1,0 +1,34 @@
+#include "src/pipeline/attribute_extraction.h"
+
+#include <set>
+#include <utility>
+
+namespace prodsyn {
+
+Result<Specification> ExtractOfferSpecification(
+    const Offer& offer, const LandingPageProvider& pages,
+    const TableExtractorOptions& options) {
+  Specification spec = offer.spec;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& av : spec) seen.insert({av.name, av.value});
+
+  auto page = pages.Fetch(offer.url);
+  if (!page.ok()) {
+    if (page.status().IsNotFound()) return spec;  // dead link: feed data only
+    return page.status();
+  }
+  auto extracted = ExtractPairsFromHtml(*page, options);
+  if (!extracted.ok()) {
+    if (extracted.status().IsInvalidArgument()) return spec;  // blank page
+    return extracted.status();
+  }
+  for (auto& pair : *extracted) {
+    if (seen.insert({pair.name, pair.value}).second) {
+      spec.push_back(AttributeValue{std::move(pair.name),
+                                    std::move(pair.value)});
+    }
+  }
+  return spec;
+}
+
+}  // namespace prodsyn

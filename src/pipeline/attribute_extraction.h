@@ -1,0 +1,38 @@
+// Web-page attribute extraction stage of the run-time pipeline (paper §4):
+// fetch the offer's landing page by URL and harvest attribute–value pairs
+// from its spec tables. The page source is abstracted behind
+// LandingPageProvider (production: a crawler cache; here: the synthetic
+// page store of datagen).
+
+#ifndef PRODSYN_PIPELINE_ATTRIBUTE_EXTRACTION_H_
+#define PRODSYN_PIPELINE_ATTRIBUTE_EXTRACTION_H_
+
+#include <string>
+
+#include "src/catalog/entities.h"
+#include "src/html/table_extractor.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Source of landing-page HTML, keyed by offer URL.
+class LandingPageProvider {
+ public:
+  virtual ~LandingPageProvider() = default;
+
+  /// \brief HTML of the page at `url`; NotFound when the page is gone
+  /// (dead links are routine in merchant feeds and must not kill the run).
+  virtual Result<std::string> Fetch(const std::string& url) const = 0;
+};
+
+/// \brief Produces the offer specification: the pairs already present in
+/// the feed plus everything extracted from the landing page (exact
+/// duplicates are dropped). A missing or unparsable page yields just the
+/// feed pairs.
+Result<Specification> ExtractOfferSpecification(
+    const Offer& offer, const LandingPageProvider& pages,
+    const TableExtractorOptions& options = {});
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_ATTRIBUTE_EXTRACTION_H_

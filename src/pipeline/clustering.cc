@@ -1,0 +1,88 @@
+#include "src/pipeline/clustering.h"
+
+#include <map>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+// First key-attribute value present in the spec, normalized; empty if none.
+std::string ExtractKey(const Specification& spec,
+                       const std::vector<std::string>& key_attributes) {
+  for (const auto& key_attr : key_attributes) {
+    auto value = FindValue(spec, key_attr);
+    if (value.has_value()) {
+      std::string normalized = NormalizeKey(*value);
+      if (!normalized.empty()) return normalized;
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string CompositeKey(const Specification& spec,
+                         const std::vector<std::string>& attributes) {
+  if (attributes.empty()) return std::string();
+  std::string key = "BM";
+  for (const auto& attr : attributes) {
+    auto value = FindValue(spec, attr);
+    if (!value.has_value()) return std::string();
+    const std::string normalized = NormalizeKey(*value);
+    if (normalized.empty()) return std::string();
+    key.push_back('\x1f');
+    key += normalized;
+  }
+  return key;
+}
+
+Result<std::vector<OfferCluster>> ClusterByKey(
+    const std::vector<ReconciledOffer>& offers, const SchemaRegistry& schemas,
+    const ClusteringOptions& options, size_t* dropped) {
+  if (dropped != nullptr) *dropped = 0;
+
+  // Cache key-attribute lists per category.
+  std::map<CategoryId, std::vector<std::string>> key_attrs_of;
+  auto key_attrs_for = [&](CategoryId category)
+      -> const std::vector<std::string>& {
+    auto it = key_attrs_of.find(category);
+    if (it != key_attrs_of.end()) return it->second;
+    std::vector<std::string> keys;
+    auto schema = schemas.Get(category);
+    if (schema.ok()) keys = schema.ValueOrDie()->KeyAttributeNames();
+    if (keys.empty()) keys = options.fallback_key_attributes;
+    return key_attrs_of.emplace(category, std::move(keys)).first->second;
+  };
+
+  std::map<std::pair<CategoryId, std::string>, OfferCluster> clusters;
+  for (const auto& offer : offers) {
+    if (offer.category == kInvalidCategory) {
+      if (dropped != nullptr) ++(*dropped);
+      continue;
+    }
+    std::string key = ExtractKey(offer.spec, key_attrs_for(offer.category));
+    if (key.empty() && options.composite_key_fallback) {
+      key = CompositeKey(offer.spec, options.composite_key_attributes);
+    }
+    if (key.empty()) {
+      if (dropped != nullptr) ++(*dropped);
+      continue;
+    }
+    auto& cluster = clusters[{offer.category, key}];
+    cluster.category = offer.category;
+    cluster.key = key;
+    cluster.members.push_back(offer);
+  }
+
+  std::vector<OfferCluster> out;
+  out.reserve(clusters.size());
+  for (auto& [key, cluster] : clusters) {
+    (void)key;
+    out.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,39 @@
+#include "src/pipeline/schema_reconciliation.h"
+
+namespace prodsyn {
+
+std::string SchemaReconciler::Key(MerchantId merchant, CategoryId category,
+                                  const std::string& offer_attribute) {
+  return std::to_string(merchant) + "\x1f" + std::to_string(category) +
+         "\x1f" + offer_attribute;
+}
+
+SchemaReconciler::SchemaReconciler(
+    const std::vector<AttributeCorrespondence>& correspondences,
+    double theta) {
+  for (const auto& c : correspondences) {
+    if (c.score <= theta) continue;
+    const std::string key =
+        Key(c.tuple.merchant, c.tuple.category, c.tuple.offer_attribute);
+    auto it = map_.find(key);
+    if (it == map_.end() || c.score > it->second.score ||
+        (c.score == it->second.score &&
+         c.tuple.catalog_attribute < it->second.catalog_attribute)) {
+      map_[key] = Target{c.tuple.catalog_attribute, c.score};
+    }
+  }
+}
+
+Specification SchemaReconciler::Reconcile(
+    MerchantId merchant, CategoryId category,
+    const Specification& extracted) const {
+  Specification out;
+  for (const auto& av : extracted) {
+    auto it = map_.find(Key(merchant, category, av.name));
+    if (it == map_.end()) continue;  // no correspondence: discard (paper §4)
+    out.push_back(AttributeValue{it->second.catalog_attribute, av.value});
+  }
+  return out;
+}
+
+}  // namespace prodsyn

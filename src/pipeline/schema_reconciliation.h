@@ -1,0 +1,50 @@
+// Schema reconciliation stage (paper §4): translate extracted offer
+// attribute names into catalog attribute names using the correspondences
+// learned offline; pairs with no correspondence are DISCARDED — this is
+// the noise filter that makes the naive table extractor viable.
+
+#ifndef PRODSYN_PIPELINE_SCHEMA_RECONCILIATION_H_
+#define PRODSYN_PIPELINE_SCHEMA_RECONCILIATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/catalog/types.h"
+#include "src/matching/types.h"
+
+namespace prodsyn {
+
+/// \brief Applies learned attribute correspondences to offer specs.
+class SchemaReconciler {
+ public:
+  /// \brief Keeps correspondences with score > `theta`; when several map
+  /// the same (M, C, offer attribute) to different catalog attributes the
+  /// best-scoring one wins (ties break on catalog-attribute name).
+  SchemaReconciler(const std::vector<AttributeCorrespondence>& correspondences,
+                   double theta = 0.5);
+
+  /// \brief Translates `extracted` for an offer of `merchant` in
+  /// `category`. Unmapped pairs are dropped; if two source pairs map to
+  /// the same catalog attribute both survive (value fusion arbitrates).
+  Specification Reconcile(MerchantId merchant, CategoryId category,
+                          const Specification& extracted) const;
+
+  /// \brief Number of (M, C, offer attribute) mappings retained.
+  size_t mapping_count() const { return map_.size(); }
+
+ private:
+  struct Target {
+    std::string catalog_attribute;
+    double score = 0.0;
+  };
+
+  static std::string Key(MerchantId merchant, CategoryId category,
+                         const std::string& offer_attribute);
+
+  std::unordered_map<std::string, Target> map_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_SCHEMA_RECONCILIATION_H_

@@ -1,0 +1,107 @@
+#include "src/pipeline/synthesizer.h"
+
+#include "src/util/logging.h"
+
+namespace prodsyn {
+
+ProductSynthesizer::ProductSynthesizer(const Catalog* catalog,
+                                       SynthesizerOptions options)
+    : catalog_(catalog), options_(std::move(options)) {}
+
+Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
+                                        const MatchStore& matches) {
+  MatchingContext ctx;
+  ctx.catalog = catalog_;
+  ctx.offers = &historical_offers;
+  ctx.matches = &matches;
+
+  ClassifierMatcher matcher(options_.matcher);
+  PRODSYN_ASSIGN_OR_RETURN(correspondences_, matcher.Generate(ctx));
+  learning_stats_ = matcher.stats();
+  reconciler_.emplace(correspondences_, options_.correspondence_threshold);
+
+  const size_t titles = title_classifier_.TrainOnStore(historical_offers);
+  PRODSYN_LOG(Info) << "offline learning: " << correspondences_.size()
+                    << " scored candidates, " << reconciler_->mapping_count()
+                    << " mappings above theta, title classifier trained on "
+                    << titles << " offers";
+  return Status::OK();
+}
+
+void ProductSynthesizer::SetCorrespondences(
+    std::vector<AttributeCorrespondence> corrs) {
+  correspondences_ = std::move(corrs);
+  reconciler_.emplace(correspondences_, options_.correspondence_threshold);
+}
+
+Result<SynthesisResult> ProductSynthesizer::Synthesize(
+    const OfferStore& incoming, const LandingPageProvider& pages) {
+  if (!reconciler_.has_value()) {
+    return Status::FailedPrecondition(
+        "call LearnOffline or SetCorrespondences before Synthesize");
+  }
+  SynthesisResult result;
+  result.stats.correspondences_applied = reconciler_->mapping_count();
+
+  const bool have_classifier = title_classifier_.category_count() > 0;
+
+  std::vector<ReconciledOffer> reconciled;
+  reconciled.reserve(incoming.size());
+  for (const auto& offer : incoming.offers()) {
+    ++result.stats.input_offers;
+
+    // Category: classify from the title when required or missing.
+    CategoryId category = offer.category;
+    if ((options_.always_classify_titles || category == kInvalidCategory) &&
+        have_classifier) {
+      auto classified = title_classifier_.Classify(offer.title);
+      if (classified.ok()) category = *classified;
+    }
+    if (category == kInvalidCategory) continue;
+
+    // Web-page attribute extraction.
+    PRODSYN_ASSIGN_OR_RETURN(
+        Specification extracted,
+        ExtractOfferSpecification(offer, pages, options_.extractor));
+    if (!extracted.empty()) ++result.stats.offers_with_extracted_pairs;
+    result.stats.extracted_pairs += extracted.size();
+
+    // Schema reconciliation.
+    ReconciledOffer ro;
+    ro.offer_id = offer.id;
+    ro.merchant = offer.merchant;
+    ro.category = category;
+    ro.spec = reconciler_->Reconcile(offer.merchant, category, extracted);
+    result.stats.reconciled_pairs += ro.spec.size();
+    reconciled.push_back(std::move(ro));
+  }
+
+  // Clustering by key attributes.
+  PRODSYN_ASSIGN_OR_RETURN(
+      std::vector<OfferCluster> clusters,
+      ClusterByKey(reconciled, catalog_->schemas(), options_.clustering,
+                   &result.stats.offers_without_key));
+  result.stats.clusters = clusters.size();
+
+  // Value fusion: one product per cluster.
+  for (const auto& cluster : clusters) {
+    auto schema = catalog_->schemas().Get(cluster.category);
+    if (!schema.ok()) continue;
+    PRODSYN_ASSIGN_OR_RETURN(Specification fused,
+                             FuseCluster(cluster, *schema.ValueOrDie()));
+    if (fused.empty()) continue;
+    SynthesizedProduct product;
+    product.category = cluster.category;
+    product.key = cluster.key;
+    product.spec = std::move(fused);
+    for (const auto& member : cluster.members) {
+      product.source_offers.push_back(member.offer_id);
+    }
+    result.stats.synthesized_attributes += product.spec.size();
+    result.products.push_back(std::move(product));
+  }
+  result.stats.synthesized_products = result.products.size();
+  return result;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,116 @@
+// End-to-end product synthesis (paper Fig. 4): Offline Learning (attribute
+// correspondences from historical offer-to-product matches) + Run-Time
+// Offer Processing (extraction → reconciliation → clustering → fusion).
+
+#ifndef PRODSYN_PIPELINE_SYNTHESIZER_H_
+#define PRODSYN_PIPELINE_SYNTHESIZER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/matching/classifier_matcher.h"
+#include "src/pipeline/attribute_extraction.h"
+#include "src/pipeline/clustering.h"
+#include "src/pipeline/schema_reconciliation.h"
+#include "src/pipeline/title_classifier.h"
+#include "src/pipeline/value_fusion.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief A product instance produced by synthesis, ready for catalog
+/// insertion, plus its provenance.
+struct SynthesizedProduct {
+  CategoryId category = kInvalidCategory;
+  std::string key;  ///< normalized key value of the underlying cluster
+  Specification spec;
+  std::vector<OfferId> source_offers;
+};
+
+/// \brief Run statistics (the counters of paper Table 2 and §5.1).
+struct SynthesisStats {
+  size_t input_offers = 0;
+  size_t offers_with_extracted_pairs = 0;
+  size_t extracted_pairs = 0;
+  size_t reconciled_pairs = 0;
+  size_t offers_without_key = 0;
+  size_t clusters = 0;
+  size_t synthesized_products = 0;
+  size_t synthesized_attributes = 0;
+  size_t correspondences_applied = 0;  ///< mappings retained by theta
+};
+
+/// \brief Output of one synthesis run.
+struct SynthesisResult {
+  std::vector<SynthesizedProduct> products;
+  SynthesisStats stats;
+};
+
+/// \brief Options of ProductSynthesizer.
+struct SynthesizerOptions {
+  SynthesizerOptions() {
+    // Offline learning's candidate sweep parallelizes with bit-identical
+    // results; default to all cores.
+    matcher.scoring_threads = 0;
+  }
+
+  ClassifierMatcherOptions matcher;
+  TableExtractorOptions extractor;
+  ClusteringOptions clustering;
+  /// Correspondences with score <= theta are not applied (paper's
+  /// predicted-valid cut is the classifier's 0.5 decision boundary).
+  double correspondence_threshold = 0.5;
+  /// Re-classify every incoming offer from its title even when the feed
+  /// carried a category (paper §2 runs all offers through the classifier;
+  /// the pipeline must be resilient to its errors). When false, offers
+  /// keep a pre-assigned category and only uncategorized ones are
+  /// classified.
+  bool always_classify_titles = false;
+};
+
+/// \brief Orchestrates the two phases of Fig. 4.
+class ProductSynthesizer {
+ public:
+  /// \param catalog must outlive the synthesizer.
+  explicit ProductSynthesizer(const Catalog* catalog,
+                              SynthesizerOptions options = {});
+
+  /// \brief Offline Learning: learns attribute correspondences from the
+  /// historical offers and their offer-to-product matches, and trains the
+  /// title classifier on the same offers.
+  Status LearnOffline(const OfferStore& historical_offers,
+                      const MatchStore& matches);
+
+  /// \brief Injects externally produced correspondences instead of
+  /// LearnOffline (used by tests and matcher-comparison experiments).
+  void SetCorrespondences(std::vector<AttributeCorrespondence> corrs);
+
+  /// \brief Run-Time Offer Processing over `incoming` offers: extraction
+  /// from landing pages, reconciliation, clustering, value fusion.
+  /// Requires LearnOffline or SetCorrespondences first.
+  Result<SynthesisResult> Synthesize(const OfferStore& incoming,
+                                     const LandingPageProvider& pages);
+
+  /// \brief Correspondences of the last LearnOffline/SetCorrespondences.
+  const std::vector<AttributeCorrespondence>& correspondences() const {
+    return correspondences_;
+  }
+
+  /// \brief Offline-learning stats (empty before LearnOffline).
+  const ClassifierRunStats& learning_stats() const { return learning_stats_; }
+
+  const TitleClassifier& title_classifier() const { return title_classifier_; }
+
+ private:
+  const Catalog* catalog_;
+  SynthesizerOptions options_;
+  std::vector<AttributeCorrespondence> correspondences_;
+  std::optional<SchemaReconciler> reconciler_;
+  TitleClassifier title_classifier_;
+  ClassifierRunStats learning_stats_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_SYNTHESIZER_H_

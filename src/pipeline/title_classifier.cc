@@ -1,0 +1,27 @@
+#include "src/pipeline/title_classifier.h"
+
+#include "src/text/tokenizer.h"
+
+namespace prodsyn {
+
+void TitleClassifier::AddExample(CategoryId category,
+                                 const std::string& title) {
+  nb_.AddDocument(std::to_string(category), Tokenize(title));
+}
+
+size_t TitleClassifier::TrainOnStore(const OfferStore& offers) {
+  size_t used = 0;
+  for (const auto& offer : offers.offers()) {
+    if (offer.category == kInvalidCategory) continue;
+    AddExample(offer.category, offer.title);
+    ++used;
+  }
+  return used;
+}
+
+Result<CategoryId> TitleClassifier::Classify(const std::string& title) const {
+  PRODSYN_ASSIGN_OR_RETURN(std::string label, nb_.Classify(Tokenize(title)));
+  return static_cast<CategoryId>(std::stol(label));
+}
+
+}  // namespace prodsyn

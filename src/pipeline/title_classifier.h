@@ -1,0 +1,45 @@
+// Title → catalog category classifier (paper §2: "To determine the
+// category for a given offer, we use a simple classifier, which given the
+// title of the offer, returns its category C under the catalog taxonomy").
+// Multinomial naive Bayes over title tokens, trained on offers whose
+// category is already known (e.g. historical offers).
+
+#ifndef PRODSYN_PIPELINE_TITLE_CLASSIFIER_H_
+#define PRODSYN_PIPELINE_TITLE_CLASSIFIER_H_
+
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/ml/naive_bayes.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Offer-title category classifier.
+class TitleClassifier {
+ public:
+  TitleClassifier() = default;
+
+  /// \brief Adds one labeled title.
+  void AddExample(CategoryId category, const std::string& title);
+
+  /// \brief Trains on every offer of `offers` that has a category.
+  /// Returns the number of examples used.
+  size_t TrainOnStore(const OfferStore& offers);
+
+  /// \brief Most likely category for `title`. FailedPrecondition when the
+  /// classifier has no training data.
+  Result<CategoryId> Classify(const std::string& title) const;
+
+  size_t category_count() const { return nb_.class_count(); }
+
+ private:
+  // Small smoothing: title vocabularies are dominated by per-product model
+  // codes, so Laplace alpha=1 would bias the classifier toward larger
+  // sibling categories (see MultinomialNaiveBayes).
+  MultinomialNaiveBayes nb_{0.001};
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_TITLE_CLASSIFIER_H_

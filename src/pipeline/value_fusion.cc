@@ -1,0 +1,103 @@
+#include "src/pipeline/value_fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "src/text/tokenizer.h"
+
+namespace prodsyn {
+
+std::string FuseValues(const std::vector<std::string>& values) {
+  if (values.empty()) return std::string();
+  if (values.size() == 1) return values[0];
+
+  // Term universe T over all values; binary incidence vectors (Appendix A:
+  // "Windows Vista" -> <0,1,1> over {Microsoft, Windows, Vista}).
+  std::set<std::string> term_set;
+  std::vector<std::set<std::string>> value_terms;
+  value_terms.reserve(values.size());
+  for (const auto& v : values) {
+    std::set<std::string> terms;
+    for (auto& t : Tokenize(v)) terms.insert(std::move(t));
+    for (const auto& t : terms) term_set.insert(t);
+    value_terms.push_back(std::move(terms));
+  }
+  if (term_set.empty()) {
+    // No tokenizable content (e.g. pure punctuation): majority vote on the
+    // raw strings, ties to the smallest.
+    std::map<std::string, size_t> counts;
+    for (const auto& v : values) ++counts[v];
+    const std::string* best = nullptr;
+    size_t best_count = 0;
+    for (const auto& [v, n] : counts) {
+      if (n > best_count) {
+        best = &v;
+        best_count = n;
+      }
+    }
+    return *best;
+  }
+  const std::vector<std::string> terms(term_set.begin(), term_set.end());
+
+  // Centroid of the incidence vectors.
+  std::vector<double> centroid(terms.size(), 0.0);
+  for (const auto& vt : value_terms) {
+    for (size_t j = 0; j < terms.size(); ++j) {
+      if (vt.count(terms[j]) > 0) centroid[j] += 1.0;
+    }
+  }
+  const double n = static_cast<double>(values.size());
+  for (double& c : centroid) c /= n;
+
+  // Closest value; ties break first to the raw value with the most votes
+  // (plain majority), then to the lexicographically smallest value.
+  std::map<std::string, size_t> votes;
+  for (const auto& v : values) ++votes[v];
+  double best_dist = std::numeric_limits<double>::infinity();
+  const std::string* best = nullptr;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double dist_sq = 0.0;
+    for (size_t j = 0; j < terms.size(); ++j) {
+      const double x = value_terms[i].count(terms[j]) > 0 ? 1.0 : 0.0;
+      const double d = x - centroid[j];
+      dist_sq += d * d;
+    }
+    if (best == nullptr || dist_sq < best_dist - 1e-12) {
+      best_dist = dist_sq;
+      best = &values[i];
+    } else if (std::fabs(dist_sq - best_dist) <= 1e-12) {
+      const size_t candidate_votes = votes.at(values[i]);
+      const size_t best_votes = votes.at(*best);
+      if (candidate_votes > best_votes ||
+          (candidate_votes == best_votes && values[i] < *best)) {
+        best = &values[i];
+      }
+    }
+  }
+  return *best;
+}
+
+Result<Specification> FuseCluster(const OfferCluster& cluster,
+                                  const CategorySchema& schema) {
+  if (cluster.members.empty()) {
+    return Status::InvalidArgument("cannot fuse an empty cluster");
+  }
+  // Collect candidate values per catalog attribute, in schema order.
+  std::map<std::string, std::vector<std::string>> candidates;
+  for (const auto& member : cluster.members) {
+    for (const auto& av : member.spec) {
+      candidates[av.name].push_back(av.value);
+    }
+  }
+  Specification fused;
+  for (const auto& def : schema.attributes()) {
+    auto it = candidates.find(def.name);
+    if (it == candidates.end()) continue;
+    fused.push_back(AttributeValue{def.name, FuseValues(it->second)});
+  }
+  return fused;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,33 @@
+// Value fusion (paper §4 + Appendix A): combine the offers of a cluster
+// into a single product specification by choosing, per catalog attribute,
+// the representative value — term-level generalized majority voting: build
+// binary term-incidence vectors for the candidate values, compute their
+// centroid, pick the value closest to the centroid (Euclidean), breaking
+// ties toward the lexicographically smallest value.
+
+#ifndef PRODSYN_PIPELINE_VALUE_FUSION_H_
+#define PRODSYN_PIPELINE_VALUE_FUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/schema.h"
+#include "src/pipeline/clustering.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Picks the representative of a non-empty multiset of values by
+/// centroid voting. Single-token values degenerate to plain majority vote.
+std::string FuseValues(const std::vector<std::string>& values);
+
+/// \brief Fuses one cluster into a product specification. For every
+/// attribute of the category schema that at least one member provides, the
+/// representative value is selected with FuseValues; attributes no member
+/// provides are absent from the result.
+Result<Specification> FuseCluster(const OfferCluster& cluster,
+                                  const CategorySchema& schema);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_VALUE_FUSION_H_

@@ -1,0 +1,87 @@
+// Umbrella header: the full public API of prodsyn.
+//
+// Fine-grained includes (src/<module>/<file>.h) are preferred inside the
+// library itself; this header is a convenience for downstream users.
+
+#ifndef PRODSYN_PRODSYN_H_
+#define PRODSYN_PRODSYN_H_
+
+// util: error handling, RNG, strings, files, logging
+#include "src/util/file.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+#include "src/util/string_util.h"
+
+// text: tokenization and similarity measures
+#include "src/text/divergence.h"
+#include "src/text/edit_distance.h"
+#include "src/text/jaro_winkler.h"
+#include "src/text/ngram.h"
+#include "src/text/soft_tfidf.h"
+#include "src/text/term_distribution.h"
+#include "src/text/tfidf.h"
+#include "src/text/tokenizer.h"
+
+// html: DOM parsing and spec-table extraction
+#include "src/html/dom.h"
+#include "src/html/html_parser.h"
+#include "src/html/table_extractor.h"
+
+// catalog: the data model
+#include "src/catalog/catalog.h"
+#include "src/catalog/entities.h"
+#include "src/catalog/feed.h"
+#include "src/catalog/match_store.h"
+#include "src/catalog/schema.h"
+#include "src/catalog/taxonomy.h"
+#include "src/catalog/types.h"
+
+// ml: learning substrate
+#include "src/ml/dataset.h"
+#include "src/ml/logistic_regression.h"
+#include "src/ml/metrics.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/scaler.h"
+
+// matching: schema reconciliation core and baselines
+#include "src/matching/bag_index.h"
+#include "src/matching/classifier_matcher.h"
+#include "src/matching/coma_matcher.h"
+#include "src/matching/correspondence_io.h"
+#include "src/matching/dumas_matcher.h"
+#include "src/matching/features.h"
+#include "src/matching/hungarian.h"
+#include "src/matching/lsd_matcher.h"
+#include "src/matching/matcher.h"
+#include "src/matching/single_feature_matcher.h"
+#include "src/matching/title_matcher.h"
+#include "src/matching/training_set.h"
+#include "src/matching/types.h"
+
+// pipeline: the run-time offer processing stages
+#include "src/pipeline/attribute_extraction.h"
+#include "src/pipeline/clustering.h"
+#include "src/pipeline/schema_reconciliation.h"
+#include "src/pipeline/synthesizer.h"
+#include "src/pipeline/title_classifier.h"
+#include "src/pipeline/value_fusion.h"
+
+// datagen: the synthetic marketplace
+#include "src/datagen/config.h"
+#include "src/datagen/merchant_gen.h"
+#include "src/datagen/offer_gen.h"
+#include "src/datagen/page_gen.h"
+#include "src/datagen/product_gen.h"
+#include "src/datagen/vocab.h"
+#include "src/datagen/world.h"
+
+// eval: ground-truth oracle and experiment metrics
+#include "src/eval/correspondence_eval.h"
+#include "src/eval/oracle.h"
+#include "src/eval/report.h"
+#include "src/eval/sampling.h"
+#include "src/eval/synthesis_eval.h"
+
+#endif  // PRODSYN_PRODSYN_H_

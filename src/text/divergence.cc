@@ -1,0 +1,47 @@
+#include "src/text/divergence.h"
+
+#include <cmath>
+#include <limits>
+
+namespace prodsyn {
+
+double KullbackLeiblerDivergence(const TermDistribution& p,
+                                 const TermDistribution& q) {
+  double kl = 0.0;
+  for (const auto& [term, pt] : p.probabilities()) {
+    if (pt <= 0.0) continue;
+    const double qt = q.Probability(term);
+    if (qt <= 0.0) return std::numeric_limits<double>::infinity();
+    kl += pt * std::log2(pt / qt);
+  }
+  return kl;
+}
+
+double JensenShannonDivergence(const TermDistribution& p,
+                               const TermDistribution& q) {
+  if (p.empty() || q.empty()) return 1.0;
+  // JS = ½ Σ p·log2(p/m) + ½ Σ q·log2(q/m) with m = ½(p+q).
+  // Iterate each side once; m(t) is computed on the fly.
+  double js = 0.0;
+  for (const auto& [term, pt] : p.probabilities()) {
+    if (pt <= 0.0) continue;
+    const double mt = 0.5 * (pt + q.Probability(term));
+    js += 0.5 * pt * std::log2(pt / mt);
+  }
+  for (const auto& [term, qt] : q.probabilities()) {
+    if (qt <= 0.0) continue;
+    const double mt = 0.5 * (p.Probability(term) + qt);
+    js += 0.5 * qt * std::log2(qt / mt);
+  }
+  // Clamp tiny negative rounding residue.
+  if (js < 0.0) js = 0.0;
+  if (js > 1.0) js = 1.0;
+  return js;
+}
+
+double JensenShannonSimilarity(const TermDistribution& p,
+                               const TermDistribution& q) {
+  return 1.0 - JensenShannonDivergence(p, q);
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,35 @@
+// Kullback–Leibler and Jensen–Shannon divergences over term distributions
+// (paper §3.1; Lee '99 found JS among the best measures for synonym
+// detection, which is why it drives the JS-* classifier features).
+
+#ifndef PRODSYN_TEXT_DIVERGENCE_H_
+#define PRODSYN_TEXT_DIVERGENCE_H_
+
+#include "src/text/term_distribution.h"
+
+namespace prodsyn {
+
+/// \brief KL(p ‖ q) = Σ_t p(t) · log2(p(t)/q(t)).
+///
+/// Terms with p(t) = 0 contribute nothing. Terms with p(t) > 0 and
+/// q(t) = 0 make KL infinite; callers that need finiteness should use
+/// JensenShannonDivergence (whose mixture distribution never vanishes
+/// where p does not).
+double KullbackLeiblerDivergence(const TermDistribution& p,
+                                 const TermDistribution& q);
+
+/// \brief JS(p ‖ q) = ½·KL(p‖m) + ½·KL(q‖m), m = ½(p + q), log base 2.
+///
+/// Symmetric, finite, and bounded in [0, 1]. Returns 1 (maximally distant)
+/// if either distribution is empty — an empty value bag carries no evidence
+/// of similarity.
+double JensenShannonDivergence(const TermDistribution& p,
+                               const TermDistribution& q);
+
+/// \brief Convenience: 1 − JS(p‖q), a similarity in [0, 1].
+double JensenShannonSimilarity(const TermDistribution& p,
+                               const TermDistribution& q);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_TEXT_DIVERGENCE_H_

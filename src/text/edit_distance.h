@@ -1,0 +1,20 @@
+// Levenshtein edit distance and its normalized similarity form, used by the
+// COMA++-style name matchers (Fig. 8 baselines).
+
+#ifndef PRODSYN_TEXT_EDIT_DISTANCE_H_
+#define PRODSYN_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace prodsyn {
+
+/// \brief Levenshtein distance (unit costs for insert/delete/substitute).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// \brief 1 − distance / max(|a|, |b|), in [0, 1]; 1 for two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,23 @@
+// Jaro and Jaro–Winkler similarity, the inner measure of SoftTFIDF
+// (DUMAS baseline, paper Appendix C).
+
+#ifndef PRODSYN_TEXT_JARO_WINKLER_H_
+#define PRODSYN_TEXT_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace prodsyn {
+
+/// \brief Jaro similarity in [0, 1]; 1 for identical strings, 0 when no
+/// characters match within the Jaro window.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro–Winkler: Jaro boosted by up to 4 chars of common prefix.
+/// \param prefix_scale boost per shared prefix char (standard 0.1, capped
+/// so the result stays ≤ 1).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_TEXT_JARO_WINKLER_H_

@@ -1,0 +1,33 @@
+#include "src/text/ngram.h"
+
+namespace prodsyn {
+
+std::unordered_set<std::string> CharacterNgrams(std::string_view s,
+                                                size_t n) {
+  std::unordered_set<std::string> grams;
+  if (s.empty() || n == 0) return grams;
+  if (s.size() < n) {
+    grams.emplace(s);
+    return grams;
+  }
+  for (size_t i = 0; i + n <= s.size(); ++i) {
+    grams.emplace(s.substr(i, n));
+  }
+  return grams;
+}
+
+double TrigramSimilarity(std::string_view a, std::string_view b) {
+  const auto ga = CharacterNgrams(a, 3);
+  const auto gb = CharacterNgrams(b, 3);
+  if (ga.empty() && gb.empty()) return 0.0;
+  size_t intersection = 0;
+  const auto& small = ga.size() <= gb.size() ? ga : gb;
+  const auto& large = ga.size() <= gb.size() ? gb : ga;
+  for (const auto& g : small) {
+    if (large.count(g) > 0) ++intersection;
+  }
+  return 2.0 * static_cast<double>(intersection) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+}  // namespace prodsyn

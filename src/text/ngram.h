@@ -1,0 +1,23 @@
+// Character n-gram extraction and trigram similarity (a COMA++ name
+// matcher; paper §6 mentions "edit distance, trigrams").
+
+#ifndef PRODSYN_TEXT_NGRAM_H_
+#define PRODSYN_TEXT_NGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace prodsyn {
+
+/// \brief The set of distinct character n-grams of `s`. Strings shorter
+/// than `n` yield the string itself as a single "gram" (so short attribute
+/// names still compare meaningfully).
+std::unordered_set<std::string> CharacterNgrams(std::string_view s, size_t n);
+
+/// \brief Dice coefficient over distinct trigram sets, in [0, 1].
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_TEXT_NGRAM_H_

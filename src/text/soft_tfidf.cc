@@ -1,0 +1,44 @@
+#include "src/text/soft_tfidf.h"
+
+#include <algorithm>
+
+#include "src/text/jaro_winkler.h"
+
+namespace prodsyn {
+
+SoftTfIdf::SoftTfIdf(const TfIdfCorpus* corpus, double threshold)
+    : corpus_(corpus), threshold_(threshold) {}
+
+double SoftTfIdf::Similarity(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) const {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto va = corpus_->WeightVector(a);
+  const auto vb = corpus_->WeightVector(b);
+
+  // Distinct tokens of b, for the inner max.
+  std::vector<std::string> b_tokens;
+  b_tokens.reserve(vb.size());
+  for (const auto& [term, w] : vb) {
+    (void)w;
+    b_tokens.push_back(term);
+  }
+
+  double score = 0.0;
+  for (const auto& [wa, weight_a] : va) {
+    double best_sim = 0.0;
+    const std::string* best_token = nullptr;
+    for (const auto& tb : b_tokens) {
+      const double sim = JaroWinklerSimilarity(wa, tb);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_token = &tb;
+      }
+    }
+    if (best_sim >= threshold_ && best_token != nullptr) {
+      score += weight_a * vb.at(*best_token) * best_sim;
+    }
+  }
+  return std::min(score, 1.0);
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,37 @@
+// SoftTFIDF similarity (Cohen, Ravikumar & Fienberg '03): the field-value
+// measure DUMAS uses for its per-record similarity matrices (Appendix C).
+//
+// SoftTFIDF(s, t) = Σ_{w ∈ CLOSE(θ,s,t)} V(w,s) · V(argmax_{v∈t} JW(w,v), t)
+//                   · max_{v∈t} JW(w,v)
+// where V are L2-normalized TF-IDF weights and CLOSE(θ,s,t) are tokens of s
+// whose best Jaro–Winkler match in t scores ≥ θ.
+
+#ifndef PRODSYN_TEXT_SOFT_TFIDF_H_
+#define PRODSYN_TEXT_SOFT_TFIDF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/text/tfidf.h"
+
+namespace prodsyn {
+
+/// \brief SoftTFIDF scorer bound to a TF-IDF corpus.
+class SoftTfIdf {
+ public:
+  /// \param corpus provides IDF weights; must outlive this object.
+  /// \param threshold Jaro–Winkler gate θ (standard 0.9).
+  explicit SoftTfIdf(const TfIdfCorpus* corpus, double threshold = 0.9);
+
+  /// \brief Similarity of two token lists, in [0, 1].
+  double Similarity(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) const;
+
+ private:
+  const TfIdfCorpus* corpus_;
+  double threshold_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_TEXT_SOFT_TFIDF_H_

@@ -1,0 +1,41 @@
+#include "src/text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace prodsyn {
+
+void TfIdfCorpus::AddDocument(const std::vector<std::string>& tokens) {
+  ++documents_;
+  std::unordered_set<std::string> distinct(tokens.begin(), tokens.end());
+  for (const auto& t : distinct) ++doc_freq_[t];
+}
+
+double TfIdfCorpus::Idf(const std::string& term) const {
+  const auto it = doc_freq_.find(term);
+  const double df =
+      it == doc_freq_.end() ? 1.0 : static_cast<double>(it->second);
+  const double n = documents_ == 0 ? 1.0 : static_cast<double>(documents_);
+  return std::log(1.0 + n / df);
+}
+
+std::unordered_map<std::string, double> TfIdfCorpus::WeightVector(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<std::string, double> weights;
+  for (const auto& t : tokens) weights[t] += 1.0;
+  double norm_sq = 0.0;
+  for (auto& [term, w] : weights) {
+    w *= Idf(term);
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [term, w] : weights) {
+      (void)term;
+      w *= inv;
+    }
+  }
+  return weights;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,43 @@
+// TF-IDF corpus statistics over token "documents", the outer weighting of
+// SoftTFIDF (DUMAS baseline).
+
+#ifndef PRODSYN_TEXT_TFIDF_H_
+#define PRODSYN_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief Accumulates document frequencies, then serves IDF weights.
+///
+/// A "document" is any tokenized value (e.g., one attribute value of one
+/// offer). IDF(t) = log(1 + N / df(t)); unseen terms get the maximal IDF
+/// of a df-1 term so that out-of-corpus tokens are treated as rare, not
+/// impossible.
+class TfIdfCorpus {
+ public:
+  /// \brief Adds one document's distinct tokens.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// \brief Number of documents added.
+  uint64_t document_count() const { return documents_; }
+
+  /// \brief IDF weight of `term`.
+  double Idf(const std::string& term) const;
+
+  /// \brief TF-IDF weight vector of a token list, L2-normalized.
+  /// TF is raw count within the document.
+  std::unordered_map<std::string, double> WeightVector(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, uint64_t> doc_freq_;
+  uint64_t documents_ = 0;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_TEXT_TFIDF_H_

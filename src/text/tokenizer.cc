@@ -1,0 +1,39 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+
+namespace prodsyn {
+
+namespace {
+bool IsAlnum(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0; }
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+char Lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= options.min_token_length) out.push_back(current);
+    current.clear();
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (!IsAlnum(c)) {
+      flush();
+      continue;
+    }
+    if (options.split_alpha_digit && !current.empty()) {
+      const bool boundary = IsDigit(current.back()) != IsDigit(c);
+      if (boundary) flush();
+    }
+    current.push_back(options.lowercase ? Lower(c) : c);
+  }
+  flush();
+  return out;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,31 @@
+// Tokenization used everywhere a "bag of words" is built (paper §3.1).
+
+#ifndef PRODSYN_TEXT_TOKENIZER_H_
+#define PRODSYN_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief Options controlling Tokenize().
+struct TokenizerOptions {
+  /// Lower-case tokens (default on: "ATA" and "ata" are the same term).
+  bool lowercase = true;
+  /// Split at letter/digit boundaries ("500GB" -> "500", "gb"). The paper's
+  /// value bags treat "500 GB" and "500GB" as sharing the term "500", which
+  /// requires this.
+  bool split_alpha_digit = true;
+  /// Drop tokens shorter than this after splitting.
+  size_t min_token_length = 1;
+};
+
+/// \brief Splits `text` into word tokens: maximal runs of alphanumeric
+/// characters, optionally split again at letter/digit boundaries.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_TEXT_TOKENIZER_H_

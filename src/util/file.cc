@@ -1,0 +1,53 @@
+#include "src/util/file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+namespace prodsyn {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  const bool had_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (had_error) {
+    return Status::IOError("read '" + path + "' failed");
+  }
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("open '" + path + "' for write: " +
+                           std::strerror(errno));
+  }
+  const size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  const int close_result = std::fclose(file);
+  if (written != contents.size() || close_result != 0) {
+    return Status::IOError("write '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace prodsyn

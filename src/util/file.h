@@ -1,0 +1,26 @@
+// Minimal Status-based file helpers for the interchange artifacts (feeds,
+// correspondence dumps, landing-page stores).
+
+#ifndef PRODSYN_UTIL_FILE_H_
+#define PRODSYN_UTIL_FILE_H_
+
+#include <string>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Reads a whole file into a string. NotFound when the file does
+/// not exist; IOError on other failures.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes (truncates) `contents` to `path`. IOError on failure.
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents);
+
+/// \brief True iff the path exists and is a regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_FILE_H_

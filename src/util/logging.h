@@ -1,0 +1,48 @@
+// Minimal leveled logging for prodsyn. Not thread-safe by design (the
+// library is single-threaded per pipeline instance); writes go to stderr.
+
+#ifndef PRODSYN_UTIL_LOGGING_H_
+#define PRODSYN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace prodsyn {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that is emitted (default kWarning,
+/// so library users see nothing unless something is wrong or they opt in).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace prodsyn
+
+#define PRODSYN_LOG(level)                                            \
+  ::prodsyn::internal::LogMessage(::prodsyn::LogLevel::k##level,      \
+                                  __FILE__, __LINE__)
+
+#endif  // PRODSYN_UTIL_LOGGING_H_

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for prodsyn.
+//
+// All randomized components (data generation, training, sampling) take an
+// explicit seed so that every experiment in bench/ is exactly reproducible.
+// The generator is xoshiro256** seeded through SplitMix64 — fast, high
+// quality, and stable across platforms (unlike std::default_random_engine).
+
+#ifndef PRODSYN_UTIL_RANDOM_H_
+#define PRODSYN_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the full state from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next();
+
+  /// \brief Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief True with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// \brief Standard normal variate (Box–Muller, deterministic).
+  double NextGaussian();
+
+  /// \brief Zipf-distributed rank in [0, n) with exponent `s`.
+  ///
+  /// Used to give merchants/products the heavy-tailed size distribution that
+  /// real marketplaces show. Sampling is by inverse CDF over precomputed
+  /// weights when n is small, rejection otherwise; deterministic either way.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// \brief Uniformly picks an index into a non-empty container.
+  template <typename Container>
+  size_t PickIndex(const Container& c) {
+    return static_cast<size_t>(NextBelow(c.size()));
+  }
+
+  /// \brief Uniformly picks an element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[PickIndex(v)];
+  }
+
+  /// \brief Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Derives an independent child generator; used to decorrelate
+  /// subsystems that share a world seed.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// \brief Zipf sampler with a precomputed CDF: O(n) build, O(log n) draw.
+///
+/// Prefer this over Rng::NextZipf in hot loops (offer generation draws one
+/// product rank per offer).
+class ZipfDistribution {
+ public:
+  /// \param n support size (ranks 0..n-1); \param s exponent (>0).
+  ZipfDistribution(uint64_t n, double s);
+
+  /// \brief Draws a rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// \brief Stable 64-bit hash of a string (FNV-1a); used to derive
+/// per-entity seeds from names.
+uint64_t HashString(const std::string& s);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_RANDOM_H_

@@ -1,0 +1,87 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// functions in prodsyn (Arrow's arrow::Result idiom).
+
+#ifndef PRODSYN_UTIL_RESULT_H_
+#define PRODSYN_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/util/status.h"
+
+namespace prodsyn {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Constructing a Result from an OK status is a programming error and is
+/// converted to an Internal error to keep the invariant "has_value() XOR
+/// !status().ok()".
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  bool has_value() const { return ok(); }
+
+  /// \brief The status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief The contained value. Precondition: ok().
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::get<Status>(repr_).Abort("Result::ValueOrDie");
+  }
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace prodsyn
+
+#define PRODSYN_CONCAT_IMPL(a, b) a##b
+#define PRODSYN_CONCAT(a, b) PRODSYN_CONCAT_IMPL(a, b)
+
+/// \brief Evaluates a Result expression; on error returns its Status, on
+/// success assigns the value to `lhs` (which may be a declaration).
+#define PRODSYN_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  PRODSYN_ASSIGN_OR_RETURN_IMPL(PRODSYN_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define PRODSYN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // PRODSYN_UTIL_RESULT_H_

@@ -1,0 +1,148 @@
+#include "src/util/string_util.h"
+
+#include <cctype>
+
+namespace prodsyn {
+
+namespace {
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+char UpperChar(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+bool IsAlnumChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view TrimView(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsSpace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(LowerChar(c));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(UpperChar(c));
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && !IsSpace(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string NormalizeAttributeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool pending_space = false;
+  for (char c : name) {
+    if (IsAlnumChar(c)) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(LowerChar(c));
+    } else {
+      pending_space = true;  // punctuation and whitespace both separate words
+    }
+  }
+  return out;
+}
+
+std::string NormalizeKey(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (IsAlnumChar(c)) out.push_back(UpperChar(c));
+  }
+  return out;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+long long ParseNonNegativeInt(std::string_view s) {
+  s = TrimView(s);
+  if (!IsAllDigits(s) || s.size() > 18) return -1;
+  long long v = 0;
+  for (char c : s) v = v * 10 + (c - '0');
+  return v;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,62 @@
+// String helpers shared across prodsyn: trimming, case folding, splitting,
+// joining, attribute-name and key normalization.
+
+#ifndef PRODSYN_UTIL_STRING_UTIL_H_
+#define PRODSYN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief Returns `s` without leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+
+/// \brief Returns a trimmed copy of `s`.
+std::string Trim(std::string_view s);
+
+/// \brief ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// \brief ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+/// \brief Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// \brief Canonical form of an attribute *name* for comparisons: lower-cased,
+/// punctuation mapped to spaces, whitespace runs collapsed to one space.
+///
+/// "Mfr. Part #" -> "mfr part", "Hard-Disk  Size" -> "hard disk size".
+std::string NormalizeAttributeName(std::string_view name);
+
+/// \brief Canonical form of a clustering *key* value: upper-cased with every
+/// non-alphanumeric character removed. "hdt-725050 vla360" -> "HDT725050VLA360".
+std::string NormalizeKey(std::string_view value);
+
+/// \brief True iff every character of `s` is an ASCII digit (and non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// \brief Parses a non-negative base-10 integer; returns -1 on failure.
+long long ParseNonNegativeInt(std::string_view s);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_STRING_UTIL_H_

@@ -1,0 +1,225 @@
+// Tests of MatchedBagIndex and the feature computer on a hand-built
+// replica of the paper's Fig. 5 hard-drive scenario.
+
+#include "src/matching/bag_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/matching/features.h"
+
+namespace prodsyn {
+namespace {
+
+// The Fig. 5 world: a catalog of hard drives, one merchant whose offers
+// use "Product Description" / "RPM" / "Int. Type", and historical matches
+// for four of the offers. One catalog product (the 10000-rpm Cheetah) is
+// NOT matched by any offer.
+class Fig5Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    drives_ = *catalog_.taxonomy().AddCategory("Hard Drives");
+    CategorySchema schema(drives_);
+    ASSERT_TRUE(schema.AddAttribute({"Brand", AttributeKind::kCategorical,
+                                     false}).ok());
+    ASSERT_TRUE(schema.AddAttribute({"Model", AttributeKind::kIdentifier,
+                                     false}).ok());
+    ASSERT_TRUE(schema.AddAttribute({"Speed", AttributeKind::kNumeric,
+                                     false}).ok());
+    ASSERT_TRUE(schema.AddAttribute({"Interface", AttributeKind::kCategorical,
+                                     false}).ok());
+    ASSERT_TRUE(catalog_.schemas().Register(std::move(schema)).ok());
+
+    auto add_product = [&](const char* brand, const char* model,
+                           const char* speed, const char* interface_type) {
+      return *catalog_.AddProduct(drives_, {{"Brand", brand},
+                                            {"Model", model},
+                                            {"Speed", speed},
+                                            {"Interface", interface_type}});
+    };
+    barracuda_ = add_product("Seagate", "Barracuda", "5400", "ATA 100");
+    cheetah_ = add_product("Seagate", "Cheetah", "10000", "ATA 100");
+    raptor_ = add_product("Western Digital", "Raptor", "7200", "IDE 133");
+    momentus_ = add_product("Seagate", "Momentus", "5400", "IDE 133");
+    hitachi_ = add_product("Hitachi", "39T2525", "7200", "ATA 133");
+
+    merchant_ = 0;
+    auto add_offer = [&](const char* desc, const char* rpm,
+                         const char* int_type, ProductId match) {
+      Offer offer;
+      offer.merchant = merchant_;
+      offer.category = drives_;
+      offer.title = desc;
+      offer.spec = {{"Product Description", desc},
+                    {"RPM", rpm},
+                    {"Int. Type", int_type}};
+      const OfferId id = *offers_.AddOffer(offer);
+      if (match != kInvalidProduct) {
+        EXPECT_TRUE(matches_.AddMatch(id, match).ok());
+      }
+      return id;
+    };
+    add_offer("Seagate Barracuda HD", "5400", "ATA 100 mb/s", barracuda_);
+    add_offer("WD RaptorHDD", "7200", "IDE 133 mb/s", raptor_);
+    add_offer("Seagate Momentus", "5400", "IDE 133 mb/s", momentus_);
+    add_offer("Hitachi model 39T2525", "7200", "ATA 133 mb/s", hitachi_);
+
+    ctx_.catalog = &catalog_;
+    ctx_.offers = &offers_;
+    ctx_.matches = &matches_;
+  }
+
+  Catalog catalog_;
+  OfferStore offers_;
+  MatchStore matches_;
+  MatchingContext ctx_;
+  CategoryId drives_ = kInvalidCategory;
+  MerchantId merchant_ = kInvalidMerchant;
+  ProductId barracuda_, cheetah_, raptor_, momentus_, hitachi_;
+};
+
+TEST_F(Fig5Fixture, RequiresFullContext) {
+  MatchingContext empty;
+  EXPECT_TRUE(MatchedBagIndex::Build(empty).status().IsInvalidArgument());
+}
+
+TEST_F(Fig5Fixture, ProductBagsRestrictedToMatchedProducts) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  const BagOfWords* speed_bag = index.ProductBag(
+      GroupLevel::kMerchantCategory, "Speed", merchant_, drives_);
+  ASSERT_NE(speed_bag, nullptr);
+  // Fig. 5(b): the unmatched 10000-rpm Cheetah is excluded, so the Speed
+  // bag is exactly {5400, 7200, 5400, 7200}.
+  EXPECT_EQ(speed_bag->Count("5400"), 2u);
+  EXPECT_EQ(speed_bag->Count("7200"), 2u);
+  EXPECT_EQ(speed_bag->Count("10000"), 0u);
+  EXPECT_EQ(speed_bag->TotalCount(), 4u);
+}
+
+TEST_F(Fig5Fixture, UnrestrictedBagsIncludeAllProducts) {
+  BagIndexOptions options;
+  options.restrict_products_to_matches = false;
+  auto index = *MatchedBagIndex::Build(ctx_, options);
+  const BagOfWords* speed_bag = index.ProductBag(
+      GroupLevel::kMerchantCategory, "Speed", merchant_, drives_);
+  ASSERT_NE(speed_bag, nullptr);
+  EXPECT_EQ(speed_bag->Count("10000"), 1u);  // Cheetah included now
+  EXPECT_EQ(speed_bag->TotalCount(), 5u);
+}
+
+TEST_F(Fig5Fixture, OfferBagsTokenizeValues) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  const BagOfWords* rpm_bag = index.OfferBag(
+      GroupLevel::kMerchantCategory, "RPM", merchant_, drives_);
+  ASSERT_NE(rpm_bag, nullptr);
+  EXPECT_EQ(rpm_bag->Count("5400"), 2u);
+  EXPECT_EQ(rpm_bag->Count("7200"), 2u);
+  const BagOfWords* int_bag = index.OfferBag(
+      GroupLevel::kMerchantCategory, "Int. Type", merchant_, drives_);
+  ASSERT_NE(int_bag, nullptr);
+  EXPECT_EQ(int_bag->Count("mb"), 4u);  // the unit suffix noise
+}
+
+TEST_F(Fig5Fixture, MissingBagsAreNull) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  EXPECT_EQ(index.ProductBag(GroupLevel::kMerchantCategory, "Nope",
+                             merchant_, drives_),
+            nullptr);
+  EXPECT_EQ(index.OfferBag(GroupLevel::kMerchantCategory, "RPM",
+                           merchant_ + 5, drives_),
+            nullptr);
+}
+
+TEST_F(Fig5Fixture, CategoryAndMerchantLevelsIgnoreTheOtherId) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  // Category-level bags are shared regardless of the merchant id passed.
+  const BagOfWords* a = index.OfferBag(GroupLevel::kCategory, "RPM",
+                                       merchant_, drives_);
+  const BagOfWords* b = index.OfferBag(GroupLevel::kCategory, "RPM",
+                                       merchant_ + 99, drives_);
+  EXPECT_EQ(a, b);
+  // Merchant-level bags ignore the category id.
+  const BagOfWords* c = index.OfferBag(GroupLevel::kMerchant, "RPM",
+                                       merchant_, drives_);
+  const BagOfWords* d = index.OfferBag(GroupLevel::kMerchant, "RPM",
+                                       merchant_, drives_ + 7);
+  EXPECT_EQ(c, d);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(c, nullptr);
+}
+
+TEST_F(Fig5Fixture, CandidatesAreSchemaTimesOfferAttributes) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  // 4 schema attributes x 3 offer attributes for the single (M, C).
+  EXPECT_EQ(index.candidates().size(), 12u);
+  const auto& attrs = index.OfferAttributes(merchant_, drives_);
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(index.merchant_categories().size(), 1u);
+}
+
+TEST_F(Fig5Fixture, FeaturesSeparateTrueFromFalseCorrespondences) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  FeatureComputer computer(&index);
+  const auto names = computer.feature_set().Names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "JS-MC");
+
+  const auto speed_rpm = computer.Compute(
+      CandidateTuple{"Speed", "RPM", merchant_, drives_});
+  const auto speed_int = computer.Compute(
+      CandidateTuple{"Speed", "Int. Type", merchant_, drives_});
+  const auto iface_int = computer.Compute(
+      CandidateTuple{"Interface", "Int. Type", merchant_, drives_});
+  const auto iface_rpm = computer.Compute(
+      CandidateTuple{"Interface", "RPM", merchant_, drives_});
+
+  // Fig. 5(d): Speed~RPM is a perfect distributional match.
+  EXPECT_NEAR(speed_rpm[0], 1.0, 1e-9);   // JS-MC similarity
+  EXPECT_NEAR(speed_rpm[1], 1.0, 1e-9);   // Jaccard-MC
+  // Speed vs Int. Type and Interface vs RPM are far apart.
+  EXPECT_LT(speed_int[0], 0.4);
+  EXPECT_LT(iface_rpm[0], 0.4);
+  // Interface vs Int. Type is close but not perfect (the mb/s tokens).
+  EXPECT_GT(iface_int[0], speed_int[0]);
+  EXPECT_GT(iface_int[0], 0.5);
+  EXPECT_LT(iface_int[0], 1.0);
+}
+
+TEST_F(Fig5Fixture, UnknownMerchantZeroesMerchantScopedFeatures) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  FeatureComputer computer(&index);
+  const auto features = computer.Compute(
+      CandidateTuple{"Speed", "RPM", merchant_ + 9, drives_});
+  ASSERT_EQ(features.size(), 6u);
+  // JS-MC, Jaccard-MC, JS-M, Jaccard-M vanish for an unknown merchant...
+  EXPECT_DOUBLE_EQ(features[0], 0.0);
+  EXPECT_DOUBLE_EQ(features[1], 0.0);
+  EXPECT_DOUBLE_EQ(features[4], 0.0);
+  EXPECT_DOUBLE_EQ(features[5], 0.0);
+  // ...but the category-level features are shared across merchants by
+  // design (that is the sparsity fallback of paper Â§3.1).
+  EXPECT_GT(features[2], 0.9);
+  EXPECT_GT(features[3], 0.9);
+}
+
+TEST_F(Fig5Fixture, RestrictedCategoriesFilterCandidates) {
+  MatchingContext restricted = ctx_;
+  restricted.categories = {drives_ + 100};  // nonexistent
+  auto index = *MatchedBagIndex::Build(restricted);
+  EXPECT_TRUE(index.candidates().empty());
+}
+
+TEST(FeatureSetTest, CountsAndNames) {
+  EXPECT_EQ(FeatureSet::All().Count(), 6u);
+  EXPECT_EQ(FeatureSet::JsMcOnly().Count(), 1u);
+  EXPECT_EQ(FeatureSet::JaccardMcOnly().Names(),
+            std::vector<std::string>{"Jaccard-MC"});
+}
+
+TEST(EffectiveCategoriesTest, DeduplicatesAndSorts) {
+  MatchingContext ctx;
+  ctx.categories = {5, 3, 5, 1};
+  EXPECT_EQ(EffectiveCategories(ctx), (std::vector<CategoryId>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace prodsyn

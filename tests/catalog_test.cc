@@ -1,0 +1,156 @@
+#include "src/catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/catalog/types.h"
+
+namespace prodsyn {
+namespace {
+
+CategorySchema DriveSchema(CategoryId id) {
+  CategorySchema schema(id);
+  EXPECT_TRUE(schema.AddAttribute({"Brand", AttributeKind::kCategorical,
+                                   false}).ok());
+  EXPECT_TRUE(schema.AddAttribute({"Model Part Number",
+                                   AttributeKind::kIdentifier, true}).ok());
+  EXPECT_TRUE(schema.AddAttribute({"Capacity", AttributeKind::kNumeric,
+                                   false}).ok());
+  return schema;
+}
+
+TEST(SpecificationTest, FindValue) {
+  Specification spec = {{"Brand", "Seagate"}, {"Capacity", "500 GB"}};
+  EXPECT_EQ(*FindValue(spec, "Brand"), "Seagate");
+  EXPECT_FALSE(FindValue(spec, "brand").has_value());  // exact match
+  EXPECT_EQ(*FindValueNormalized(spec, "brand"), "Seagate");
+  EXPECT_EQ(*FindValueNormalized(spec, "CAPACITY"), "500 GB");
+  EXPECT_FALSE(FindValue(spec, "Speed").has_value());
+  EXPECT_TRUE(HasAttribute(spec, "Brand"));
+  EXPECT_FALSE(HasAttribute(spec, "Speed"));
+}
+
+TEST(SchemaTest, AttributesAndKeys) {
+  CategorySchema schema = DriveSchema(0);
+  EXPECT_EQ(schema.size(), 3u);
+  EXPECT_TRUE(schema.HasAttribute("Brand"));
+  EXPECT_FALSE(schema.HasAttribute("Speed"));
+  EXPECT_EQ(schema.GetAttribute("Capacity")->kind, AttributeKind::kNumeric);
+  EXPECT_TRUE(schema.GetAttribute("Speed").status().IsNotFound());
+  const auto keys = schema.KeyAttributeNames();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "Model Part Number");
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndEmptyNames) {
+  CategorySchema schema(0);
+  EXPECT_TRUE(schema.AddAttribute({"A", AttributeKind::kText, false}).ok());
+  EXPECT_TRUE(schema.AddAttribute({"A", AttributeKind::kText, false})
+                  .IsAlreadyExists());
+  EXPECT_TRUE(schema.AddAttribute({"", AttributeKind::kText, false})
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaRegistryTest, RegisterAndLookup) {
+  SchemaRegistry registry;
+  EXPECT_TRUE(registry.Register(DriveSchema(3)).ok());
+  EXPECT_TRUE(registry.Contains(3));
+  EXPECT_FALSE(registry.Contains(4));
+  EXPECT_TRUE(registry.Get(4).status().IsNotFound());
+  EXPECT_TRUE(registry.Register(DriveSchema(3)).IsAlreadyExists());
+  EXPECT_TRUE(registry
+                  .Register(CategorySchema(kInvalidCategory))
+                  .IsInvalidArgument());
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    drives_ = *catalog_.taxonomy().AddCategory("Hard Drives");
+    ASSERT_TRUE(catalog_.schemas().Register(DriveSchema(drives_)).ok());
+  }
+  Catalog catalog_;
+  CategoryId drives_ = kInvalidCategory;
+};
+
+TEST_F(CatalogTest, AddAndGetProduct) {
+  auto id = catalog_.AddProduct(
+      drives_, {{"Brand", "Seagate"}, {"Capacity", "500 GB"}});
+  ASSERT_TRUE(id.ok());
+  const Product* p = *catalog_.GetProduct(*id);
+  EXPECT_EQ(p->category, drives_);
+  EXPECT_EQ(*FindValue(p->spec, "Brand"), "Seagate");
+  EXPECT_EQ(catalog_.product_count(), 1u);
+  EXPECT_EQ(catalog_.ProductsInCategory(drives_).size(), 1u);
+  EXPECT_TRUE(catalog_.ProductsInCategory(999).empty());
+}
+
+TEST_F(CatalogTest, RejectsAttributesOutsideSchema) {
+  auto id = catalog_.AddProduct(drives_, {{"Bogus", "x"}});
+  EXPECT_TRUE(id.status().IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, RejectsUnknownCategory) {
+  EXPECT_TRUE(catalog_.AddProduct(42, {}).status().IsNotFound());
+}
+
+TEST_F(CatalogTest, GetProductBoundsChecked) {
+  EXPECT_TRUE(catalog_.GetProduct(-1).status().IsNotFound());
+  EXPECT_TRUE(catalog_.GetProduct(0).status().IsNotFound());
+}
+
+TEST(OfferStoreTest, AddAndIndex) {
+  OfferStore store;
+  Offer offer;
+  offer.merchant = 7;
+  offer.category = 3;
+  offer.title = "Seagate 500GB HDD";
+  auto id = store.AddOffer(offer);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ((*store.GetOffer(*id))->title, "Seagate 500GB HDD");
+  EXPECT_EQ(store.OffersOfMerchant(7).size(), 1u);
+  EXPECT_EQ(store.OffersInCategory(3).size(), 1u);
+  EXPECT_TRUE(store.OffersOfMerchant(8).empty());
+}
+
+TEST(OfferStoreTest, RejectsOfferWithoutMerchant) {
+  OfferStore store;
+  EXPECT_TRUE(store.AddOffer(Offer{}).status().IsInvalidArgument());
+}
+
+TEST(OfferStoreTest, UncategorizedOffersNotIndexedByCategory) {
+  OfferStore store;
+  Offer offer;
+  offer.merchant = 1;
+  auto id = store.AddOffer(offer);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store.OffersInCategory(kInvalidCategory).empty());
+}
+
+TEST(OfferStoreTest, UpdateCategoryReindexes) {
+  OfferStore store;
+  Offer offer;
+  offer.merchant = 1;
+  offer.category = 5;
+  const OfferId id = *store.AddOffer(offer);
+  ASSERT_TRUE(store.UpdateCategory(id, 6).ok());
+  EXPECT_TRUE(store.OffersInCategory(5).empty());
+  ASSERT_EQ(store.OffersInCategory(6).size(), 1u);
+  EXPECT_EQ((*store.GetOffer(id))->category, 6);
+  EXPECT_TRUE(store.UpdateCategory(99, 6).IsNotFound());
+}
+
+TEST(MerchantRegistryTest, AddFindAndReject) {
+  MerchantRegistry registry;
+  const MerchantId a = *registry.AddMerchant("TechForLess");
+  const MerchantId b = *registry.AddMerchant("MegaDeals");
+  EXPECT_NE(a, b);
+  EXPECT_EQ((*registry.GetMerchant(a))->name, "TechForLess");
+  EXPECT_EQ(*registry.FindByName("MegaDeals"), b);
+  EXPECT_TRUE(registry.FindByName("Nope").status().IsNotFound());
+  EXPECT_TRUE(registry.AddMerchant("TechForLess").status().IsAlreadyExists());
+  EXPECT_TRUE(registry.AddMerchant("").status().IsInvalidArgument());
+  EXPECT_TRUE(registry.GetMerchant(99).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,191 @@
+// Tests of the marketplace mechanisms behind Figs. 5/7's statistical
+// structure: market segments, merchant segment affinity, cold (stale)
+// catalog products, and sibling brand sub-pools.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/datagen/product_gen.h"
+#include "src/datagen/world.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(SegmentValueTest, SegmentBiasesDrawsToItsSlice) {
+  ValueModel model;
+  model.kind = ValueModelKind::kNumericPool;
+  model.numeric_pool = {100, 200, 300, 400, 500, 600};
+  Rng rng(1);
+  // Segment 0 owns {100, 200}; with affinity 1.0 every draw lands there.
+  for (int i = 0; i < 50; ++i) {
+    const std::string v = SampleCanonicalValue(model, "", &rng,
+                                               /*segment=*/0,
+                                               /*segment_count=*/3,
+                                               /*segment_affinity=*/1.0);
+    EXPECT_TRUE(v == "100" || v == "200") << v;
+  }
+  // Segment 2 owns {500, 600}.
+  for (int i = 0; i < 50; ++i) {
+    const std::string v =
+        SampleCanonicalValue(model, "", &rng, 2, 3, 1.0);
+    EXPECT_TRUE(v == "500" || v == "600") << v;
+  }
+  // Affinity 0: any value possible; collect the full support.
+  std::set<std::string> seen;
+  for (int i = 0; i < 400; ++i) {
+    seen.insert(SampleCanonicalValue(model, "", &rng, 0, 3, 0.0));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(SegmentValueTest, SegmentDisabledForTinyPools) {
+  ValueModel model;
+  model.kind = ValueModelKind::kCategorical;
+  model.pool = {"A", "B"};  // fewer values than segments
+  Rng rng(2);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(SampleCanonicalValue(model, "", &rng, 2, 3, 1.0));
+  }
+  EXPECT_EQ(seen.size(), 2u);  // no slice restriction applied
+}
+
+TEST(SegmentValueTest, ForcedSegmentPinsProducts) {
+  const auto& archetype = BuiltinCategoryArchetypes()[0];
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const TrueProduct p = GenerateTrueProduct(archetype, 0, &rng, nullptr,
+                                              3, 0.75, /*forced_segment=*/1);
+    EXPECT_EQ(p.segment, 1u);
+  }
+  // Unforced draws cover all segments eventually.
+  std::set<size_t> segments;
+  for (int i = 0; i < 60; ++i) {
+    segments.insert(
+        GenerateTrueProduct(archetype, 0, &rng, nullptr, 3, 0.75).segment);
+  }
+  EXPECT_EQ(segments.size(), 3u);
+}
+
+class SegmentWorld : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig config;
+    config.seed = 61;
+    config.categories_per_archetype = 1;
+    config.merchants = 40;
+    config.products_per_category = 20;
+    world_ = new World(*World::Generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* SegmentWorld::world_ = nullptr;
+
+TEST_F(SegmentWorld, ColdCatalogProductsExist) {
+  // The catalog holds live products (those with offers) plus the stale
+  // mass no merchant sells. With cold_catalog_ratio > 0 there must be
+  // catalog products never referenced by any historical match.
+  std::set<ProductId> matched;
+  for (const auto& [offer, product] : world_->historical_matches.matches()) {
+    (void)offer;
+    matched.insert(product);
+  }
+  EXPECT_LT(matched.size(), world_->catalog.product_count());
+  const double stale_fraction =
+      1.0 - static_cast<double>(matched.size()) /
+                static_cast<double>(world_->catalog.product_count());
+  // cold_catalog_ratio=1.5 plus unmatched live products: most of the
+  // catalog is stale, as in a real PSE.
+  EXPECT_GT(stale_fraction, 0.4);
+}
+
+TEST_F(SegmentWorld, MerchantsPreferTheirSegment) {
+  // Aggregate over merchants: offers on the merchant's preferred segment
+  // must be clearly over-represented vs the uniform 1/3 share.
+  size_t preferred = 0, total = 0;
+  for (const auto& offer : world_->incoming_offers.offers()) {
+    const auto& profile = world_->merchant_profiles[static_cast<size_t>(
+        offer.merchant)];
+    const size_t novel = world_->incoming_truth.at(offer.id);
+    const TrueProduct& product = world_->novel_products[novel];
+    ++total;
+    if (product.segment == profile.preferred_segment) ++preferred;
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(preferred) / static_cast<double>(total),
+            0.5);
+}
+
+TEST_F(SegmentWorld, SiblingBrandSubpoolsAreProperSubsets) {
+  // Each instance's novel products draw brands from a sub-pool of the
+  // archetype's brand list.
+  std::map<CategoryId, std::set<std::string>> brands_by_category;
+  for (const auto& novel : world_->novel_products) {
+    if (!novel.brand.empty()) {
+      brands_by_category[novel.category].insert(novel.brand);
+    }
+  }
+  for (const auto& [category, brands] : brands_by_category) {
+    const CategoryInstance* inst = world_->InstanceOf(category);
+    ASSERT_NE(inst, nullptr);
+    const std::vector<std::string>* pool = nullptr;
+    for (const auto& attr : inst->archetype->attributes) {
+      if (attr.name == "Brand") {
+        pool = &attr.value.pool;
+        break;
+      }
+    }
+    ASSERT_NE(pool, nullptr);
+    // All brands legal...
+    for (const auto& brand : brands) {
+      EXPECT_NE(std::find(pool->begin(), pool->end(), brand), pool->end());
+    }
+    // ...and the sub-pool is strictly smaller than the archetype pool
+    // whenever the pool is large enough to split.
+    if (pool->size() >= 6) {
+      EXPECT_LT(brands.size(), pool->size());
+    }
+  }
+}
+
+TEST_F(SegmentWorld, SegmentsShiftValueDistributions) {
+  // For the Hard Drives instance, segment-0 products must skew towards
+  // the low end of the Capacity pool relative to segment-2 products.
+  const CategoryInstance* drives = nullptr;
+  for (const auto& inst : world_->category_instances) {
+    if (inst.name == "Hard Drives") drives = &inst;
+  }
+  ASSERT_NE(drives, nullptr);
+  double low_sum = 0, high_sum = 0;
+  size_t low_n = 0, high_n = 0;
+  auto accumulate = [&](const TrueProduct& p) {
+    if (p.category != drives->id) return;
+    auto capacity = FindValue(p.spec, "Capacity");
+    if (!capacity.has_value()) return;
+    const long long value =
+        ParseNonNegativeInt(capacity->substr(0, capacity->find(' ')));
+    if (value < 0) return;
+    if (p.segment == 0) {
+      low_sum += static_cast<double>(value);
+      ++low_n;
+    } else if (p.segment == 2) {
+      high_sum += static_cast<double>(value);
+      ++high_n;
+    }
+  };
+  for (const auto& p : world_->novel_products) accumulate(p);
+  if (low_n < 3 || high_n < 3) GTEST_SKIP() << "not enough products";
+  EXPECT_LT(low_sum / static_cast<double>(low_n),
+            high_sum / static_cast<double>(high_n));
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,350 @@
+// Invariants of the synthetic marketplace generator.
+
+#include "src/datagen/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datagen/offer_gen.h"
+#include "src/datagen/page_gen.h"
+#include "src/datagen/product_gen.h"
+#include "src/html/table_extractor.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+namespace {
+
+WorldConfig SmallConfig(uint64_t seed = 11) {
+  WorldConfig config;
+  config.seed = seed;
+  config.categories_per_archetype = 1;
+  config.merchants = 30;
+  config.products_per_category = 12;
+  return config;
+}
+
+TEST(VocabTest, ArchetypesAreWellFormed) {
+  const auto& archetypes = BuiltinCategoryArchetypes();
+  ASSERT_GE(archetypes.size(), 20u);
+  std::set<std::string> domains;
+  for (const auto& archetype : archetypes) {
+    domains.insert(archetype.domain);
+    EXPECT_FALSE(archetype.name.empty());
+    EXPECT_FALSE(archetype.title_nouns.empty());
+    EXPECT_LT(archetype.price_min, archetype.price_max);
+    std::set<std::string> names;
+    bool has_key = false;
+    bool has_brand = false;
+    for (const auto& attr : archetype.attributes) {
+      EXPECT_TRUE(names.insert(attr.name).second)
+          << archetype.name << " has duplicate attribute " << attr.name;
+      has_key |= attr.is_key;
+      has_brand |= attr.name == "Brand";
+      // Synonyms never repeat the catalog name.
+      for (const auto& synonym : attr.synonyms) {
+        EXPECT_NE(synonym, attr.name);
+      }
+    }
+    EXPECT_TRUE(has_key) << archetype.name << " lacks a key attribute";
+    EXPECT_TRUE(has_brand) << archetype.name << " lacks a Brand attribute";
+  }
+  // All four Table-3 domains represented.
+  EXPECT_EQ(domains.size(), 4u);
+}
+
+TEST(VocabTest, JunkAttributesDoNotCollideWithCatalogNames) {
+  std::set<std::string> catalog_names;
+  for (const auto& archetype : BuiltinCategoryArchetypes()) {
+    for (const auto& attr : archetype.attributes) {
+      catalog_names.insert(NormalizeAttributeName(attr.name));
+    }
+  }
+  for (const auto& junk : JunkAttributes()) {
+    EXPECT_EQ(catalog_names.count(NormalizeAttributeName(junk.name)), 0u)
+        << "junk attribute " << junk.name << " collides with a catalog name";
+    EXPECT_FALSE(junk.values.empty());
+  }
+}
+
+TEST(ProductGenTest, GeneratesFullSpecsWithUniqueKeys) {
+  Rng rng(3);
+  const auto& archetype = BuiltinCategoryArchetypes()[0];  // Hard Drives
+  std::set<std::string> keys;
+  for (int i = 0; i < 50; ++i) {
+    const TrueProduct p = GenerateTrueProduct(archetype, 1, &rng);
+    EXPECT_EQ(p.category, 1);
+    EXPECT_FALSE(p.brand.empty());
+    EXPECT_FALSE(p.key.empty());
+    keys.insert(p.key);
+    EXPECT_EQ(p.spec.size(), archetype.attributes.size());
+    EXPECT_EQ(*FindValue(p.spec, "Brand"), p.brand);
+  }
+  EXPECT_EQ(keys.size(), 50u);  // MPN collisions are (near) impossible
+}
+
+TEST(ProductGenTest, ValueSamplersRespectModels) {
+  Rng rng(4);
+  ValueModel categorical;
+  categorical.kind = ValueModelKind::kCategorical;
+  categorical.pool = {"A", "B"};
+  for (int i = 0; i < 20; ++i) {
+    const std::string v = SampleCanonicalValue(categorical, "", &rng);
+    EXPECT_TRUE(v == "A" || v == "B");
+  }
+  ValueModel digits;
+  digits.kind = ValueModelKind::kDigits;
+  digits.digit_length = 12;
+  const std::string upc = SampleCanonicalValue(digits, "", &rng);
+  EXPECT_EQ(upc.size(), 12u);
+  EXPECT_TRUE(IsAllDigits(upc));
+  ValueModel numeric;
+  numeric.kind = ValueModelKind::kNumericRange;
+  numeric.min = 10;
+  numeric.max = 20;
+  numeric.step = 2;
+  numeric.unit = "kg";
+  for (int i = 0; i < 20; ++i) {
+    const std::string v = SampleCanonicalValue(numeric, "", &rng);
+    EXPECT_TRUE(EndsWith(v, " kg"));
+    const long long n = ParseNonNegativeInt(v.substr(0, v.find(' ')));
+    EXPECT_GE(n, 10);
+    EXPECT_LE(n, 20);
+    EXPECT_EQ(n % 2, 0);
+  }
+  ValueModel identifier;
+  identifier.kind = ValueModelKind::kIdentifier;
+  const std::string code = SampleCanonicalValue(identifier, "Seagate", &rng);
+  EXPECT_TRUE(StartsWith(code, "S"));
+  EXPECT_GE(code.size(), 8u);
+}
+
+TEST(OfferGenTest, TypoChangesExactlyOneCharacter) {
+  Rng rng(5);
+  const std::string original = "Seagate Barracuda 500";
+  for (int i = 0; i < 30; ++i) {
+    const std::string typo = ApplyTypo(original, &rng);
+    ASSERT_EQ(typo.size(), original.size());
+    size_t diffs = 0;
+    for (size_t j = 0; j < typo.size(); ++j) {
+      if (typo[j] != original[j]) ++diffs;
+    }
+    EXPECT_LE(diffs, 1u);
+  }
+}
+
+TEST(WorldTest, GenerationIsDeterministic) {
+  auto a = *World::Generate(SmallConfig());
+  auto b = *World::Generate(SmallConfig());
+  EXPECT_EQ(a.historical_offers.size(), b.historical_offers.size());
+  EXPECT_EQ(a.incoming_offers.size(), b.incoming_offers.size());
+  EXPECT_EQ(a.catalog.product_count(), b.catalog.product_count());
+  ASSERT_EQ(a.novel_products.size(), b.novel_products.size());
+  for (size_t i = 0; i < a.novel_products.size(); ++i) {
+    EXPECT_EQ(a.novel_products[i].key, b.novel_products[i].key);
+    EXPECT_EQ(a.novel_products[i].spec, b.novel_products[i].spec);
+  }
+  // Offers identical too.
+  for (size_t i = 0; i < a.incoming_offers.size(); ++i) {
+    EXPECT_EQ(a.incoming_offers.offers()[i].title,
+              b.incoming_offers.offers()[i].title);
+    EXPECT_EQ(a.incoming_offers.offers()[i].url,
+              b.incoming_offers.offers()[i].url);
+  }
+}
+
+TEST(WorldTest, DifferentSeedsDiffer) {
+  auto a = *World::Generate(SmallConfig(1));
+  auto b = *World::Generate(SmallConfig(2));
+  ASSERT_FALSE(a.novel_products.empty());
+  ASSERT_FALSE(b.novel_products.empty());
+  EXPECT_NE(a.novel_products[0].key, b.novel_products[0].key);
+}
+
+class WorldInvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World(*World::Generate(SmallConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* WorldInvariantsTest::world_ = nullptr;
+
+TEST_F(WorldInvariantsTest, TaxonomyHasFourDomains) {
+  EXPECT_EQ(world_->catalog.taxonomy().TopLevel().size(), 4u);
+  for (const auto& inst : world_->category_instances) {
+    EXPECT_TRUE(*world_->catalog.taxonomy().IsLeaf(inst.id));
+    EXPECT_EQ(*world_->catalog.taxonomy().TopLevelAncestor(inst.id),
+              inst.top_level);
+    EXPECT_NE(world_->InstanceOf(inst.id), nullptr);
+  }
+}
+
+TEST_F(WorldInvariantsTest, HistoricalMatchesPointToSameCategoryProducts) {
+  for (const auto& [offer_id, product_id] :
+       world_->historical_matches.matches()) {
+    const Offer* offer = *world_->historical_offers.GetOffer(offer_id);
+    const Product* product = *world_->catalog.GetProduct(product_id);
+    EXPECT_EQ(offer->category, product->category);
+  }
+}
+
+TEST_F(WorldInvariantsTest, IncomingOffersHaveTruthRecords) {
+  for (const auto& offer : world_->incoming_offers.offers()) {
+    ASSERT_TRUE(world_->incoming_truth.count(offer.id));
+    ASSERT_TRUE(world_->incoming_category.count(offer.id));
+    ASSERT_TRUE(world_->incoming_page_attrs.count(offer.id));
+    const size_t novel = world_->incoming_truth.at(offer.id);
+    ASSERT_LT(novel, world_->novel_products.size());
+    EXPECT_EQ(world_->novel_products[novel].category,
+              world_->incoming_category.at(offer.id));
+    // Default config: category hidden from the pipeline.
+    EXPECT_EQ(offer.category, kInvalidCategory);
+  }
+}
+
+TEST_F(WorldInvariantsTest, NamingTruthCoversHistoricalSpecAttributes) {
+  // Every real (non-junk) attribute name in a historical offer spec must
+  // be explained by the naming truth; junk names must not be.
+  std::set<std::string> junk_names;
+  for (const auto& junk : JunkAttributes()) junk_names.insert(junk.name);
+  size_t real_pairs = 0, junk_pairs = 0;
+  for (const auto& offer : world_->historical_offers.offers()) {
+    for (const auto& av : offer.spec) {
+      const std::string truth = world_->TrueCatalogAttribute(
+          offer.merchant, offer.category, av.name);
+      if (junk_names.count(av.name) > 0) {
+        EXPECT_TRUE(truth.empty()) << av.name;
+        ++junk_pairs;
+      } else {
+        EXPECT_FALSE(truth.empty())
+            << "no naming truth for " << av.name << " of merchant "
+            << offer.merchant;
+        ++real_pairs;
+      }
+    }
+  }
+  EXPECT_GT(real_pairs, 0u);
+  EXPECT_GT(junk_pairs, 0u);  // junk rows do land in extracted specs
+}
+
+TEST_F(WorldInvariantsTest, PagesAreFetchableAndParseable) {
+  size_t fetched = 0, dead = 0;
+  for (const auto& offer : world_->incoming_offers.offers()) {
+    auto page = world_->pages.Fetch(offer.url);
+    if (!page.ok()) {
+      EXPECT_TRUE(page.status().IsNotFound());
+      ++dead;
+      continue;
+    }
+    ++fetched;
+    EXPECT_TRUE(ExtractPairsFromHtml(*page).ok());
+  }
+  EXPECT_GT(fetched, 0u);
+  // Dead links exist but are rare.
+  EXPECT_LT(dead, fetched / 5 + 10);
+}
+
+TEST_F(WorldInvariantsTest, BrandSpecialistsOnlySellTheirBrand) {
+  for (const auto& profile : world_->merchant_profiles) {
+    if (!profile.brand_filter.has_value()) continue;
+    for (OfferId oid :
+         world_->historical_offers.OffersOfMerchant(profile.id)) {
+      const ProductId pid = world_->historical_matches.ProductOf(oid);
+      if (pid == kInvalidProduct) continue;
+      const Product* product = *world_->catalog.GetProduct(pid);
+      auto brand = FindValue(product->spec, "Brand");
+      if (brand.has_value()) {
+        EXPECT_EQ(*brand, *profile.brand_filter);
+      }
+    }
+  }
+}
+
+TEST_F(WorldInvariantsTest, MerchantProfilesAlignWithRegistry) {
+  ASSERT_EQ(world_->merchant_profiles.size(), world_->merchants.size());
+  for (const auto& profile : world_->merchant_profiles) {
+    EXPECT_EQ((*world_->merchants.GetMerchant(profile.id))->name,
+              profile.name);
+    EXPECT_FALSE(profile.categories.empty());
+  }
+}
+
+TEST_F(WorldInvariantsTest, CategoriesOfDomainPartitionLeaves) {
+  size_t total = 0;
+  for (const auto& domain : BuiltinDomains()) {
+    total += world_->CategoriesOfDomain(domain).size();
+  }
+  EXPECT_EQ(total, world_->category_instances.size());
+}
+
+TEST(PageGenTest, SpecTablePageRoundTripsThroughExtractor) {
+  Rng rng(6);
+  WorldConfig config = SmallConfig();
+  config.junk_rows_min = 0;
+  config.junk_rows_max = 0;
+  MerchantProfile merchant;
+  merchant.page_template = PageTemplate::kSpecTable;
+  merchant.name = "TestShop";
+  OfferContent content;
+  content.title = "Some Product";
+  content.merchant_spec = {{"Brand", "Seagate"}, {"Capacity", "500 GB"}};
+  const std::string html = RenderLandingPage(content, merchant, config, &rng);
+  auto pairs = *ExtractPairsFromHtml(html);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].name, "Brand");
+  EXPECT_EQ(pairs[1].value, "500 GB");
+}
+
+TEST(PageGenTest, BulletPageYieldsNoPairs) {
+  Rng rng(7);
+  MerchantProfile merchant;
+  merchant.page_template = PageTemplate::kBulletList;
+  OfferContent content;
+  content.title = "T";
+  content.merchant_spec = {{"Brand", "Seagate"}};
+  const std::string html =
+      RenderLandingPage(content, merchant, SmallConfig(), &rng);
+  EXPECT_TRUE((*ExtractPairsFromHtml(html)).empty());
+}
+
+TEST(PageGenTest, NestedTemplateStillYieldsSpecRows) {
+  Rng rng(8);
+  WorldConfig config = SmallConfig();
+  config.junk_rows_min = 2;
+  config.junk_rows_max = 2;
+  MerchantProfile merchant;
+  merchant.page_template = PageTemplate::kNestedTable;
+  OfferContent content;
+  content.title = "T";
+  content.merchant_spec = {{"Brand", "Seagate"}, {"Speed", "7200 rpm"}};
+  const std::string html = RenderLandingPage(content, merchant, config, &rng);
+  auto pairs = *ExtractPairsFromHtml(html);
+  // 2 spec rows + 2 junk rows; the nav table contributes nothing.
+  EXPECT_EQ(pairs.size(), 4u);
+}
+
+TEST(OfferGenTest, HtmlUnsafeValuesSurviveRendering) {
+  Rng rng(9);
+  MerchantProfile merchant;
+  merchant.page_template = PageTemplate::kSpecTable;
+  OfferContent content;
+  content.title = "Cables & Adapters <new>";
+  content.merchant_spec = {{"Name & Co", "5 < 6 > 4 \"quoted\""}};
+  WorldConfig config = SmallConfig();
+  config.junk_rows_min = 0;
+  config.junk_rows_max = 0;
+  const std::string html = RenderLandingPage(content, merchant, config, &rng);
+  auto pairs = *ExtractPairsFromHtml(html);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].name, "Name & Co");
+  EXPECT_EQ(pairs[0].value, "5 < 6 > 4 \"quoted\"");
+}
+
+}  // namespace
+}  // namespace prodsyn

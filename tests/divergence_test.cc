@@ -1,0 +1,97 @@
+#include "src/text/divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/random.h"
+
+namespace prodsyn {
+namespace {
+
+TermDistribution DistOf(const std::string& text) {
+  BagOfWords bag;
+  bag.AddText(text);
+  return TermDistribution(bag);
+}
+
+TEST(KlTest, ZeroForIdenticalDistributions) {
+  const auto p = DistOf("a a b");
+  EXPECT_NEAR(KullbackLeiblerDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlTest, InfiniteWhenSupportNotCovered) {
+  const auto p = DistOf("a b");
+  const auto q = DistOf("a");
+  EXPECT_TRUE(std::isinf(KullbackLeiblerDivergence(p, q)));
+  // The reverse direction is finite: q's support is inside p's.
+  EXPECT_FALSE(std::isinf(KullbackLeiblerDivergence(q, p)));
+}
+
+TEST(KlTest, KnownValue) {
+  // p = {a:1}, q = {a:1/2, b:1/2}: KL = 1*log2(1/0.5) = 1 bit.
+  const auto p = DistOf("a");
+  const auto q = DistOf("a b");
+  EXPECT_NEAR(KullbackLeiblerDivergence(p, q), 1.0, 1e-12);
+}
+
+TEST(JsTest, ZeroForIdenticalDistributions) {
+  // The paper's Fig. 5(d): Speed vs RPM with identical value distributions
+  // gives JS divergence 0.00.
+  const auto speed = DistOf("5400 7200 5400 7200");
+  const auto rpm = DistOf("5400 7200 5400 7200");
+  EXPECT_NEAR(JensenShannonDivergence(speed, rpm), 0.0, 1e-12);
+  EXPECT_NEAR(JensenShannonSimilarity(speed, rpm), 1.0, 1e-12);
+}
+
+TEST(JsTest, OneForDisjointDistributions) {
+  const auto p = DistOf("a b c");
+  const auto q = DistOf("x y z");
+  EXPECT_NEAR(JensenShannonDivergence(p, q), 1.0, 1e-12);
+}
+
+TEST(JsTest, Fig5OrderingInterfaceVsRpm) {
+  // Fig. 5(c)/(d): Interface is closer to "Int. Type" than to RPM.
+  const auto interface_dist = DistOf("ATA 100 IDE 133 IDE 133 ATA 133");
+  const auto int_type =
+      DistOf("ATA 100 mb/s IDE 133 mb/s IDE 133 mb/s ATA 133 mb/s");
+  const auto rpm = DistOf("5400 7200 5400 7200");
+  const double close = JensenShannonDivergence(interface_dist, int_type);
+  const double far = JensenShannonDivergence(interface_dist, rpm);
+  EXPECT_LT(close, far);
+  EXPECT_NEAR(far, 1.0, 1e-9);  // disjoint vocabularies
+  EXPECT_LT(close, 0.5);
+}
+
+TEST(JsTest, EmptyDistributionIsMaximallyDistant) {
+  const auto p = DistOf("a");
+  const TermDistribution empty;
+  EXPECT_DOUBLE_EQ(JensenShannonDivergence(p, empty), 1.0);
+  EXPECT_DOUBLE_EQ(JensenShannonDivergence(empty, empty), 1.0);
+}
+
+class JsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsPropertyTest, SymmetricBoundedAndReflexive) {
+  Rng rng(GetParam());
+  const char* vocab[] = {"t0", "t1", "t2", "t3", "t4", "t5"};
+  BagOfWords a, b;
+  for (int i = 0; i < 25; ++i) {
+    a.Add(vocab[rng.NextBelow(6)]);
+    b.Add(vocab[rng.NextBelow(6)]);
+  }
+  const TermDistribution pa{a}, pb{b};
+  const double ab = JensenShannonDivergence(pa, pb);
+  EXPECT_DOUBLE_EQ(ab, JensenShannonDivergence(pb, pa));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_NEAR(JensenShannonDivergence(pa, pa), 0.0, 1e-12);
+  // Similarity is the complement.
+  EXPECT_NEAR(JensenShannonSimilarity(pa, pb), 1.0 - ab, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsPropertyTest,
+                         ::testing::Range<uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace prodsyn

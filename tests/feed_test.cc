@@ -1,0 +1,154 @@
+#include "src/catalog/feed.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(TsvEscapeTest, RoundTripsControlCharacters) {
+  const std::string raw = "a\tb\nc\rd\\e";
+  EXPECT_EQ(UnescapeTsvField(EscapeTsvField(raw)), raw);
+  EXPECT_EQ(EscapeTsvField("plain"), "plain");
+}
+
+TEST(SpecSerializationTest, RoundTrips) {
+  Specification spec = {{"Brand", "Seagate"},
+                        {"Odd=Name;", "va=l;ue\\x"},
+                        {"Capacity", "500 GB"}};
+  auto parsed = ParseSpec(SerializeSpec(spec));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, spec);
+}
+
+TEST(SpecSerializationTest, EmptySpec) {
+  auto parsed = ParseSpec("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(SpecSerializationTest, MissingEqualsIsParseError) {
+  EXPECT_TRUE(ParseSpec("noequals").status().IsParseError());
+}
+
+TEST(FeedTest, SerializeParseRoundTrip) {
+  std::vector<FeedRecord> records;
+  FeedRecord r;
+  r.url = "http://www.techforless.example.com/item/1";
+  r.title = "Gear Head DVD+/-RW";
+  r.description = "Supports direct-to-disc labeling";
+  r.price = 67.0;
+  r.seller = "Tech for Less";
+  r.category_path = "Computing|Storage|Hard Drives";
+  r.spec = {{"Brand", "Gear Head"}};
+  records.push_back(r);
+  FeedRecord minimal;
+  minimal.title = "HP HDD";
+  minimal.seller = "lacc.com";
+  records.push_back(minimal);
+
+  auto parsed = ParseFeed(SerializeFeed(records));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].title, records[0].title);
+  EXPECT_EQ((*parsed)[0].category_path, records[0].category_path);
+  EXPECT_DOUBLE_EQ((*parsed)[0].price, 67.0);
+  EXPECT_EQ((*parsed)[0].spec, records[0].spec);
+  EXPECT_EQ((*parsed)[1].seller, "lacc.com");
+}
+
+TEST(FeedTest, MissingHeaderIsParseError) {
+  EXPECT_TRUE(ParseFeed("not a header\nrow").status().IsParseError());
+  EXPECT_TRUE(ParseFeed("").status().IsParseError());
+}
+
+TEST(FeedTest, WrongFieldCountIsParseError) {
+  const std::string tsv =
+      "source_url\ttitle\tdescription\tprice\tseller\tcategory\tspec\n"
+      "only\tthree\tfields\n";
+  auto parsed = ParseFeed(tsv);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+  // Error message carries the line number.
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(FeedTest, BadPriceIsParseError) {
+  const std::string tsv =
+      "source_url\ttitle\tdescription\tprice\tseller\tcategory\tspec\n"
+      "u\tt\td\tnot-a-price\ts\tc\t\n";
+  EXPECT_TRUE(ParseFeed(tsv).status().IsParseError());
+}
+
+TEST(FeedTest, EmptyPriceDefaultsToZero) {
+  const std::string tsv =
+      "source_url\ttitle\tdescription\tprice\tseller\tcategory\tspec\n"
+      "u\tt\td\t\ts\tc\t\n";
+  auto parsed = ParseFeed(tsv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ((*parsed)[0].price, 0.0);
+}
+
+TEST(FeedTest, BlankLinesSkipped) {
+  const std::string tsv =
+      "source_url\ttitle\tdescription\tprice\tseller\tcategory\tspec\n"
+      "\n"
+      "u\tt\td\t1.5\ts\tc\t\n"
+      "\n";
+  auto parsed = ParseFeed(tsv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+// Property: random records with hostile characters survive a round trip.
+class FeedRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FeedRoundTripTest, RandomRecordsRoundTrip) {
+  Rng rng(GetParam());
+  auto random_text = [&](size_t max_len) {
+    static const char kAlphabet[] =
+        "abcXYZ019 \t\n\\;=|&<>\"'";
+    std::string s;
+    const size_t len = rng.NextBelow(max_len);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)]);
+    }
+    return s;
+  };
+  std::vector<FeedRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    FeedRecord r;
+    r.url = random_text(30);
+    r.title = random_text(40);
+    r.description = random_text(60);
+    r.price = static_cast<double>(rng.NextBelow(100000)) / 100.0;
+    r.seller = random_text(20);
+    r.category_path = random_text(30);
+    const size_t pairs = rng.NextBelow(4);
+    for (size_t k = 0; k < pairs; ++k) {
+      // Spec attribute names must be non-empty for the round trip.
+      r.spec.push_back({"n" + std::to_string(k) + random_text(8),
+                        random_text(12)});
+    }
+    records.push_back(std::move(r));
+  }
+  auto parsed = ParseFeed(SerializeFeed(records));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].url, records[i].url);
+    EXPECT_EQ((*parsed)[i].title, records[i].title);
+    EXPECT_EQ((*parsed)[i].description, records[i].description);
+    EXPECT_EQ((*parsed)[i].seller, records[i].seller);
+    EXPECT_EQ((*parsed)[i].category_path, records[i].category_path);
+    EXPECT_EQ((*parsed)[i].spec, records[i].spec);
+    EXPECT_NEAR((*parsed)[i].price, records[i].price, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeedRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace prodsyn

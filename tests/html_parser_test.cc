@@ -1,0 +1,147 @@
+#include "src/html/html_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace prodsyn {
+namespace {
+
+TEST(HtmlParserTest, ParsesSimpleDocument) {
+  auto dom = ParseHtml("<html><body><p>Hello</p></body></html>");
+  ASSERT_TRUE(dom.ok());
+  const auto paragraphs = (*dom)->FindAll("p");
+  ASSERT_EQ(paragraphs.size(), 1u);
+  EXPECT_EQ(paragraphs[0]->InnerText(), "Hello");
+}
+
+TEST(HtmlParserTest, EmptyInputIsError) {
+  EXPECT_TRUE(ParseHtml("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseHtml("   \n  ").status().IsInvalidArgument());
+}
+
+TEST(HtmlParserTest, ParsesAttributes) {
+  auto dom = ParseHtml(R"(<div class="product" id=main data-x='7'>t</div>)");
+  ASSERT_TRUE(dom.ok());
+  const auto divs = (*dom)->FindAll("div");
+  ASSERT_EQ(divs.size(), 1u);
+  EXPECT_EQ(divs[0]->attribute("class"), "product");
+  EXPECT_EQ(divs[0]->attribute("id"), "main");
+  EXPECT_EQ(divs[0]->attribute("data-x"), "7");
+  EXPECT_EQ(divs[0]->attribute("missing"), "");
+}
+
+TEST(HtmlParserTest, VoidElementsDoNotNest) {
+  auto dom = ParseHtml("<p>a<br>b<img src=x>c</p>");
+  ASSERT_TRUE(dom.ok());
+  const auto paragraphs = (*dom)->FindAll("p");
+  ASSERT_EQ(paragraphs.size(), 1u);
+  EXPECT_EQ(paragraphs[0]->InnerText(), "a b c");
+  EXPECT_EQ((*dom)->FindAll("br").size(), 1u);
+}
+
+TEST(HtmlParserTest, ImplicitCloseOfListItems) {
+  auto dom = ParseHtml("<ul><li>one<li>two<li>three</ul>");
+  ASSERT_TRUE(dom.ok());
+  const auto items = (*dom)->FindAll("li");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0]->InnerText(), "one");
+  EXPECT_EQ(items[2]->InnerText(), "three");
+}
+
+TEST(HtmlParserTest, ImplicitCloseOfTableCells) {
+  auto dom = ParseHtml(
+      "<table><tr><td>a<td>b<tr><td>c<td>d</table>");
+  ASSERT_TRUE(dom.ok());
+  const auto rows = (*dom)->FindAll("tr");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->ChildElements("td").size(), 2u);
+  EXPECT_EQ(rows[1]->ChildElements("td").size(), 2u);
+}
+
+TEST(HtmlParserTest, StrayCloseTagIgnored) {
+  auto dom = ParseHtml("<div>a</span>b</div>");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->FindAll("div")[0]->InnerText(), "a b");
+}
+
+TEST(HtmlParserTest, UnclosedTagsRecovered) {
+  auto dom = ParseHtml("<div><p>text");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->FindAll("p").size(), 1u);
+}
+
+TEST(HtmlParserTest, CommentsAndDoctypeSkipped) {
+  auto dom = ParseHtml(
+      "<!DOCTYPE html><!-- note --><p>x<!-- inner --></p>");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->FindAll("p")[0]->InnerText(), "x");
+}
+
+TEST(HtmlParserTest, ScriptContentIsRawText) {
+  auto dom = ParseHtml(
+      "<script>if (a < b) { x = '<td>'; }</script><p>after</p>");
+  ASSERT_TRUE(dom.ok());
+  // The '<td>' inside the script must not become an element.
+  EXPECT_TRUE((*dom)->FindAll("td").empty());
+  EXPECT_EQ((*dom)->FindAll("p").size(), 1u);
+}
+
+TEST(HtmlParserTest, StraySlashInsideTagDoesNotLoop) {
+  // Regression: "<a b/c>" used to spin forever in the attribute lexer.
+  auto dom = ParseHtml("<a b/c>text</a>");
+  ASSERT_TRUE(dom.ok());
+  const auto anchors = (*dom)->FindAll("a");
+  ASSERT_EQ(anchors.size(), 1u);
+  EXPECT_EQ(anchors[0]->InnerText(), "text");
+  // Slash-heavy soup parses too.
+  EXPECT_TRUE(ParseHtml("<x ////// y=/ z//>ok").ok());
+}
+
+TEST(HtmlParserTest, SelfClosingTag) {
+  auto dom = ParseHtml("<div><span/>x</div>");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->FindAll("div")[0]->InnerText(), "x");
+}
+
+TEST(HtmlParserTest, NestedTables) {
+  auto dom = ParseHtml(
+      "<table><tr><td><table><tr><td>inner</td></tr></table></td>"
+      "<td>outer</td></tr></table>");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->FindAll("table").size(), 2u);
+}
+
+TEST(EntityTest, DecodesNamedEntities) {
+  EXPECT_EQ(DecodeHtmlEntities("a &amp; b &lt;c&gt; &quot;d&quot; &apos;e&apos;"),
+            "a & b <c> \"d\" 'e'");
+  EXPECT_EQ(DecodeHtmlEntities("no&nbsp;break"), "no break");
+}
+
+TEST(EntityTest, DecodesNumericEntities) {
+  EXPECT_EQ(DecodeHtmlEntities("&#65;&#x42;&#x63;"), "ABc");
+  // Non-ASCII code points degrade to '?' rather than corrupting bytes.
+  EXPECT_EQ(DecodeHtmlEntities("&#8364;"), "?");
+}
+
+TEST(EntityTest, UnknownEntitiesKeptVerbatim) {
+  EXPECT_EQ(DecodeHtmlEntities("&bogus; &"), "&bogus; &");
+}
+
+TEST(EntityTest, EscapeRoundTrip) {
+  const std::string raw = R"(5 < 6 & "x" > y)";
+  EXPECT_EQ(DecodeHtmlEntities(EscapeHtml(raw)), raw);
+}
+
+TEST(DomTest, InnerTextCollapsesWhitespace) {
+  auto dom = ParseHtml("<div>  a\n\n  <b> b </b>  c  </div>");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->FindAll("div")[0]->InnerText(), "a b c");
+}
+
+TEST(DomTest, AttributeEntityDecoding) {
+  auto dom = ParseHtml(R"(<a title="Tom &amp; Jerry">x</a>)");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->FindAll("a")[0]->attribute("title"), "Tom & Jerry");
+}
+
+}  // namespace
+}  // namespace prodsyn

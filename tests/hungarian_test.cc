@@ -1,0 +1,111 @@
+#include "src/matching/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/random.h"
+
+namespace prodsyn {
+namespace {
+
+double TotalWeight(const std::vector<Assignment>& assignments) {
+  double total = 0.0;
+  for (const auto& a : assignments) total += a.weight;
+  return total;
+}
+
+TEST(HungarianTest, TrivialCases) {
+  EXPECT_TRUE((*MaxWeightBipartiteMatching({})).empty());
+  auto single = *MaxWeightBipartiteMatching({{5.0}});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].row, 0u);
+  EXPECT_EQ(single[0].col, 0u);
+  EXPECT_DOUBLE_EQ(single[0].weight, 5.0);
+}
+
+TEST(HungarianTest, RejectsRaggedMatrix) {
+  EXPECT_TRUE(MaxWeightBipartiteMatching({{1.0, 2.0}, {3.0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HungarianTest, PicksOffDiagonalWhenBetter) {
+  // Diagonal = 1+1, anti-diagonal = 10+10.
+  auto m = *MaxWeightBipartiteMatching({{1.0, 10.0}, {10.0, 1.0}});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(TotalWeight(m), 20.0);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Optimal assignment: (0,1)=9, (1,2)=8, (2,0)=7 -> 24.
+  auto m = *MaxWeightBipartiteMatching(
+      {{1.0, 9.0, 2.0}, {3.0, 4.0, 8.0}, {7.0, 5.0, 6.0}});
+  EXPECT_DOUBLE_EQ(TotalWeight(m), 24.0);
+}
+
+TEST(HungarianTest, RectangularMatrices) {
+  // More columns than rows: each row gets its best available column.
+  auto wide = *MaxWeightBipartiteMatching({{1.0, 5.0, 3.0, 2.0}});
+  ASSERT_EQ(wide.size(), 1u);
+  EXPECT_EQ(wide[0].col, 1u);
+  // More rows than columns.
+  auto tall = *MaxWeightBipartiteMatching({{1.0}, {9.0}, {2.0}});
+  ASSERT_EQ(tall.size(), 1u);
+  EXPECT_EQ(tall[0].row, 1u);
+}
+
+TEST(HungarianTest, MinWeightFiltersZeroPairs) {
+  auto m = *MaxWeightBipartiteMatching({{0.0, 0.0}, {0.0, 1.0}}, 0.0);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].row, 1u);
+  EXPECT_EQ(m[0].col, 1u);
+}
+
+// Property check against brute force on small random matrices.
+double BruteForceBest(const std::vector<std::vector<double>>& w) {
+  const size_t rows = w.size();
+  const size_t cols = w[0].size();
+  std::vector<size_t> perm(std::max(rows, cols));
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 0.0;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < rows; ++i) {
+      if (perm[i] < cols) total += w[i][perm[i]];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+class HungarianPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HungarianPropertyTest, MatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  const size_t rows = 1 + rng.NextBelow(5);
+  const size_t cols = 1 + rng.NextBelow(5);
+  std::vector<std::vector<double>> w(rows, std::vector<double>(cols));
+  for (auto& row : w) {
+    for (double& v : row) {
+      v = static_cast<double>(rng.NextBelow(100)) / 10.0;
+    }
+  }
+  auto m = *MaxWeightBipartiteMatching(w);
+  EXPECT_NEAR(TotalWeight(m), BruteForceBest(w), 1e-9);
+  // No row or column is used twice.
+  std::vector<bool> row_used(rows, false), col_used(cols, false);
+  for (const auto& a : m) {
+    EXPECT_FALSE(row_used[a.row]);
+    EXPECT_FALSE(col_used[a.col]);
+    row_used[a.row] = true;
+    col_used[a.col] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace prodsyn

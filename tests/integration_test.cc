@@ -1,0 +1,177 @@
+// Cross-cutting integration and robustness properties.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/world.h"
+#include "src/eval/oracle.h"
+#include "src/eval/synthesis_eval.h"
+#include "src/html/table_extractor.h"
+#include "src/pipeline/synthesizer.h"
+#include "src/pipeline/value_fusion.h"
+#include "src/util/random.h"
+
+namespace prodsyn {
+namespace {
+
+// ---------- HTML robustness: arbitrary byte soup must never crash ----------
+
+class HtmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HtmlFuzzTest, GarbageInputNeverCrashesTheExtractor) {
+  Rng rng(GetParam());
+  static const char kSoup[] =
+      "<>/=\"' \n\tabctrdTRDl&;#x1230!-batles<table><tr><td></ul><li";
+  for (int round = 0; round < 50; ++round) {
+    std::string html;
+    const size_t len = 1 + rng.NextBelow(400);
+    for (size_t i = 0; i < len; ++i) {
+      html.push_back(kSoup[rng.NextBelow(sizeof(kSoup) - 1)]);
+    }
+    auto pairs = ExtractPairsFromHtml(html);
+    if (pairs.ok()) {
+      for (const auto& pair : *pairs) {
+        EXPECT_FALSE(pair.name.empty());
+        EXPECT_FALSE(pair.value.empty());
+      }
+    } else {
+      EXPECT_TRUE(pairs.status().IsInvalidArgument());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(HtmlFuzzTest, DeeplyNestedMarkupIsBounded) {
+  std::string html;
+  for (int i = 0; i < 2000; ++i) html += "<div><table><tr>";
+  html += "<td>a</td><td>b</td>";
+  auto pairs = ExtractPairsFromHtml(html);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_LE(pairs->size(), 1u);
+}
+
+// ---------- Value fusion invariants ----------
+
+class FusionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FusionPropertyTest, FusedValueIsAlwaysOneOfTheInputs) {
+  Rng rng(GetParam());
+  const char* words[] = {"microsoft", "windows", "vista", "home",
+                         "premium", "64bit"};
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::string> values;
+    const size_t n = 1 + rng.NextBelow(8);
+    for (size_t i = 0; i < n; ++i) {
+      std::string value;
+      const size_t tokens = 1 + rng.NextBelow(4);
+      for (size_t t = 0; t < tokens; ++t) {
+        if (t > 0) value.push_back(' ');
+        value += words[rng.NextBelow(6)];
+      }
+      values.push_back(std::move(value));
+    }
+    const std::string fused = FuseValues(values);
+    EXPECT_NE(std::find(values.begin(), values.end(), fused), values.end())
+        << "fused value '" << fused << "' not among inputs";
+  }
+}
+
+TEST_P(FusionPropertyTest, FusionIsOrderInsensitiveForDistinctVectors) {
+  Rng rng(GetParam());
+  std::vector<std::string> values = {"alpha beta", "beta gamma",
+                                     "alpha beta gamma", "delta"};
+  const std::string baseline = FuseValues(values);
+  for (int round = 0; round < 10; ++round) {
+    rng.Shuffle(&values);
+    EXPECT_EQ(FuseValues(values), baseline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionPropertyTest,
+                         ::testing::Range<uint64_t>(10, 16));
+
+// ---------- Title classifier quality on a generated world ----------
+
+TEST(TitleClassifierIntegrationTest, AccuracyIsHighOnGeneratedWorld) {
+  WorldConfig config;
+  config.seed = 55;
+  config.categories_per_archetype = 2;
+  config.merchants = 80;
+  config.products_per_category = 25;
+  World world = *World::Generate(config);
+  TitleClassifier classifier;
+  ASSERT_GT(classifier.TrainOnStore(world.historical_offers), 0u);
+  size_t correct = 0, total = 0;
+  for (const auto& offer : world.incoming_offers.offers()) {
+    auto predicted = classifier.Classify(offer.title);
+    if (!predicted.ok()) continue;
+    ++total;
+    if (*predicted == world.incoming_category.at(offer.id)) ++correct;
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+// ---------- Cross-seed stability of end-to-end quality ----------
+
+TEST(StabilityTest, QualityMetricsAreStableAcrossSeeds) {
+  for (uint64_t seed : {100u, 200u, 300u}) {
+    WorldConfig config;
+    config.seed = seed;
+    config.categories_per_archetype = 1;
+    config.merchants = 50;
+    config.products_per_category = 20;
+    World world = *World::Generate(config);
+    ProductSynthesizer synthesizer(&world.catalog);
+    ASSERT_TRUE(synthesizer
+                    .LearnOffline(world.historical_offers,
+                                  world.historical_matches)
+                    .ok());
+    auto result =
+        *synthesizer.Synthesize(world.incoming_offers, world.pages);
+    EvaluationOracle oracle(&world);
+    const SynthesisQuality quality = EvaluateSynthesis(result, oracle);
+    EXPECT_GT(quality.synthesized_products, 50u) << "seed " << seed;
+    EXPECT_GT(quality.attribute_precision, 0.85) << "seed " << seed;
+    EXPECT_GT(quality.product_precision, 0.6) << "seed " << seed;
+  }
+}
+
+// ---------- Degenerate inputs fail cleanly ----------
+
+TEST(DegenerateInputTest, EmptyHistoricalDataIsFailedPrecondition) {
+  WorldConfig config;
+  config.seed = 77;
+  config.categories_per_archetype = 1;
+  config.merchants = 10;
+  config.products_per_category = 5;
+  World world = *World::Generate(config);
+  OfferStore empty_offers;
+  MatchStore empty_matches;
+  ProductSynthesizer synthesizer(&world.catalog);
+  auto status = synthesizer.LearnOffline(empty_offers, empty_matches);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsFailedPrecondition());
+}
+
+TEST(DegenerateInputTest, EmptyIncomingOffersYieldNoProducts) {
+  WorldConfig config;
+  config.seed = 78;
+  config.categories_per_archetype = 1;
+  config.merchants = 20;
+  config.products_per_category = 10;
+  World world = *World::Generate(config);
+  ProductSynthesizer synthesizer(&world.catalog);
+  ASSERT_TRUE(synthesizer
+                  .LearnOffline(world.historical_offers,
+                                world.historical_matches)
+                  .ok());
+  OfferStore empty;
+  auto result = *synthesizer.Synthesize(empty, world.pages);
+  EXPECT_TRUE(result.products.empty());
+  EXPECT_EQ(result.stats.input_offers, 0u);
+}
+
+}  // namespace
+}  // namespace prodsyn

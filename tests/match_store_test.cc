@@ -1,0 +1,44 @@
+#include "src/catalog/match_store.h"
+
+#include <gtest/gtest.h>
+
+namespace prodsyn {
+namespace {
+
+TEST(MatchStoreTest, AddAndLookup) {
+  MatchStore store;
+  ASSERT_TRUE(store.AddMatch(1, 100).ok());
+  ASSERT_TRUE(store.AddMatch(2, 100).ok());
+  ASSERT_TRUE(store.AddMatch(3, 200).ok());
+  EXPECT_EQ(store.ProductOf(1), 100);
+  EXPECT_EQ(store.ProductOf(3), 200);
+  EXPECT_EQ(store.ProductOf(99), kInvalidProduct);
+  EXPECT_TRUE(store.IsMatched(2));
+  EXPECT_FALSE(store.IsMatched(99));
+  EXPECT_EQ(store.OffersOf(100).size(), 2u);
+  EXPECT_EQ(store.OffersOf(200).size(), 1u);
+  EXPECT_TRUE(store.OffersOf(999).empty());
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(MatchStoreTest, IdempotentReAdd) {
+  MatchStore store;
+  ASSERT_TRUE(store.AddMatch(1, 100).ok());
+  EXPECT_TRUE(store.AddMatch(1, 100).ok());  // same pair: fine
+  EXPECT_EQ(store.OffersOf(100).size(), 1u); // not duplicated
+}
+
+TEST(MatchStoreTest, OfferMatchesAtMostOneProduct) {
+  MatchStore store;
+  ASSERT_TRUE(store.AddMatch(1, 100).ok());
+  EXPECT_TRUE(store.AddMatch(1, 200).IsAlreadyExists());
+}
+
+TEST(MatchStoreTest, RejectsInvalidIds) {
+  MatchStore store;
+  EXPECT_TRUE(store.AddMatch(kInvalidOffer, 1).IsInvalidArgument());
+  EXPECT_TRUE(store.AddMatch(1, kInvalidProduct).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace prodsyn

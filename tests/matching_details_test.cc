@@ -1,0 +1,139 @@
+// Tests of subtle matching behaviours: unmatched offers still feed the
+// offer-side bags (paper §3.1 uses ALL offers of the group), categories
+// without schemas yield no candidates, and baseline options are honoured.
+
+#include <gtest/gtest.h>
+
+#include "src/matching/bag_index.h"
+#include "src/matching/coma_matcher.h"
+#include "src/matching/dumas_matcher.h"
+
+namespace prodsyn {
+namespace {
+
+class DetailFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    category_ = *catalog_.taxonomy().AddCategory("Drives");
+    CategorySchema schema(category_);
+    ASSERT_TRUE(
+        schema.AddAttribute({"Speed", AttributeKind::kNumeric, false}).ok());
+    ASSERT_TRUE(catalog_.schemas().Register(std::move(schema)).ok());
+    product_ = *catalog_.AddProduct(category_, {{"Speed", "7200"}});
+
+    // One matched offer and one UNMATCHED offer of the same merchant.
+    Offer matched;
+    matched.merchant = 0;
+    matched.category = category_;
+    matched.spec = {{"RPM", "7200"}};
+    const OfferId matched_id = *offers_.AddOffer(matched);
+    ASSERT_TRUE(matches_.AddMatch(matched_id, product_).ok());
+
+    Offer unmatched;
+    unmatched.merchant = 0;
+    unmatched.category = category_;
+    unmatched.spec = {{"RPM", "5400"}};
+    ASSERT_TRUE(offers_.AddOffer(unmatched).ok());
+
+    ctx_.catalog = &catalog_;
+    ctx_.offers = &offers_;
+    ctx_.matches = &matches_;
+  }
+
+  Catalog catalog_;
+  OfferStore offers_;
+  MatchStore matches_;
+  MatchingContext ctx_;
+  CategoryId category_ = kInvalidCategory;
+  ProductId product_ = kInvalidProduct;
+};
+
+TEST_F(DetailFixture, UnmatchedOffersStillFeedOfferBags) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  const BagOfWords* rpm = index.OfferBag(GroupLevel::kMerchantCategory,
+                                         "RPM", 0, category_);
+  ASSERT_NE(rpm, nullptr);
+  // Paper §3.1: "the set of offers O of merchant M in category C" — all
+  // of them, matched or not.
+  EXPECT_EQ(rpm->Count("7200"), 1u);
+  EXPECT_EQ(rpm->Count("5400"), 1u);
+  // The product side is restricted to matched products only.
+  const BagOfWords* speed = index.ProductBag(GroupLevel::kMerchantCategory,
+                                             "Speed", 0, category_);
+  ASSERT_NE(speed, nullptr);
+  EXPECT_EQ(speed->TotalCount(), 1u);
+}
+
+TEST_F(DetailFixture, CategoriesWithoutSchemaYieldNoCandidates) {
+  // An offer in a category the catalog has no schema for.
+  const CategoryId orphan = *catalog_.taxonomy().AddCategory("Orphan");
+  Offer offer;
+  offer.merchant = 1;
+  offer.category = orphan;
+  offer.spec = {{"X", "1"}};
+  ASSERT_TRUE(offers_.AddOffer(offer).ok());
+  auto index = *MatchedBagIndex::Build(ctx_);
+  for (const auto& tuple : index.candidates()) {
+    EXPECT_NE(tuple.category, orphan);
+  }
+  // The (merchant, category) pair is still visible in the scan.
+  bool seen = false;
+  for (const auto& [m, c] : index.merchant_categories()) {
+    if (m == 1 && c == orphan) seen = true;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST_F(DetailFixture, DumasPairCapIsHonoured) {
+  // Add many matched offers; with max_pairs_per_group = 1 only the first
+  // association feeds the averaged matrix — output still well-formed.
+  for (int i = 0; i < 5; ++i) {
+    Offer offer;
+    offer.merchant = 0;
+    offer.category = category_;
+    offer.spec = {{"RPM", "7200"}};
+    const OfferId id = *offers_.AddOffer(offer);
+    ASSERT_TRUE(matches_.AddMatch(id, product_).ok());
+  }
+  DumasMatcherOptions capped;
+  capped.max_pairs_per_group = 1;
+  DumasMatcher dumas(capped);
+  auto corrs = *dumas.Generate(ctx_);
+  ASSERT_EQ(corrs.size(), 1u);
+  EXPECT_EQ(corrs[0].tuple.catalog_attribute, "Speed");
+  EXPECT_EQ(corrs[0].tuple.offer_attribute, "RPM");
+  // Uncapped gives the same matching here (sanity).
+  DumasMatcher uncapped;
+  EXPECT_EQ((*uncapped.Generate(ctx_)).size(), 1u);
+}
+
+TEST_F(DetailFixture, ComaDeltaZeroKeepsOnlyTheBestPerAttribute) {
+  // Two offer attributes; δ=0 keeps exactly the argmax per catalog attr.
+  Offer offer;
+  offer.merchant = 0;
+  offer.category = category_;
+  offer.spec = {{"Speed", "7200"}, {"Junk", "free shipping"}};
+  ASSERT_TRUE(offers_.AddOffer(offer).ok());
+  ComaMatcherOptions options;
+  options.strategy = ComaStrategy::kName;
+  options.delta = 0.0;
+  ComaMatcher coma(options);
+  auto corrs = *coma.Generate(ctx_);
+  // Per catalog attribute at most one winner per (M, C).
+  std::set<std::string> seen;
+  for (const auto& c : corrs) {
+    const std::string key = std::to_string(c.tuple.merchant) + "/" +
+                            std::to_string(c.tuple.category) + "/" +
+                            c.tuple.catalog_attribute;
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST_F(DetailFixture, MatchedBagIndexCountsBags) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  // 1 product attr x 3 levels + 1 offer attr x 3 levels = 6 bags.
+  EXPECT_EQ(index.bag_count(), 6u);
+}
+
+}  // namespace
+}  // namespace prodsyn

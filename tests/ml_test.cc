@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/dataset.h"
+#include "src/ml/logistic_regression.h"
+#include "src/ml/metrics.h"
+#include "src/ml/naive_bayes.h"
+#include "src/ml/scaler.h"
+#include "src/util/random.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(DatasetTest, TracksDimensionAndPositives) {
+  Dataset data;
+  ASSERT_TRUE(data.Add({{1.0, 2.0}, 1}).ok());
+  ASSERT_TRUE(data.Add({{3.0, 4.0}, 0}).ok());
+  EXPECT_EQ(data.dimension(), 2u);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.positive_count(), 1u);
+  EXPECT_TRUE(data.Add({{1.0}, 0}).IsInvalidArgument());  // wrong dim
+  EXPECT_TRUE(data.Add({{1.0, 1.0}, 2}).IsInvalidArgument());  // bad label
+}
+
+TEST(ScalerTest, StandardizesToZeroMeanUnitVariance) {
+  Dataset data;
+  ASSERT_TRUE(data.Add({{1.0, 10.0}, 0}).ok());
+  ASSERT_TRUE(data.Add({{3.0, 10.0}, 1}).ok());
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 2.0);
+  // Constant feature passes through unchanged (std clamped to 1).
+  std::vector<double> x = {3.0, 10.0};
+  ASSERT_TRUE(scaler.Transform(&x).ok());
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(ScalerTest, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  std::vector<double> x = {1.0};
+  EXPECT_TRUE(scaler.Transform(&x).IsFailedPrecondition());
+  EXPECT_TRUE(scaler.Fit(Dataset()).IsInvalidArgument());
+}
+
+Dataset LinearlySeparable(size_t n, Rng* rng) {
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng->NextDouble() * 2.0 - 1.0;
+    const double x1 = rng->NextDouble() * 2.0 - 1.0;
+    const int label = (x0 + x1 > 0.0) ? 1 : 0;
+    EXPECT_TRUE(data.Add({{x0, x1}, label}).ok());
+  }
+  return data;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableProblem) {
+  Rng rng(5);
+  Dataset data = LinearlySeparable(400, &rng);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  ASSERT_TRUE(model.fitted());
+  size_t correct = 0;
+  for (const auto& ex : data.examples()) {
+    if (*model.Predict(ex.features) == (ex.label == 1)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / data.size(), 0.95);
+  // Both weights point in the positive direction for x0 + x1 > 0.
+  EXPECT_GT(model.weights()[0], 0.0);
+  EXPECT_GT(model.weights()[1], 0.0);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesOrderedByMargin) {
+  Rng rng(6);
+  Dataset data = LinearlySeparable(400, &rng);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  const double deep_positive = *model.PredictProbability({1.0, 1.0});
+  const double boundary = *model.PredictProbability({0.0, 0.0});
+  const double deep_negative = *model.PredictProbability({-1.0, -1.0});
+  EXPECT_GT(deep_positive, boundary);
+  EXPECT_GT(boundary, deep_negative);
+  EXPECT_GT(deep_positive, 0.9);
+  EXPECT_LT(deep_negative, 0.1);
+}
+
+TEST(LogisticRegressionTest, RejectsDegenerateTrainingSets) {
+  LogisticRegression model;
+  EXPECT_TRUE(model.Fit(Dataset()).IsInvalidArgument());
+  Dataset all_positive;
+  ASSERT_TRUE(all_positive.Add({{1.0}, 1}).ok());
+  EXPECT_TRUE(model.Fit(all_positive).IsFailedPrecondition());
+  std::vector<double> x = {1.0};
+  EXPECT_TRUE(model.PredictProbability(x).status().IsFailedPrecondition());
+}
+
+TEST(LogisticRegressionTest, DimensionMismatchAtInference) {
+  Rng rng(7);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(LinearlySeparable(100, &rng)).ok());
+  EXPECT_TRUE(
+      model.PredictProbability({1.0}).status().IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, ClassBalancingHelpsImbalancedData) {
+  // 10:1 imbalance; balanced training should still put the boundary near
+  // the true one rather than predicting the majority class everywhere.
+  Rng rng(8);
+  Dataset data;
+  for (int i = 0; i < 550; ++i) {
+    const double x = rng.NextDouble();  // [0,1)
+    int label = x > 0.9 ? 1 : 0;
+    ASSERT_TRUE(data.Add({{x}, label}).ok());
+  }
+  if (data.positive_count() == 0) GTEST_SKIP();
+  LogisticRegression model;
+  LogisticRegressionOptions options;
+  options.balance_classes = true;
+  ASSERT_TRUE(model.Fit(data, options).ok());
+  EXPECT_GT(*model.PredictProbability({0.99}), 0.5);
+  EXPECT_LT(*model.PredictProbability({0.1}), 0.5);
+}
+
+TEST(LogisticRegressionTest, MomentumAcceleratesConvergence) {
+  Rng rng(9);
+  Dataset data = LinearlySeparable(300, &rng);
+  LogisticRegressionOptions plain;
+  plain.momentum = 0.0;
+  plain.max_iterations = 5000;
+  LogisticRegression slow;
+  ASSERT_TRUE(slow.Fit(data, plain).ok());
+  LogisticRegressionOptions accelerated;
+  accelerated.momentum = 0.9;
+  accelerated.max_iterations = 5000;
+  LogisticRegression fast;
+  ASSERT_TRUE(fast.Fit(data, accelerated).ok());
+  // Same sign structure, far fewer iterations.
+  EXPECT_GT(fast.weights()[0], 0.0);
+  EXPECT_GT(fast.weights()[1], 0.0);
+  EXPECT_LT(fast.iterations_used(), slow.iterations_used());
+}
+
+TEST(SigmoidTest, StableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(-1e308)));
+}
+
+TEST(NaiveBayesTest, ClassifiesObviousDocuments) {
+  MultinomialNaiveBayes nb;
+  nb.AddDocument("drives", {"seagate", "barracuda", "sata", "rpm"});
+  nb.AddDocument("drives", {"hitachi", "deskstar", "rpm", "cache"});
+  nb.AddDocument("cameras", {"canon", "eos", "megapixel", "zoom"});
+  nb.AddDocument("cameras", {"nikon", "coolpix", "zoom", "lens"});
+  EXPECT_EQ(*nb.Classify({"sata", "rpm"}), "drives");
+  EXPECT_EQ(*nb.Classify({"zoom", "megapixel"}), "cameras");
+  EXPECT_EQ(nb.class_count(), 2u);
+}
+
+TEST(NaiveBayesTest, PosteriorsSumToOne) {
+  MultinomialNaiveBayes nb;
+  nb.AddDocument("a", {"x", "y"});
+  nb.AddDocument("b", {"z"});
+  const auto post = *nb.Posteriors({"x"});
+  ASSERT_EQ(post.size(), 2u);
+  EXPECT_NEAR(post[0] + post[1], 1.0, 1e-12);
+  EXPECT_GT(post[0], post[1]);  // class "a" owns token "x"
+}
+
+TEST(NaiveBayesTest, SmoothingHandlesUnseenTokens) {
+  MultinomialNaiveBayes nb;
+  nb.AddDocument("a", {"x"});
+  nb.AddDocument("b", {"y"});
+  // Entirely unseen token: no crash, both classes get a finite score.
+  const auto post = *nb.Posteriors({"never_seen"});
+  EXPECT_NEAR(post[0] + post[1], 1.0, 1e-12);
+}
+
+TEST(NaiveBayesTest, ErrorsWithoutTrainingData) {
+  MultinomialNaiveBayes nb;
+  EXPECT_TRUE(nb.Classify({"x"}).status().IsFailedPrecondition());
+  EXPECT_TRUE(nb.Posteriors({"x"}).status().IsFailedPrecondition());
+  EXPECT_TRUE(nb.LogScore("a", {"x"}).status().IsFailedPrecondition());
+}
+
+TEST(NaiveBayesTest, LogScoreUnknownClassIsNotFound) {
+  MultinomialNaiveBayes nb;
+  nb.AddDocument("a", {"x"});
+  EXPECT_TRUE(nb.LogScore("zzz", {"x"}).status().IsNotFound());
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  const std::vector<double> scores = {0.9, 0.8, 0.4, 0.2};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const auto m = *ComputeBinaryMetrics(scores, labels, 0.5);
+  EXPECT_EQ(m.true_positives, 1u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.true_negatives, 1u);
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.5);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.5);
+}
+
+TEST(MetricsTest, SizeMismatchRejected) {
+  EXPECT_TRUE(ComputeBinaryMetrics({0.5}, {1, 0}, 0.5)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ComputeAuc({0.5}, {1, 0}).status().IsInvalidArgument());
+}
+
+TEST(MetricsTest, AucPerfectAndRandom) {
+  EXPECT_DOUBLE_EQ(*ComputeAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(*ComputeAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+  // All-tied scores give 0.5 via average ranks.
+  EXPECT_DOUBLE_EQ(*ComputeAuc({0.5, 0.5, 0.5, 0.5}, {1, 1, 0, 0}), 0.5);
+}
+
+TEST(MetricsTest, AucRequiresBothClasses) {
+  EXPECT_TRUE(ComputeAuc({0.5, 0.6}, {1, 1}).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace prodsyn

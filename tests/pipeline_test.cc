@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "src/pipeline/attribute_extraction.h"
+#include "src/pipeline/clustering.h"
+#include "src/pipeline/schema_reconciliation.h"
+#include "src/pipeline/title_classifier.h"
+#include "src/pipeline/value_fusion.h"
+
+namespace prodsyn {
+namespace {
+
+// ---------- Title classifier ----------
+
+TEST(TitleClassifierTest, ClassifiesByVocabulary) {
+  TitleClassifier classifier;
+  classifier.AddExample(1, "Seagate Barracuda 500GB SATA Hard Drive");
+  classifier.AddExample(1, "Hitachi Deskstar 7200rpm HDD");
+  classifier.AddExample(2, "Canon EOS 12MP Digital Camera");
+  classifier.AddExample(2, "Nikon Coolpix 10x zoom camera");
+  EXPECT_EQ(*classifier.Classify("WD 250GB SATA Hard Drive"), 1);
+  EXPECT_EQ(*classifier.Classify("Olympus 14MP camera 5x zoom"), 2);
+  EXPECT_EQ(classifier.category_count(), 2u);
+}
+
+TEST(TitleClassifierTest, ErrorsWithoutTraining) {
+  TitleClassifier classifier;
+  EXPECT_TRUE(classifier.Classify("x").status().IsFailedPrecondition());
+}
+
+TEST(TitleClassifierTest, TrainOnStoreSkipsUncategorized) {
+  OfferStore store;
+  Offer a;
+  a.merchant = 0;
+  a.category = 3;
+  a.title = "drive";
+  ASSERT_TRUE(store.AddOffer(a).ok());
+  Offer b;
+  b.merchant = 0;
+  b.category = kInvalidCategory;
+  b.title = "mystery";
+  ASSERT_TRUE(store.AddOffer(b).ok());
+  TitleClassifier classifier;
+  EXPECT_EQ(classifier.TrainOnStore(store), 1u);
+}
+
+// ---------- Attribute extraction ----------
+
+class MapPages : public LandingPageProvider {
+ public:
+  void Add(std::string url, std::string html) {
+    pages_[std::move(url)] = std::move(html);
+  }
+  Result<std::string> Fetch(const std::string& url) const override {
+    auto it = pages_.find(url);
+    if (it == pages_.end()) return Status::NotFound("no page");
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> pages_;
+};
+
+TEST(AttributeExtractionTest, MergesFeedAndPagePairs) {
+  MapPages pages;
+  pages.Add("http://m/x",
+            "<table><tr><td>Brand</td><td>Sony</td></tr>"
+            "<tr><td>Zoom</td><td>10x</td></tr></table>");
+  Offer offer;
+  offer.url = "http://m/x";
+  offer.spec = {{"Brand", "Sony"}, {"Color", "Black"}};
+  auto spec = *ExtractOfferSpecification(offer, pages);
+  // Feed pairs first, then page pairs minus the exact duplicate.
+  ASSERT_EQ(spec.size(), 3u);
+  EXPECT_EQ(spec[0], (AttributeValue{"Brand", "Sony"}));
+  EXPECT_EQ(spec[1], (AttributeValue{"Color", "Black"}));
+  EXPECT_EQ(spec[2], (AttributeValue{"Zoom", "10x"}));
+}
+
+TEST(AttributeExtractionTest, DeadLinkFallsBackToFeedSpec) {
+  MapPages pages;
+  Offer offer;
+  offer.url = "http://gone";
+  offer.spec = {{"Brand", "Asus"}};
+  auto spec = *ExtractOfferSpecification(offer, pages);
+  ASSERT_EQ(spec.size(), 1u);
+  EXPECT_EQ(spec[0].name, "Brand");
+}
+
+// ---------- Schema reconciliation ----------
+
+TEST(SchemaReconcilerTest, AppliesBestCorrespondenceAndDiscardsRest) {
+  std::vector<AttributeCorrespondence> corrs = {
+      {{"Capacity", "Hard Disk Size", 1, 2}, 0.9},
+      {{"Buffer Size", "Hard Disk Size", 1, 2}, 0.7},  // loses to Capacity
+      {{"Speed", "RPM", 1, 2}, 0.8},
+      {{"Brand", "Make", 1, 2}, 0.4},  // below theta
+  };
+  SchemaReconciler reconciler(corrs, 0.5);
+  EXPECT_EQ(reconciler.mapping_count(), 2u);
+  Specification extracted = {{"Hard Disk Size", "500GB"},
+                             {"RPM", "7200"},
+                             {"Make", "Seagate"},
+                             {"Shipping", "Free"}};
+  const Specification reconciled = reconciler.Reconcile(1, 2, extracted);
+  ASSERT_EQ(reconciled.size(), 2u);
+  EXPECT_EQ(reconciled[0], (AttributeValue{"Capacity", "500GB"}));
+  EXPECT_EQ(reconciled[1], (AttributeValue{"Speed", "7200"}));
+}
+
+TEST(SchemaReconcilerTest, MappingsAreScopedToMerchantAndCategory) {
+  std::vector<AttributeCorrespondence> corrs = {
+      {{"Capacity", "Size", 1, 2}, 0.9}};
+  SchemaReconciler reconciler(corrs, 0.5);
+  Specification extracted = {{"Size", "500GB"}};
+  EXPECT_EQ(reconciler.Reconcile(1, 2, extracted).size(), 1u);
+  EXPECT_TRUE(reconciler.Reconcile(2, 2, extracted).empty());
+  EXPECT_TRUE(reconciler.Reconcile(1, 3, extracted).empty());
+}
+
+TEST(SchemaReconcilerTest, EqualScoresBreakTiesByName) {
+  std::vector<AttributeCorrespondence> corrs = {
+      {{"Zeta", "X", 0, 0}, 0.9},
+      {{"Alpha", "X", 0, 0}, 0.9},
+  };
+  SchemaReconciler reconciler(corrs, 0.5);
+  const auto out = reconciler.Reconcile(0, 0, {{"X", "v"}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].name, "Alpha");
+}
+
+// ---------- Clustering ----------
+
+SchemaRegistry MakeSchemas() {
+  SchemaRegistry schemas;
+  CategorySchema schema(1);
+  EXPECT_TRUE(schema.AddAttribute({"Model Part Number",
+                                   AttributeKind::kIdentifier, true}).ok());
+  EXPECT_TRUE(
+      schema.AddAttribute({"UPC", AttributeKind::kIdentifier, true}).ok());
+  EXPECT_TRUE(
+      schema.AddAttribute({"Brand", AttributeKind::kCategorical, false}).ok());
+  EXPECT_TRUE(schemas.Register(std::move(schema)).ok());
+  return schemas;
+}
+
+ReconciledOffer MakeOffer(OfferId id, CategoryId category,
+                          Specification spec) {
+  ReconciledOffer offer;
+  offer.offer_id = id;
+  offer.merchant = 0;
+  offer.category = category;
+  offer.spec = std::move(spec);
+  return offer;
+}
+
+TEST(ClusteringTest, GroupsByNormalizedKey) {
+  const SchemaRegistry schemas = MakeSchemas();
+  std::vector<ReconciledOffer> offers = {
+      MakeOffer(0, 1, {{"Model Part Number", "WD-1600JS"}}),
+      MakeOffer(1, 1, {{"Model Part Number", "wd 1600 js"}}),
+      MakeOffer(2, 1, {{"Model Part Number", "OTHER-1"}}),
+  };
+  size_t dropped = 99;
+  auto clusters = *ClusterByKey(offers, schemas, {}, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Deterministic (category, key) order: OTHER1 < WD1600JS.
+  EXPECT_EQ(clusters[0].key, "OTHER1");
+  EXPECT_EQ(clusters[1].key, "WD1600JS");
+  EXPECT_EQ(clusters[1].members.size(), 2u);
+}
+
+TEST(ClusteringTest, FallsBackToSecondKeyAttribute) {
+  const SchemaRegistry schemas = MakeSchemas();
+  std::vector<ReconciledOffer> offers = {
+      MakeOffer(0, 1, {{"UPC", "012345678905"}}),
+      MakeOffer(1, 1, {{"Brand", "Seagate"}}),  // no key at all
+  };
+  size_t dropped = 0;
+  auto clusters = *ClusterByKey(offers, schemas, {}, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].key, "012345678905");
+}
+
+TEST(ClusteringTest, UncategorizedOffersAreDropped) {
+  const SchemaRegistry schemas = MakeSchemas();
+  std::vector<ReconciledOffer> offers = {
+      MakeOffer(0, kInvalidCategory, {{"Model Part Number", "X1"}})};
+  size_t dropped = 0;
+  auto clusters = *ClusterByKey(offers, schemas, {}, &dropped);
+  EXPECT_TRUE(clusters.empty());
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(ClusteringTest, UnknownSchemaUsesFallbackKeys) {
+  SchemaRegistry empty_schemas;
+  std::vector<ReconciledOffer> offers = {
+      MakeOffer(0, 9, {{"Model Part Number", "ABC-1"}})};
+  auto clusters = *ClusterByKey(offers, empty_schemas);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].key, "ABC1");
+}
+
+TEST(ClusteringTest, SameKeyDifferentCategoriesStaySeparate) {
+  SchemaRegistry empty_schemas;
+  std::vector<ReconciledOffer> offers = {
+      MakeOffer(0, 1, {{"Model Part Number", "K1"}}),
+      MakeOffer(1, 2, {{"Model Part Number", "K1"}}),
+  };
+  auto clusters = *ClusterByKey(offers, empty_schemas);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+// ---------- Value fusion ----------
+
+TEST(ValueFusionTest, SingleTokenMajorityVote) {
+  EXPECT_EQ(FuseValues({"1024", "1024", "1024", "1024", "2048"}), "1024");
+}
+
+TEST(ValueFusionTest, AppendixAWindowsVistaExample) {
+  // Appendix A: the centroid of {"Windows Vista", "Microsoft Windows
+  // Vista", "Microsoft Vista"} is closest to "Microsoft Windows Vista".
+  EXPECT_EQ(FuseValues({"Windows Vista", "Microsoft Windows Vista",
+                        "Microsoft Vista"}),
+            "Microsoft Windows Vista");
+}
+
+TEST(ValueFusionTest, SingleValuePassesThrough) {
+  EXPECT_EQ(FuseValues({"only"}), "only");
+  EXPECT_EQ(FuseValues({}), "");
+}
+
+TEST(ValueFusionTest, TieBreaksLexicographically) {
+  // Two distinct singleton values: equidistant, pick the smaller.
+  EXPECT_EQ(FuseValues({"beta", "alpha"}), "alpha");
+}
+
+TEST(ValueFusionTest, PunctuationOnlyValuesFallBackToMajority) {
+  EXPECT_EQ(FuseValues({"!!", "!!", "??"}), "!!");
+}
+
+TEST(FuseClusterTest, FusesPerSchemaAttribute) {
+  CategorySchema schema(1);
+  ASSERT_TRUE(schema.AddAttribute({"Brand", AttributeKind::kCategorical,
+                                   false}).ok());
+  ASSERT_TRUE(schema.AddAttribute({"Capacity", AttributeKind::kNumeric,
+                                   false}).ok());
+  ASSERT_TRUE(schema.AddAttribute({"Speed", AttributeKind::kNumeric,
+                                   false}).ok());
+  OfferCluster cluster;
+  cluster.category = 1;
+  cluster.key = "K";
+  cluster.members = {
+      MakeOffer(0, 1, {{"Brand", "Seagate"}, {"Capacity", "500 GB"}}),
+      MakeOffer(1, 1, {{"Brand", "Seagate"}, {"Capacity", "500GB"}}),
+      MakeOffer(2, 1, {{"Brand", "SEAGATE"}}),
+  };
+  const Specification fused = *FuseCluster(cluster, schema);
+  // Schema order; Speed absent because no member provides it.
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[0].name, "Brand");
+  EXPECT_EQ(fused[0].value, "Seagate");
+  EXPECT_EQ(fused[1].name, "Capacity");
+}
+
+TEST(FuseClusterTest, EmptyClusterIsError) {
+  CategorySchema schema(1);
+  OfferCluster cluster;
+  EXPECT_TRUE(FuseCluster(cluster, schema).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace prodsyn

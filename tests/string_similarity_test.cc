@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/text/edit_distance.h"
+#include "src/text/jaro_winkler.h"
+#include "src/text/ngram.h"
+#include "src/util/random.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(LevenshteinTest, SymmetricUnderSwap) {
+  EXPECT_EQ(LevenshteinDistance("interface", "int type"),
+            LevenshteinDistance("int type", "interface"));
+}
+
+TEST(EditSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(EditSimilarity("brand", "brand name"), 0.5, 1e-12);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961111, 1e-5);
+  // Winkler never reduces and never exceeds 1.
+  const char* pairs[][2] = {
+      {"capacity", "cap"}, {"speed", "spindle speed"}, {"mpn", "part"}};
+  for (const auto& pair : pairs) {
+    EXPECT_GE(JaroWinklerSimilarity(pair[0], pair[1]),
+              JaroSimilarity(pair[0], pair[1]));
+    EXPECT_LE(JaroWinklerSimilarity(pair[0], pair[1]), 1.0);
+  }
+}
+
+TEST(NgramTest, TrigramSets) {
+  const auto grams = CharacterNgrams("abcd", 3);
+  EXPECT_EQ(grams.size(), 2u);
+  EXPECT_TRUE(grams.count("abc"));
+  EXPECT_TRUE(grams.count("bcd"));
+}
+
+TEST(NgramTest, ShortStringsYieldWholeString) {
+  const auto grams = CharacterNgrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_TRUE(grams.count("ab"));
+  EXPECT_TRUE(CharacterNgrams("", 3).empty());
+}
+
+TEST(TrigramSimilarityTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("capacity", "capacity"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("", ""), 0.0);
+}
+
+TEST(TrigramSimilarityTest, RelatedNamesScoreHigherThanUnrelated) {
+  const double related = TrigramSimilarity("interface type", "interface");
+  const double unrelated = TrigramSimilarity("interface type", "megapixels");
+  EXPECT_GT(related, unrelated);
+  EXPECT_GT(related, 0.5);
+}
+
+class SimilarityBoundsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityBoundsTest, AllMeasuresBoundedAndReflexive) {
+  Rng rng(GetParam());
+  auto random_word = [&](size_t max_len) {
+    std::string w;
+    const size_t len = 1 + rng.NextBelow(max_len);
+    for (size_t i = 0; i < len; ++i) {
+      w.push_back(static_cast<char>('a' + rng.NextBelow(6)));
+    }
+    return w;
+  };
+  for (int i = 0; i < 20; ++i) {
+    const std::string a = random_word(12);
+    const std::string b = random_word(12);
+    for (double v : {EditSimilarity(a, b), JaroSimilarity(a, b),
+                     JaroWinklerSimilarity(a, b), TrigramSimilarity(a, b)}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(EditSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(JaroSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, a), 1.0);
+    // Symmetry.
+    EXPECT_DOUBLE_EQ(JaroSimilarity(a, b), JaroSimilarity(b, a));
+    EXPECT_DOUBLE_EQ(TrigramSimilarity(a, b), TrigramSimilarity(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityBoundsTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,135 @@
+#include "src/html/table_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace prodsyn {
+namespace {
+
+TEST(TableExtractorTest, ExtractsTwoColumnRows) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table>"
+      "<tr><td>Brand</td><td>Hitachi</td></tr>"
+      "<tr><td>Capacity</td><td>500 GB</td></tr>"
+      "</table>");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  EXPECT_EQ((*pairs)[0], (ExtractedPair{"Brand", "Hitachi"}));
+  EXPECT_EQ((*pairs)[1], (ExtractedPair{"Capacity", "500 GB"}));
+}
+
+TEST(TableExtractorTest, SkipsRowsWithOtherColumnCounts) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table>"
+      "<tr><td>only one</td></tr>"
+      "<tr><td>a</td><td>b</td><td>c</td></tr>"
+      "<tr><td>Name</td><td>Value</td></tr>"
+      "</table>");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].name, "Name");
+}
+
+TEST(TableExtractorTest, HandlesTheadTbodyAndTh) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table><thead><tr><th>Spec</th><th>Value</th></tr></thead>"
+      "<tbody><tr><td>Speed</td><td>7200 rpm</td></tr></tbody></table>");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 2u);  // header row is also a 2-cell row
+  EXPECT_EQ((*pairs)[1], (ExtractedPair{"Speed", "7200 rpm"}));
+}
+
+TEST(TableExtractorTest, MissesBulletLists) {
+  // The paper's extractor only reads tables; list-formatted pages yield
+  // nothing (coverage loss that clustering/reconciliation must tolerate).
+  auto pairs = ExtractPairsFromHtml(
+      "<ul><li>Brand: Canon</li><li>Zoom: 10x</li></ul>");
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+TEST(TableExtractorTest, SkipsLayoutRowsContainingNestedTables) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table class=layout><tr>"
+      "<td><table><tr><td>Home</td></tr></table></td>"
+      "<td><table><tr><td>Brand</td><td>Sony</td></tr></table></td>"
+      "</tr></table>");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);  // only the inner data row
+  EXPECT_EQ((*pairs)[0], (ExtractedPair{"Brand", "Sony"}));
+}
+
+TEST(TableExtractorTest, StripsTrailingColonFromNames) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table><tr><td>Brand:</td><td>Asus</td></tr></table>");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].name, "Brand");
+}
+
+TEST(TableExtractorTest, ColonKeptWhenOptionDisabled) {
+  TableExtractorOptions options;
+  options.strip_trailing_colon = false;
+  auto pairs = ExtractPairsFromHtml(
+      "<table><tr><td>Brand:</td><td>Asus</td></tr></table>", options);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ((*pairs)[0].name, "Brand:");
+}
+
+TEST(TableExtractorTest, DropsEmptyNamesAndValues) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table>"
+      "<tr><td></td><td>orphan value</td></tr>"
+      "<tr><td>orphan name</td><td>   </td></tr>"
+      "<tr><td>ok</td><td>fine</td></tr>"
+      "</table>");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].name, "ok");
+}
+
+TEST(TableExtractorTest, EnforcesLengthCaps) {
+  TableExtractorOptions options;
+  options.max_name_length = 10;
+  options.max_value_length = 10;
+  auto pairs = ExtractPairsFromHtml(
+      "<table>"
+      "<tr><td>a very long attribute name cell</td><td>v</td></tr>"
+      "<tr><td>name</td><td>a very long value cell indeed</td></tr>"
+      "<tr><td>short</td><td>fine</td></tr>"
+      "</table>",
+      options);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].name, "short");
+}
+
+TEST(TableExtractorTest, MultipleTablesAllContribute) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table><tr><td>A</td><td>1</td></tr></table>"
+      "<div><table><tr><td>B</td><td>2</td></tr></table></div>");
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 2u);
+}
+
+TEST(TableExtractorTest, DecodesEntitiesInCells) {
+  auto pairs = ExtractPairsFromHtml(
+      "<table><tr><td>Dimensions (W&nbsp;x&nbsp;H)</td>"
+      "<td>10 &amp; 20</td></tr></table>");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].name, "Dimensions (W x H)");
+  EXPECT_EQ((*pairs)[0].value, "10 & 20");
+}
+
+TEST(TableExtractorTest, EmptyHtmlIsError) {
+  EXPECT_FALSE(ExtractPairsFromHtml("").ok());
+}
+
+TEST(TableExtractorTest, PageWithoutTablesYieldsNothing) {
+  auto pairs = ExtractPairsFromHtml("<html><body><p>hi</p></body></html>");
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs->empty());
+}
+
+}  // namespace
+}  // namespace prodsyn

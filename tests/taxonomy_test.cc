@@ -1,0 +1,94 @@
+#include "src/catalog/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace prodsyn {
+namespace {
+
+class TaxonomyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    computing_ = *taxonomy_.AddCategory("Computing");
+    cameras_ = *taxonomy_.AddCategory("Cameras");
+    storage_ = *taxonomy_.AddCategory("Storage", computing_);
+    drives_ = *taxonomy_.AddCategory("Hard Drives", storage_);
+    laptops_ = *taxonomy_.AddCategory("Laptops", computing_);
+  }
+  Taxonomy taxonomy_;
+  CategoryId computing_ = kInvalidCategory;
+  CategoryId cameras_ = kInvalidCategory;
+  CategoryId storage_ = kInvalidCategory;
+  CategoryId drives_ = kInvalidCategory;
+  CategoryId laptops_ = kInvalidCategory;
+};
+
+TEST_F(TaxonomyTest, BasicAccessors) {
+  EXPECT_EQ(taxonomy_.size(), 5u);
+  EXPECT_EQ(*taxonomy_.Name(drives_), "Hard Drives");
+  EXPECT_EQ(*taxonomy_.Parent(drives_), storage_);
+  EXPECT_EQ(*taxonomy_.Parent(computing_), kInvalidCategory);
+}
+
+TEST_F(TaxonomyTest, RejectsEmptyName) {
+  EXPECT_TRUE(taxonomy_.AddCategory("  ").status().IsInvalidArgument());
+}
+
+TEST_F(TaxonomyTest, RejectsDuplicateSiblings) {
+  EXPECT_TRUE(taxonomy_.AddCategory("Laptops", computing_)
+                  .status()
+                  .IsAlreadyExists());
+  // Same name under a different parent is fine.
+  EXPECT_TRUE(taxonomy_.AddCategory("Laptops", cameras_).ok());
+}
+
+TEST_F(TaxonomyTest, RejectsUnknownParent) {
+  EXPECT_TRUE(taxonomy_.AddCategory("X", 999).status().IsNotFound());
+}
+
+TEST_F(TaxonomyTest, UnknownIdsAreNotFound) {
+  EXPECT_TRUE(taxonomy_.Name(-1).status().IsNotFound());
+  EXPECT_TRUE(taxonomy_.Name(999).status().IsNotFound());
+  EXPECT_TRUE(taxonomy_.Children(999).status().IsNotFound());
+}
+
+TEST_F(TaxonomyTest, ChildrenAndLeaves) {
+  const auto children = *taxonomy_.Children(computing_);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_TRUE(*taxonomy_.IsLeaf(drives_));
+  EXPECT_FALSE(*taxonomy_.IsLeaf(computing_));
+  const auto leaves = taxonomy_.Leaves();
+  ASSERT_EQ(leaves.size(), 3u);  // cameras (childless), drives, laptops
+}
+
+TEST_F(TaxonomyTest, TopLevel) {
+  const auto top = taxonomy_.TopLevel();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], computing_);
+  EXPECT_EQ(top[1], cameras_);
+  EXPECT_EQ(*taxonomy_.TopLevelAncestor(drives_), computing_);
+  EXPECT_EQ(*taxonomy_.TopLevelAncestor(computing_), computing_);
+}
+
+TEST_F(TaxonomyTest, PathsRoundTrip) {
+  EXPECT_EQ(*taxonomy_.Path(drives_), "Computing|Storage|Hard Drives");
+  EXPECT_EQ(*taxonomy_.FindByPath("Computing|Storage|Hard Drives"), drives_);
+  EXPECT_EQ(*taxonomy_.FindByPath("Cameras"), cameras_);
+  EXPECT_TRUE(taxonomy_.FindByPath("Computing|Nope").status().IsNotFound());
+  EXPECT_TRUE(taxonomy_.FindByPath("").status().IsNotFound());
+}
+
+TEST_F(TaxonomyTest, PathWithCustomSeparator) {
+  EXPECT_EQ(*taxonomy_.Path(drives_, ">"), "Computing>Storage>Hard Drives");
+  EXPECT_EQ(*taxonomy_.FindByPath("Computing>Storage>Hard Drives", ">"),
+            drives_);
+}
+
+TEST_F(TaxonomyTest, IsDescendantOf) {
+  EXPECT_TRUE(*taxonomy_.IsDescendantOf(drives_, computing_));
+  EXPECT_TRUE(*taxonomy_.IsDescendantOf(drives_, drives_));
+  EXPECT_FALSE(*taxonomy_.IsDescendantOf(drives_, cameras_));
+  EXPECT_FALSE(*taxonomy_.IsDescendantOf(computing_, drives_));
+}
+
+}  // namespace
+}  // namespace prodsyn

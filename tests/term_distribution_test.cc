@@ -1,0 +1,144 @@
+#include "src/text/term_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(BagOfWordsTest, CountsAndTotals) {
+  BagOfWords bag;
+  bag.Add("a");
+  bag.Add("a");
+  bag.Add("b");
+  EXPECT_EQ(bag.Count("a"), 2u);
+  EXPECT_EQ(bag.Count("b"), 1u);
+  EXPECT_EQ(bag.Count("missing"), 0u);
+  EXPECT_EQ(bag.TotalCount(), 3u);
+  EXPECT_EQ(bag.DistinctCount(), 2u);
+  EXPECT_FALSE(bag.empty());
+}
+
+TEST(BagOfWordsTest, AddTextTokenizes) {
+  BagOfWords bag;
+  bag.AddText("500GB SATA 500 gb");
+  EXPECT_EQ(bag.Count("500"), 2u);
+  EXPECT_EQ(bag.Count("gb"), 2u);
+  EXPECT_EQ(bag.Count("sata"), 1u);
+}
+
+TEST(BagOfWordsTest, MergeAddsCounts) {
+  BagOfWords a, b;
+  a.Add("x");
+  b.Add("x");
+  b.Add("y");
+  a.Merge(b);
+  EXPECT_EQ(a.Count("x"), 2u);
+  EXPECT_EQ(a.Count("y"), 1u);
+  EXPECT_EQ(a.TotalCount(), 3u);
+}
+
+TEST(TermDistributionTest, ProbabilitiesSumToOne) {
+  BagOfWords bag;
+  bag.AddText("a a a b");
+  TermDistribution dist(bag);
+  EXPECT_DOUBLE_EQ(dist.Probability("a"), 0.75);
+  EXPECT_DOUBLE_EQ(dist.Probability("b"), 0.25);
+  EXPECT_DOUBLE_EQ(dist.Probability("zzz"), 0.0);
+  double total = 0.0;
+  for (const auto& [term, p] : dist.probabilities()) {
+    (void)term;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TermDistributionTest, EmptyBagGivesEmptyDistribution) {
+  BagOfWords bag;
+  TermDistribution dist(bag);
+  EXPECT_TRUE(dist.empty());
+  EXPECT_DOUBLE_EQ(dist.Probability("a"), 0.0);
+}
+
+TEST(JaccardTest, KnownValues) {
+  BagOfWords a, b;
+  a.AddText("x y z");
+  b.AddText("y z w");
+  // intersection {y,z}=2, union {x,y,z,w}=4
+  EXPECT_DOUBLE_EQ(JaccardCoefficient(a, b), 0.5);
+}
+
+TEST(JaccardTest, IdenticalBagsGiveOne) {
+  BagOfWords a;
+  a.AddText("p q r");
+  EXPECT_DOUBLE_EQ(JaccardCoefficient(a, a), 1.0);
+}
+
+TEST(JaccardTest, DisjointBagsGiveZero) {
+  BagOfWords a, b;
+  a.AddText("p");
+  b.AddText("q");
+  EXPECT_DOUBLE_EQ(JaccardCoefficient(a, b), 0.0);
+}
+
+TEST(JaccardTest, EmptyBags) {
+  BagOfWords a, b;
+  EXPECT_DOUBLE_EQ(JaccardCoefficient(a, b), 0.0);
+  a.Add("x");
+  EXPECT_DOUBLE_EQ(JaccardCoefficient(a, b), 0.0);
+}
+
+TEST(JaccardTest, IgnoresMultiplicity) {
+  BagOfWords a, b;
+  a.AddText("x x x y");
+  b.AddText("x y y y");
+  EXPECT_DOUBLE_EQ(JaccardCoefficient(a, b), 1.0);
+}
+
+TEST(DiceTest, KnownValue) {
+  BagOfWords a, b;
+  a.AddText("x y");
+  b.AddText("y z");
+  // 2*1 / (2+2)
+  EXPECT_DOUBLE_EQ(DiceCoefficient(a, b), 0.5);
+}
+
+TEST(CosineTest, IdenticalIsOneDisjointIsZero) {
+  BagOfWords a, b, c;
+  a.AddText("x x y");
+  b.AddText("x x y");
+  c.AddText("w v");
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, c), 0.0);
+  BagOfWords empty;
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, empty), 0.0);
+}
+
+// Property sweep: similarity measures are symmetric and bounded on random
+// bags.
+class SimilarityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityPropertyTest, SymmetricAndBounded) {
+  Rng rng(GetParam());
+  const char* vocab[] = {"a", "b", "c", "d", "e", "f", "g"};
+  BagOfWords x, y;
+  for (int i = 0; i < 30; ++i) {
+    x.Add(vocab[rng.NextBelow(7)]);
+    y.Add(vocab[rng.NextBelow(7)]);
+  }
+  for (auto measure : {JaccardCoefficient, DiceCoefficient, CosineSimilarity}) {
+    const double xy = measure(x, y);
+    const double yx = measure(y, x);
+    EXPECT_DOUBLE_EQ(xy, yx);
+    EXPECT_GE(xy, 0.0);
+    EXPECT_LE(xy, 1.0 + 1e-12);
+    EXPECT_NEAR(measure(x, x), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace prodsyn

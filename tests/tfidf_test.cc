@@ -1,0 +1,101 @@
+#include "src/text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/text/soft_tfidf.h"
+#include "src/text/tokenizer.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(TfIdfTest, IdfOrdersRareAboveCommon) {
+  TfIdfCorpus corpus;
+  corpus.AddDocument({"common", "rare"});
+  corpus.AddDocument({"common"});
+  corpus.AddDocument({"common"});
+  EXPECT_GT(corpus.Idf("rare"), corpus.Idf("common"));
+  // Unseen terms behave like df=1 terms.
+  EXPECT_DOUBLE_EQ(corpus.Idf("unseen"), corpus.Idf("rare"));
+  EXPECT_EQ(corpus.document_count(), 3u);
+}
+
+TEST(TfIdfTest, DocumentFrequencyCountsDistinctOnly) {
+  TfIdfCorpus corpus;
+  corpus.AddDocument({"dup", "dup", "dup"});
+  corpus.AddDocument({"other"});
+  // "dup" appears in 1 of 2 documents -> idf = log(1 + 2/1).
+  EXPECT_NEAR(corpus.Idf("dup"), std::log(3.0), 1e-12);
+}
+
+TEST(TfIdfTest, WeightVectorIsL2Normalized) {
+  TfIdfCorpus corpus;
+  corpus.AddDocument({"a", "b"});
+  corpus.AddDocument({"a"});
+  const auto weights = corpus.WeightVector({"a", "b", "b"});
+  double norm_sq = 0.0;
+  for (const auto& [term, w] : weights) {
+    (void)term;
+    norm_sq += w * w;
+  }
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  // "b" is rarer and repeated: heavier than "a".
+  EXPECT_GT(weights.at("b"), weights.at("a"));
+}
+
+TEST(TfIdfTest, EmptyDocumentVector) {
+  TfIdfCorpus corpus;
+  corpus.AddDocument({"x"});
+  EXPECT_TRUE(corpus.WeightVector({}).empty());
+}
+
+class SoftTfIdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_.AddDocument(Tokenize("seagate barracuda 500"));
+    corpus_.AddDocument(Tokenize("western digital raptor 150"));
+    corpus_.AddDocument(Tokenize("hitachi deskstar 500"));
+    corpus_.AddDocument(Tokenize("seagate momentus 5400"));
+  }
+  TfIdfCorpus corpus_;
+};
+
+TEST_F(SoftTfIdfTest, IdenticalTokenListsScoreHighest) {
+  SoftTfIdf soft(&corpus_);
+  const auto a = Tokenize("seagate barracuda");
+  EXPECT_NEAR(soft.Similarity(a, a), 1.0, 1e-9);
+}
+
+TEST_F(SoftTfIdfTest, TypoVariantsStillMatch) {
+  SoftTfIdf soft(&corpus_, 0.85);
+  const auto clean = Tokenize("seagate barracuda");
+  const auto typo = Tokenize("seagat barracuda");  // dropped trailing 'e'
+  EXPECT_GT(soft.Similarity(clean, typo), 0.8);
+}
+
+TEST_F(SoftTfIdfTest, UnrelatedStringsScoreLow) {
+  SoftTfIdf soft(&corpus_);
+  EXPECT_LT(soft.Similarity(Tokenize("seagate barracuda"),
+                            Tokenize("western digital")),
+            0.2);
+}
+
+TEST_F(SoftTfIdfTest, EmptyInputsScoreZero) {
+  SoftTfIdf soft(&corpus_);
+  EXPECT_DOUBLE_EQ(soft.Similarity({}, Tokenize("seagate")), 0.0);
+  EXPECT_DOUBLE_EQ(soft.Similarity(Tokenize("seagate"), {}), 0.0);
+}
+
+TEST_F(SoftTfIdfTest, ThresholdGatesFuzzyMatches) {
+  // With a threshold of 1.0 only exact token matches contribute.
+  SoftTfIdf strict(&corpus_, 1.0);
+  SoftTfIdf loose(&corpus_, 0.8);
+  const auto a = Tokenize("seagate");
+  const auto b = Tokenize("seagat");
+  EXPECT_DOUBLE_EQ(strict.Similarity(a, b), 0.0);
+  EXPECT_GT(loose.Similarity(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace prodsyn

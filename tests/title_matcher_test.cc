@@ -1,0 +1,117 @@
+#include "src/matching/title_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/world.h"
+
+namespace prodsyn {
+namespace {
+
+class TitleMatcherFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    drives_ = *catalog_.taxonomy().AddCategory("Hard Drives");
+    CategorySchema schema(drives_);
+    ASSERT_TRUE(schema.AddAttribute({"Brand", AttributeKind::kCategorical,
+                                     false}).ok());
+    ASSERT_TRUE(schema.AddAttribute({"Model Part Number",
+                                     AttributeKind::kIdentifier, true}).ok());
+    ASSERT_TRUE(schema.AddAttribute({"Capacity", AttributeKind::kNumeric,
+                                     false}).ok());
+    ASSERT_TRUE(catalog_.schemas().Register(std::move(schema)).ok());
+    barracuda_ = *catalog_.AddProduct(
+        drives_, {{"Brand", "Seagate"},
+                  {"Model Part Number", "ST3500641AS"},
+                  {"Capacity", "500 GB"}});
+    raptor_ = *catalog_.AddProduct(
+        drives_, {{"Brand", "Western Digital"},
+                  {"Model Part Number", "WD740GD"},
+                  {"Capacity", "74 GB"}});
+  }
+
+  OfferId AddOffer(const char* title, CategoryId category) {
+    Offer offer;
+    offer.merchant = 0;
+    offer.category = category;
+    offer.title = title;
+    return *offers_.AddOffer(offer);
+  }
+
+  Catalog catalog_;
+  OfferStore offers_;
+  CategoryId drives_ = kInvalidCategory;
+  ProductId barracuda_ = kInvalidProduct;
+  ProductId raptor_ = kInvalidProduct;
+};
+
+TEST_F(TitleMatcherFixture, MatchesTitleContainingTheMpn) {
+  const OfferId a = AddOffer("Seagate ST3500641AS 500GB SATA Hard Drive",
+                             drives_);
+  const OfferId b = AddOffer("WD Raptor WD740GD 74 GB 10000rpm", drives_);
+  TitleOfferProductMatcher matcher;
+  TitleMatcherStats stats;
+  auto matches = *matcher.Match(catalog_, offers_, &stats);
+  EXPECT_EQ(matches.ProductOf(a), barracuda_);
+  EXPECT_EQ(matches.ProductOf(b), raptor_);
+  EXPECT_EQ(stats.offers_considered, 2u);
+  EXPECT_EQ(stats.matches_made, 2u);
+}
+
+TEST_F(TitleMatcherFixture, NoIdentifierTokenMeansNoMatch) {
+  const OfferId id = AddOffer("Some generic 500GB hard drive", drives_);
+  TitleOfferProductMatcher matcher;
+  TitleMatcherStats stats;
+  auto matches = *matcher.Match(catalog_, offers_, &stats);
+  EXPECT_EQ(matches.ProductOf(id), kInvalidProduct);
+  EXPECT_EQ(stats.offers_with_candidates, 0u);
+}
+
+TEST_F(TitleMatcherFixture, UncategorizedOffersAreSkipped) {
+  AddOffer("Seagate ST3500641AS", kInvalidCategory);
+  TitleOfferProductMatcher matcher;
+  TitleMatcherStats stats;
+  auto matches = *matcher.Match(catalog_, offers_, &stats);
+  EXPECT_EQ(matches.size(), 0u);
+  EXPECT_EQ(stats.offers_considered, 0u);
+}
+
+TEST_F(TitleMatcherFixture, HyphenatedIdentifierStillRetrieves) {
+  // "ST-3500641AS" tokenizes to {st, 3500641, as}; the index holds
+  // {st3500641as}? No — tokenization splits the same way on both sides,
+  // so the shared long token "3500641" retrieves the product.
+  const OfferId id = AddOffer("Seagate ST-3500641AS hard drive", drives_);
+  TitleOfferProductMatcher matcher;
+  auto matches = *matcher.Match(catalog_, offers_, nullptr);
+  EXPECT_EQ(matches.ProductOf(id), barracuda_);
+}
+
+TEST(TitleMatcherWorldTest, BootstrappedMatchesAgreeWithCuratedOnes) {
+  WorldConfig config;
+  config.seed = 91;
+  config.categories_per_archetype = 1;
+  config.merchants = 40;
+  config.products_per_category = 15;
+  World world = *World::Generate(config);
+  TitleOfferProductMatcher matcher;
+  TitleMatcherStats stats;
+  auto matches =
+      *matcher.Match(world.catalog, world.historical_offers, &stats);
+  ASSERT_GT(stats.matches_made, 100u);
+  size_t agree = 0, disagree = 0;
+  for (const auto& [offer, product] : matches.matches()) {
+    const ProductId truth = world.historical_matches.ProductOf(offer);
+    if (truth == kInvalidProduct) continue;
+    if (truth == product) {
+      ++agree;
+    } else {
+      ++disagree;
+    }
+  }
+  ASSERT_GT(agree + disagree, 50u);
+  EXPECT_GT(static_cast<double>(agree) /
+                static_cast<double>(agree + disagree),
+            0.97);
+}
+
+}  // namespace
+}  // namespace prodsyn

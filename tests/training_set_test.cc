@@ -1,0 +1,91 @@
+#include "src/matching/training_set.h"
+
+#include <gtest/gtest.h>
+
+namespace prodsyn {
+namespace {
+
+TEST(NameIdentityTest, NormalizedComparison) {
+  CandidateTuple t{"Brand", "brand", 0, 0};
+  EXPECT_TRUE(IsNameIdentity(t));
+  TrainingSetOptions strict;
+  strict.normalize_names = false;
+  EXPECT_FALSE(IsNameIdentity(t, strict));
+  EXPECT_TRUE(IsNameIdentity({"Brand", "Brand", 0, 0}, strict));
+  EXPECT_TRUE(IsNameIdentity({"Mfr. Part #", "mfr part", 0, 0}));
+  EXPECT_FALSE(IsNameIdentity({"Brand", "Make", 0, 0}));
+}
+
+// A small context where merchant 0 uses the identity name "Speed" plus the
+// synonyms "RPM" and "Junk" for other things; merchant 1 never uses any
+// identity name, so none of its candidates are labeled.
+class TrainingSetFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    category_ = *catalog_.taxonomy().AddCategory("Drives");
+    CategorySchema schema(category_);
+    ASSERT_TRUE(
+        schema.AddAttribute({"Speed", AttributeKind::kNumeric, false}).ok());
+    ASSERT_TRUE(
+        schema.AddAttribute({"Brand", AttributeKind::kCategorical, false})
+            .ok());
+    ASSERT_TRUE(catalog_.schemas().Register(std::move(schema)).ok());
+    const ProductId p = *catalog_.AddProduct(
+        category_, {{"Speed", "7200"}, {"Brand", "Seagate"}});
+
+    Offer offer0;
+    offer0.merchant = 0;
+    offer0.category = category_;
+    offer0.spec = {{"Speed", "7200"}, {"Junk", "free shipping"}};
+    const OfferId id0 = *offers_.AddOffer(offer0);
+    ASSERT_TRUE(matches_.AddMatch(id0, p).ok());
+
+    Offer offer1;
+    offer1.merchant = 1;
+    offer1.category = category_;
+    offer1.spec = {{"RPM", "7200"}, {"Make", "Seagate"}};
+    const OfferId id1 = *offers_.AddOffer(offer1);
+    ASSERT_TRUE(matches_.AddMatch(id1, p).ok());
+
+    ctx_.catalog = &catalog_;
+    ctx_.offers = &offers_;
+    ctx_.matches = &matches_;
+  }
+
+  Catalog catalog_;
+  OfferStore offers_;
+  MatchStore matches_;
+  MatchingContext ctx_;
+  CategoryId category_ = kInvalidCategory;
+};
+
+TEST_F(TrainingSetFixture, LabelsAnchoredByNameIdentity) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  FeatureComputer computer(&index);
+  auto training = *BuildTrainingSet(index, &computer);
+
+  // Merchant 0: <Speed, Speed> positive; <Speed, Junk> negative.
+  // Merchant 0 has no identity for Brand -> <Brand, *> unlabeled.
+  // Merchant 1 has no identities at all -> nothing labeled.
+  EXPECT_EQ(training.positives, 1u);
+  EXPECT_EQ(training.negatives, 1u);
+  ASSERT_EQ(training.dataset.size(), 2u);
+  ASSERT_EQ(training.tuples.size(), 2u);
+  for (size_t i = 0; i < training.tuples.size(); ++i) {
+    const auto& tuple = training.tuples[i];
+    EXPECT_EQ(tuple.merchant, 0);
+    EXPECT_EQ(tuple.catalog_attribute, "Speed");
+    const int label = training.dataset.examples()[i].label;
+    EXPECT_EQ(label, IsNameIdentity(tuple) ? 1 : 0);
+  }
+}
+
+TEST_F(TrainingSetFixture, FeatureDimensionMatchesFeatureSet) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  FeatureComputer computer(&index, FeatureSet::JsMcOnly());
+  auto training = *BuildTrainingSet(index, &computer);
+  EXPECT_EQ(training.dataset.dimension(), 1u);
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,25 @@
+// Compile check of the umbrella header plus a minimal end-to-end smoke.
+#include "src/prodsyn.h"
+
+#include <gtest/gtest.h>
+
+namespace prodsyn {
+namespace {
+
+TEST(UmbrellaHeaderTest, EverythingIsVisible) {
+  // One symbol from each module proves the umbrella includes are intact.
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Tokenize("a b").size(), 2u);
+  EXPECT_TRUE(ParseHtml("<p>x</p>").ok());
+  EXPECT_EQ(NormalizeKey("a-b"), "AB");
+  Dataset dataset;
+  EXPECT_EQ(dataset.size(), 0u);
+  EXPECT_EQ(FeatureSet::All().Count(), 6u);
+  EXPECT_EQ(FuseValues({"x"}), "x");
+  WorldConfig config;
+  EXPECT_GT(config.merchants, 0u);
+  EXPECT_EQ(FormatCount(1234), "1,234");
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/util/file.h"
+#include "src/util/logging.h"
+
+namespace prodsyn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FileTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("prodsyn_file_test.txt");
+  const std::string contents = "line1\nline2\ttabbed\0binary";
+  ASSERT_TRUE(WriteStringToFile(path, contents).ok());
+  EXPECT_TRUE(FileExists(path));
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, contents);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, OverwriteTruncates) {
+  const std::string path = TempPath("prodsyn_file_trunc.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "a much longer first payload").ok());
+  ASSERT_TRUE(WriteStringToFile(path, "short").ok());
+  EXPECT_EQ(*ReadFileToString(path), "short");
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MissingFileIsNotFound) {
+  auto read = ReadFileToString(TempPath("prodsyn_does_not_exist"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsNotFound());
+  EXPECT_FALSE(FileExists(TempPath("prodsyn_does_not_exist")));
+}
+
+TEST(FileTest, EmptyFileRoundTrips) {
+  const std::string path = TempPath("prodsyn_empty.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  EXPECT_EQ(*ReadFileToString(path), "");
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, LargePayloadRoundTrips) {
+  const std::string path = TempPath("prodsyn_large.bin");
+  std::string payload;
+  payload.reserve(300000);
+  for (int i = 0; i < 300000; ++i) {
+    payload.push_back(static_cast<char>(i % 251));
+  }
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  EXPECT_EQ(*ReadFileToString(path), payload);
+  std::remove(path.c_str());
+}
+
+TEST(LoggingTest, LevelGatesEmission) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Suppressed message must not crash and must not evaluate expensively —
+  // we can at least confirm the statement compiles and runs at each level.
+  PRODSYN_LOG(Debug) << "suppressed " << 42;
+  PRODSYN_LOG(Info) << "suppressed";
+  PRODSYN_LOG(Warning) << "suppressed";
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,145 @@
+// Edge-of-configuration tests for the world generator and the pipeline's
+// category-provenance switch.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datagen/world.h"
+#include "src/eval/oracle.h"
+#include "src/eval/synthesis_eval.h"
+#include "src/pipeline/synthesizer.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(WorldConfigTest, ThreeInstancesPerArchetypeUseSeriesNames) {
+  WorldConfig config;
+  config.seed = 71;
+  config.categories_per_archetype = 3;
+  config.merchants = 30;
+  config.products_per_category = 5;
+  World world = *World::Generate(config);
+  // Some archetypes have fewer than 2 qualifiers: the third instance must
+  // fall back to a "Series N" name, and all names stay unique.
+  std::set<std::string> names;
+  bool saw_series = false;
+  for (const auto& inst : world.category_instances) {
+    EXPECT_TRUE(names.insert(inst.name).second) << inst.name;
+    if (inst.name.find("Series ") == 0) saw_series = true;
+  }
+  EXPECT_TRUE(saw_series);
+  EXPECT_EQ(world.category_instances.size(),
+            3 * BuiltinCategoryArchetypes().size());
+}
+
+TEST(WorldConfigTest, SingleMerchantWorldStillGenerates) {
+  WorldConfig config;
+  config.seed = 72;
+  config.categories_per_archetype = 1;
+  config.merchants = 1;
+  config.products_per_category = 5;
+  World world = *World::Generate(config);
+  EXPECT_EQ(world.merchant_profiles.size(), 1u);
+  EXPECT_GT(world.historical_offers.size() + world.incoming_offers.size(),
+            0u);
+}
+
+TEST(WorldConfigTest, ZeroColdCatalogMeansAllProductsAreLive) {
+  WorldConfig config;
+  config.seed = 73;
+  config.categories_per_archetype = 1;
+  config.merchants = 25;
+  config.products_per_category = 10;
+  config.cold_catalog_ratio = 0.0;
+  config.historical_match_rate = 1.0;
+  World world = *World::Generate(config);
+  // Nearly every catalog product has a matched offer now (a few may get
+  // zero offers when every eligible seller rejects them via brand or
+  // segment filters).
+  std::set<ProductId> matched;
+  for (const auto& [offer, product] : world.historical_matches.matches()) {
+    (void)offer;
+    matched.insert(product);
+  }
+  EXPECT_GT(static_cast<double>(matched.size()) /
+                static_cast<double>(world.catalog.product_count()),
+            0.8);
+}
+
+TEST(WorldConfigTest, SegmentsDisabled) {
+  WorldConfig config;
+  config.seed = 74;
+  config.categories_per_archetype = 1;
+  config.merchants = 20;
+  config.products_per_category = 8;
+  config.segments = 1;  // no segmentation
+  World world = *World::Generate(config);
+  for (const auto& novel : world.novel_products) {
+    EXPECT_EQ(novel.segment, 0u);
+  }
+  for (const auto& profile : world.merchant_profiles) {
+    EXPECT_EQ(profile.preferred_segment, 0u);
+  }
+}
+
+TEST(WorldConfigTest, FeedProvidedCategoriesSkipTheTitleClassifier) {
+  WorldConfig config;
+  config.seed = 75;
+  config.categories_per_archetype = 1;
+  config.merchants = 40;
+  config.products_per_category = 15;
+  config.incoming_offers_have_category = true;
+  World world = *World::Generate(config);
+  // Offers arrive categorized...
+  for (const auto& offer : world.incoming_offers.offers()) {
+    EXPECT_EQ(offer.category, world.incoming_category.at(offer.id));
+  }
+  // ...and the pipeline keeps those categories (always_classify_titles
+  // defaults to false), so category provenance is exact and quality is at
+  // least as good as the classifier path.
+  ProductSynthesizer synthesizer(&world.catalog);
+  ASSERT_TRUE(synthesizer
+                  .LearnOffline(world.historical_offers,
+                                world.historical_matches)
+                  .ok());
+  auto result = *synthesizer.Synthesize(world.incoming_offers, world.pages);
+  EvaluationOracle oracle(&world);
+  const SynthesisQuality quality = EvaluateSynthesis(result, oracle);
+  EXPECT_GT(quality.synthesized_products, 50u);
+  EXPECT_GT(quality.attribute_precision, 0.85);
+  // With exact categories, every synthesized product's category is a true
+  // category of one of its source offers.
+  for (const auto& product : result.products) {
+    bool provenance_ok = false;
+    for (OfferId oid : product.source_offers) {
+      if (world.incoming_category.at(oid) == product.category) {
+        provenance_ok = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(provenance_ok);
+  }
+}
+
+TEST(WorldConfigTest, AlwaysClassifyTitlesOverridesFeedCategories) {
+  WorldConfig config;
+  config.seed = 76;
+  config.categories_per_archetype = 1;
+  config.merchants = 30;
+  config.products_per_category = 10;
+  config.incoming_offers_have_category = true;
+  World world = *World::Generate(config);
+  SynthesizerOptions options;
+  options.always_classify_titles = true;
+  ProductSynthesizer synthesizer(&world.catalog, options);
+  ASSERT_TRUE(synthesizer
+                  .LearnOffline(world.historical_offers,
+                                world.historical_matches)
+                  .ok());
+  auto result = *synthesizer.Synthesize(world.incoming_offers, world.pages);
+  EXPECT_GT(result.products.size(), 10u);
+}
+
+}  // namespace
+}  // namespace prodsyn
