@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bootstrap_matches.cpp" "bench/CMakeFiles/bench_bootstrap_matches.dir/bench_bootstrap_matches.cpp.o" "gcc" "bench/CMakeFiles/bench_bootstrap_matches.dir/bench_bootstrap_matches.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/prodsyn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/prodsyn_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/prodsyn_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/prodsyn_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/prodsyn_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/prodsyn_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/prodsyn_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/prodsyn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prodsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

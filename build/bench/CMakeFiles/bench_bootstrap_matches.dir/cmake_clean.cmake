@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bootstrap_matches.dir/bench_bootstrap_matches.cpp.o"
+  "CMakeFiles/bench_bootstrap_matches.dir/bench_bootstrap_matches.cpp.o.d"
+  "bench_bootstrap_matches"
+  "bench_bootstrap_matches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bootstrap_matches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_feature_combination.dir/bench_fig6_feature_combination.cpp.o"
+  "CMakeFiles/bench_fig6_feature_combination.dir/bench_fig6_feature_combination.cpp.o.d"
+  "bench_fig6_feature_combination"
+  "bench_fig6_feature_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_feature_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

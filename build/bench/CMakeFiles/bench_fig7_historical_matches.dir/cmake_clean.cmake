@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_historical_matches.dir/bench_fig7_historical_matches.cpp.o"
+  "CMakeFiles/bench_fig7_historical_matches.dir/bench_fig7_historical_matches.cpp.o.d"
+  "bench_fig7_historical_matches"
+  "bench_fig7_historical_matches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_historical_matches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_coma_delta.dir/bench_fig9_coma_delta.cpp.o"
+  "CMakeFiles/bench_fig9_coma_delta.dir/bench_fig9_coma_delta.cpp.o.d"
+  "bench_fig9_coma_delta"
+  "bench_fig9_coma_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_coma_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

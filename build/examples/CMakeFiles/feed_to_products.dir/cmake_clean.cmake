@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_to_products.dir/feed_to_products.cpp.o"
+  "CMakeFiles/feed_to_products.dir/feed_to_products.cpp.o.d"
+  "feed_to_products"
+  "feed_to_products.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_to_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

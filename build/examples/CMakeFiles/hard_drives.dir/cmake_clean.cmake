@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_drives.dir/hard_drives.cpp.o"
+  "CMakeFiles/hard_drives.dir/hard_drives.cpp.o.d"
+  "hard_drives"
+  "hard_drives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_drives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

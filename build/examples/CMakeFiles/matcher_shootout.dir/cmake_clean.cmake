@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_shootout.dir/matcher_shootout.cpp.o"
+  "CMakeFiles/matcher_shootout.dir/matcher_shootout.cpp.o.d"
+  "matcher_shootout"
+  "matcher_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

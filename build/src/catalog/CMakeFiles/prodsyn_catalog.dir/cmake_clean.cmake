@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_catalog.dir/catalog.cc.o"
+  "CMakeFiles/prodsyn_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/prodsyn_catalog.dir/feed.cc.o"
+  "CMakeFiles/prodsyn_catalog.dir/feed.cc.o.d"
+  "CMakeFiles/prodsyn_catalog.dir/match_store.cc.o"
+  "CMakeFiles/prodsyn_catalog.dir/match_store.cc.o.d"
+  "CMakeFiles/prodsyn_catalog.dir/schema.cc.o"
+  "CMakeFiles/prodsyn_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/prodsyn_catalog.dir/taxonomy.cc.o"
+  "CMakeFiles/prodsyn_catalog.dir/taxonomy.cc.o.d"
+  "CMakeFiles/prodsyn_catalog.dir/types.cc.o"
+  "CMakeFiles/prodsyn_catalog.dir/types.cc.o.d"
+  "libprodsyn_catalog.a"
+  "libprodsyn_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/merchant_gen.cc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/merchant_gen.cc.o" "gcc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/merchant_gen.cc.o.d"
+  "/root/repo/src/datagen/offer_gen.cc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/offer_gen.cc.o" "gcc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/offer_gen.cc.o.d"
+  "/root/repo/src/datagen/page_gen.cc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/page_gen.cc.o" "gcc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/page_gen.cc.o.d"
+  "/root/repo/src/datagen/product_gen.cc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/product_gen.cc.o" "gcc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/product_gen.cc.o.d"
+  "/root/repo/src/datagen/vocab.cc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/vocab.cc.o" "gcc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/vocab.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/world.cc.o" "gcc" "src/datagen/CMakeFiles/prodsyn_datagen.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prodsyn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/prodsyn_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/prodsyn_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/prodsyn_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/prodsyn_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/prodsyn_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/prodsyn_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_datagen.dir/merchant_gen.cc.o"
+  "CMakeFiles/prodsyn_datagen.dir/merchant_gen.cc.o.d"
+  "CMakeFiles/prodsyn_datagen.dir/offer_gen.cc.o"
+  "CMakeFiles/prodsyn_datagen.dir/offer_gen.cc.o.d"
+  "CMakeFiles/prodsyn_datagen.dir/page_gen.cc.o"
+  "CMakeFiles/prodsyn_datagen.dir/page_gen.cc.o.d"
+  "CMakeFiles/prodsyn_datagen.dir/product_gen.cc.o"
+  "CMakeFiles/prodsyn_datagen.dir/product_gen.cc.o.d"
+  "CMakeFiles/prodsyn_datagen.dir/vocab.cc.o"
+  "CMakeFiles/prodsyn_datagen.dir/vocab.cc.o.d"
+  "CMakeFiles/prodsyn_datagen.dir/world.cc.o"
+  "CMakeFiles/prodsyn_datagen.dir/world.cc.o.d"
+  "libprodsyn_datagen.a"
+  "libprodsyn_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

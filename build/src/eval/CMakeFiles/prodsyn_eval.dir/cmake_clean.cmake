@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_eval.dir/correspondence_eval.cc.o"
+  "CMakeFiles/prodsyn_eval.dir/correspondence_eval.cc.o.d"
+  "CMakeFiles/prodsyn_eval.dir/oracle.cc.o"
+  "CMakeFiles/prodsyn_eval.dir/oracle.cc.o.d"
+  "CMakeFiles/prodsyn_eval.dir/report.cc.o"
+  "CMakeFiles/prodsyn_eval.dir/report.cc.o.d"
+  "CMakeFiles/prodsyn_eval.dir/sampling.cc.o"
+  "CMakeFiles/prodsyn_eval.dir/sampling.cc.o.d"
+  "CMakeFiles/prodsyn_eval.dir/synthesis_eval.cc.o"
+  "CMakeFiles/prodsyn_eval.dir/synthesis_eval.cc.o.d"
+  "libprodsyn_eval.a"
+  "libprodsyn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/dom.cc" "src/html/CMakeFiles/prodsyn_html.dir/dom.cc.o" "gcc" "src/html/CMakeFiles/prodsyn_html.dir/dom.cc.o.d"
+  "/root/repo/src/html/html_parser.cc" "src/html/CMakeFiles/prodsyn_html.dir/html_parser.cc.o" "gcc" "src/html/CMakeFiles/prodsyn_html.dir/html_parser.cc.o.d"
+  "/root/repo/src/html/table_extractor.cc" "src/html/CMakeFiles/prodsyn_html.dir/table_extractor.cc.o" "gcc" "src/html/CMakeFiles/prodsyn_html.dir/table_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prodsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

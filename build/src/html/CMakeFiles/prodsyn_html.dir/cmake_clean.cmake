@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_html.dir/dom.cc.o"
+  "CMakeFiles/prodsyn_html.dir/dom.cc.o.d"
+  "CMakeFiles/prodsyn_html.dir/html_parser.cc.o"
+  "CMakeFiles/prodsyn_html.dir/html_parser.cc.o.d"
+  "CMakeFiles/prodsyn_html.dir/table_extractor.cc.o"
+  "CMakeFiles/prodsyn_html.dir/table_extractor.cc.o.d"
+  "libprodsyn_html.a"
+  "libprodsyn_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

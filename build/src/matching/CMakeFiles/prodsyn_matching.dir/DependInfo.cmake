@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/bag_index.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/bag_index.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/bag_index.cc.o.d"
+  "/root/repo/src/matching/classifier_matcher.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/classifier_matcher.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/classifier_matcher.cc.o.d"
+  "/root/repo/src/matching/coma_matcher.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/coma_matcher.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/coma_matcher.cc.o.d"
+  "/root/repo/src/matching/correspondence_io.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/correspondence_io.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/correspondence_io.cc.o.d"
+  "/root/repo/src/matching/dumas_matcher.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/dumas_matcher.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/dumas_matcher.cc.o.d"
+  "/root/repo/src/matching/features.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/features.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/features.cc.o.d"
+  "/root/repo/src/matching/hungarian.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/hungarian.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/hungarian.cc.o.d"
+  "/root/repo/src/matching/lsd_matcher.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/lsd_matcher.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/lsd_matcher.cc.o.d"
+  "/root/repo/src/matching/matcher.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/matcher.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/matcher.cc.o.d"
+  "/root/repo/src/matching/single_feature_matcher.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/single_feature_matcher.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/single_feature_matcher.cc.o.d"
+  "/root/repo/src/matching/title_matcher.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/title_matcher.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/title_matcher.cc.o.d"
+  "/root/repo/src/matching/training_set.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/training_set.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/training_set.cc.o.d"
+  "/root/repo/src/matching/types.cc" "src/matching/CMakeFiles/prodsyn_matching.dir/types.cc.o" "gcc" "src/matching/CMakeFiles/prodsyn_matching.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prodsyn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/prodsyn_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/prodsyn_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/prodsyn_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_matching.dir/bag_index.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/bag_index.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/classifier_matcher.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/classifier_matcher.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/coma_matcher.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/coma_matcher.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/correspondence_io.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/correspondence_io.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/dumas_matcher.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/dumas_matcher.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/features.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/features.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/hungarian.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/hungarian.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/lsd_matcher.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/lsd_matcher.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/matcher.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/matcher.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/single_feature_matcher.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/single_feature_matcher.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/title_matcher.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/title_matcher.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/training_set.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/training_set.cc.o.d"
+  "CMakeFiles/prodsyn_matching.dir/types.cc.o"
+  "CMakeFiles/prodsyn_matching.dir/types.cc.o.d"
+  "libprodsyn_matching.a"
+  "libprodsyn_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

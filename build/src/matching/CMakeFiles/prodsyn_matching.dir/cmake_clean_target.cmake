@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprodsyn_matching.a"
+)

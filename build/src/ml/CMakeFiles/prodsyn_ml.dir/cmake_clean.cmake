@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_ml.dir/dataset.cc.o"
+  "CMakeFiles/prodsyn_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/prodsyn_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/prodsyn_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/prodsyn_ml.dir/metrics.cc.o"
+  "CMakeFiles/prodsyn_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/prodsyn_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/prodsyn_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/prodsyn_ml.dir/scaler.cc.o"
+  "CMakeFiles/prodsyn_ml.dir/scaler.cc.o.d"
+  "libprodsyn_ml.a"
+  "libprodsyn_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

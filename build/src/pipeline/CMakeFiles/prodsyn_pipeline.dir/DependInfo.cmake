@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/attribute_extraction.cc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/attribute_extraction.cc.o" "gcc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/attribute_extraction.cc.o.d"
+  "/root/repo/src/pipeline/clustering.cc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/clustering.cc.o" "gcc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/clustering.cc.o.d"
+  "/root/repo/src/pipeline/schema_reconciliation.cc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/schema_reconciliation.cc.o" "gcc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/schema_reconciliation.cc.o.d"
+  "/root/repo/src/pipeline/synthesizer.cc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/synthesizer.cc.o" "gcc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/synthesizer.cc.o.d"
+  "/root/repo/src/pipeline/title_classifier.cc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/title_classifier.cc.o" "gcc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/title_classifier.cc.o.d"
+  "/root/repo/src/pipeline/value_fusion.cc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/value_fusion.cc.o" "gcc" "src/pipeline/CMakeFiles/prodsyn_pipeline.dir/value_fusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prodsyn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/prodsyn_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/prodsyn_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/prodsyn_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/prodsyn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/prodsyn_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_pipeline.dir/attribute_extraction.cc.o"
+  "CMakeFiles/prodsyn_pipeline.dir/attribute_extraction.cc.o.d"
+  "CMakeFiles/prodsyn_pipeline.dir/clustering.cc.o"
+  "CMakeFiles/prodsyn_pipeline.dir/clustering.cc.o.d"
+  "CMakeFiles/prodsyn_pipeline.dir/schema_reconciliation.cc.o"
+  "CMakeFiles/prodsyn_pipeline.dir/schema_reconciliation.cc.o.d"
+  "CMakeFiles/prodsyn_pipeline.dir/synthesizer.cc.o"
+  "CMakeFiles/prodsyn_pipeline.dir/synthesizer.cc.o.d"
+  "CMakeFiles/prodsyn_pipeline.dir/title_classifier.cc.o"
+  "CMakeFiles/prodsyn_pipeline.dir/title_classifier.cc.o.d"
+  "CMakeFiles/prodsyn_pipeline.dir/value_fusion.cc.o"
+  "CMakeFiles/prodsyn_pipeline.dir/value_fusion.cc.o.d"
+  "libprodsyn_pipeline.a"
+  "libprodsyn_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/divergence.cc" "src/text/CMakeFiles/prodsyn_text.dir/divergence.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/divergence.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/prodsyn_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/jaro_winkler.cc" "src/text/CMakeFiles/prodsyn_text.dir/jaro_winkler.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/jaro_winkler.cc.o.d"
+  "/root/repo/src/text/ngram.cc" "src/text/CMakeFiles/prodsyn_text.dir/ngram.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/ngram.cc.o.d"
+  "/root/repo/src/text/soft_tfidf.cc" "src/text/CMakeFiles/prodsyn_text.dir/soft_tfidf.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/soft_tfidf.cc.o.d"
+  "/root/repo/src/text/term_distribution.cc" "src/text/CMakeFiles/prodsyn_text.dir/term_distribution.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/term_distribution.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/prodsyn_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/prodsyn_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/prodsyn_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prodsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_text.dir/divergence.cc.o"
+  "CMakeFiles/prodsyn_text.dir/divergence.cc.o.d"
+  "CMakeFiles/prodsyn_text.dir/edit_distance.cc.o"
+  "CMakeFiles/prodsyn_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/prodsyn_text.dir/jaro_winkler.cc.o"
+  "CMakeFiles/prodsyn_text.dir/jaro_winkler.cc.o.d"
+  "CMakeFiles/prodsyn_text.dir/ngram.cc.o"
+  "CMakeFiles/prodsyn_text.dir/ngram.cc.o.d"
+  "CMakeFiles/prodsyn_text.dir/soft_tfidf.cc.o"
+  "CMakeFiles/prodsyn_text.dir/soft_tfidf.cc.o.d"
+  "CMakeFiles/prodsyn_text.dir/term_distribution.cc.o"
+  "CMakeFiles/prodsyn_text.dir/term_distribution.cc.o.d"
+  "CMakeFiles/prodsyn_text.dir/tfidf.cc.o"
+  "CMakeFiles/prodsyn_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/prodsyn_text.dir/tokenizer.cc.o"
+  "CMakeFiles/prodsyn_text.dir/tokenizer.cc.o.d"
+  "libprodsyn_text.a"
+  "libprodsyn_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

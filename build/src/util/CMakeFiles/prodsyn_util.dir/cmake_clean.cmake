@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodsyn_util.dir/file.cc.o"
+  "CMakeFiles/prodsyn_util.dir/file.cc.o.d"
+  "CMakeFiles/prodsyn_util.dir/logging.cc.o"
+  "CMakeFiles/prodsyn_util.dir/logging.cc.o.d"
+  "CMakeFiles/prodsyn_util.dir/random.cc.o"
+  "CMakeFiles/prodsyn_util.dir/random.cc.o.d"
+  "CMakeFiles/prodsyn_util.dir/status.cc.o"
+  "CMakeFiles/prodsyn_util.dir/status.cc.o.d"
+  "CMakeFiles/prodsyn_util.dir/string_util.cc.o"
+  "CMakeFiles/prodsyn_util.dir/string_util.cc.o.d"
+  "libprodsyn_util.a"
+  "libprodsyn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodsyn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

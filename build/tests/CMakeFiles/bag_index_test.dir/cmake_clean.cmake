@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bag_index_test.dir/bag_index_test.cc.o"
+  "CMakeFiles/bag_index_test.dir/bag_index_test.cc.o.d"
+  "bag_index_test"
+  "bag_index_test.pdb"
+  "bag_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bag_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

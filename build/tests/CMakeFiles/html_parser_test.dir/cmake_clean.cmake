@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_parser_test.dir/html_parser_test.cc.o"
+  "CMakeFiles/html_parser_test.dir/html_parser_test.cc.o.d"
+  "html_parser_test"
+  "html_parser_test.pdb"
+  "html_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_eval_test.dir/oracle_eval_test.cc.o"
+  "CMakeFiles/oracle_eval_test.dir/oracle_eval_test.cc.o.d"
+  "oracle_eval_test"
+  "oracle_eval_test.pdb"
+  "oracle_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

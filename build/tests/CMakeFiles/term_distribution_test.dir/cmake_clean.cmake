@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_distribution_test.dir/term_distribution_test.cc.o"
+  "CMakeFiles/term_distribution_test.dir/term_distribution_test.cc.o.d"
+  "term_distribution_test"
+  "term_distribution_test.pdb"
+  "term_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

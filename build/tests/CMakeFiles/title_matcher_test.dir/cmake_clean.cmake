@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/title_matcher_test.dir/title_matcher_test.cc.o"
+  "CMakeFiles/title_matcher_test.dir/title_matcher_test.cc.o.d"
+  "title_matcher_test"
+  "title_matcher_test.pdb"
+  "title_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/title_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
