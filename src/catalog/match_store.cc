@@ -1,5 +1,7 @@
 #include "src/catalog/match_store.h"
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 namespace {
@@ -18,6 +20,11 @@ Status MatchStore::AddMatch(OfferId offer, ProductId product) {
                                  std::to_string(it->second));
   }
   offers_of_[product].push_back(offer);
+  // Forward and reverse maps must stay in lockstep; a divergence here means
+  // matches silently vanish from one direction of lookup.
+  PRODSYN_DCHECK(ProductOf(offer) == product);
+  PRODSYN_DCHECK(!OffersOf(product).empty() &&
+                 OffersOf(product).back() == offer);
   return Status::OK();
 }
 

@@ -10,7 +10,7 @@ size_t SampleSizeFor95Confidence(size_t population, double margin) {
   if (population == 0) return 0;
   const double z = 1.959963985;  // 97.5th percentile of the standard normal
   const double n0 = z * z * 0.25 / (margin * margin);
-  const double n = population * n0 /
+  const double n = static_cast<double>(population) * n0 /
                    (n0 + static_cast<double>(population) - 1.0);
   const size_t rounded = static_cast<size_t>(std::ceil(n));
   return std::min(rounded, population);

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 namespace {
@@ -172,13 +174,19 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
   for (auto* side : {&index.product_bags_, &index.offer_bags_}) {
     side->dists.reserve(side->bags.size());
     for (const auto& [key, bag] : side->bags) {
+      // A bag only exists because AddText inserted at least one token, and
+      // FeatureComputer relies on bag↔dist pairing (see ComputeLevel).
+      PRODSYN_DCHECK(bag.TotalCount() > 0);
       side->dists.emplace(key, TermDistribution(bag));
     }
+    PRODSYN_DCHECK_EQ(side->dists.size(), side->bags.size());
   }
 
   // --- Candidates: schema attrs × observed offer attrs per (M, C).
   for (const auto& [mc, names] : offer_attr_names) {
     const auto [merchant, category] = mc;
+    PRODSYN_DCHECK(merchant != kInvalidMerchant);
+    PRODSYN_DCHECK(category != kInvalidCategory);
     index.merchant_categories_.emplace_back(merchant, category);
     auto schema_result = ctx.catalog->schemas().Get(category);
     if (!schema_result.ok()) continue;  // category without schema: skip

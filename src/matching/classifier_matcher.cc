@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 ClassifierMatcher::ClassifierMatcher(ClassifierMatcherOptions options)
@@ -67,6 +69,9 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
         return;
       }
       double score = *p;
+      // A classifier emitting probabilities outside [0,1] (or NaN) would
+      // silently reorder the correspondence ranking downstream.
+      PRODSYN_DCHECK_PROB(score);
       if (score > 0.5) ++valid;
       if (options_.force_name_identity_score &&
           IsNameIdentity(tuple, options_.training)) {
@@ -87,6 +92,8 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
       const size_t begin = t * chunk;
       const size_t end = std::min(candidates.size(), begin + chunk);
       if (begin >= end) break;
+      PRODSYN_DCHECK_BOUNDS(begin, candidates.size());
+      PRODSYN_DCHECK(end <= candidates.size());
       workers.emplace_back(score_range, begin, end);
     }
     for (auto& worker : workers) worker.join();

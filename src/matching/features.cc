@@ -2,6 +2,7 @@
 
 #include "src/text/edit_distance.h"
 #include "src/text/ngram.h"
+#include "src/util/check.h"
 #include "src/util/string_util.h"
 
 namespace prodsyn {
@@ -67,8 +68,13 @@ FeatureComputer::SimPair FeatureComputer::ComputeLevel(
       level, tuple.catalog_attribute, tuple.merchant, tuple.category);
   const TermDistribution* offer_dist = index_->OfferDist(
       level, tuple.offer_attribute, tuple.merchant, tuple.category);
+  // The index materializes a distribution for every bag it stores, so a
+  // non-null bag implies a non-null distribution.
+  PRODSYN_CHECK(product_dist != nullptr && offer_dist != nullptr);
   pair.js_sim = JensenShannonSimilarity(*product_dist, *offer_dist);
   pair.jaccard = JaccardCoefficient(*product_bag, *offer_bag);
+  PRODSYN_DCHECK_PROB(pair.js_sim);
+  PRODSYN_DCHECK_PROB(pair.jaccard);
   return pair;
 }
 
@@ -117,6 +123,12 @@ std::vector<double> FeatureComputer::Compute(const CandidateTuple& tuple) {
     if (feature_set_.name_edit) features.push_back(names.edit);
     if (feature_set_.name_trigram) features.push_back(names.trigram);
   }
+  // Shape agreement with the configured feature set; every value is a
+  // well-formed similarity. A NaN here silently corrupts the classifier.
+  PRODSYN_DCHECK_EQ(features.size(), feature_set_.Count());
+#if PRODSYN_DCHECK_IS_ON()
+  for (const double f : features) PRODSYN_DCHECK_PROB(f);
+#endif
   return features;
 }
 

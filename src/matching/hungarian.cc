@@ -1,7 +1,10 @@
 #include "src/matching/hungarian.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "src/util/check.h"
 
 namespace prodsyn {
 
@@ -14,6 +17,11 @@ Result<std::vector<Assignment>> MaxWeightBipartiteMatching(
     if (row.size() != cols) {
       return Status::InvalidArgument("weight matrix is ragged");
     }
+    for (const double w : row) {
+      if (std::isnan(w)) {
+        return Status::InvalidArgument("weight matrix contains NaN");
+      }
+    }
   }
   if (cols == 0) return std::vector<Assignment>{};
 
@@ -21,6 +29,8 @@ Result<std::vector<Assignment>> MaxWeightBipartiteMatching(
   // potential-based Hungarian below solves min-cost assignment.
   const size_t n = std::max(rows, cols);
   auto cost = [&](size_t i, size_t j) -> double {
+    PRODSYN_DCHECK_BOUNDS(i, n);
+    PRODSYN_DCHECK_BOUNDS(j, n);
     if (i < rows && j < cols) return -weights[i][j];
     return 0.0;
   };
@@ -37,8 +47,10 @@ Result<std::vector<Assignment>> MaxWeightBipartiteMatching(
     std::vector<size_t> prev(n + 1, 0);
     std::vector<bool> used(n + 1, false);
     do {
+      PRODSYN_DCHECK_BOUNDS(j0, n + 1);
       used[j0] = true;
       const size_t i0 = match_col[j0];
+      PRODSYN_DCHECK(i0 >= 1 && i0 <= n);
       double delta = kInf;
       size_t j1 = 0;
       for (size_t j = 1; j <= n; ++j) {
@@ -61,10 +73,15 @@ Result<std::vector<Assignment>> MaxWeightBipartiteMatching(
           min_slack[j] -= delta;
         }
       }
+      // The augmenting search must always find an unused column: delta stays
+      // finite because row i0 has at least one reachable column.
+      PRODSYN_DCHECK(std::isfinite(delta));
+      PRODSYN_DCHECK(j1 != 0 || n == 0);
       j0 = j1;
     } while (match_col[j0] != 0);
     // Augment along the alternating path.
     do {
+      PRODSYN_DCHECK_BOUNDS(j0, n + 1);
       const size_t j1 = prev[j0];
       match_col[j0] = match_col[j1];
       j0 = j1;
@@ -78,7 +95,10 @@ Result<std::vector<Assignment>> MaxWeightBipartiteMatching(
     const size_t row = i - 1;
     const size_t col = j - 1;
     if (row >= rows || col >= cols) continue;  // padded cell
+    PRODSYN_DCHECK_BOUNDS(row, rows);
+    PRODSYN_DCHECK_BOUNDS(col, cols);
     const double w = weights[row][col];
+    PRODSYN_DCHECK_FINITE(w);
     if (w > min_weight) out.push_back(Assignment{row, col, w});
   }
   std::sort(out.begin(), out.end(), [](const Assignment& a,

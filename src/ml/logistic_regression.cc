@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 double Sigmoid(double z) {
@@ -70,6 +72,9 @@ Status LogisticRegression::Fit(const Dataset& data,
       velocity[j] = options.momentum * velocity[j] -
                     options.learning_rate * grad[j];
       weights_[j] += velocity[j];
+      // A diverging optimizer (NaN/inf weight) would poison every later
+      // prediction while still "converging" by the gradient test.
+      PRODSYN_DCHECK_FINITE(weights_[j]);
     }
     if (options.fit_intercept) {
       intercept_velocity = options.momentum * intercept_velocity -
@@ -93,7 +98,9 @@ Result<double> LogisticRegression::PredictProbability(
   }
   double z = intercept_;
   for (size_t j = 0; j < features.size(); ++j) z += weights_[j] * features[j];
-  return Sigmoid(z);
+  const double p = Sigmoid(z);
+  PRODSYN_DCHECK_PROB(p);
+  return p;
 }
 
 Result<bool> LogisticRegression::Predict(const std::vector<double>& features,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 Status StandardScaler::Fit(const Dataset& data) {
@@ -25,6 +27,8 @@ Status StandardScaler::Fit(const Dataset& data) {
   for (size_t j = 0; j < dim; ++j) {
     stds_[j] = std::sqrt(stds_[j] / n);
     if (stds_[j] < 1e-12) stds_[j] = 1.0;  // constant feature: pass through
+    PRODSYN_DCHECK_FINITE(means_[j]);
+    PRODSYN_DCHECK(stds_[j] > 0.0);
   }
   return Status::OK();
 }
@@ -38,6 +42,7 @@ Status StandardScaler::Transform(std::vector<double>* features) const {
   }
   for (size_t j = 0; j < features->size(); ++j) {
     (*features)[j] = ((*features)[j] - means_[j]) / stds_[j];
+    PRODSYN_DCHECK_FINITE((*features)[j]);
   }
   return Status::OK();
 }

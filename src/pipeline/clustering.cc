@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/util/check.h"
 #include "src/util/string_util.h"
 
 namespace prodsyn {
@@ -78,9 +79,20 @@ Result<std::vector<OfferCluster>> ClusterByKey(
 
   std::vector<OfferCluster> out;
   out.reserve(clusters.size());
+  size_t clustered = 0;
   for (auto& [key, cluster] : clusters) {
     (void)key;
+    // Every emitted cluster carries at least one member and a valid
+    // category/key; FuseCluster depends on this.
+    PRODSYN_DCHECK(!cluster.members.empty());
+    PRODSYN_DCHECK(cluster.category != kInvalidCategory);
+    PRODSYN_DCHECK(!cluster.key.empty());
+    clustered += cluster.members.size();
     out.push_back(std::move(cluster));
+  }
+  // Conservation: every input offer is either clustered or counted dropped.
+  if (dropped != nullptr) {
+    PRODSYN_DCHECK_EQ(clustered + *dropped, offers.size());
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/text/tokenizer.h"
+#include "src/util/check.h"
 
 namespace prodsyn {
 
@@ -49,7 +50,11 @@ std::string FuseValues(const std::vector<std::string>& values) {
     }
   }
   const double n = static_cast<double>(values.size());
-  for (double& c : centroid) c /= n;
+  for (double& c : centroid) {
+    c /= n;
+    // Each coordinate is a fraction of values containing the term.
+    PRODSYN_DCHECK_PROB(c);
+  }
 
   // Closest value; ties break first to the raw value with the most votes
   // (plain majority), then to the lexicographically smallest value.
@@ -57,6 +62,7 @@ std::string FuseValues(const std::vector<std::string>& values) {
   for (const auto& v : values) ++votes[v];
   double best_dist = std::numeric_limits<double>::infinity();
   const std::string* best = nullptr;
+  PRODSYN_DCHECK_EQ(value_terms.size(), values.size());
   for (size_t i = 0; i < values.size(); ++i) {
     double dist_sq = 0.0;
     for (size_t j = 0; j < terms.size(); ++j) {
@@ -64,6 +70,8 @@ std::string FuseValues(const std::vector<std::string>& values) {
       const double d = x - centroid[j];
       dist_sq += d * d;
     }
+    PRODSYN_DCHECK_FINITE(dist_sq);
+    PRODSYN_DCHECK(dist_sq >= 0.0);
     if (best == nullptr || dist_sq < best_dist - 1e-12) {
       best_dist = dist_sq;
       best = &values[i];
@@ -76,6 +84,8 @@ std::string FuseValues(const std::vector<std::string>& values) {
       }
     }
   }
+  // values is non-empty and the first iteration always seeds `best`.
+  PRODSYN_CHECK(best != nullptr);
   return *best;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 double KullbackLeiblerDivergence(const TermDistribution& p,
@@ -33,6 +35,9 @@ double JensenShannonDivergence(const TermDistribution& p,
     const double mt = 0.5 * (p.Probability(term) + qt);
     js += 0.5 * qt * std::log2(qt / mt);
   }
+  // Pre-clamp the divergence is already within rounding error of [0,1]; a
+  // larger excursion means the inputs were not probability distributions.
+  PRODSYN_DCHECK(js > -1e-9 && js < 1.0 + 1e-9);
   // Clamp tiny negative rounding residue.
   if (js < 0.0) js = 0.0;
   if (js > 1.0) js = 1.0;

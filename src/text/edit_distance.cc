@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {
@@ -19,14 +21,18 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
       prev_diag = saved;
     }
   }
+  // Edit distance is bounded by the longer string's length.
+  PRODSYN_DCHECK(row[a.size()] <= b.size());
   return row[a.size()];
 }
 
 double EditSimilarity(std::string_view a, std::string_view b) {
   const size_t longest = std::max(a.size(), b.size());
   if (longest == 0) return 1.0;
-  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
-                   static_cast<double>(longest);
+  const double sim = 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                               static_cast<double>(longest);
+  PRODSYN_DCHECK_PROB(sim);
+  return sim;
 }
 
 }  // namespace prodsyn

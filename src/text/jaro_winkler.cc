@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 double JaroSimilarity(std::string_view a, std::string_view b) {
@@ -40,10 +42,16 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
     ++j;
   }
 
+  PRODSYN_DCHECK(matches <= std::min(a.size(), b.size()));
+  PRODSYN_DCHECK(transpositions <= matches);
   const double m = static_cast<double>(matches);
-  return (m / a.size() + m / b.size() +
-          (m - transpositions / 2.0) / m) /
-         3.0;
+  const double t = static_cast<double>(transpositions);
+  const double jaro = (m / static_cast<double>(a.size()) +
+                       m / static_cast<double>(b.size()) +
+                       (m - t / 2.0) / m) /
+                      3.0;
+  PRODSYN_DCHECK_PROB(jaro);
+  return jaro;
 }
 
 double JaroWinklerSimilarity(std::string_view a, std::string_view b,
@@ -53,7 +61,9 @@ double JaroWinklerSimilarity(std::string_view a, std::string_view b,
   const size_t limit = std::min<size_t>({4, a.size(), b.size()});
   while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
   double sim = jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
-  return std::min(sim, 1.0);
+  sim = std::min(sim, 1.0);
+  PRODSYN_DCHECK_PROB(sim);
+  return sim;
 }
 
 }  // namespace prodsyn

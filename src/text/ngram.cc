@@ -1,5 +1,7 @@
 #include "src/text/ngram.h"
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 std::unordered_set<std::string> CharacterNgrams(std::string_view s,
@@ -26,8 +28,10 @@ double TrigramSimilarity(std::string_view a, std::string_view b) {
   for (const auto& g : small) {
     if (large.count(g) > 0) ++intersection;
   }
-  return 2.0 * static_cast<double>(intersection) /
-         static_cast<double>(ga.size() + gb.size());
+  const double sim = 2.0 * static_cast<double>(intersection) /
+                     static_cast<double>(ga.size() + gb.size());
+  PRODSYN_DCHECK_PROB(sim);
+  return sim;
 }
 
 }  // namespace prodsyn

@@ -3,11 +3,15 @@
 #include <algorithm>
 
 #include "src/text/jaro_winkler.h"
+#include "src/util/check.h"
 
 namespace prodsyn {
 
 SoftTfIdf::SoftTfIdf(const TfIdfCorpus* corpus, double threshold)
-    : corpus_(corpus), threshold_(threshold) {}
+    : corpus_(corpus), threshold_(threshold) {
+  PRODSYN_CHECK(corpus != nullptr);
+  PRODSYN_DCHECK_PROB(threshold);
+}
 
 double SoftTfIdf::Similarity(const std::vector<std::string>& a,
                              const std::vector<std::string>& b) const {
@@ -38,7 +42,12 @@ double SoftTfIdf::Similarity(const std::vector<std::string>& a,
       score += weight_a * vb.at(*best_token) * best_sim;
     }
   }
-  return std::min(score, 1.0);
+  // Weight vectors are L2-normalized and Jaro-Winkler is in [0,1], so the
+  // raw score is non-negative; the clamp only trims rounding above 1.
+  PRODSYN_DCHECK(score >= 0.0);
+  const double sim = std::min(score, 1.0);
+  PRODSYN_DCHECK_PROB(sim);
+  return sim;
 }
 
 }  // namespace prodsyn

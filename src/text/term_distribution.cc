@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 void BagOfWords::Add(std::string term) {
@@ -31,13 +33,18 @@ TermDistribution::TermDistribution(const BagOfWords& bag) {
   const double total = static_cast<double>(bag.TotalCount());
   probs_.reserve(bag.counts().size());
   for (const auto& [term, count] : bag.counts()) {
-    probs_.emplace(term, static_cast<double>(count) / total);
+    PRODSYN_DCHECK(count > 0 && count <= bag.TotalCount());
+    const double p = static_cast<double>(count) / total;
+    PRODSYN_DCHECK_PROB(p);
+    probs_.emplace(term, p);
   }
 }
 
 double TermDistribution::Probability(const std::string& term) const {
   auto it = probs_.find(term);
-  return it == probs_.end() ? 0.0 : it->second;
+  const double p = it == probs_.end() ? 0.0 : it->second;
+  PRODSYN_DCHECK_PROB(p);
+  return p;
 }
 
 double JaccardCoefficient(const BagOfWords& a, const BagOfWords& b) {
@@ -50,8 +57,13 @@ double JaccardCoefficient(const BagOfWords& a, const BagOfWords& b) {
     (void)count;
     if (large.Count(term) > 0) ++intersection;
   }
+  PRODSYN_DCHECK(intersection <= small.DistinctCount());
   const size_t uni = a.DistinctCount() + b.DistinctCount() - intersection;
-  return uni == 0 ? 0.0 : static_cast<double>(intersection) / uni;
+  const double jaccard =
+      uni == 0 ? 0.0
+               : static_cast<double>(intersection) / static_cast<double>(uni);
+  PRODSYN_DCHECK_PROB(jaccard);
+  return jaccard;
 }
 
 double DiceCoefficient(const BagOfWords& a, const BagOfWords& b) {
@@ -64,7 +76,10 @@ double DiceCoefficient(const BagOfWords& a, const BagOfWords& b) {
     (void)count;
     if (large.Count(term) > 0) ++intersection;
   }
-  return 2.0 * static_cast<double>(intersection) / denom;
+  const double dice =
+      2.0 * static_cast<double>(intersection) / static_cast<double>(denom);
+  PRODSYN_DCHECK_PROB(dice);
+  return dice;
 }
 
 double CosineSimilarity(const BagOfWords& a, const BagOfWords& b) {
@@ -87,7 +102,10 @@ double CosineSimilarity(const BagOfWords& a, const BagOfWords& b) {
     (void)term;
     nb += static_cast<double>(count) * static_cast<double>(count);
   }
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  const double cosine = dot / (std::sqrt(na) * std::sqrt(nb));
+  PRODSYN_DCHECK_FINITE(cosine);
+  PRODSYN_DCHECK(cosine >= 0.0 && cosine <= 1.0 + 1e-9);
+  return cosine;
 }
 
 }  // namespace prodsyn

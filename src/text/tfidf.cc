@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/util/check.h"
+
 namespace prodsyn {
 
 void TfIdfCorpus::AddDocument(const std::vector<std::string>& tokens) {
@@ -16,7 +18,12 @@ double TfIdfCorpus::Idf(const std::string& term) const {
   const double df =
       it == doc_freq_.end() ? 1.0 : static_cast<double>(it->second);
   const double n = documents_ == 0 ? 1.0 : static_cast<double>(documents_);
-  return std::log(1.0 + n / df);
+  // df counts documents, so 0 < df and idf = log(1 + n/df) > 0.
+  PRODSYN_DCHECK(df > 0.0);
+  const double idf = std::log(1.0 + n / df);
+  PRODSYN_DCHECK_FINITE(idf);
+  PRODSYN_DCHECK(idf > 0.0);
+  return idf;
 }
 
 std::unordered_map<std::string, double> TfIdfCorpus::WeightVector(
@@ -33,8 +40,18 @@ std::unordered_map<std::string, double> TfIdfCorpus::WeightVector(
     for (auto& [term, w] : weights) {
       (void)term;
       w *= inv;
+      PRODSYN_DCHECK_FINITE(w);
     }
   }
+#if PRODSYN_DCHECK_IS_ON()
+  // The vector is L2-normalized (or empty): ‖w‖² ∈ {0, 1}.
+  double check_norm = 0.0;
+  for (const auto& [term, w] : weights) {
+    (void)term;
+    check_norm += w * w;
+  }
+  PRODSYN_DCHECK(weights.empty() || std::fabs(check_norm - 1.0) < 1e-6);
+#endif
   return weights;
 }
 

@@ -1,0 +1,36 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prodsyn {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* kind,
+                              const char* expr) {
+  std::fprintf(stderr, "prodsyn %s failed at %s:%d: %s\n", kind, file, line,
+               expr);
+  std::abort();
+}
+
+[[noreturn]] void CheckFailedBounds(const char* file, int line,
+                                    const char* index_expr,
+                                    unsigned long long index,
+                                    unsigned long long bound) {
+  std::fprintf(stderr,
+               "prodsyn bounds check failed at %s:%d: %s (index=%llu, "
+               "bound=%llu)\n",
+               file, line, index_expr, index, bound);
+  std::abort();
+}
+
+[[noreturn]] void CheckFailedValue(const char* file, int line,
+                                   const char* kind, const char* expr,
+                                   double value) {
+  std::fprintf(stderr, "prodsyn %s failed at %s:%d: %s (value=%.17g)\n", kind,
+               file, line, expr, value);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace prodsyn

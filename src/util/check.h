@@ -1,0 +1,138 @@
+// Runtime invariant checks for the prodsyn core.
+//
+// Two families:
+//   PRODSYN_CHECK*  — always on, in every build type. Use at API boundaries
+//                     and for invariants whose violation would silently
+//                     corrupt results (the failure mode that invalidates
+//                     catalog-scale evaluations).
+//   PRODSYN_DCHECK* — on in Debug builds and in sanitizer builds
+//                     (PRODSYN_SANITIZE defines PRODSYN_FORCE_DCHECK);
+//                     compiled out in Release. Use freely in hot loops.
+//
+// A failed check prints file:line plus the offending values to stderr and
+// aborts, so sanitizer runs and CI surface the first violation loudly
+// instead of propagating garbage.
+
+#ifndef PRODSYN_UTIL_CHECK_H_
+#define PRODSYN_UTIL_CHECK_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace prodsyn {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* kind,
+                              const char* expr);
+[[noreturn]] void CheckFailedBounds(const char* file, int line,
+                                    const char* index_expr,
+                                    unsigned long long index,
+                                    unsigned long long bound);
+[[noreturn]] void CheckFailedValue(const char* file, int line,
+                                   const char* kind, const char* expr,
+                                   double value);
+
+}  // namespace internal
+}  // namespace prodsyn
+
+/// \brief Whether PRODSYN_DCHECK* expand to real checks in this TU.
+#if !defined(NDEBUG) || defined(PRODSYN_FORCE_DCHECK)
+#define PRODSYN_DCHECK_IS_ON() 1
+#else
+#define PRODSYN_DCHECK_IS_ON() 0
+#endif
+
+/// \brief Aborts unless `cond` holds. Active in all build types.
+#define PRODSYN_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::prodsyn::internal::CheckFailed(__FILE__, __LINE__, "CHECK",      \
+                                       #cond);                           \
+    }                                                                    \
+  } while (false)
+
+/// \brief Aborts unless `index < bound`. Active in all build types.
+#define PRODSYN_CHECK_BOUNDS(index, bound)                               \
+  do {                                                                   \
+    const auto _prodsyn_i = (index);                                     \
+    const auto _prodsyn_b = (bound);                                     \
+    if (!(_prodsyn_i < _prodsyn_b)) {                                    \
+      ::prodsyn::internal::CheckFailedBounds(                            \
+          __FILE__, __LINE__, #index " < " #bound,                       \
+          static_cast<unsigned long long>(_prodsyn_i),                   \
+          static_cast<unsigned long long>(_prodsyn_b));                  \
+    }                                                                    \
+  } while (false)
+
+#if PRODSYN_DCHECK_IS_ON()
+
+#define PRODSYN_DCHECK(cond)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::prodsyn::internal::CheckFailed(__FILE__, __LINE__, "DCHECK",     \
+                                       #cond);                           \
+    }                                                                    \
+  } while (false)
+
+#define PRODSYN_DCHECK_BOUNDS(index, bound)                              \
+  do {                                                                   \
+    const auto _prodsyn_i = (index);                                     \
+    const auto _prodsyn_b = (bound);                                     \
+    if (!(_prodsyn_i < _prodsyn_b)) {                                    \
+      ::prodsyn::internal::CheckFailedBounds(                            \
+          __FILE__, __LINE__, #index " < " #bound,                       \
+          static_cast<unsigned long long>(_prodsyn_i),                   \
+          static_cast<unsigned long long>(_prodsyn_b));                  \
+    }                                                                    \
+  } while (false)
+
+/// \brief Asserts `p` is a probability: finite and in [0, 1].
+#define PRODSYN_DCHECK_PROB(p)                                           \
+  do {                                                                   \
+    const double _prodsyn_p = static_cast<double>(p);                    \
+    if (!(_prodsyn_p >= 0.0 && _prodsyn_p <= 1.0)) {                     \
+      ::prodsyn::internal::CheckFailedValue(                             \
+          __FILE__, __LINE__, "DCHECK_PROB", #p, _prodsyn_p);            \
+    }                                                                    \
+  } while (false)
+
+/// \brief Asserts `x` is neither NaN nor infinite.
+#define PRODSYN_DCHECK_FINITE(x)                                         \
+  do {                                                                   \
+    const double _prodsyn_x = static_cast<double>(x);                    \
+    if (!std::isfinite(_prodsyn_x)) {                                    \
+      ::prodsyn::internal::CheckFailedValue(                             \
+          __FILE__, __LINE__, "DCHECK_FINITE", #x, _prodsyn_x);          \
+    }                                                                    \
+  } while (false)
+
+/// \brief Asserts two extents (matrix shapes, vector lengths) agree.
+#define PRODSYN_DCHECK_EQ(a, b)                                          \
+  do {                                                                   \
+    if (!((a) == (b))) {                                                 \
+      ::prodsyn::internal::CheckFailed(__FILE__, __LINE__, "DCHECK_EQ",  \
+                                       #a " == " #b);                    \
+    }                                                                    \
+  } while (false)
+
+#else  // PRODSYN_DCHECK_IS_ON()
+
+// Compiled out: operands stay syntactically checked and "used" (no
+// -Wunused-variable under -Werror) but are never evaluated.
+#define PRODSYN_INTERNAL_DCHECK_NOOP(expr)                               \
+  do {                                                                   \
+    if (false) {                                                         \
+      (void)(expr);                                                      \
+    }                                                                    \
+  } while (false)
+
+#define PRODSYN_DCHECK(cond) PRODSYN_INTERNAL_DCHECK_NOOP(cond)
+#define PRODSYN_DCHECK_BOUNDS(index, bound) \
+  PRODSYN_INTERNAL_DCHECK_NOOP((index) < (bound))
+#define PRODSYN_DCHECK_PROB(p) PRODSYN_INTERNAL_DCHECK_NOOP(p)
+#define PRODSYN_DCHECK_FINITE(x) PRODSYN_INTERNAL_DCHECK_NOOP(x)
+#define PRODSYN_DCHECK_EQ(a, b) PRODSYN_INTERNAL_DCHECK_NOOP((a) == (b))
+
+#endif  // PRODSYN_DCHECK_IS_ON()
+
+#endif  // PRODSYN_UTIL_CHECK_H_

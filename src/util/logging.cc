@@ -1,11 +1,14 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace prodsyn {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+// Atomic so a worker thread logging while another thread adjusts the level
+// is a well-defined (and TSan-clean) interaction.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,13 +25,15 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= static_cast<int>(g_level)),
+    : enabled_(static_cast<int>(level) >= static_cast<int>(GetLogLevel())),
       level_(level) {
   if (enabled_) {
     const char* base = file;

@@ -1,0 +1,89 @@
+// Tests for the runtime invariant layer (src/util/check.h): CHECK is active
+// in every build type, DCHECK tracks PRODSYN_DCHECK_IS_ON(), and compiled-out
+// DCHECKs never evaluate their operands.
+
+#include "src/util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace prodsyn {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  PRODSYN_CHECK(1 + 1 == 2);
+  PRODSYN_CHECK_BOUNDS(0u, 3u);
+  PRODSYN_CHECK_BOUNDS(2u, 3u);
+  PRODSYN_DCHECK(true);
+  PRODSYN_DCHECK_BOUNDS(1u, 2u);
+  PRODSYN_DCHECK_PROB(0.0);
+  PRODSYN_DCHECK_PROB(0.5);
+  PRODSYN_DCHECK_PROB(1.0);
+  PRODSYN_DCHECK_FINITE(-1e300);
+  PRODSYN_DCHECK_EQ(4u, 4u);
+}
+
+TEST(CheckDeathTest, CheckFiresInEveryBuildType) {
+  EXPECT_DEATH({ PRODSYN_CHECK(2 + 2 == 5); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckBoundsFiresInEveryBuildType) {
+  const std::vector<int> v(3);
+  EXPECT_DEATH({ PRODSYN_CHECK_BOUNDS(v.size(), v.size()); },
+               "bounds check failed");
+}
+
+#if PRODSYN_DCHECK_IS_ON()
+
+TEST(CheckDeathTest, DcheckFiresWhenOn) {
+  EXPECT_DEATH({ PRODSYN_DCHECK(false); }, "DCHECK failed");
+}
+
+TEST(CheckDeathTest, DcheckBoundsFiresWhenOn) {
+  EXPECT_DEATH({ PRODSYN_DCHECK_BOUNDS(5u, 5u); }, "bounds check failed");
+}
+
+TEST(CheckDeathTest, DcheckProbRejectsOutOfRangeAndNan) {
+  EXPECT_DEATH({ PRODSYN_DCHECK_PROB(1.5); }, "DCHECK_PROB failed");
+  EXPECT_DEATH({ PRODSYN_DCHECK_PROB(-0.01); }, "DCHECK_PROB failed");
+  const double nan = std::nan("");
+  EXPECT_DEATH({ PRODSYN_DCHECK_PROB(nan); }, "DCHECK_PROB failed");
+}
+
+TEST(CheckDeathTest, DcheckFiniteRejectsInfAndNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH({ PRODSYN_DCHECK_FINITE(inf); }, "DCHECK_FINITE failed");
+}
+
+TEST(CheckDeathTest, DcheckEqReportsShapeMismatch) {
+  EXPECT_DEATH({ PRODSYN_DCHECK_EQ(3u, 4u); }, "DCHECK_EQ failed");
+}
+
+#else  // PRODSYN_DCHECK_IS_ON()
+
+TEST(CheckTest, CompiledOutDchecksDoNotEvaluateOperands) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  PRODSYN_DCHECK(count());
+  PRODSYN_DCHECK_PROB(evaluations += 1);
+  PRODSYN_DCHECK_FINITE(evaluations += 1);
+  PRODSYN_DCHECK_BOUNDS(0u, static_cast<unsigned>(evaluations += 1));
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, CompiledOutDchecksAcceptFalseConditions) {
+  PRODSYN_DCHECK(false);
+  PRODSYN_DCHECK_PROB(42.0);
+  PRODSYN_DCHECK_EQ(1u, 2u);
+}
+
+#endif  // PRODSYN_DCHECK_IS_ON()
+
+}  // namespace
+}  // namespace prodsyn

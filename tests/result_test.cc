@@ -1,0 +1,157 @@
+// Error-path coverage for util::Result / util::Status: propagation through
+// the macros, move semantics (move-only payloads, moved-from hygiene), and
+// error-message formatting. Complements status_test.cc, which covers the
+// happy paths.
+
+#include "src/util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace prodsyn {
+namespace {
+
+// --- Move semantics ---------------------------------------------------------
+
+TEST(ResultErrorPathTest, HoldsMoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  std::unique_ptr<int> owned = std::move(r).ValueOrDie();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+Result<std::unique_ptr<std::string>> MakeOwned(bool fail) {
+  if (fail) return Status::IOError("backing store unavailable");
+  return std::make_unique<std::string>("payload");
+}
+
+Result<size_t> LengthThroughMacro(bool fail) {
+  PRODSYN_ASSIGN_OR_RETURN(std::unique_ptr<std::string> s, MakeOwned(fail));
+  return s->size();
+}
+
+TEST(ResultErrorPathTest, AssignOrReturnMovesMoveOnlyValue) {
+  auto r = LengthThroughMacro(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7u);
+}
+
+TEST(ResultErrorPathTest, AssignOrReturnPropagatesMoveOnlyError) {
+  auto r = LengthThroughMacro(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_EQ(r.status().message(), "backing store unavailable");
+}
+
+TEST(ResultErrorPathTest, MovedResultTransfersOwnership) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  Result<std::vector<int>> moved = std::move(r);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved->size(), 3u);
+}
+
+TEST(ResultErrorPathTest, MovedErrorResultKeepsStatus) {
+  Result<int> r = Status::NotFound("gone");
+  Result<int> moved = std::move(r);
+  ASSERT_FALSE(moved.ok());
+  EXPECT_TRUE(moved.status().IsNotFound());
+  EXPECT_EQ(moved.status().message(), "gone");
+}
+
+// --- Propagation chains -----------------------------------------------------
+
+Result<int> Level0(int x) {
+  if (x < 0) return Status::OutOfRange("level0: negative input");
+  return x;
+}
+
+Result<int> Level1(int x) {
+  PRODSYN_ASSIGN_OR_RETURN(int v, Level0(x));
+  return v + 1;
+}
+
+Result<int> Level2(int x) {
+  PRODSYN_ASSIGN_OR_RETURN(int v, Level1(x));
+  return v + 1;
+}
+
+TEST(ResultErrorPathTest, ErrorPropagatesThroughNestedCalls) {
+  auto r = Level2(-5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  // The originating message survives two macro hops unchanged.
+  EXPECT_EQ(r.status().message(), "level0: negative input");
+}
+
+TEST(ResultErrorPathTest, SuccessPropagatesThroughNestedCalls) {
+  auto r = Level2(40);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+Status ConsumeResult(bool fail) {
+  PRODSYN_ASSIGN_OR_RETURN(std::string s, ([&]() -> Result<std::string> {
+                             if (fail) return Status::ParseError("bad token");
+                             return std::string("ok");
+                           }()));
+  (void)s;
+  return Status::OK();
+}
+
+TEST(ResultErrorPathTest, AssignOrReturnConvertsToPlainStatus) {
+  EXPECT_TRUE(ConsumeResult(false).ok());
+  Status st = ConsumeResult(true);
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+// --- Error-message formatting -----------------------------------------------
+
+TEST(ResultErrorPathTest, StatusOfErrorFormatsCodeAndMessage) {
+  Result<double> r = Status::FailedPrecondition("index not built");
+  EXPECT_EQ(r.status().ToString(), "FailedPrecondition: index not built");
+}
+
+TEST(ResultErrorPathTest, StatusOfValueIsOkAndEmpty) {
+  Result<double> r = 0.5;
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_TRUE(r.status().message().empty());
+  EXPECT_EQ(r.status().ToString(), "OK");
+}
+
+TEST(ResultErrorPathTest, OkStatusConstructionYieldsDiagnosticInternal) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+  EXPECT_EQ(r.status().message(), "Result constructed from OK status");
+}
+
+TEST(ResultErrorPathTest, ValueOrFallsBackOnlyOnError) {
+  Result<int> ok = 3;
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(ok.ValueOr(-1), 3);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+// --- Abort paths ------------------------------------------------------------
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::NotFound("no such product");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "no such product");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<std::string> r = Status::Internal("corrupt index");
+  EXPECT_DEATH({ (void)*r; }, "corrupt index");
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""prodsyn repo-invariant linter.
+
+Enforces conventions that clang-tidy cannot express:
+
+  R1  stream-hygiene   No naked std::cerr / std::cout in library code
+                       (src/). Diagnostics go through util/logging
+                       (PRODSYN_LOG) or the check/status abort paths.
+  R2  no-libc-rand     rand()/srand()/random_shuffle are banned everywhere;
+                       use util::Rng (deterministic, seedable).
+  R3  include-guards   Every header under src/ uses a guard named
+                       PRODSYN_<PATH>_H_ with matching #ifndef/#define and
+                       a trailing `// <guard>` comment on the #endif.
+  R4  status-errors    Library code never throws or assert()s: fallible
+                       APIs return util::Status / util::Result, invariants
+                       use PRODSYN_CHECK / PRODSYN_DCHECK, and only
+                       src/util may abort/exit the process.
+
+Usage: tools/lint_prodsyn.py [paths...]   (default: src tests bench examples)
+Exit status: 0 when clean, 1 when findings were printed.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CC_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+# Files allowed to write to stderr / abort directly: the logging and
+# invariant-check implementations themselves.
+STDERR_ALLOWLIST = {
+    "src/util/logging.cc",
+    "src/util/logging.h",
+    "src/util/check.cc",
+    "src/util/status.cc",
+}
+
+RE_NAKED_STREAM = re.compile(r"\bstd::(cerr|cout)\b")
+RE_LIBC_RAND = re.compile(r"(?<![\w:.])(?:std::)?(rand|srand|random_shuffle)\s*\(")
+RE_THROW = re.compile(r"\bthrow\b(?!\s*\(\s*\))")  # `throw()` specs don't occur
+RE_ASSERT = re.compile(r"(?<![\w:.])assert\s*\(")
+RE_PROCESS_EXIT = re.compile(r"(?<![\w:.])(?:std::)?(abort|exit|_Exit|quick_exit)\s*\(")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks out string/char literals and // comments (line-local heuristic)."""
+    out = []
+    i, n = 0, len(line)
+    in_str: str | None = None
+    while i < n:
+        ch = line[i]
+        if in_str:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_str:
+                in_str = None
+            i += 1
+            continue
+        if ch in ('"', "'"):
+            in_str = ch
+            out.append(ch)
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel: Path) -> str:
+    # src/matching/bag_index.h -> PRODSYN_MATCHING_BAG_INDEX_H_
+    parts = rel.with_suffix("").parts[1:]  # drop leading "src"
+    body = "_".join(p.upper().replace("-", "_") for p in ("prodsyn",) + tuple(parts))
+    return f"{body}_H_"
+
+
+def repo_relative(path: Path) -> Path:
+    # Paths outside the repo (explicit absolute roots) keep their full path;
+    # repo-layout rules (stream-hygiene, guards) only apply inside the repo.
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: Path, line_no: int, rule: str, msg: str) -> None:
+        rel = repo_relative(path)
+        self.findings.append(f"{rel}:{line_no}: [{rule}] {msg}")
+
+    def lint_file(self, path: Path) -> None:
+        rel = str(repo_relative(path))
+        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = text.splitlines()
+        in_src = rel.startswith("src/")
+
+        in_block_comment = False
+        for i, raw in enumerate(lines, start=1):
+            line = raw
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2 :]
+                in_block_comment = False
+            start = line.find("/*")
+            if start >= 0 and line.find("*/", start) < 0:
+                in_block_comment = True
+                line = line[:start]
+            code = strip_comments_and_strings(line)
+
+            if RE_LIBC_RAND.search(code):
+                self.report(path, i, "no-libc-rand",
+                            "rand()/srand()/random_shuffle banned; use util::Rng")
+            if in_src and rel not in STDERR_ALLOWLIST:
+                m = RE_NAKED_STREAM.search(code)
+                if m:
+                    self.report(path, i, "stream-hygiene",
+                                f"naked std::{m.group(1)} in library code; "
+                                "use PRODSYN_LOG (util/logging)")
+            if in_src:
+                if RE_THROW.search(code):
+                    self.report(path, i, "status-errors",
+                                "throw in library code; fallible APIs return "
+                                "util::Status / util::Result")
+                if RE_ASSERT.search(code):
+                    self.report(path, i, "status-errors",
+                                "assert() in library code; use PRODSYN_CHECK "
+                                "/ PRODSYN_DCHECK (src/util/check.h)")
+                if not rel.startswith("src/util/") and RE_PROCESS_EXIT.search(code):
+                    self.report(path, i, "status-errors",
+                                "process exit/abort outside src/util; return "
+                                "a Status instead")
+
+        if in_src and path.suffix in {".h", ".hpp"}:
+            self.lint_guard(path, lines)
+
+    def lint_guard(self, path: Path, lines: list[str]) -> None:
+        rel = repo_relative(path)
+        guard = expected_guard(rel)
+        ifndef = f"#ifndef {guard}"
+        define = f"#define {guard}"
+        endif = f"#endif  // {guard}"
+
+        ifndef_idx = next((i for i, l in enumerate(lines) if l.strip() == ifndef), None)
+        if ifndef_idx is None:
+            self.report(path, 1, "include-guards", f"missing `{ifndef}`")
+            return
+        if ifndef_idx + 1 >= len(lines) or lines[ifndef_idx + 1].strip() != define:
+            self.report(path, ifndef_idx + 2, "include-guards",
+                        f"`{define}` must directly follow the #ifndef")
+        last_code = next((l for l in reversed(lines) if l.strip()), "")
+        if last_code.strip() != endif:
+            self.report(path, len(lines), "include-guards",
+                        f"file must end with `{endif}`")
+
+    def run(self, roots: list[Path]) -> int:
+        files = []
+        for root in roots:
+            if root.is_file():
+                files.append(root)
+            else:
+                files.extend(p for p in sorted(root.rglob("*"))
+                             if p.suffix in CC_SUFFIXES and p.is_file())
+        for f in files:
+            self.lint_file(f)
+        for finding in self.findings:
+            print(finding)
+        print(f"lint_prodsyn: {len(files)} files, {len(self.findings)} findings",
+              file=sys.stderr)
+        return 1 if self.findings else 0
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:] or ["src", "tests", "bench", "examples"]
+    roots = []
+    for a in args:
+        p = Path(a)
+        if not p.is_absolute():
+            p = REPO_ROOT / p
+        if not p.exists():
+            print(f"lint_prodsyn: no such path: {a}", file=sys.stderr)
+            return 2
+        roots.append(p)
+    return Linter().run(roots)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
