@@ -1,8 +1,24 @@
 // Performance micro/meso benchmarks (google-benchmark): not in the paper,
 // but they substantiate the "scalable" claim — per-stage throughput of the
 // substrates and of the end-to-end pipeline.
+//
+// Besides the google-benchmark suite, the binary runs a run-time-phase
+// thread sweep (Synthesize at runtime_threads = 1, 2, 4, hardware) and
+// writes the machine-readable BENCH_perf_pipeline.json (offers/s per
+// thread count, per-stage wall/CPU breakdown) so the perf trajectory is
+// trackable across PRs — see docs/PERFORMANCE.md for the format.
+//
+// Environment knobs (env vars, so google-benchmark flags stay usable):
+//   PRODSYN_BENCH_TINY=1     tiny world + 1 repetition (CI smoke scale)
+//   PRODSYN_BENCH_JSON=path  output path (default BENCH_perf_pipeline.json)
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "src/datagen/page_gen.h"
 #include "src/datagen/world.h"
@@ -15,6 +31,7 @@
 #include "src/pipeline/value_fusion.h"
 #include "src/text/divergence.h"
 #include "src/text/jaro_winkler.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 namespace {
@@ -181,7 +198,228 @@ void BM_WorldGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldGeneration)->Unit(benchmark::kMillisecond);
 
+void BM_RuntimeSynthesis(benchmark::State& state) {
+  // The run-time phase alone (offline learning excluded), at the thread
+  // count of the benchmark argument; 0 = hardware default.
+  const World& world = SharedWorld();
+  SynthesizerOptions options;
+  options.runtime_threads = static_cast<size_t>(state.range(0));
+  ProductSynthesizer synthesizer(&world.catalog, options);
+  if (!synthesizer
+           .LearnOffline(world.historical_offers, world.historical_matches)
+           .ok()) {
+    state.SkipWithError("offline learning failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synthesizer.Synthesize(world.incoming_offers, world.pages));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(world.incoming_offers.size()));
+  state.SetLabel("items = offers; arg = runtime_threads (0=hw)");
+}
+BENCHMARK(BM_RuntimeSynthesis)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Thread sweep + BENCH_perf_pipeline.json emission (see file comment).
+// ---------------------------------------------------------------------------
+
+struct SweepRun {
+  size_t requested_threads = 0;  // the runtime_threads option value
+  size_t effective_threads = 0;  // what 0 resolved to
+  double best_wall_ms = 0.0;     // best of `repetitions` Synthesize calls
+  double offers_per_sec = 0.0;
+  SynthesisStats stats;  // counters + stage metrics of the best run
+};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void AppendJsonStage(std::string* out, const StageSnapshot& stage,
+                     bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "        {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                "\"cpu_ms\": %.3f, \"items\": %llu, "
+                "\"max_queue_depth\": %llu}%s\n",
+                stage.name.c_str(), stage.wall_ns / 1e6, stage.cpu_ns / 1e6,
+                static_cast<unsigned long long>(stage.items),
+                static_cast<unsigned long long>(stage.max_queue_depth),
+                last ? "" : ",");
+  *out += buf;
+}
+
+bool WriteSweepJson(const std::string& path, const World& world,
+                    const std::string& scale,
+                    const std::vector<SweepRun>& runs) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"perf_pipeline\",\n";
+  json += "  \"scale\": \"" + scale + "\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"world\": {\"incoming_offers\": %llu, \"merchants\": "
+                "%llu, \"categories\": %llu},\n",
+                static_cast<unsigned long long>(world.incoming_offers.size()),
+                static_cast<unsigned long long>(world.merchants.size()),
+                static_cast<unsigned long long>(world.catalog.taxonomy().size()));
+  json += buf;
+  // Headline: run-time-phase speedup of 4 threads over 1 thread.
+  double wall_1 = 0.0, wall_4 = 0.0;
+  for (const auto& run : runs) {
+    if (run.requested_threads == 1) wall_1 = run.best_wall_ms;
+    if (run.requested_threads == 4) wall_4 = run.best_wall_ms;
+  }
+  std::snprintf(buf, sizeof(buf), "  \"speedup_4_over_1\": %.3f,\n",
+                wall_4 > 0.0 ? wall_1 / wall_4 : 0.0);
+  json += buf;
+  json += "  \"runs\": [\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const SweepRun& run = runs[r];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %llu, \"effective_threads\": %llu, "
+                  "\"wall_ms\": %.3f, \"offers_per_sec\": %.1f,\n",
+                  static_cast<unsigned long long>(run.requested_threads),
+                  static_cast<unsigned long long>(run.effective_threads),
+                  run.best_wall_ms, run.offers_per_sec);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "     \"products\": %llu, \"clusters\": %llu, "
+                  "\"reconciled_pairs\": %llu,\n",
+                  static_cast<unsigned long long>(
+                      run.stats.synthesized_products),
+                  static_cast<unsigned long long>(run.stats.clusters),
+                  static_cast<unsigned long long>(run.stats.reconciled_pairs));
+    json += buf;
+    json += "     \"stages\": [\n";
+    for (size_t s = 0; s < run.stats.stage_metrics.size(); ++s) {
+      AppendJsonStage(&json, run.stats.stage_metrics[s],
+                      s + 1 == run.stats.stage_metrics.size());
+    }
+    json += "     ]}";
+    json += (r + 1 == runs.size()) ? "\n" : ",\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+int RunThreadSweep() {
+  const bool tiny = std::getenv("PRODSYN_BENCH_TINY") != nullptr;
+  const char* json_env = std::getenv("PRODSYN_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_perf_pipeline.json";
+
+  WorldConfig config = SmallWorld();
+  if (tiny) {
+    config.merchants = 10;
+    config.products_per_category = 8;
+  }
+  const size_t repetitions = tiny ? 1 : 3;
+  auto world_or = World::Generate(config);
+  if (!world_or.ok()) {
+    std::printf("thread sweep: world generation failed\n");
+    return 1;
+  }
+  const World& world = *world_or;
+
+  std::printf("\n-- run-time phase thread sweep (%s scale, best of %llu) --\n",
+              tiny ? "tiny" : "default",
+              static_cast<unsigned long long>(repetitions));
+  std::vector<SweepRun> runs;
+  const std::vector<SynthesizedProduct>* reference_products = nullptr;
+  std::vector<std::vector<SynthesizedProduct>> keep_alive;
+  keep_alive.reserve(4);  // stable addresses for reference_products
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    SynthesizerOptions options;
+    options.runtime_threads = threads;
+    ProductSynthesizer synthesizer(&world.catalog, options);
+    if (!synthesizer
+             .LearnOffline(world.historical_offers, world.historical_matches)
+             .ok()) {
+      std::printf("thread sweep: offline learning failed\n");
+      return 1;
+    }
+    SweepRun run;
+    run.requested_threads = threads;
+    run.effective_threads =
+        threads == 0 ? ThreadPool::HardwareThreads() : threads;
+    run.best_wall_ms = 0.0;
+    SynthesisResult best;
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      auto result = synthesizer.Synthesize(world.incoming_offers, world.pages);
+      const double wall_ms = MillisSince(start);
+      if (!result.ok()) {
+        std::printf("thread sweep: Synthesize failed\n");
+        return 1;
+      }
+      if (rep == 0 || wall_ms < run.best_wall_ms) {
+        run.best_wall_ms = wall_ms;
+        best = std::move(*result);
+      }
+    }
+    run.offers_per_sec = run.best_wall_ms > 0.0
+                             ? world.incoming_offers.size() /
+                                   (run.best_wall_ms / 1000.0)
+                             : 0.0;
+    run.stats = best.stats;
+    // Determinism spot check: every thread count must produce the exact
+    // product list of the 1-thread run.
+    keep_alive.push_back(std::move(best.products));
+    const auto& products = keep_alive.back();
+    if (reference_products == nullptr) {
+      reference_products = &products;
+    } else if (products.size() != reference_products->size()) {
+      std::printf("thread sweep: DETERMINISM VIOLATION at %llu threads\n",
+                  static_cast<unsigned long long>(threads));
+      return 1;
+    } else {
+      for (size_t i = 0; i < products.size(); ++i) {
+        if (products[i].key != (*reference_products)[i].key ||
+            products[i].spec != (*reference_products)[i].spec) {
+          std::printf("thread sweep: DETERMINISM VIOLATION at %llu threads\n",
+                      static_cast<unsigned long long>(threads));
+          return 1;
+        }
+      }
+    }
+    std::printf("  runtime_threads=%llu (effective %llu): %8.2f ms, "
+                "%9.1f offers/s, %llu products\n",
+                static_cast<unsigned long long>(run.requested_threads),
+                static_cast<unsigned long long>(run.effective_threads),
+                run.best_wall_ms, run.offers_per_sec,
+                static_cast<unsigned long long>(
+                    run.stats.synthesized_products));
+    runs.push_back(std::move(run));
+  }
+  if (!WriteSweepJson(json_path, world, tiny ? "tiny" : "default", runs)) {
+    std::printf("thread sweep: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("  wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace prodsyn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return prodsyn::RunThreadSweep();
+}

@@ -7,7 +7,9 @@ namespace prodsyn {
 
 Result<Specification> ExtractOfferSpecification(
     const Offer& offer, const LandingPageProvider& pages,
-    const TableExtractorOptions& options) {
+    const TableExtractorOptions& options, StageCounters* metrics) {
+  ScopedStageTimer timer(metrics);
+  if (metrics != nullptr) metrics->AddItems(1);
   Specification spec = offer.spec;
   std::set<std::pair<std::string, std::string>> seen;
   for (const auto& av : spec) seen.insert({av.name, av.value});

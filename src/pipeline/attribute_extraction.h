@@ -11,11 +11,17 @@
 
 #include "src/catalog/entities.h"
 #include "src/html/table_extractor.h"
+#include "src/pipeline/stage_metrics.h"
 #include "src/util/result.h"
 
 namespace prodsyn {
 
 /// \brief Source of landing-page HTML, keyed by offer URL.
+///
+/// Thread safety: Fetch is const and must be safe to call concurrently
+/// from multiple threads — the run-time pipeline fans extraction out
+/// across offers (SynthesizerOptions::runtime_threads). Read-only stores
+/// satisfy this for free; a caching fetcher must synchronize internally.
 class LandingPageProvider {
  public:
   virtual ~LandingPageProvider() = default;
@@ -29,9 +35,15 @@ class LandingPageProvider {
 /// the feed plus everything extracted from the landing page (exact
 /// duplicates are dropped). A missing or unparsable page yields just the
 /// feed pairs.
+///
+/// Thread safety: pure function of its inputs; safe to call concurrently
+/// for distinct offers. `metrics` (optional) receives one item per call
+/// plus the wall/CPU time spent fetching and parsing; pass a per-stage
+/// StageCounters shared across threads.
 Result<Specification> ExtractOfferSpecification(
     const Offer& offer, const LandingPageProvider& pages,
-    const TableExtractorOptions& options = {});
+    const TableExtractorOptions& options = {},
+    StageCounters* metrics = nullptr);
 
 }  // namespace prodsyn
 

@@ -41,39 +41,60 @@ std::string CompositeKey(const Specification& spec,
 
 Result<std::vector<OfferCluster>> ClusterByKey(
     const std::vector<ReconciledOffer>& offers, const SchemaRegistry& schemas,
-    const ClusteringOptions& options, size_t* dropped) {
+    const ClusteringOptions& options, size_t* dropped, ThreadPool* pool,
+    StageCounters* metrics) {
+  ScopedStageTimer stage_timer(metrics);
+  if (metrics != nullptr) metrics->AddItems(offers.size());
   if (dropped != nullptr) *dropped = 0;
 
-  // Cache key-attribute lists per category.
+  // Key-attribute lists per category, built sequentially up front so the
+  // sharded key-extraction below only ever reads it.
   std::map<CategoryId, std::vector<std::string>> key_attrs_of;
-  auto key_attrs_for = [&](CategoryId category)
-      -> const std::vector<std::string>& {
-    auto it = key_attrs_of.find(category);
-    if (it != key_attrs_of.end()) return it->second;
+  for (const auto& offer : offers) {
+    if (offer.category == kInvalidCategory) continue;
+    if (key_attrs_of.count(offer.category) > 0) continue;
     std::vector<std::string> keys;
-    auto schema = schemas.Get(category);
+    auto schema = schemas.Get(offer.category);
     if (schema.ok()) keys = schema.ValueOrDie()->KeyAttributeNames();
     if (keys.empty()) keys = options.fallback_key_attributes;
-    return key_attrs_of.emplace(category, std::move(keys)).first->second;
-  };
+    key_attrs_of.emplace(offer.category, std::move(keys));
+  }
 
+  // Per-offer key extraction: pure per-index work, shardable. Each slot i
+  // depends only on offers[i], so any thread count yields the same keys.
+  std::vector<std::string> keys(offers.size());
+  auto extract_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const ReconciledOffer& offer = offers[i];
+      if (offer.category == kInvalidCategory) continue;
+      std::string key =
+          ExtractKey(offer.spec, key_attrs_of.at(offer.category));
+      if (key.empty() && options.composite_key_fallback) {
+        key = CompositeKey(offer.spec, options.composite_key_attributes);
+      }
+      keys[i] = std::move(key);
+    }
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->ParallelFor(offers.size(), extract_range);
+    if (metrics != nullptr) {
+      metrics->RecordQueueDepth(pool->max_queue_depth());
+    }
+  } else {
+    extract_range(0, offers.size());
+  }
+
+  // Sequential deterministic merge in input order.
   std::map<std::pair<CategoryId, std::string>, OfferCluster> clusters;
-  for (const auto& offer : offers) {
-    if (offer.category == kInvalidCategory) {
+  for (size_t i = 0; i < offers.size(); ++i) {
+    const auto& offer = offers[i];
+    if (offer.category == kInvalidCategory || keys[i].empty()) {
       if (dropped != nullptr) ++(*dropped);
       continue;
     }
-    std::string key = ExtractKey(offer.spec, key_attrs_for(offer.category));
-    if (key.empty() && options.composite_key_fallback) {
-      key = CompositeKey(offer.spec, options.composite_key_attributes);
-    }
-    if (key.empty()) {
-      if (dropped != nullptr) ++(*dropped);
-      continue;
-    }
-    auto& cluster = clusters[{offer.category, key}];
+    auto& cluster = clusters[{offer.category, keys[i]}];
     cluster.category = offer.category;
-    cluster.key = key;
+    cluster.key = keys[i];
     cluster.members.push_back(offer);
   }
 

@@ -12,23 +12,27 @@
 
 #include "src/catalog/schema.h"
 #include "src/catalog/types.h"
+#include "src/pipeline/stage_metrics.h"
 #include "src/util/result.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 
 /// \brief One reconciled offer entering the clusterer.
 struct ReconciledOffer {
-  OfferId offer_id = kInvalidOffer;
-  MerchantId merchant = kInvalidMerchant;
+  OfferId offer_id = kInvalidOffer;      ///< id in the incoming OfferStore
+  MerchantId merchant = kInvalidMerchant;  ///< feed merchant of the offer
+  /// Category after title classification (never kInvalidCategory inside
+  /// the pipeline; the clusterer drops uncategorized offers defensively).
   CategoryId category = kInvalidCategory;
   Specification spec;  ///< catalog-attribute names after reconciliation
 };
 
 /// \brief A cluster of offers believed to describe one product.
 struct OfferCluster {
-  CategoryId category = kInvalidCategory;
+  CategoryId category = kInvalidCategory;  ///< shared category of members
   std::string key;  ///< normalized key value shared by the members
-  std::vector<ReconciledOffer> members;
+  std::vector<ReconciledOffer> members;  ///< at least one, input order
 };
 
 /// \brief Options of the key-based clusterer.
@@ -58,9 +62,18 @@ std::string CompositeKey(const Specification& spec,
 /// spec, passed through NormalizeKey. Clusters are returned in
 /// deterministic (category, key) order. `dropped` (optional) receives the
 /// count of offers that had no key value.
+///
+/// Parallelism: when `pool` is non-null, per-offer key extraction is
+/// sharded across the pool; the grouping/merge step is always sequential
+/// in input order, so the returned clusters (order, membership, member
+/// order) are bit-identical for any thread count — the pipeline's
+/// determinism contract. Must not be called from a `pool` worker thread.
+/// `metrics` (optional) receives one item per input offer plus stage
+/// timing.
 Result<std::vector<OfferCluster>> ClusterByKey(
     const std::vector<ReconciledOffer>& offers, const SchemaRegistry& schemas,
-    const ClusteringOptions& options = {}, size_t* dropped = nullptr);
+    const ClusteringOptions& options = {}, size_t* dropped = nullptr,
+    ThreadPool* pool = nullptr, StageCounters* metrics = nullptr);
 
 }  // namespace prodsyn
 

@@ -25,8 +25,10 @@ SchemaReconciler::SchemaReconciler(
 }
 
 Specification SchemaReconciler::Reconcile(
-    MerchantId merchant, CategoryId category,
-    const Specification& extracted) const {
+    MerchantId merchant, CategoryId category, const Specification& extracted,
+    StageCounters* metrics) const {
+  ScopedStageTimer timer(metrics);
+  if (metrics != nullptr) metrics->AddItems(extracted.size());
   Specification out;
   for (const auto& av : extracted) {
     auto it = map_.find(Key(merchant, category, av.name));

@@ -12,10 +12,15 @@
 
 #include "src/catalog/types.h"
 #include "src/matching/types.h"
+#include "src/pipeline/stage_metrics.h"
 
 namespace prodsyn {
 
 /// \brief Applies learned attribute correspondences to offer specs.
+///
+/// Thread safety: immutable after construction; Reconcile is const and
+/// safe to call concurrently from any number of threads (the run-time
+/// pipeline shares one reconciler across its offer-processing workers).
 class SchemaReconciler {
  public:
   /// \brief Keeps correspondences with score > `theta`; when several map
@@ -27,8 +32,11 @@ class SchemaReconciler {
   /// \brief Translates `extracted` for an offer of `merchant` in
   /// `category`. Unmapped pairs are dropped; if two source pairs map to
   /// the same catalog attribute both survive (value fusion arbitrates).
+  /// `metrics` (optional) receives the input pair count as items plus the
+  /// call's wall/CPU time; it may be shared across threads.
   Specification Reconcile(MerchantId merchant, CategoryId category,
-                          const Specification& extracted) const;
+                          const Specification& extracted,
+                          StageCounters* metrics = nullptr) const;
 
   /// \brief Number of (M, C, offer attribute) mappings retained.
   size_t mapping_count() const { return map_.size(); }

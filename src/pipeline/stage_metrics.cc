@@ -1,0 +1,72 @@
+#include "src/pipeline/stage_metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace prodsyn {
+
+uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+void StageCounters::RecordQueueDepth(uint64_t depth) {
+  uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > current &&
+         !max_queue_depth_.compare_exchange_weak(
+             current, depth, std::memory_order_relaxed)) {
+  }
+}
+
+StageSnapshot StageCounters::snapshot() const {
+  StageSnapshot snap;
+  snap.name = name_;
+  snap.wall_ns = wall_ns_.load(std::memory_order_relaxed);
+  snap.cpu_ns = cpu_ns_.load(std::memory_order_relaxed);
+  snap.items = items_.load(std::memory_order_relaxed);
+  snap.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+StageCounters* StageMetrics::GetStage(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& stage : stages_) {
+    if (stage->name() == name) return stage.get();
+  }
+  stages_.push_back(std::make_unique<StageCounters>(name));
+  return stages_.back().get();
+}
+
+std::vector<StageSnapshot> StageMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StageSnapshot> out;
+  out.reserve(stages_.size());
+  for (const auto& stage : stages_) out.push_back(stage->snapshot());
+  return out;
+}
+
+ScopedStageTimer::ScopedStageTimer(StageCounters* stage) : stage_(stage) {
+  if (stage_ == nullptr) return;
+  wall_start_ = std::chrono::steady_clock::now();
+  cpu_start_ = ThreadCpuNanos();
+}
+
+ScopedStageTimer::~ScopedStageTimer() {
+  if (stage_ == nullptr) return;
+  const uint64_t cpu_end = ThreadCpuNanos();
+  const auto wall_end = std::chrono::steady_clock::now();
+  stage_->AddWallNanos(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                           wall_start_)
+          .count()));
+  if (cpu_end > cpu_start_) stage_->AddCpuNanos(cpu_end - cpu_start_);
+}
+
+}  // namespace prodsyn

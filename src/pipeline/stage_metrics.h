@@ -1,0 +1,138 @@
+// Lightweight per-stage observability for the run-time pipeline: wall and
+// CPU timers, item counters, and queue-depth gauges, aggregated across
+// worker threads with relaxed atomics (each counter is independent; only
+// the final Snapshot needs a consistent view, taken after the workers
+// join). The counters feed SynthesisStats::stage_metrics and the
+// machine-readable output of bench_perf_pipeline.
+//
+// Timings are measurements, not semantics: every timing field varies run
+// to run and is explicitly OUTSIDE the pipeline's determinism contract
+// (products and stats counters are bit-identical for any thread count;
+// nanosecond readings are not).
+
+#ifndef PRODSYN_PIPELINE_STAGE_METRICS_H_
+#define PRODSYN_PIPELINE_STAGE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief Point-in-time copy of one stage's counters (plain values, safe
+/// to store and compare after the run).
+struct StageSnapshot {
+  /// Stage name as registered ("extraction", "fusion", ...).
+  std::string name;
+  /// Total wall-clock nanoseconds spent inside the stage, summed across
+  /// all threads (for a stage run on N threads this can exceed elapsed
+  /// time; wall - cpu ≈ time blocked or preempted).
+  uint64_t wall_ns = 0;
+  /// Total thread-CPU nanoseconds spent inside the stage, summed across
+  /// all threads. 0 on platforms without a thread CPU clock.
+  uint64_t cpu_ns = 0;
+  /// Items processed (offers, pairs, clusters — stage-defined).
+  uint64_t items = 0;
+  /// High-water mark of the work queue feeding the stage (0 when the
+  /// stage ran inline without a pool).
+  uint64_t max_queue_depth = 0;
+};
+
+/// \brief Thread-safe accumulator for one pipeline stage.
+///
+/// Thread safety: all Add*/Record* methods may be called concurrently
+/// from any number of threads (relaxed atomics — the counters are
+/// independent). snapshot() is safe concurrently too but is only
+/// guaranteed to be a consistent total after the contributing threads
+/// have joined.
+class StageCounters {
+ public:
+  explicit StageCounters(std::string name) : name_(std::move(name)) {}
+
+  StageCounters(const StageCounters&) = delete;
+  StageCounters& operator=(const StageCounters&) = delete;
+
+  /// \brief Adds `n` processed items.
+  void AddItems(uint64_t n) { items_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// \brief Adds wall-clock nanoseconds spent in the stage.
+  void AddWallNanos(uint64_t ns) {
+    wall_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  /// \brief Adds thread-CPU nanoseconds spent in the stage.
+  void AddCpuNanos(uint64_t ns) {
+    cpu_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  /// \brief Raises the queue-depth high-water mark to at least `depth`.
+  void RecordQueueDepth(uint64_t depth);
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Current counter values as plain data.
+  StageSnapshot snapshot() const;
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> wall_ns_{0};
+  std::atomic<uint64_t> cpu_ns_{0};
+  std::atomic<uint64_t> items_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+};
+
+/// \brief Registry of the stages of one pipeline run.
+///
+/// Thread safety: GetStage and Snapshot are mutex-guarded and may be
+/// called from any thread; the returned StageCounters pointers stay valid
+/// for the StageMetrics' lifetime and are themselves thread-safe.
+class StageMetrics {
+ public:
+  StageMetrics() = default;
+  StageMetrics(const StageMetrics&) = delete;
+  StageMetrics& operator=(const StageMetrics&) = delete;
+
+  /// \brief Returns the stage named `name`, creating it on first use.
+  /// Registration order is preserved in Snapshot().
+  StageCounters* GetStage(const std::string& name);
+
+  /// \brief Copies of every stage's counters, in registration order.
+  std::vector<StageSnapshot> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<StageCounters>> stages_;
+};
+
+/// \brief This thread's consumed CPU time in nanoseconds
+/// (CLOCK_THREAD_CPUTIME_ID); 0 where unavailable. Monotone per thread.
+uint64_t ThreadCpuNanos();
+
+/// \brief RAII timer: on destruction adds the elapsed wall-clock AND
+/// thread-CPU nanoseconds of its scope to the stage. A null stage makes
+/// it a no-op, so instrumented code paths need no branching.
+///
+/// Thread safety: each instance must live on one thread (it reads that
+/// thread's CPU clock); distinct instances on distinct threads may share
+/// the target StageCounters.
+class ScopedStageTimer {
+ public:
+  explicit ScopedStageTimer(StageCounters* stage);
+  ~ScopedStageTimer();
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  StageCounters* stage_;
+  std::chrono::steady_clock::time_point wall_start_;
+  uint64_t cpu_start_ = 0;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_STAGE_METRICS_H_

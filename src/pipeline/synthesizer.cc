@@ -1,6 +1,10 @@
 #include "src/pipeline/synthesizer.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 
@@ -43,64 +47,147 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   SynthesisResult result;
   result.stats.correspondences_applied = reconciler_->mapping_count();
 
+  StageMetrics metrics;
+  StageCounters* classification_stage = metrics.GetStage("classification");
+  StageCounters* extraction_stage = metrics.GetStage("extraction");
+  StageCounters* reconciliation_stage = metrics.GetStage("reconciliation");
+  StageCounters* clustering_stage = metrics.GetStage("clustering");
+  StageCounters* fusion_stage = metrics.GetStage("fusion");
+
+  const auto& offers = incoming.offers();
+  size_t threads = options_.runtime_threads;
+  if (threads == 0) threads = ThreadPool::HardwareThreads();
+  threads = std::min(threads, std::max<size_t>(1, offers.size()));
+  // One pool for the whole run-time phase; absent when a single thread
+  // suffices, in which case every stage runs inline on the caller.
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+
   const bool have_classifier = title_classifier_.category_count() > 0;
 
-  std::vector<ReconciledOffer> reconciled;
-  reconciled.reserve(incoming.size());
-  for (const auto& offer : incoming.offers()) {
-    ++result.stats.input_offers;
+  // --- Per-offer stages: classification → extraction → reconciliation.
+  // Workers fill slot i from offers[i] only; all cross-offer effects
+  // (stats, the reconciled list, error propagation) happen in the
+  // sequential merge below, so the result is thread-count-invariant.
+  struct PerOffer {
+    Status status = Status::OK();  // first failure of this offer's chain
+    bool has_category = false;
+    bool extracted_nonempty = false;
+    size_t extracted_pairs = 0;
+    ReconciledOffer reconciled;
+  };
+  std::vector<PerOffer> per_offer(offers.size());
+  auto process_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Offer& offer = offers[i];
+      PerOffer& slot = per_offer[i];
 
-    // Category: classify from the title when required or missing.
-    CategoryId category = offer.category;
-    if ((options_.always_classify_titles || category == kInvalidCategory) &&
-        have_classifier) {
-      auto classified = title_classifier_.Classify(offer.title);
-      if (classified.ok()) category = *classified;
+      // Category: classify from the title when required or missing.
+      CategoryId category = offer.category;
+      if ((options_.always_classify_titles ||
+           category == kInvalidCategory) &&
+          have_classifier) {
+        ScopedStageTimer timer(classification_stage);
+        classification_stage->AddItems(1);
+        auto classified = title_classifier_.Classify(offer.title);
+        if (classified.ok()) category = *classified;
+      }
+      if (category == kInvalidCategory) continue;
+      slot.has_category = true;
+
+      // Web-page attribute extraction.
+      auto extracted = ExtractOfferSpecification(
+          offer, pages, options_.extractor, extraction_stage);
+      if (!extracted.ok()) {
+        slot.status = extracted.status();
+        continue;
+      }
+      slot.extracted_nonempty = !extracted->empty();
+      slot.extracted_pairs = extracted->size();
+
+      // Schema reconciliation.
+      slot.reconciled.offer_id = offer.id;
+      slot.reconciled.merchant = offer.merchant;
+      slot.reconciled.category = category;
+      slot.reconciled.spec = reconciler_->Reconcile(
+          offer.merchant, category, *extracted, reconciliation_stage);
     }
-    if (category == kInvalidCategory) continue;
-
-    // Web-page attribute extraction.
-    PRODSYN_ASSIGN_OR_RETURN(
-        Specification extracted,
-        ExtractOfferSpecification(offer, pages, options_.extractor));
-    if (!extracted.empty()) ++result.stats.offers_with_extracted_pairs;
-    result.stats.extracted_pairs += extracted.size();
-
-    // Schema reconciliation.
-    ReconciledOffer ro;
-    ro.offer_id = offer.id;
-    ro.merchant = offer.merchant;
-    ro.category = category;
-    ro.spec = reconciler_->Reconcile(offer.merchant, category, extracted);
-    result.stats.reconciled_pairs += ro.spec.size();
-    reconciled.push_back(std::move(ro));
+  };
+  if (pool_ptr != nullptr) {
+    pool_ptr->ParallelFor(offers.size(), process_range);
+    extraction_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
+  } else {
+    process_range(0, offers.size());
   }
 
-  // Clustering by key attributes.
+  // Deterministic merge in input order; the first failed offer (by input
+  // index) aborts the run, matching single-threaded semantics.
+  std::vector<ReconciledOffer> reconciled;
+  reconciled.reserve(offers.size());
+  result.stats.input_offers = offers.size();
+  for (auto& slot : per_offer) {
+    if (!slot.status.ok()) return slot.status;
+    if (!slot.has_category) continue;
+    if (slot.extracted_nonempty) ++result.stats.offers_with_extracted_pairs;
+    result.stats.extracted_pairs += slot.extracted_pairs;
+    result.stats.reconciled_pairs += slot.reconciled.spec.size();
+    reconciled.push_back(std::move(slot.reconciled));
+  }
+
+  // Clustering by key attributes (sharded key scan, sequential merge).
   PRODSYN_ASSIGN_OR_RETURN(
       std::vector<OfferCluster> clusters,
       ClusterByKey(reconciled, catalog_->schemas(), options_.clustering,
-                   &result.stats.offers_without_key));
+                   &result.stats.offers_without_key, pool_ptr,
+                   clustering_stage));
   result.stats.clusters = clusters.size();
 
-  // Value fusion: one product per cluster.
-  for (const auto& cluster : clusters) {
-    auto schema = catalog_->schemas().Get(cluster.category);
-    if (!schema.ok()) continue;
-    PRODSYN_ASSIGN_OR_RETURN(Specification fused,
-                             FuseCluster(cluster, *schema.ValueOrDie()));
-    if (fused.empty()) continue;
+  // Value fusion: one product per cluster, fused independently per
+  // (category, key) slot, assembled sequentially in cluster order.
+  struct FusedCluster {
+    Status status = Status::OK();
+    bool schema_known = false;
+    Specification spec;
+  };
+  std::vector<FusedCluster> fused(clusters.size());
+  auto fuse_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      FusedCluster& slot = fused[i];
+      auto schema = catalog_->schemas().Get(clusters[i].category);
+      if (!schema.ok()) continue;
+      slot.schema_known = true;
+      auto spec =
+          FuseCluster(clusters[i], *schema.ValueOrDie(), fusion_stage);
+      if (!spec.ok()) {
+        slot.status = spec.status();
+        continue;
+      }
+      slot.spec = std::move(*spec);
+    }
+  };
+  if (pool_ptr != nullptr) {
+    pool_ptr->ParallelFor(clusters.size(), fuse_range);
+    fusion_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
+  } else {
+    fuse_range(0, clusters.size());
+  }
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    FusedCluster& slot = fused[i];
+    if (!slot.status.ok()) return slot.status;
+    if (!slot.schema_known || slot.spec.empty()) continue;
     SynthesizedProduct product;
-    product.category = cluster.category;
-    product.key = cluster.key;
-    product.spec = std::move(fused);
-    for (const auto& member : cluster.members) {
+    product.category = clusters[i].category;
+    product.key = std::move(clusters[i].key);
+    product.spec = std::move(slot.spec);
+    for (const auto& member : clusters[i].members) {
       product.source_offers.push_back(member.offer_id);
     }
     result.stats.synthesized_attributes += product.spec.size();
     result.products.push_back(std::move(product));
   }
   result.stats.synthesized_products = result.products.size();
+  result.stats.stage_metrics = metrics.Snapshot();
   return result;
 }
 

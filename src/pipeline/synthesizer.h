@@ -13,6 +13,7 @@
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
 #include "src/pipeline/schema_reconciliation.h"
+#include "src/pipeline/stage_metrics.h"
 #include "src/pipeline/title_classifier.h"
 #include "src/pipeline/value_fusion.h"
 #include "src/util/result.h"
@@ -22,42 +23,53 @@ namespace prodsyn {
 /// \brief A product instance produced by synthesis, ready for catalog
 /// insertion, plus its provenance.
 struct SynthesizedProduct {
-  CategoryId category = kInvalidCategory;
+  CategoryId category = kInvalidCategory;  ///< leaf category of the product
   std::string key;  ///< normalized key value of the underlying cluster
-  Specification spec;
-  std::vector<OfferId> source_offers;
+  Specification spec;  ///< fused, schema-compatible attribute–value pairs
+  std::vector<OfferId> source_offers;  ///< cluster members, input order
 };
 
 /// \brief Run statistics (the counters of paper Table 2 and §5.1).
+///
+/// Every `size_t` counter is part of the determinism contract: for a
+/// fixed input it is bit-identical for any
+/// SynthesizerOptions::runtime_threads. `stage_metrics` is the exception
+/// — timings vary run to run and are observability only.
 struct SynthesisStats {
-  size_t input_offers = 0;
-  size_t offers_with_extracted_pairs = 0;
-  size_t extracted_pairs = 0;
-  size_t reconciled_pairs = 0;
-  size_t offers_without_key = 0;
-  size_t clusters = 0;
-  size_t synthesized_products = 0;
-  size_t synthesized_attributes = 0;
+  size_t input_offers = 0;  ///< offers handed to Synthesize
+  size_t offers_with_extracted_pairs = 0;  ///< offers with nonempty spec
+  size_t extracted_pairs = 0;     ///< feed + landing-page pairs
+  size_t reconciled_pairs = 0;    ///< pairs surviving reconciliation
+  size_t offers_without_key = 0;  ///< dropped by clustering (no key value)
+  size_t clusters = 0;            ///< distinct (category, key) groups
+  size_t synthesized_products = 0;    ///< products emitted
+  size_t synthesized_attributes = 0;  ///< total pairs across products
   size_t correspondences_applied = 0;  ///< mappings retained by theta
+  /// Per-stage wall/CPU time, item counts and queue-depth gauges of the
+  /// run-time phase, in pipeline order (classification, extraction,
+  /// reconciliation, clustering, fusion). NOT deterministic — see
+  /// StageSnapshot.
+  std::vector<StageSnapshot> stage_metrics;
 };
 
 /// \brief Output of one synthesis run.
 struct SynthesisResult {
-  std::vector<SynthesizedProduct> products;
-  SynthesisStats stats;
+  std::vector<SynthesizedProduct> products;  ///< (category, key) order
+  SynthesisStats stats;  ///< counters + per-stage metrics of the run
 };
 
 /// \brief Options of ProductSynthesizer.
 struct SynthesizerOptions {
   SynthesizerOptions() {
-    // Offline learning's candidate sweep parallelizes with bit-identical
-    // results; default to all cores.
+    // Both phases parallelize with bit-identical results (the offline
+    // candidate sweep and the run-time offer pipeline); default each to
+    // all cores.
     matcher.scoring_threads = 0;
   }
 
-  ClassifierMatcherOptions matcher;
-  TableExtractorOptions extractor;
-  ClusteringOptions clustering;
+  ClassifierMatcherOptions matcher;  ///< offline-learning phase knobs
+  TableExtractorOptions extractor;   ///< landing-page table extraction
+  ClusteringOptions clustering;      ///< key selection / fallback strategy
   /// Correspondences with score <= theta are not applied (paper's
   /// predicted-valid cut is the classifier's 0.5 decision boundary).
   double correspondence_threshold = 0.5;
@@ -67,9 +79,21 @@ struct SynthesizerOptions {
   /// keep a pre-assigned category and only uncategorized ones are
   /// classified.
   bool always_classify_titles = false;
+  /// Worker threads for the Run-Time Offer Processing phase (0 = hardware
+  /// default). Extraction/reconciliation shard per offer, clustering's
+  /// key scan per offer, fusion per (category, key) cluster; every merge
+  /// is sequential in input order, so products and stats counters are
+  /// bit-identical for any value — same contract as
+  /// ClassifierMatcherOptions::scoring_threads.
+  size_t runtime_threads = 0;
 };
 
 /// \brief Orchestrates the two phases of Fig. 4.
+///
+/// Thread safety: a ProductSynthesizer is driven from one thread at a
+/// time (LearnOffline/SetCorrespondences mutate state); both phases
+/// parallelize internally per `scoring_threads` / `runtime_threads`.
+/// Distinct instances are fully independent.
 class ProductSynthesizer {
  public:
   /// \param catalog must outlive the synthesizer.

@@ -16,6 +16,11 @@
 namespace prodsyn {
 
 /// \brief Offer-title category classifier.
+///
+/// Thread safety: training (AddExample/TrainOnStore) must be single-
+/// threaded and happen-before any Classify; after training, Classify is
+/// const, touches no mutable state, and is safe to call concurrently —
+/// the run-time pipeline classifies offers from multiple workers.
 class TitleClassifier {
  public:
   TitleClassifier() = default;

@@ -90,7 +90,10 @@ std::string FuseValues(const std::vector<std::string>& values) {
 }
 
 Result<Specification> FuseCluster(const OfferCluster& cluster,
-                                  const CategorySchema& schema) {
+                                  const CategorySchema& schema,
+                                  StageCounters* metrics) {
+  ScopedStageTimer timer(metrics);
+  if (metrics != nullptr) metrics->AddItems(1);
   if (cluster.members.empty()) {
     return Status::InvalidArgument("cannot fuse an empty cluster");
   }

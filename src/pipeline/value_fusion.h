@@ -13,20 +13,29 @@
 
 #include "src/catalog/schema.h"
 #include "src/pipeline/clustering.h"
+#include "src/pipeline/stage_metrics.h"
 #include "src/util/result.h"
 
 namespace prodsyn {
 
 /// \brief Picks the representative of a non-empty multiset of values by
 /// centroid voting. Single-token values degenerate to plain majority vote.
+///
+/// Thread safety: pure function; safe to call concurrently.
 std::string FuseValues(const std::vector<std::string>& values);
 
 /// \brief Fuses one cluster into a product specification. For every
 /// attribute of the category schema that at least one member provides, the
 /// representative value is selected with FuseValues; attributes no member
 /// provides are absent from the result.
+///
+/// Thread safety: pure function of its inputs; the run-time pipeline
+/// fuses distinct clusters concurrently. `metrics` (optional, may be
+/// shared across threads) receives one item per cluster plus the call's
+/// wall/CPU time.
 Result<Specification> FuseCluster(const OfferCluster& cluster,
-                                  const CategorySchema& schema);
+                                  const CategorySchema& schema,
+                                  StageCounters* metrics = nullptr);
 
 }  // namespace prodsyn
 

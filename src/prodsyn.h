@@ -13,6 +13,7 @@
 #include "src/util/result.h"
 #include "src/util/status.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 // text: tokenization and similarity measures
 #include "src/text/divergence.h"
@@ -64,6 +65,7 @@
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
 #include "src/pipeline/schema_reconciliation.h"
+#include "src/pipeline/stage_metrics.h"
 #include "src/pipeline/synthesizer.h"
 #include "src/pipeline/title_classifier.h"
 #include "src/pipeline/value_fusion.h"

@@ -1,0 +1,106 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prodsyn {
+
+size_t ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = HardwareThreads();
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t ThreadPool::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_queue_depth_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Shutdown drains the queue: only exit once no task is left.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t begin, size_t end)>& body) {
+  if (n == 0) return;
+  const size_t chunks = std::min(thread_count(), n);
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  // Private latch so ParallelFor stays correct even while unrelated tasks
+  // are in flight on the same pool.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+  const size_t chunk = (n + chunks - 1) / chunks;
+  for (size_t t = 0; t < chunks; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;  // ceil division: trailing chunks can be empty
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++remaining;
+    }
+    Submit([&body, &done_mu, &done_cv, &remaining, begin, end] {
+      body(begin, end);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+}  // namespace prodsyn

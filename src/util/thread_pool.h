@@ -1,0 +1,99 @@
+// Fixed-size thread pool with a single shared FIFO queue (deliberately
+// work-stealing-free: the pipeline's units of work are coarse enough that
+// a shared queue never becomes the bottleneck, and one queue keeps the
+// execution order easy to reason about). Used by the run-time offer
+// pipeline (ProductSynthesizer) and available to any component that wants
+// deterministic fork-join parallelism.
+//
+// Determinism contract: the pool itself never reorders results — callers
+// obtain bit-identical output for any thread count by writing into
+// per-index slots (see ParallelFor) and merging sequentially, the same
+// discipline classifier_matcher.cc uses for offline scoring.
+
+#ifndef PRODSYN_UTIL_THREAD_POOL_H_
+#define PRODSYN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief A fixed-size pool of worker threads draining one shared FIFO
+/// task queue.
+///
+/// Thread safety: Submit, ParallelFor, Wait, queue_depth and
+/// max_queue_depth may be called concurrently from any thread. Tasks may
+/// themselves call Submit (re-entrant submission is supported and covered
+/// by Wait), but must not call ParallelFor or Wait from a worker thread —
+/// that can deadlock a fully busy pool.
+///
+/// Shutdown: the destructor drains every queued task, then joins all
+/// workers. No exceptions are thrown on any path (tasks are expected not
+/// to throw, per the repo's no-exceptions convention).
+class ThreadPool {
+ public:
+  /// \param threads number of workers; 0 = hardware default
+  /// (HardwareThreads()).
+  explicit ThreadPool(size_t threads = 0);
+
+  /// \brief Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Number of worker threads (fixed for the pool's lifetime).
+  size_t thread_count() const { return workers_.size(); }
+
+  /// \brief Enqueues `task` for execution on some worker. Never blocks on
+  /// queue capacity (the queue is unbounded).
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every task submitted so far — including tasks
+  /// submitted by running tasks — has finished. Must not be called from a
+  /// worker thread.
+  void Wait();
+
+  /// \brief Tasks currently queued (excluding running ones); a snapshot.
+  size_t queue_depth() const;
+
+  /// \brief High-water mark of queue_depth() over the pool's lifetime.
+  size_t max_queue_depth() const;
+
+  /// \brief std::thread::hardware_concurrency(), never less than 1.
+  static size_t HardwareThreads();
+
+  /// \brief Splits [0, n) into at most thread_count() contiguous chunks,
+  /// runs `body(begin, end)` on each from the pool, and blocks until all
+  /// chunks finish. The calling thread only waits (it does not steal
+  /// work), so this must not be invoked from a worker thread. With
+  /// thread_count() <= 1 or n <= 1, `body(0, n)` runs inline on the
+  /// caller.
+  ///
+  /// Chunk boundaries depend on the thread count, so `body` must write
+  /// only to per-index state (e.g. slot i of a pre-sized vector) for the
+  /// overall result to be thread-count-invariant.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t begin, size_t end)>& body);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task or shutdown
+  std::condition_variable idle_cv_;  // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // tasks currently executing
+  size_t max_queue_depth_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_THREAD_POOL_H_

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include "src/datagen/world.h"
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
 #include "src/pipeline/schema_reconciliation.h"
+#include "src/pipeline/synthesizer.h"
 #include "src/pipeline/title_classifier.h"
 #include "src/pipeline/value_fusion.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 namespace {
@@ -268,6 +271,94 @@ TEST(FuseClusterTest, EmptyClusterIsError) {
   CategorySchema schema(1);
   OfferCluster cluster;
   EXPECT_TRUE(FuseCluster(cluster, schema).status().IsInvalidArgument());
+}
+
+// ---------- Parallel clustering ----------
+
+TEST(ClusteringTest, PooledKeyExtractionMatchesSequential) {
+  SchemaRegistry empty_schemas;
+  std::vector<ReconciledOffer> offers;
+  for (OfferId id = 0; id < 200; ++id) {
+    offers.push_back(MakeOffer(
+        id, 1 + static_cast<CategoryId>(id % 3),
+        {{"Model Part Number", "K-" + std::to_string(id % 40)}}));
+  }
+  size_t dropped_seq = 0;
+  auto sequential = *ClusterByKey(offers, empty_schemas, {}, &dropped_seq);
+  ThreadPool pool(3);
+  size_t dropped_par = 0;
+  auto parallel =
+      *ClusterByKey(offers, empty_schemas, {}, &dropped_par, &pool);
+  EXPECT_EQ(dropped_seq, dropped_par);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].category, parallel[i].category);
+    EXPECT_EQ(sequential[i].key, parallel[i].key);
+    ASSERT_EQ(sequential[i].members.size(), parallel[i].members.size());
+    for (size_t j = 0; j < sequential[i].members.size(); ++j) {
+      EXPECT_EQ(sequential[i].members[j].offer_id,
+                parallel[i].members[j].offer_id);
+    }
+  }
+}
+
+// ---------- Run-time phase determinism across thread counts ----------
+
+// The tentpole contract: Synthesize() products AND stats counters are
+// bit-identical for runtime_threads = 1, 2, and hardware default on the
+// same world (mirroring ClassifierMatcherOptions::scoring_threads).
+TEST(SynthesizeDeterminismTest, IdenticalAcrossRuntimeThreadCounts) {
+  WorldConfig config;
+  config.seed = 77;
+  config.categories_per_archetype = 1;
+  config.merchants = 25;
+  config.products_per_category = 12;
+  const World world = *World::Generate(config);
+
+  auto run = [&world](size_t runtime_threads) {
+    SynthesizerOptions options;
+    options.runtime_threads = runtime_threads;
+    ProductSynthesizer synthesizer(&world.catalog, options);
+    EXPECT_TRUE(synthesizer
+                    .LearnOffline(world.historical_offers,
+                                  world.historical_matches)
+                    .ok());
+    return *synthesizer.Synthesize(world.incoming_offers, world.pages);
+  };
+
+  const SynthesisResult base = run(1);
+  ASSERT_GT(base.products.size(), 0u);
+  // Stage metrics are attached in pipeline order regardless of threading.
+  ASSERT_EQ(base.stats.stage_metrics.size(), 5u);
+  EXPECT_EQ(base.stats.stage_metrics[1].name, "extraction");
+  EXPECT_EQ(base.stats.stage_metrics[1].items, base.stats.input_offers);
+
+  for (const size_t threads : {size_t{2}, size_t{0}}) {
+    const SynthesisResult other = run(threads);
+    // Stats counters: every deterministic field must match exactly.
+    EXPECT_EQ(base.stats.input_offers, other.stats.input_offers);
+    EXPECT_EQ(base.stats.offers_with_extracted_pairs,
+              other.stats.offers_with_extracted_pairs);
+    EXPECT_EQ(base.stats.extracted_pairs, other.stats.extracted_pairs);
+    EXPECT_EQ(base.stats.reconciled_pairs, other.stats.reconciled_pairs);
+    EXPECT_EQ(base.stats.offers_without_key, other.stats.offers_without_key);
+    EXPECT_EQ(base.stats.clusters, other.stats.clusters);
+    EXPECT_EQ(base.stats.synthesized_products,
+              other.stats.synthesized_products);
+    EXPECT_EQ(base.stats.synthesized_attributes,
+              other.stats.synthesized_attributes);
+    EXPECT_EQ(base.stats.correspondences_applied,
+              other.stats.correspondences_applied);
+    // Products: same order, same content, same provenance.
+    ASSERT_EQ(base.products.size(), other.products.size());
+    for (size_t i = 0; i < base.products.size(); ++i) {
+      EXPECT_EQ(base.products[i].category, other.products[i].category);
+      EXPECT_EQ(base.products[i].key, other.products[i].key);
+      EXPECT_EQ(base.products[i].spec, other.products[i].spec);
+      EXPECT_EQ(base.products[i].source_offers,
+                other.products[i].source_offers);
+    }
+  }
 }
 
 }  // namespace

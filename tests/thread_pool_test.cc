@@ -1,0 +1,132 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace prodsyn {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareDefault) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted — must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReentrantSubmitIsCoveredByWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      // A running task may enqueue more work; Wait must cover it too.
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait: the destructor itself must drain the queue, then join,
+    // without throwing.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(hits.size(), [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElementRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(1, [&sum](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPerIndexSlotsAreThreadCountInvariant) {
+  // The determinism discipline: writes go to per-index slots, so the
+  // assembled result is identical for any thread count.
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<int> out(1000);
+    pool.ParallelFor(out.size(), [&out](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = static_cast<int>(i * i % 97);
+      }
+    });
+    return out;
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto five = run(5);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, five);
+}
+
+TEST(ThreadPoolTest, QueueDepthHighWaterMarkIsRecorded) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  // Block the single worker so further submissions pile up in the queue.
+  pool.Submit([&release] {
+    while (!release.load()) {
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] {});
+  }
+  EXPECT_GE(pool.queue_depth(), 1u);
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_GE(pool.max_queue_depth(), 5u);
+}
+
+}  // namespace
+}  // namespace prodsyn
