@@ -1,0 +1,268 @@
+// Offline-learning-path benchmark: a thread sweep (offline_threads =
+// 1, 2, 4, hardware) over the three parallelized offline stages —
+// the matched-bag-index build, the full ClassifierMatcher::Generate run
+// (index + training set + LR + scoring sweep), and the title-match
+// bootstrap — with a determinism cross-check against the 1-thread run.
+//
+// Writes the machine-readable BENCH_offline_matching.json (wall ms per
+// phase per thread count, per-stage wall/CPU breakdown from the
+// StageMetrics snapshots) so the offline perf trajectory is trackable
+// across PRs — see docs/PERFORMANCE.md for the format.
+//
+// Environment knobs (mirroring bench_perf_pipeline):
+//   PRODSYN_BENCH_TINY=1     tiny world + 1 repetition (CI smoke scale)
+//   PRODSYN_BENCH_JSON=path  output path (default BENCH_offline_matching.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/datagen/world.h"
+#include "src/matching/bag_index.h"
+#include "src/matching/classifier_matcher.h"
+#include "src/matching/title_matcher.h"
+#include "src/util/thread_pool.h"
+
+namespace prodsyn {
+namespace {
+
+WorldConfig BenchWorld(bool tiny) {
+  WorldConfig config;
+  config.seed = 99;
+  config.categories_per_archetype = 1;
+  config.merchants = tiny ? 10 : 50;
+  config.products_per_category = tiny ? 8 : 25;
+  return config;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// One thread count's measurements: best-of-N wall per phase plus the
+// stage snapshots and determinism-relevant outputs of the best runs.
+struct OfflineRun {
+  size_t requested_threads = 0;
+  size_t effective_threads = 0;
+  double bag_build_ms = 0.0;
+  double generate_ms = 0.0;
+  double title_ms = 0.0;
+  size_t candidates = 0;
+  size_t correspondences = 0;
+  size_t title_matches = 0;
+  std::vector<StageSnapshot> classifier_stages;
+  std::vector<StageSnapshot> title_stages;
+  // Determinism payloads, compared against the 1-thread reference.
+  std::vector<AttributeCorrespondence> scored;
+  std::vector<std::pair<OfferId, ProductId>> matches;
+};
+
+void AppendJsonStages(std::string* out, const char* key,
+                      const std::vector<StageSnapshot>& stages, bool last) {
+  *out += std::string("     \"") + key + "\": [\n";
+  char buf[256];
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const StageSnapshot& stage = stages[s];
+    std::snprintf(buf, sizeof(buf),
+                  "        {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                  "\"cpu_ms\": %.3f, \"items\": %llu, "
+                  "\"max_queue_depth\": %llu}%s\n",
+                  stage.name.c_str(), stage.wall_ns / 1e6, stage.cpu_ns / 1e6,
+                  static_cast<unsigned long long>(stage.items),
+                  static_cast<unsigned long long>(stage.max_queue_depth),
+                  s + 1 == stages.size() ? "" : ",");
+    *out += buf;
+  }
+  *out += "     ]";
+  *out += last ? "\n" : ",\n";
+}
+
+bool WriteSweepJson(const std::string& path, const World& world,
+                    const std::string& scale,
+                    const std::vector<OfflineRun>& runs) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"offline_matching\",\n";
+  json += "  \"scale\": \"" + scale + "\",\n";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"world\": {\"historical_offers\": %llu, \"merchants\": %llu, "
+      "\"categories\": %llu},\n",
+      static_cast<unsigned long long>(world.historical_offers.size()),
+      static_cast<unsigned long long>(world.merchants.size()),
+      static_cast<unsigned long long>(world.catalog.taxonomy().size()));
+  json += buf;
+  // Headline: offline-learning speedup of 4 threads over 1 thread.
+  double generate_1 = 0.0, generate_4 = 0.0;
+  for (const auto& run : runs) {
+    if (run.requested_threads == 1) generate_1 = run.generate_ms;
+    if (run.requested_threads == 4) generate_4 = run.generate_ms;
+  }
+  std::snprintf(buf, sizeof(buf), "  \"speedup_4_over_1\": %.3f,\n",
+                generate_4 > 0.0 ? generate_1 / generate_4 : 0.0);
+  json += buf;
+  json += "  \"runs\": [\n";
+  for (size_t r = 0; r < runs.size(); ++r) {
+    const OfflineRun& run = runs[r];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"threads\": %llu, \"effective_threads\": %llu,\n",
+                  static_cast<unsigned long long>(run.requested_threads),
+                  static_cast<unsigned long long>(run.effective_threads));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "     \"bag_build_ms\": %.3f, \"generate_ms\": %.3f, "
+                  "\"title_match_ms\": %.3f,\n",
+                  run.bag_build_ms, run.generate_ms, run.title_ms);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "     \"candidates\": %llu, \"correspondences\": %llu, "
+                  "\"title_matches\": %llu,\n",
+                  static_cast<unsigned long long>(run.candidates),
+                  static_cast<unsigned long long>(run.correspondences),
+                  static_cast<unsigned long long>(run.title_matches));
+    json += buf;
+    AppendJsonStages(&json, "classifier_stages", run.classifier_stages,
+                     /*last=*/false);
+    AppendJsonStages(&json, "title_stages", run.title_stages, /*last=*/true);
+    json += "    }";
+    json += (r + 1 == runs.size()) ? "\n" : ",\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// Exact comparison: the offline path promises bit-identical outputs for
+// any thread count, so any difference at all is a violation.
+bool SameOutputs(const OfflineRun& run, const OfflineRun& reference) {
+  if (run.scored.size() != reference.scored.size()) return false;
+  for (size_t i = 0; i < run.scored.size(); ++i) {
+    if (!(run.scored[i].tuple == reference.scored[i].tuple) ||
+        run.scored[i].score != reference.scored[i].score) {
+      return false;
+    }
+  }
+  return run.matches == reference.matches;
+}
+
+int RunOfflineSweep() {
+  const bool tiny = std::getenv("PRODSYN_BENCH_TINY") != nullptr;
+  const char* json_env = std::getenv("PRODSYN_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_offline_matching.json";
+
+  const size_t repetitions = tiny ? 1 : 3;
+  auto world_or = World::Generate(BenchWorld(tiny));
+  if (!world_or.ok()) {
+    std::printf("offline sweep: world generation failed\n");
+    return 1;
+  }
+  const World& world = *world_or;
+  MatchingContext ctx;
+  ctx.catalog = &world.catalog;
+  ctx.offers = &world.historical_offers;
+  ctx.matches = &world.historical_matches;
+
+  std::printf("-- offline learning thread sweep (%s scale, best of %llu) --\n",
+              tiny ? "tiny" : "default",
+              static_cast<unsigned long long>(repetitions));
+  std::vector<OfflineRun> runs;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    OfflineRun run;
+    run.requested_threads = threads;
+    run.effective_threads =
+        threads == 0 ? ThreadPool::HardwareThreads() : threads;
+
+    // Phase 1: bag-index build alone.
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      BagIndexOptions options;
+      options.build_threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      auto index = MatchedBagIndex::Build(ctx, options);
+      const double wall_ms = MillisSince(start);
+      if (!index.ok()) {
+        std::printf("offline sweep: bag-index build failed\n");
+        return 1;
+      }
+      if (rep == 0 || wall_ms < run.bag_build_ms) run.bag_build_ms = wall_ms;
+      run.candidates = index->candidates().size();
+    }
+
+    // Phase 2: the full offline learning run.
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      ClassifierMatcherOptions options;
+      options.offline_threads = threads;
+      ClassifierMatcher matcher(options);
+      const auto start = std::chrono::steady_clock::now();
+      auto scored = matcher.Generate(ctx);
+      const double wall_ms = MillisSince(start);
+      if (!scored.ok()) {
+        std::printf("offline sweep: Generate failed\n");
+        return 1;
+      }
+      if (rep == 0 || wall_ms < run.generate_ms) {
+        run.generate_ms = wall_ms;
+        run.classifier_stages = matcher.stats().stage_metrics;
+        run.scored = std::move(*scored);
+      }
+    }
+    run.correspondences = run.scored.size();
+
+    // Phase 3: the title-match bootstrap.
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      TitleMatcherOptions options;
+      options.threads = threads;
+      TitleMatcherStats stats;
+      const auto start = std::chrono::steady_clock::now();
+      auto matches = TitleOfferProductMatcher(options).Match(
+          world.catalog, world.historical_offers, &stats);
+      const double wall_ms = MillisSince(start);
+      if (!matches.ok()) {
+        std::printf("offline sweep: title match failed\n");
+        return 1;
+      }
+      if (rep == 0 || wall_ms < run.title_ms) {
+        run.title_ms = wall_ms;
+        run.title_stages = stats.stage_metrics;
+        run.matches.clear();
+        run.matches.reserve(matches->matches().size());
+        for (const auto& [offer, product] : matches->matches()) {
+          run.matches.emplace_back(offer, product);
+        }
+      }
+    }
+    run.title_matches = run.matches.size();
+
+    if (!runs.empty() && !SameOutputs(run, runs.front())) {
+      std::printf("offline sweep: DETERMINISM VIOLATION at %llu threads\n",
+                  static_cast<unsigned long long>(threads));
+      return 1;
+    }
+    std::printf("  offline_threads=%llu (effective %llu): bag %8.2f ms, "
+                "generate %8.2f ms, title %8.2f ms, %llu correspondences\n",
+                static_cast<unsigned long long>(run.requested_threads),
+                static_cast<unsigned long long>(run.effective_threads),
+                run.bag_build_ms, run.generate_ms, run.title_ms,
+                static_cast<unsigned long long>(run.correspondences));
+    runs.push_back(std::move(run));
+  }
+  if (!WriteSweepJson(json_path, world, tiny ? "tiny" : "default", runs)) {
+    std::printf("offline sweep: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("  wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace prodsyn
+
+int main() { return prodsyn::RunOfflineSweep(); }

@@ -9,19 +9,33 @@
 //
 // It also enumerates the candidate tuples ⟨Ap, Ao, M, C⟩: Ap ranges over
 // the schema of C, Ao over attribute names observed in offers of M in C.
+//
+// Representation: attribute names are interned into dense Symbols by a
+// per-index StringInterner, and every bag/distribution is keyed by a
+// packed PackedKey128 (merchant, category | level, Symbol) — integer
+// hashing in the hot lookups instead of string concatenation, and immune
+// to the separator-aliasing hazard of concatenated keys. The interner is
+// populated only inside Build() (sequentially); after Build returns it is
+// a frozen snapshot, so any number of threads may use the index
+// concurrently (FeatureComputer relies on this).
+//
+// Build() parallelizes per (merchant, category) shard on a ThreadPool and
+// merges the shards sequentially in sorted (M, C) order, so bags, dists,
+// and candidates() are bit-identical for any build_threads value.
 
 #ifndef PRODSYN_MATCHING_BAG_INDEX_H_
 #define PRODSYN_MATCHING_BAG_INDEX_H_
 
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/matching/types.h"
 #include "src/text/divergence.h"
 #include "src/text/term_distribution.h"
+#include "src/util/interner.h"
 #include "src/util/result.h"
+#include "src/util/stage_metrics.h"
 
 namespace prodsyn {
 
@@ -31,14 +45,22 @@ struct BagIndexOptions {
   /// offers of the group. False reproduces the "No matching" baseline.
   bool restrict_products_to_matches = true;
   TokenizerOptions tokenizer;
+  /// Threads for the per-(merchant, category) build shards; 0 = hardware
+  /// default. Output is bit-identical for any value (sequential merge in
+  /// sorted group order).
+  size_t build_threads = 1;
 };
 
 /// \brief Immutable bag/distribution index over one MatchingContext.
 class MatchedBagIndex {
  public:
-  /// \brief Builds the index; scans offers and products once per level.
+  /// \brief Builds the index; tokenizes each offer value and each matched
+  /// product spec once, then derives the three grouping levels by merging.
+  /// `metrics`, when non-null, receives the build's wall/CPU time, the
+  /// number of offers scanned (items), and the pool's queue high-water.
   static Result<MatchedBagIndex> Build(const MatchingContext& ctx,
-                                       const BagIndexOptions& options = {});
+                                       const BagIndexOptions& options = {},
+                                       StageCounters* metrics = nullptr);
 
   /// \brief Bag of values of catalog attribute `attr` for the group; null
   /// when the group produced no values.
@@ -59,6 +81,32 @@ class MatchedBagIndex {
                                     MerchantId merchant,
                                     CategoryId category) const;
 
+  /// \name Symbol-keyed lookups
+  /// The hot path of FeatureComputer: resolve the attribute name once via
+  /// AttrSymbol(), then look bags up by integer key. kInvalidSymbol (or a
+  /// symbol with no bag in the group) yields null.
+  /// @{
+  const BagOfWords* ProductBag(GroupLevel level, Symbol attr,
+                               MerchantId merchant, CategoryId category) const;
+  const BagOfWords* OfferBag(GroupLevel level, Symbol attr,
+                             MerchantId merchant, CategoryId category) const;
+  const TermDistribution* ProductDist(GroupLevel level, Symbol attr,
+                                      MerchantId merchant,
+                                      CategoryId category) const;
+  const TermDistribution* OfferDist(GroupLevel level, Symbol attr,
+                                    MerchantId merchant,
+                                    CategoryId category) const;
+  /// @}
+
+  /// \brief Symbol of an attribute name seen during Build (offer attrs,
+  /// matched-product spec attrs, schema attrs), else kInvalidSymbol.
+  Symbol AttrSymbol(std::string_view attr) const {
+    return interner_.Lookup(attr);
+  }
+
+  /// \brief The frozen attribute-name interner (const-only after Build).
+  const StringInterner& interner() const { return interner_; }
+
   /// \brief All candidate tuples, grouped deterministically by (C, M).
   const std::vector<CandidateTuple>& candidates() const { return candidates_; }
 
@@ -77,21 +125,23 @@ class MatchedBagIndex {
 
  private:
   struct BagMap {
-    std::unordered_map<std::string, BagOfWords> bags;
-    std::unordered_map<std::string, TermDistribution> dists;
+    std::unordered_map<PackedKey128, BagOfWords, PackedKey128Hash> bags;
+    std::unordered_map<PackedKey128, TermDistribution, PackedKey128Hash> dists;
   };
 
-  static std::string Key(GroupLevel level, const std::string& attr,
-                         MerchantId merchant, CategoryId category);
+  /// Packs the normalized group ids and (level, attr) into the map key.
+  static PackedKey128 Key(GroupLevel level, Symbol attr, MerchantId merchant,
+                          CategoryId category);
 
   const BagMap& ForSide(bool product_side) const {
     return product_side ? product_bags_ : offer_bags_;
   }
 
+  StringInterner interner_;
   BagMap product_bags_;
   BagMap offer_bags_;
   std::vector<CandidateTuple> candidates_;
-  std::unordered_map<std::string, std::vector<std::string>> offer_attrs_;
+  std::unordered_map<uint64_t, std::vector<std::string>, U64Hash> offer_attrs_;
   std::vector<std::pair<MerchantId, CategoryId>> merchant_categories_;
 };
 

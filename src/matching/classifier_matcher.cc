@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 
@@ -14,8 +14,14 @@ ClassifierMatcher::ClassifierMatcher(ClassifierMatcherOptions options)
 Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
     const MatchingContext& ctx) {
   stats_ = ClassifierRunStats{};
-  PRODSYN_ASSIGN_OR_RETURN(MatchedBagIndex index,
-                           MatchedBagIndex::Build(ctx, options_.bag_index));
+  StageMetrics metrics;
+
+  BagIndexOptions bag_options = options_.bag_index;
+  bag_options.build_threads = options_.offline_threads;
+  PRODSYN_ASSIGN_OR_RETURN(
+      MatchedBagIndex index,
+      MatchedBagIndex::Build(ctx, bag_options,
+                             metrics.GetStage("bag_index.build")));
   FeatureComputer computer(&index, options_.features);
 
   PRODSYN_ASSIGN_OR_RETURN(
@@ -32,27 +38,35 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
         " negatives); need name-identity anchors with alternatives");
   }
 
-  PRODSYN_RETURN_NOT_OK(scaler_.Fit(training.dataset));
-  PRODSYN_ASSIGN_OR_RETURN(Dataset scaled,
-                           scaler_.TransformDataset(training.dataset));
-  PRODSYN_RETURN_NOT_OK(model_.Fit(scaled, options_.regression));
+  {
+    StageCounters* train_stage = metrics.GetStage("lr.train");
+    ScopedStageTimer timer(train_stage);
+    PRODSYN_RETURN_NOT_OK(scaler_.Fit(training.dataset));
+    PRODSYN_ASSIGN_OR_RETURN(Dataset scaled,
+                             scaler_.TransformDataset(training.dataset));
+    PRODSYN_RETURN_NOT_OK(model_.Fit(scaled, options_.regression));
+    train_stage->AddItems(training.dataset.size());
+  }
   stats_.lr_iterations = model_.iterations_used();
 
   const auto& candidates = index.candidates();
   stats_.candidates = candidates.size();
   std::vector<AttributeCorrespondence> out(candidates.size());
 
-  size_t threads = options_.scoring_threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  size_t threads = options_.offline_threads == 0
+                       ? ThreadPool::HardwareThreads()
+                       : options_.offline_threads;
   threads = std::min(threads, std::max<size_t>(1, candidates.size()));
 
+  StageCounters* score_stage = metrics.GetStage("classifier.score");
   std::atomic<size_t> predicted_valid{0};
   std::atomic<bool> failed{false};
   auto score_range = [&](size_t begin, size_t end) {
-    // Per-thread computer: the memoization caches are not shared, so each
-    // thread recomputes its own C/M-level entries but never races.
+    ScopedStageTimer timer(score_stage);
+    // Per-chunk computer: the memoization caches are not shared, so each
+    // chunk recomputes its own C/M-level entries but never races. Every
+    // write lands in slot i of `out`, so the result is independent of the
+    // chunking.
     FeatureComputer local_computer(&index, options_.features);
     size_t valid = 0;
     for (size_t i = begin; i < end && !failed.load(std::memory_order_relaxed);
@@ -85,24 +99,17 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   if (threads <= 1) {
     score_range(0, candidates.size());
   } else {
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    const size_t chunk = (candidates.size() + threads - 1) / threads;
-    for (size_t t = 0; t < threads; ++t) {
-      const size_t begin = t * chunk;
-      const size_t end = std::min(candidates.size(), begin + chunk);
-      if (begin >= end) break;
-      PRODSYN_DCHECK_BOUNDS(begin, candidates.size());
-      PRODSYN_DCHECK(end <= candidates.size());
-      workers.emplace_back(score_range, begin, end);
-    }
-    for (auto& worker : workers) worker.join();
+    ThreadPool pool(threads);
+    pool.ParallelFor(candidates.size(), score_range);
+    score_stage->RecordQueueDepth(pool.max_queue_depth());
   }
+  score_stage->AddItems(candidates.size());
   if (failed.load()) {
     return Status::Internal("candidate scoring failed (dimension mismatch)");
   }
   stats_.predicted_valid = predicted_valid.load();
   SortByScoreDescending(&out);
+  stats_.stage_metrics = metrics.Snapshot();
   return out;
 }
 

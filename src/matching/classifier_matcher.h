@@ -35,11 +35,15 @@ struct ClassifierMatcherOptions {
   /// assumption 1); give them score 1 in the output so reconciliation
   /// always applies them. Evaluation excludes A=B tuples regardless.
   bool force_name_identity_score = true;
-  /// Threads for the candidate-scoring sweep (the dominant cost of
-  /// offline learning at catalog scale). Each thread gets its own
-  /// FeatureComputer (the memoization caches are not shared), so results
-  /// are bit-identical regardless of thread count. 0 = hardware default.
-  size_t scoring_threads = 1;
+  /// The single offline-phase thread knob: drives both the bag-index
+  /// build shards (overrides bag_index.build_threads at Generate time)
+  /// and the candidate-scoring sweep — the two dominant costs of offline
+  /// learning at catalog scale. Each scoring chunk gets its own
+  /// FeatureComputer (the memoization caches are not shared) and writes
+  /// per-index slots, so results are bit-identical regardless of thread
+  /// count. 0 = hardware default, mirroring
+  /// SynthesizerOptions::runtime_threads.
+  size_t offline_threads = 1;
 };
 
 /// \brief Statistics of one Generate() run, for reports (paper §5.1 quotes
@@ -50,6 +54,11 @@ struct ClassifierRunStats {
   size_t training_positives = 0;
   size_t predicted_valid = 0;  ///< score > 0.5, excluding forced identities
   size_t lr_iterations = 0;
+  /// Wall/CPU time, items and queue-depth gauges of the offline stages,
+  /// in execution order (bag_index.build, lr.train, classifier.score).
+  /// NOT deterministic — observability only, like
+  /// SynthesisStats::stage_metrics.
+  std::vector<StageSnapshot> stage_metrics;
 };
 
 /// \brief The paper's learned matcher.

@@ -57,17 +57,18 @@ FeatureComputer::FeatureComputer(const MatchedBagIndex* index,
     : index_(index), feature_set_(feature_set) {}
 
 FeatureComputer::SimPair FeatureComputer::ComputeLevel(
-    GroupLevel level, const CandidateTuple& tuple) {
+    GroupLevel level, Symbol catalog_attr, Symbol offer_attr,
+    const CandidateTuple& tuple) const {
   SimPair pair;
-  const BagOfWords* product_bag = index_->ProductBag(
-      level, tuple.catalog_attribute, tuple.merchant, tuple.category);
-  const BagOfWords* offer_bag = index_->OfferBag(
-      level, tuple.offer_attribute, tuple.merchant, tuple.category);
+  const BagOfWords* product_bag =
+      index_->ProductBag(level, catalog_attr, tuple.merchant, tuple.category);
+  const BagOfWords* offer_bag =
+      index_->OfferBag(level, offer_attr, tuple.merchant, tuple.category);
   if (product_bag == nullptr || offer_bag == nullptr) return pair;
-  const TermDistribution* product_dist = index_->ProductDist(
-      level, tuple.catalog_attribute, tuple.merchant, tuple.category);
-  const TermDistribution* offer_dist = index_->OfferDist(
-      level, tuple.offer_attribute, tuple.merchant, tuple.category);
+  const TermDistribution* product_dist =
+      index_->ProductDist(level, catalog_attr, tuple.merchant, tuple.category);
+  const TermDistribution* offer_dist =
+      index_->OfferDist(level, offer_attr, tuple.merchant, tuple.category);
   // The index materializes a distribution for every bag it stores, so a
   // non-null bag implies a non-null distribution.
   PRODSYN_CHECK(product_dist != nullptr && offer_dist != nullptr);
@@ -79,47 +80,52 @@ FeatureComputer::SimPair FeatureComputer::ComputeLevel(
 }
 
 FeatureComputer::SimPair FeatureComputer::MemoizedLevel(
-    GroupLevel level, const CandidateTuple& tuple,
-    std::unordered_map<std::string, SimPair>* cache) {
-  std::string key;
-  if (level == GroupLevel::kCategory) {
-    key = std::to_string(tuple.category);
-  } else {
-    key = std::to_string(tuple.merchant);
+    GroupLevel level, Symbol catalog_attr, Symbol offer_attr,
+    const CandidateTuple& tuple, LevelCache* cache) {
+  if (catalog_attr == kInvalidSymbol || offer_attr == kInvalidSymbol) {
+    // Names the index never interned have no bags; don't let the
+    // kInvalidSymbol sentinel alias distinct uncachable pairs.
+    return ComputeLevel(level, catalog_attr, offer_attr, tuple);
   }
-  key.push_back('\x1f');
-  key += tuple.catalog_attribute;
-  key.push_back('\x1f');
-  key += tuple.offer_attribute;
+  PackedKey128 key;
+  key.hi = static_cast<uint64_t>(static_cast<uint32_t>(
+      level == GroupLevel::kCategory ? tuple.category : tuple.merchant));
+  key.lo = (static_cast<uint64_t>(catalog_attr) << 32) |
+           static_cast<uint64_t>(offer_attr);
   auto it = cache->find(key);
   if (it != cache->end()) return it->second;
-  SimPair pair = ComputeLevel(level, tuple);
-  cache->emplace(std::move(key), pair);
+  SimPair pair = ComputeLevel(level, catalog_attr, offer_attr, tuple);
+  cache->emplace(key, pair);
   return pair;
 }
 
 std::vector<double> FeatureComputer::Compute(const CandidateTuple& tuple) {
+  // One string lookup per attribute name; every bag/cache access below is
+  // integer-keyed.
+  const Symbol catalog_attr = index_->AttrSymbol(tuple.catalog_attribute);
+  const Symbol offer_attr = index_->AttrSymbol(tuple.offer_attribute);
   std::vector<double> features;
   features.reserve(feature_set_.Count());
   if (feature_set_.js_mc || feature_set_.jaccard_mc) {
-    const SimPair mc = ComputeLevel(GroupLevel::kMerchantCategory, tuple);
+    const SimPair mc = ComputeLevel(GroupLevel::kMerchantCategory,
+                                    catalog_attr, offer_attr, tuple);
     if (feature_set_.js_mc) features.push_back(mc.js_sim);
     if (feature_set_.jaccard_mc) features.push_back(mc.jaccard);
   }
   if (feature_set_.js_c || feature_set_.jaccard_c) {
-    const SimPair c =
-        MemoizedLevel(GroupLevel::kCategory, tuple, &category_cache_);
+    const SimPair c = MemoizedLevel(GroupLevel::kCategory, catalog_attr,
+                                    offer_attr, tuple, &category_cache_);
     if (feature_set_.js_c) features.push_back(c.js_sim);
     if (feature_set_.jaccard_c) features.push_back(c.jaccard);
   }
   if (feature_set_.js_m || feature_set_.jaccard_m) {
-    const SimPair m =
-        MemoizedLevel(GroupLevel::kMerchant, tuple, &merchant_cache_);
+    const SimPair m = MemoizedLevel(GroupLevel::kMerchant, catalog_attr,
+                                    offer_attr, tuple, &merchant_cache_);
     if (feature_set_.js_m) features.push_back(m.js_sim);
     if (feature_set_.jaccard_m) features.push_back(m.jaccard);
   }
   if (feature_set_.name_edit || feature_set_.name_trigram) {
-    const NamePair names = MemoizedNames(tuple);
+    const NamePair names = MemoizedNames(catalog_attr, offer_attr, tuple);
     if (feature_set_.name_edit) features.push_back(names.edit);
     if (feature_set_.name_trigram) features.push_back(names.trigram);
   }
@@ -133,18 +139,21 @@ std::vector<double> FeatureComputer::Compute(const CandidateTuple& tuple) {
 }
 
 FeatureComputer::NamePair FeatureComputer::MemoizedNames(
-    const CandidateTuple& tuple) {
-  std::string key = tuple.catalog_attribute;
-  key.push_back('\x1f');
-  key += tuple.offer_attribute;
-  auto it = name_cache_.find(key);
-  if (it != name_cache_.end()) return it->second;
+    Symbol catalog_attr, Symbol offer_attr, const CandidateTuple& tuple) {
+  const bool cachable =
+      catalog_attr != kInvalidSymbol && offer_attr != kInvalidSymbol;
+  const uint64_t key = (static_cast<uint64_t>(catalog_attr) << 32) |
+                       static_cast<uint64_t>(offer_attr);
+  if (cachable) {
+    auto it = name_cache_.find(key);
+    if (it != name_cache_.end()) return it->second;
+  }
   NamePair pair;
   const std::string a = NormalizeAttributeName(tuple.catalog_attribute);
   const std::string b = NormalizeAttributeName(tuple.offer_attribute);
   pair.edit = EditSimilarity(a, b);
   pair.trigram = TrigramSimilarity(a, b);
-  name_cache_.emplace(std::move(key), pair);
+  if (cachable) name_cache_.emplace(key, pair);
   return pair;
 }
 

@@ -51,7 +51,12 @@ struct FeatureSet {
 ///
 /// Category- and merchant-level similarities are memoized: they are shared
 /// by every merchant (resp. category) that produces the same (Ap, Ao) pair,
-/// which is what makes the full candidate sweep tractable.
+/// which is what makes the full candidate sweep tractable. Cache keys are
+/// packed integers (group id + the two attribute Symbols of the index's
+/// interner), so a hit costs one integer hash — and, unlike the
+/// separator-joined string keys they replaced, two distinct (Ap, Ao) pairs
+/// can never alias. Tuples whose attribute names the index never saw
+/// (kInvalidSymbol) are computed uncached — their bags are null anyway.
 class FeatureComputer {
  public:
   /// \param index must outlive this computer.
@@ -75,16 +80,21 @@ class FeatureComputer {
     double trigram = 0.0;
   };
 
-  SimPair ComputeLevel(GroupLevel level, const CandidateTuple& tuple);
-  SimPair MemoizedLevel(GroupLevel level, const CandidateTuple& tuple,
-                        std::unordered_map<std::string, SimPair>* cache);
-  NamePair MemoizedNames(const CandidateTuple& tuple);
+  using LevelCache = std::unordered_map<PackedKey128, SimPair, PackedKey128Hash>;
+
+  SimPair ComputeLevel(GroupLevel level, Symbol catalog_attr,
+                       Symbol offer_attr, const CandidateTuple& tuple) const;
+  SimPair MemoizedLevel(GroupLevel level, Symbol catalog_attr,
+                        Symbol offer_attr, const CandidateTuple& tuple,
+                        LevelCache* cache);
+  NamePair MemoizedNames(Symbol catalog_attr, Symbol offer_attr,
+                         const CandidateTuple& tuple);
 
   const MatchedBagIndex* index_;
   FeatureSet feature_set_;
-  std::unordered_map<std::string, SimPair> category_cache_;
-  std::unordered_map<std::string, SimPair> merchant_cache_;
-  std::unordered_map<std::string, NamePair> name_cache_;
+  LevelCache category_cache_;
+  LevelCache merchant_cache_;
+  std::unordered_map<uint64_t, NamePair, U64Hash> name_cache_;
 };
 
 }  // namespace prodsyn

@@ -1,12 +1,16 @@
 #include "src/matching/title_matcher.h"
 
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/text/soft_tfidf.h"
 #include "src/text/tokenizer.h"
 #include "src/util/string_util.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 
@@ -28,6 +32,15 @@ std::vector<std::string> ProductDocument(const Product& product) {
   return tokens;
 }
 
+// One category shard's output: matched (offer, product) pairs in offer
+// order plus the counter deltas, merged sequentially by the caller.
+struct CategoryShard {
+  Status status;
+  std::vector<std::pair<OfferId, ProductId>> matched;
+  size_t offers_considered = 0;
+  size_t offers_with_candidates = 0;
+};
+
 }  // namespace
 
 TitleOfferProductMatcher::TitleOfferProductMatcher(
@@ -39,6 +52,8 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
     TitleMatcherStats* stats) const {
   MatchStore matches;
   if (stats != nullptr) *stats = TitleMatcherStats{};
+  StageMetrics metrics;
+  StageCounters* stage = metrics.GetStage("title_match.bootstrap");
 
   // Group offers per category so each category's index is built once.
   std::map<CategoryId, std::vector<const Offer*>> offers_by_category;
@@ -46,10 +61,28 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
     if (offer.category == kInvalidCategory) continue;
     offers_by_category[offer.category].push_back(&offer);
   }
+  std::vector<CategoryId> categories;
+  std::vector<const std::vector<const Offer*>*> category_offer_lists;
+  categories.reserve(offers_by_category.size());
+  category_offer_lists.reserve(offers_by_category.size());
+  for (const auto& [category, list] : offers_by_category) {
+    categories.push_back(category);
+    category_offer_lists.push_back(&list);
+  }
 
-  for (const auto& [category, category_offers] : offers_by_category) {
+  // Each category is one independent shard: build its identifier index
+  // and product profiles, then score its offers in input order. Results
+  // land in per-category slots, so the sequential merge below is
+  // bit-identical for any thread count.
+  std::vector<CategoryShard> shards(categories.size());
+  const auto process_category = [&](size_t slot) {
+    CategoryShard& shard = shards[slot];
+    const CategoryId category = categories[slot];
+    const std::vector<const Offer*>& category_offers =
+        *category_offer_lists[slot];
+
     auto schema_result = catalog.schemas().Get(category);
-    if (!schema_result.ok()) continue;
+    if (!schema_result.ok()) return;  // category without schema: skip
     const CategorySchema& schema = **schema_result;
 
     // Identifier-token inverted index + whole normalized identifiers (for
@@ -60,8 +93,12 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
     std::unordered_map<ProductId, std::vector<std::string>> documents;
     TfIdfCorpus corpus;
     for (ProductId pid : catalog.ProductsInCategory(category)) {
-      PRODSYN_ASSIGN_OR_RETURN(const Product* product,
-                               catalog.GetProduct(pid));
+      auto product_result = catalog.GetProduct(pid);
+      if (!product_result.ok()) {
+        shard.status = product_result.status();
+        return;
+      }
+      const Product* product = *product_result;
       auto doc = ProductDocument(*product);
       corpus.AddDocument(doc);
       documents.emplace(pid, std::move(doc));
@@ -77,11 +114,26 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
         }
       }
     }
-    if (documents.empty()) continue;
+    if (documents.empty()) return;
     const SoftTfIdf scorer(&corpus, options_.soft_tfidf_threshold);
 
+    // The corpus is complete, so a product's SoftTFIDF profile can be
+    // derived once per category instead of once per (offer, candidate)
+    // pair. Lazily, though: most products are never retrieved as a
+    // candidate, so eager precomputation over `documents` costs more
+    // than it saves.
+    std::unordered_map<ProductId, SoftTfIdfProfile> profiles;
+    const auto profile_of = [&](ProductId pid) -> const SoftTfIdfProfile& {
+      auto it = profiles.find(pid);
+      if (it == profiles.end()) {
+        it = profiles.emplace(pid, scorer.MakeProfile(documents.at(pid)))
+                 .first;
+      }
+      return it->second;
+    };
+
     for (const Offer* offer : category_offers) {
-      if (stats != nullptr) ++stats->offers_considered;
+      ++shard.offers_considered;
       const auto title_tokens = Tokenize(offer->title);
 
       // Candidate retrieval by identifier tokens, then by whole
@@ -100,13 +152,13 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
         }
       }
       if (candidates.empty()) continue;
-      if (stats != nullptr) ++stats->offers_with_candidates;
+      ++shard.offers_with_candidates;
 
+      const SoftTfIdfProfile title_profile = scorer.MakeProfile(title_tokens);
       ProductId best = kInvalidProduct;
       double best_score = options_.min_score;
       for (ProductId pid : candidates) {
-        const double score =
-            scorer.Similarity(title_tokens, documents.at(pid));
+        const double score = scorer.Similarity(title_profile, profile_of(pid));
         if (score > best_score ||
             (score == best_score && best != kInvalidProduct && pid < best)) {
           best = pid;
@@ -114,11 +166,44 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
         }
       }
       if (best != kInvalidProduct) {
-        PRODSYN_RETURN_NOT_OK(matches.AddMatch(offer->id, best));
-        if (stats != nullptr) ++stats->matches_made;
+        shard.matched.emplace_back(offer->id, best);
       }
     }
+  };
+
+  const size_t threads = options_.threads == 0 ? ThreadPool::HardwareThreads()
+                                               : options_.threads;
+  if (threads <= 1 || categories.size() <= 1) {
+    ScopedStageTimer timer(stage);
+    for (size_t slot = 0; slot < categories.size(); ++slot) {
+      process_category(slot);
+    }
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(categories.size(), [&](size_t begin, size_t end) {
+      ScopedStageTimer timer(stage);
+      for (size_t slot = begin; slot < end; ++slot) process_category(slot);
+    });
+    stage->RecordQueueDepth(pool.max_queue_depth());
   }
+
+  // Sequential merge in sorted category order, offers in input order —
+  // the exact order the sequential implementation produced.
+  size_t offers_considered = 0;
+  for (const CategoryShard& shard : shards) {
+    PRODSYN_RETURN_NOT_OK(shard.status);
+    offers_considered += shard.offers_considered;
+    if (stats != nullptr) {
+      stats->offers_considered += shard.offers_considered;
+      stats->offers_with_candidates += shard.offers_with_candidates;
+      stats->matches_made += shard.matched.size();
+    }
+    for (const auto& [offer_id, product_id] : shard.matched) {
+      PRODSYN_RETURN_NOT_OK(matches.AddMatch(offer_id, product_id));
+    }
+  }
+  stage->AddItems(offers_considered);
+  if (stats != nullptr) stats->stage_metrics = metrics.Snapshot();
   return matches;
 }
 

@@ -17,6 +17,7 @@
 #include "src/catalog/catalog.h"
 #include "src/catalog/match_store.h"
 #include "src/util/result.h"
+#include "src/util/stage_metrics.h"
 
 namespace prodsyn {
 
@@ -29,13 +30,22 @@ struct TitleMatcherOptions {
   /// Identifier tokens shorter than this do not index products (short
   /// numeric fragments like "500" would retrieve half the category).
   size_t min_identifier_token_length = 4;
+  /// Threads for the per-category bootstrap shards (0 = hardware
+  /// default). Categories are independent and the shard results merge
+  /// sequentially in category order, so the MatchStore and the counter
+  /// stats are bit-identical for any value.
+  size_t threads = 1;
 };
 
-/// \brief Statistics of one Match() run.
+/// \brief Statistics of one Match() run. The counters are deterministic
+/// for a fixed input regardless of TitleMatcherOptions::threads;
+/// `stage_metrics` is observability only.
 struct TitleMatcherStats {
   size_t offers_considered = 0;
   size_t offers_with_candidates = 0;
   size_t matches_made = 0;
+  /// Wall/CPU/queue-depth snapshot of the "title_match.bootstrap" stage.
+  std::vector<StageSnapshot> stage_metrics;
 };
 
 /// \brief Bootstraps offer-to-product matches from titles.

@@ -11,7 +11,7 @@
 
 #include "src/catalog/entities.h"
 #include "src/html/table_extractor.h"
-#include "src/pipeline/stage_metrics.h"
+#include "src/util/stage_metrics.h"
 #include "src/util/result.h"
 
 namespace prodsyn {

@@ -12,7 +12,7 @@
 
 #include "src/catalog/schema.h"
 #include "src/catalog/types.h"
-#include "src/pipeline/stage_metrics.h"
+#include "src/util/stage_metrics.h"
 #include "src/util/result.h"
 #include "src/util/thread_pool.h"
 

@@ -12,7 +12,7 @@
 
 #include "src/catalog/types.h"
 #include "src/matching/types.h"
-#include "src/pipeline/stage_metrics.h"
+#include "src/util/stage_metrics.h"
 
 namespace prodsyn {
 

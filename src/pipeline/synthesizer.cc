@@ -19,7 +19,9 @@ Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
   ctx.offers = &historical_offers;
   ctx.matches = &matches;
 
-  ClassifierMatcher matcher(options_.matcher);
+  ClassifierMatcherOptions matcher_options = options_.matcher;
+  matcher_options.offline_threads = options_.offline_threads;
+  ClassifierMatcher matcher(std::move(matcher_options));
   PRODSYN_ASSIGN_OR_RETURN(correspondences_, matcher.Generate(ctx));
   learning_stats_ = matcher.stats();
   reconciler_.emplace(correspondences_, options_.correspondence_threshold);

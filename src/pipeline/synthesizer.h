@@ -13,7 +13,7 @@
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
 #include "src/pipeline/schema_reconciliation.h"
-#include "src/pipeline/stage_metrics.h"
+#include "src/util/stage_metrics.h"
 #include "src/pipeline/title_classifier.h"
 #include "src/pipeline/value_fusion.h"
 #include "src/util/result.h"
@@ -60,13 +60,6 @@ struct SynthesisResult {
 
 /// \brief Options of ProductSynthesizer.
 struct SynthesizerOptions {
-  SynthesizerOptions() {
-    // Both phases parallelize with bit-identical results (the offline
-    // candidate sweep and the run-time offer pipeline); default each to
-    // all cores.
-    matcher.scoring_threads = 0;
-  }
-
   ClassifierMatcherOptions matcher;  ///< offline-learning phase knobs
   TableExtractorOptions extractor;   ///< landing-page table extraction
   ClusteringOptions clustering;      ///< key selection / fallback strategy
@@ -83,16 +76,22 @@ struct SynthesizerOptions {
   /// default). Extraction/reconciliation shard per offer, clustering's
   /// key scan per offer, fusion per (category, key) cluster; every merge
   /// is sequential in input order, so products and stats counters are
-  /// bit-identical for any value — same contract as
-  /// ClassifierMatcherOptions::scoring_threads.
+  /// bit-identical for any value — same contract as `offline_threads`.
   size_t runtime_threads = 0;
+  /// Worker threads for the Offline Learning phase (0 = hardware
+  /// default), mirroring `runtime_threads`. LearnOffline copies this into
+  /// ClassifierMatcherOptions::offline_threads, which drives both the
+  /// bag-index build shards and the candidate-scoring sweep; all offline
+  /// merges are sequential in a deterministic order, so correspondences
+  /// and learning stats are bit-identical for any value.
+  size_t offline_threads = 0;
 };
 
 /// \brief Orchestrates the two phases of Fig. 4.
 ///
 /// Thread safety: a ProductSynthesizer is driven from one thread at a
 /// time (LearnOffline/SetCorrespondences mutate state); both phases
-/// parallelize internally per `scoring_threads` / `runtime_threads`.
+/// parallelize internally per `offline_threads` / `runtime_threads`.
 /// Distinct instances are fully independent.
 class ProductSynthesizer {
  public:

@@ -13,7 +13,7 @@
 
 #include "src/catalog/schema.h"
 #include "src/pipeline/clustering.h"
-#include "src/pipeline/stage_metrics.h"
+#include "src/util/stage_metrics.h"
 #include "src/util/result.h"
 
 namespace prodsyn {

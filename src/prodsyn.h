@@ -65,7 +65,7 @@
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
 #include "src/pipeline/schema_reconciliation.h"
-#include "src/pipeline/stage_metrics.h"
+#include "src/util/stage_metrics.h"
 #include "src/pipeline/synthesizer.h"
 #include "src/pipeline/title_classifier.h"
 #include "src/pipeline/value_fusion.h"

@@ -13,25 +13,32 @@ SoftTfIdf::SoftTfIdf(const TfIdfCorpus* corpus, double threshold)
   PRODSYN_DCHECK_PROB(threshold);
 }
 
+SoftTfIdfProfile SoftTfIdf::MakeProfile(
+    const std::vector<std::string>& tokens) const {
+  SoftTfIdfProfile profile;
+  profile.weights = corpus_->WeightVector(tokens);
+  profile.distinct_tokens.reserve(profile.weights.size());
+  for (const auto& [term, weight] : profile.weights) {
+    (void)weight;
+    profile.distinct_tokens.push_back(term);
+  }
+  return profile;
+}
+
 double SoftTfIdf::Similarity(const std::vector<std::string>& a,
                              const std::vector<std::string>& b) const {
   if (a.empty() || b.empty()) return 0.0;
-  const auto va = corpus_->WeightVector(a);
-  const auto vb = corpus_->WeightVector(b);
+  return Similarity(MakeProfile(a), MakeProfile(b));
+}
 
-  // Distinct tokens of b, for the inner max.
-  std::vector<std::string> b_tokens;
-  b_tokens.reserve(vb.size());
-  for (const auto& [term, w] : vb) {
-    (void)w;
-    b_tokens.push_back(term);
-  }
-
+double SoftTfIdf::Similarity(const SoftTfIdfProfile& a,
+                             const SoftTfIdfProfile& b) const {
+  if (a.empty() || b.empty()) return 0.0;
   double score = 0.0;
-  for (const auto& [wa, weight_a] : va) {
+  for (const auto& [wa, weight_a] : a.weights) {
     double best_sim = 0.0;
     const std::string* best_token = nullptr;
-    for (const auto& tb : b_tokens) {
+    for (const auto& tb : b.distinct_tokens) {
       const double sim = JaroWinklerSimilarity(wa, tb);
       if (sim > best_sim) {
         best_sim = sim;
@@ -39,7 +46,7 @@ double SoftTfIdf::Similarity(const std::vector<std::string>& a,
       }
     }
     if (best_sim >= threshold_ && best_token != nullptr) {
-      score += weight_a * vb.at(*best_token) * best_sim;
+      score += weight_a * b.weights.at(*best_token) * best_sim;
     }
   }
   // Weight vectors are L2-normalized and Jaro-Winkler is in [0,1], so the

@@ -10,11 +10,24 @@
 #define PRODSYN_TEXT_SOFT_TFIDF_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/text/tfidf.h"
 
 namespace prodsyn {
+
+/// \brief A document prepared for repeated SoftTFIDF comparisons: its
+/// L2-normalized TF-IDF weight vector and the distinct-token list derived
+/// from it. Build once per document (MakeProfile), reuse across pairs —
+/// the title matcher scores every candidate product against the same
+/// offer title, so re-deriving these per pair dominated its cost.
+struct SoftTfIdfProfile {
+  std::unordered_map<std::string, double> weights;
+  std::vector<std::string> distinct_tokens;
+
+  bool empty() const { return weights.empty(); }
+};
 
 /// \brief SoftTFIDF scorer bound to a TF-IDF corpus.
 class SoftTfIdf {
@@ -23,9 +36,19 @@ class SoftTfIdf {
   /// \param threshold Jaro–Winkler gate θ (standard 0.9).
   explicit SoftTfIdf(const TfIdfCorpus* corpus, double threshold = 0.9);
 
-  /// \brief Similarity of two token lists, in [0, 1].
+  /// \brief Precomputes the profile of one token list.
+  SoftTfIdfProfile MakeProfile(const std::vector<std::string>& tokens) const;
+
+  /// \brief Similarity of two token lists, in [0, 1]. Equivalent to
+  /// Similarity over freshly made profiles; prefer the profile overload
+  /// when either side is compared more than once.
   double Similarity(const std::vector<std::string>& a,
                     const std::vector<std::string>& b) const;
+
+  /// \brief Similarity of two precomputed profiles — bitwise identical to
+  /// the token-list overload on the same inputs.
+  double Similarity(const SoftTfIdfProfile& a,
+                    const SoftTfIdfProfile& b) const;
 
  private:
   const TfIdfCorpus* corpus_;

@@ -1,0 +1,30 @@
+#include "src/util/interner.h"
+
+#include "src/util/check.h"
+
+namespace prodsyn {
+
+Symbol StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  // Symbols are dense indices; 2^32 - 1 distinct strings is far beyond any
+  // realistic attribute vocabulary, but the invariant must hold for the
+  // kInvalidSymbol sentinel to stay unambiguous.
+  PRODSYN_CHECK(names_.size() < static_cast<size_t>(kInvalidSymbol));
+  const Symbol symbol = static_cast<Symbol>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), symbol);
+  return symbol;
+}
+
+Symbol StringInterner::Lookup(std::string_view s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& StringInterner::NameOf(Symbol symbol) const {
+  PRODSYN_CHECK_BOUNDS(static_cast<size_t>(symbol), names_.size());
+  return names_[symbol];
+}
+
+}  // namespace prodsyn

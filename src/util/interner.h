@@ -1,0 +1,105 @@
+// String interning for the offline learning path: maps each distinct
+// string to a dense uint32_t Symbol so that hot-loop hash keys (bag
+// lookups, feature-cache keys) are packed integers instead of
+// concatenated strings.
+//
+// Thread compatibility ("snapshot lookup"): Intern() mutates and must be
+// called from one thread with no concurrent access — the build phase.
+// Once the build phase is over, the interner is a frozen snapshot: any
+// number of threads may call Lookup()/NameOf()/size() concurrently.
+// MatchedBagIndex follows exactly this discipline (interning happens in
+// its sequential scan; the parallel shards only look up).
+
+#ifndef PRODSYN_UTIL_INTERNER_H_
+#define PRODSYN_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace prodsyn {
+
+/// \brief Dense id of an interned string. Ids are assigned 0, 1, 2, … in
+/// first-Intern order, so they double as vector indices.
+using Symbol = uint32_t;
+
+/// \brief Sentinel returned by Lookup() for strings never interned.
+inline constexpr Symbol kInvalidSymbol = 0xFFFFFFFFu;
+
+/// \brief SplitMix64 finalizer: a cheap, well-mixed hash for packed
+/// integer keys (identity hashing would cluster packed bit-fields into
+/// few buckets).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// \brief Hash functor for uint64_t keys built by packing bit-fields.
+struct U64Hash {
+  size_t operator()(uint64_t key) const {
+    return static_cast<size_t>(Mix64(key));
+  }
+};
+
+/// \brief A 128-bit packed hash key for maps whose logical key has more
+/// bit-fields than one uint64_t can hold without aliasing (e.g. the bag
+/// index packs (merchant, category) into `hi` and (level, attr Symbol)
+/// into `lo`; the feature caches pack a group id into `hi` and two
+/// Symbols into `lo`).
+struct PackedKey128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const PackedKey128&, const PackedKey128&) = default;
+};
+
+/// \brief Hash functor for PackedKey128.
+struct PackedKey128Hash {
+  size_t operator()(const PackedKey128& key) const {
+    return static_cast<size_t>(Mix64(key.hi ^ Mix64(key.lo)));
+  }
+};
+
+/// \brief Interns strings to dense Symbols; see file comment for the
+/// build-then-snapshot concurrency contract.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  /// \brief Returns the Symbol of `s`, interning it on first sight.
+  /// Build-phase only: not safe concurrently with any other method.
+  Symbol Intern(std::string_view s);
+
+  /// \brief Symbol of `s`, or kInvalidSymbol if never interned. Safe
+  /// concurrently with other const methods.
+  Symbol Lookup(std::string_view s) const;
+
+  /// \brief The string behind `symbol`; checks bounds.
+  const std::string& NameOf(Symbol symbol) const;
+
+  /// \brief Number of distinct strings interned.
+  size_t size() const { return names_.size(); }
+
+  bool empty() const { return names_.empty(); }
+
+ private:
+  // Transparent hashing so Lookup(string_view) never allocates.
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::vector<std::string> names_;  // symbol -> string
+  std::unordered_map<std::string, Symbol, TransparentHash, std::equal_to<>>
+      ids_;  // string -> symbol
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_INTERNER_H_

@@ -1,4 +1,4 @@
-#include "src/pipeline/stage_metrics.h"
+#include "src/util/stage_metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <time.h>

@@ -10,8 +10,8 @@
 // (products and stats counters are bit-identical for any thread count;
 // nanosecond readings are not).
 
-#ifndef PRODSYN_PIPELINE_STAGE_METRICS_H_
-#define PRODSYN_PIPELINE_STAGE_METRICS_H_
+#ifndef PRODSYN_UTIL_STAGE_METRICS_H_
+#define PRODSYN_UTIL_STAGE_METRICS_H_
 
 #include <atomic>
 #include <chrono>
@@ -135,4 +135,4 @@ class ScopedStageTimer {
 
 }  // namespace prodsyn
 
-#endif  // PRODSYN_PIPELINE_STAGE_METRICS_H_
+#endif  // PRODSYN_UTIL_STAGE_METRICS_H_

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/matching/features.h"
 
 namespace prodsyn {
@@ -206,6 +208,141 @@ TEST_F(Fig5Fixture, RestrictedCategoriesFilterCandidates) {
   restricted.categories = {drives_ + 100};  // nonexistent
   auto index = *MatchedBagIndex::Build(restricted);
   EXPECT_TRUE(index.candidates().empty());
+}
+
+// Regression: attribute names may contain any byte, including '\x1f'.
+// String-concatenated cache/bag keys would alias the pairs
+// ("Size", "GB\x1fColor") and ("Size\x1fGB", "Color"); interned symbols
+// keyed by packed integers must keep them distinct in both the bag index
+// and the feature computer's memo caches.
+class SeparatorByteFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    category_ = *catalog_.taxonomy().AddCategory("Adversarial");
+    CategorySchema schema(category_);
+    ASSERT_TRUE(schema
+                    .AddAttribute({"Size\x1f"
+                                   "GB",
+                                   AttributeKind::kCategorical, false})
+                    .ok());
+    ASSERT_TRUE(
+        schema.AddAttribute({"Size", AttributeKind::kCategorical, false})
+            .ok());
+    ASSERT_TRUE(catalog_.schemas().Register(std::move(schema)).ok());
+
+    const ProductId p1 = *catalog_.AddProduct(
+        category_, {{"Size\x1f"
+                     "GB",
+                     "red red"},
+                    {"Size", "5400"}});
+    const ProductId p2 = *catalog_.AddProduct(
+        category_, {{"Size\x1f"
+                     "GB",
+                     "red blue"},
+                    {"Size", "7200"}});
+
+    auto add_offer = [&](const char* gb_color, const char* color,
+                         ProductId match) {
+      Offer offer;
+      offer.merchant = 0;
+      offer.category = category_;
+      offer.title = gb_color;
+      offer.spec = {{"GB\x1f"
+                     "Color",
+                     gb_color},
+                    {"Color", color}};
+      const OfferId id = *offers_.AddOffer(offer);
+      EXPECT_TRUE(matches_.AddMatch(id, match).ok());
+    };
+    add_offer("5400", "red", p1);
+    add_offer("7200", "blue", p2);
+
+    ctx_.catalog = &catalog_;
+    ctx_.offers = &offers_;
+    ctx_.matches = &matches_;
+  }
+
+  Catalog catalog_;
+  OfferStore offers_;
+  MatchStore matches_;
+  MatchingContext ctx_;
+  CategoryId category_ = kInvalidCategory;
+};
+
+TEST_F(SeparatorByteFixture, SeparatorBytesDoNotAliasBags) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  // The four attribute names must intern to four distinct symbols.
+  std::set<Symbol> symbols = {
+      index.AttrSymbol("Size\x1f"
+                       "GB"),
+      index.AttrSymbol("Size"),
+      index.AttrSymbol("GB\x1f"
+                       "Color"),
+      index.AttrSymbol("Color")};
+  EXPECT_EQ(symbols.size(), 4u);
+  EXPECT_EQ(symbols.count(kInvalidSymbol), 0u);
+
+  // 2 schema attributes x 2 offer attributes, no aliased pairs.
+  EXPECT_EQ(index.candidates().size(), 4u);
+
+  // Each name owns its own bag with its own contents.
+  const BagOfWords* size_bag = index.ProductBag(
+      GroupLevel::kMerchantCategory, "Size", 0, category_);
+  const BagOfWords* size_gb_bag = index.ProductBag(
+      GroupLevel::kMerchantCategory,
+      "Size\x1f"
+      "GB",
+      0, category_);
+  ASSERT_NE(size_bag, nullptr);
+  ASSERT_NE(size_gb_bag, nullptr);
+  EXPECT_NE(size_bag, size_gb_bag);
+  EXPECT_EQ(size_bag->Count("5400"), 1u);
+  EXPECT_EQ(size_bag->Count("red"), 0u);
+  EXPECT_EQ(size_gb_bag->Count("red"), 3u);
+  EXPECT_EQ(size_gb_bag->Count("5400"), 0u);
+
+  const BagOfWords* color_bag = index.OfferBag(
+      GroupLevel::kMerchantCategory, "Color", 0, category_);
+  const BagOfWords* gb_color_bag = index.OfferBag(
+      GroupLevel::kMerchantCategory,
+      "GB\x1f"
+      "Color",
+      0, category_);
+  ASSERT_NE(color_bag, nullptr);
+  ASSERT_NE(gb_color_bag, nullptr);
+  EXPECT_EQ(color_bag->Count("red"), 1u);
+  EXPECT_EQ(gb_color_bag->Count("5400"), 1u);
+  EXPECT_EQ(gb_color_bag->Count("red"), 0u);
+}
+
+TEST_F(SeparatorByteFixture, SeparatorBytesDoNotAliasFeatureMemo) {
+  auto index = *MatchedBagIndex::Build(ctx_);
+  // The hazard pair: a naive "catalog + '\x1f' + offer" memo key maps
+  // both tuples to "Size\x1fGB\x1fColor".
+  const CandidateTuple first{"Size",
+                             "GB\x1f"
+                             "Color",
+                             0, category_};
+  const CandidateTuple second{"Size\x1f"
+                              "GB",
+                              "Color", 0, category_};
+
+  // Shared computer: `first` populates the memo before `second` runs.
+  FeatureComputer shared(&index);
+  const auto first_shared = shared.Compute(first);
+  const auto second_shared = shared.Compute(second);
+
+  // Fresh computers compute each tuple with cold caches.
+  const auto first_cold = FeatureComputer(&index).Compute(first);
+  FeatureComputer cold_second(&index);
+  const auto second_cold = cold_second.Compute(second);
+
+  EXPECT_EQ(first_shared, first_cold);
+  EXPECT_EQ(second_shared, second_cold);
+  // And the tuples are genuinely different comparisons: "Size" vs the
+  // numeric offer tokens is a strong match, "Size\x1fGB" vs colors too,
+  // but the vectors must not be byte-for-byte copies of one another.
+  EXPECT_NE(first_shared, second_shared);
 }
 
 TEST(FeatureSetTest, CountsAndNames) {

@@ -233,12 +233,12 @@ TEST(ParallelScoringTest, MultiThreadedResultsAreBitIdentical) {
   ctx.matches = &world.historical_matches;
 
   ClassifierMatcherOptions single;
-  single.scoring_threads = 1;
+  single.offline_threads = 1;
   ClassifierMatcher one(single);
   auto a = *one.Generate(ctx);
 
   ClassifierMatcherOptions multi;
-  multi.scoring_threads = 4;
+  multi.offline_threads = 4;
   ClassifierMatcher four(multi);
   auto b = *four.Generate(ctx);
 
@@ -250,7 +250,7 @@ TEST(ParallelScoringTest, MultiThreadedResultsAreBitIdentical) {
   EXPECT_EQ(one.stats().predicted_valid, four.stats().predicted_valid);
   // 0 = hardware default also works.
   ClassifierMatcherOptions hw;
-  hw.scoring_threads = 0;
+  hw.offline_threads = 0;
   ClassifierMatcher any(hw);
   EXPECT_EQ((*any.Generate(ctx)).size(), a.size());
 }

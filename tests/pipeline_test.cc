@@ -306,7 +306,7 @@ TEST(ClusteringTest, PooledKeyExtractionMatchesSequential) {
 
 // The tentpole contract: Synthesize() products AND stats counters are
 // bit-identical for runtime_threads = 1, 2, and hardware default on the
-// same world (mirroring ClassifierMatcherOptions::scoring_threads).
+// same world (mirroring ClassifierMatcherOptions::offline_threads).
 TEST(SynthesizeDeterminismTest, IdenticalAcrossRuntimeThreadCounts) {
   WorldConfig config;
   config.seed = 77;
