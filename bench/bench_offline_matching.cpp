@@ -12,6 +12,9 @@
 // Environment knobs (mirroring bench_perf_pipeline):
 //   PRODSYN_BENCH_TINY=1     tiny world + 1 repetition (CI smoke scale)
 //   PRODSYN_BENCH_JSON=path  output path (default BENCH_offline_matching.json)
+//   PRODSYN_TRACE=1          enable span tracing and write
+//                            <json_path minus .json>.trace.json plus
+//                            .metrics.json (telemetry-registry dump)
 
 #include <chrono>
 #include <cstdio>
@@ -23,7 +26,10 @@
 #include "src/matching/bag_index.h"
 #include "src/matching/classifier_matcher.h"
 #include "src/matching/title_matcher.h"
+#include "src/util/file.h"
+#include "src/util/metrics_registry.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 namespace {
@@ -56,6 +62,8 @@ struct OfflineRun {
   size_t title_matches = 0;
   std::vector<StageSnapshot> classifier_stages;
   std::vector<StageSnapshot> title_stages;
+  RegistrySnapshot classifier_registry;
+  RegistrySnapshot title_registry;
   // Determinism payloads, compared against the 1-thread reference.
   std::vector<AttributeCorrespondence> scored;
   std::vector<std::pair<OfferId, ProductId>> matches;
@@ -64,16 +72,18 @@ struct OfflineRun {
 void AppendJsonStages(std::string* out, const char* key,
                       const std::vector<StageSnapshot>& stages, bool last) {
   *out += std::string("     \"") + key + "\": [\n";
-  char buf[256];
+  char buf[320];
   for (size_t s = 0; s < stages.size(); ++s) {
     const StageSnapshot& stage = stages[s];
     std::snprintf(buf, sizeof(buf),
                   "        {\"name\": \"%s\", \"wall_ms\": %.3f, "
                   "\"cpu_ms\": %.3f, \"items\": %llu, "
-                  "\"max_queue_depth\": %llu}%s\n",
+                  "\"max_queue_depth\": %llu, "
+                  "\"p50_ms\": %.6f, \"p99_ms\": %.6f}%s\n",
                   stage.name.c_str(), stage.wall_ns / 1e6, stage.cpu_ns / 1e6,
                   static_cast<unsigned long long>(stage.items),
                   static_cast<unsigned long long>(stage.max_queue_depth),
+                  stage.latency.p50() / 1e6, stage.latency.p99() / 1e6,
                   s + 1 == stages.size() ? "" : ",");
     *out += buf;
   }
@@ -153,8 +163,20 @@ bool SameOutputs(const OfflineRun& run, const OfflineRun& reference) {
   return run.matches == reference.matches;
 }
 
+// "foo.json" -> "foo"; paths without the suffix pass through unchanged.
+std::string StripJsonSuffix(const std::string& path) {
+  constexpr const char kSuffix[] = ".json";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  if (path.size() > kSuffixLen &&
+      path.compare(path.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+    return path.substr(0, path.size() - kSuffixLen);
+  }
+  return path;
+}
+
 int RunOfflineSweep() {
   const bool tiny = std::getenv("PRODSYN_BENCH_TINY") != nullptr;
+  const bool tracing = std::getenv("PRODSYN_TRACE") != nullptr;
   const char* json_env = std::getenv("PRODSYN_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_offline_matching.json";
@@ -174,6 +196,7 @@ int RunOfflineSweep() {
   std::printf("-- offline learning thread sweep (%s scale, best of %llu) --\n",
               tiny ? "tiny" : "default",
               static_cast<unsigned long long>(repetitions));
+  if (tracing) Tracer::Global().Enable();
   std::vector<OfflineRun> runs;
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
     OfflineRun run;
@@ -211,6 +234,7 @@ int RunOfflineSweep() {
       if (rep == 0 || wall_ms < run.generate_ms) {
         run.generate_ms = wall_ms;
         run.classifier_stages = matcher.stats().stage_metrics;
+        run.classifier_registry = matcher.stats().registry;
         run.scored = std::move(*scored);
       }
     }
@@ -232,6 +256,7 @@ int RunOfflineSweep() {
       if (rep == 0 || wall_ms < run.title_ms) {
         run.title_ms = wall_ms;
         run.title_stages = stats.stage_metrics;
+        run.title_registry = stats.registry;
         run.matches.clear();
         run.matches.reserve(matches->matches().size());
         for (const auto& [offer, product] : matches->matches()) {
@@ -259,6 +284,33 @@ int RunOfflineSweep() {
     return 1;
   }
   std::printf("  wrote %s\n", json_path.c_str());
+  if (tracing) {
+    Tracer::Global().Disable();
+    const std::string base = StripJsonSuffix(json_path);
+    const std::string trace_path = base + ".trace.json";
+    if (!Tracer::Global().WriteChromeJson(trace_path).ok()) {
+      std::printf("offline sweep: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s (%llu trace threads, %llu events dropped)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    Tracer::Global().thread_count()),
+                static_cast<unsigned long long>(
+                    Tracer::Global().dropped_events()));
+    // Telemetry-registry dump from the hardware-threads run.
+    std::string metrics = "{\n\"classifier\": ";
+    metrics += MetricsRegistry::RenderJson(runs.back().classifier_registry);
+    metrics += ",\n\"title_match\": ";
+    metrics += MetricsRegistry::RenderJson(runs.back().title_registry);
+    metrics += "}\n";
+    const std::string metrics_path = base + ".metrics.json";
+    if (!WriteStringToFile(metrics_path, metrics).ok()) {
+      std::printf("offline sweep: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 

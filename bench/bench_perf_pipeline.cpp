@@ -11,6 +11,10 @@
 // Environment knobs (env vars, so google-benchmark flags stay usable):
 //   PRODSYN_BENCH_TINY=1     tiny world + 1 repetition (CI smoke scale)
 //   PRODSYN_BENCH_JSON=path  output path (default BENCH_perf_pipeline.json)
+//   PRODSYN_TRACE=1          enable span tracing for the thread sweep and
+//                            write <json_path minus .json>.trace.json
+//                            (chrome://tracing / Perfetto) plus
+//                            .metrics.json (telemetry-registry dump)
 
 #include <benchmark/benchmark.h>
 
@@ -31,7 +35,10 @@
 #include "src/pipeline/value_fusion.h"
 #include "src/text/divergence.h"
 #include "src/text/jaro_winkler.h"
+#include "src/util/file.h"
+#include "src/util/metrics_registry.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 namespace {
@@ -62,9 +69,15 @@ BENCHMARK(BM_Tokenize);
 void BM_JensenShannon(benchmark::State& state) {
   BagOfWords a, b;
   Rng rng(1);
+  // Built up with += — `const char* + string&&` trips a gcc-12 -O3
+  // -Werror=restrict false positive.
   for (int i = 0; i < state.range(0); ++i) {
-    a.Add("t" + std::to_string(rng.NextBelow(64)));
-    b.Add("t" + std::to_string(rng.NextBelow(64)));
+    std::string ta = "t";
+    ta += std::to_string(rng.NextBelow(64));
+    a.Add(ta);
+    std::string tb = "t";
+    tb += std::to_string(rng.NextBelow(64));
+    b.Add(tb);
   }
   const TermDistribution pa{a}, pb{b};
   for (auto _ : state) {
@@ -246,14 +259,16 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 
 void AppendJsonStage(std::string* out, const StageSnapshot& stage,
                      bool last) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "        {\"name\": \"%s\", \"wall_ms\": %.3f, "
                 "\"cpu_ms\": %.3f, \"items\": %llu, "
-                "\"max_queue_depth\": %llu}%s\n",
+                "\"max_queue_depth\": %llu, "
+                "\"p50_ms\": %.6f, \"p99_ms\": %.6f}%s\n",
                 stage.name.c_str(), stage.wall_ns / 1e6, stage.cpu_ns / 1e6,
                 static_cast<unsigned long long>(stage.items),
                 static_cast<unsigned long long>(stage.max_queue_depth),
+                stage.latency.p50() / 1e6, stage.latency.p99() / 1e6,
                 last ? "" : ",");
   *out += buf;
 }
@@ -316,8 +331,20 @@ bool WriteSweepJson(const std::string& path, const World& world,
   return true;
 }
 
+// "foo.json" -> "foo"; paths without the suffix pass through unchanged.
+std::string StripJsonSuffix(const std::string& path) {
+  constexpr const char kSuffix[] = ".json";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  if (path.size() > kSuffixLen &&
+      path.compare(path.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+    return path.substr(0, path.size() - kSuffixLen);
+  }
+  return path;
+}
+
 int RunThreadSweep() {
   const bool tiny = std::getenv("PRODSYN_BENCH_TINY") != nullptr;
+  const bool tracing = std::getenv("PRODSYN_TRACE") != nullptr;
   const char* json_env = std::getenv("PRODSYN_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_perf_pipeline.json";
@@ -338,6 +365,8 @@ int RunThreadSweep() {
   std::printf("\n-- run-time phase thread sweep (%s scale, best of %llu) --\n",
               tiny ? "tiny" : "default",
               static_cast<unsigned long long>(repetitions));
+  if (tracing) Tracer::Global().Enable();
+  RegistrySnapshot offline_registry;
   std::vector<SweepRun> runs;
   const std::vector<SynthesizedProduct>* reference_products = nullptr;
   std::vector<std::vector<SynthesizedProduct>> keep_alive;
@@ -352,6 +381,7 @@ int RunThreadSweep() {
       std::printf("thread sweep: offline learning failed\n");
       return 1;
     }
+    offline_registry = synthesizer.learning_stats().registry;
     SweepRun run;
     run.requested_threads = threads;
     run.effective_threads =
@@ -410,6 +440,34 @@ int RunThreadSweep() {
     return 1;
   }
   std::printf("  wrote %s\n", json_path.c_str());
+  if (tracing) {
+    Tracer::Global().Disable();
+    const std::string base = StripJsonSuffix(json_path);
+    const std::string trace_path = base + ".trace.json";
+    if (!Tracer::Global().WriteChromeJson(trace_path).ok()) {
+      std::printf("thread sweep: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s (%llu trace threads, %llu events dropped)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    Tracer::Global().thread_count()),
+                static_cast<unsigned long long>(
+                    Tracer::Global().dropped_events()));
+    // Telemetry-registry dump: the hardware-threads run-time snapshot plus
+    // the offline-learning snapshot from the last LearnOffline.
+    std::string metrics = "{\n\"runtime\": ";
+    metrics += MetricsRegistry::RenderJson(runs.back().stats.registry);
+    metrics += ",\n\"offline\": ";
+    metrics += MetricsRegistry::RenderJson(offline_registry);
+    metrics += "}\n";
+    const std::string metrics_path = base + ".metrics.json";
+    if (!WriteStringToFile(metrics_path, metrics).ok()) {
+      std::printf("thread sweep: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 

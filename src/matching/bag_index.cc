@@ -8,6 +8,7 @@
 
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 
@@ -57,6 +58,7 @@ PackedKey128 MatchedBagIndex::Key(GroupLevel level, Symbol attr,
 Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
                                                const BagIndexOptions& options,
                                                StageCounters* metrics) {
+  PRODSYN_TRACE_SPAN("bag_index.build");
   ScopedStageTimer timer(metrics);
   if (ctx.catalog == nullptr || ctx.offers == nullptr ||
       ctx.matches == nullptr) {

@@ -5,6 +5,7 @@
 
 #include "src/util/check.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 
@@ -13,15 +14,16 @@ ClassifierMatcher::ClassifierMatcher(ClassifierMatcherOptions options)
 
 Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
     const MatchingContext& ctx) {
+  PRODSYN_TRACE_SPAN("offline.generate");
   stats_ = ClassifierRunStats{};
-  StageMetrics metrics;
+  MetricsRegistry registry;
 
   BagIndexOptions bag_options = options_.bag_index;
   bag_options.build_threads = options_.offline_threads;
   PRODSYN_ASSIGN_OR_RETURN(
       MatchedBagIndex index,
       MatchedBagIndex::Build(ctx, bag_options,
-                             metrics.GetStage("bag_index.build")));
+                             registry.GetStage("bag_index.build")));
   FeatureComputer computer(&index, options_.features);
 
   PRODSYN_ASSIGN_OR_RETURN(
@@ -39,7 +41,8 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   }
 
   {
-    StageCounters* train_stage = metrics.GetStage("lr.train");
+    PRODSYN_TRACE_SPAN("lr.train");
+    StageCounters* train_stage = registry.GetStage("lr.train");
     ScopedStageTimer timer(train_stage);
     PRODSYN_RETURN_NOT_OK(scaler_.Fit(training.dataset));
     PRODSYN_ASSIGN_OR_RETURN(Dataset scaled,
@@ -57,11 +60,15 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
                        ? ThreadPool::HardwareThreads()
                        : options_.offline_threads;
   threads = std::min(threads, std::max<size_t>(1, candidates.size()));
+  registry.SetGauge("offline.threads", static_cast<int64_t>(threads));
+  registry.SetGauge("offline.candidates",
+                    static_cast<int64_t>(candidates.size()));
 
-  StageCounters* score_stage = metrics.GetStage("classifier.score");
+  StageCounters* score_stage = registry.GetStage("classifier.score");
   std::atomic<size_t> predicted_valid{0};
   std::atomic<bool> failed{false};
   auto score_range = [&](size_t begin, size_t end) {
+    PRODSYN_TRACE_SPAN("classifier.score_chunk");
     ScopedStageTimer timer(score_stage);
     // Per-chunk computer: the memoization caches are not shared, so each
     // chunk recomputes its own C/M-level entries but never races. Every
@@ -109,7 +116,8 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   }
   stats_.predicted_valid = predicted_valid.load();
   SortByScoreDescending(&out);
-  stats_.stage_metrics = metrics.Snapshot();
+  stats_.registry = registry.Snapshot();
+  stats_.stage_metrics = stats_.registry.stages;
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "src/matching/training_set.h"
 #include "src/ml/logistic_regression.h"
 #include "src/ml/scaler.h"
+#include "src/util/metrics_registry.h"
 
 namespace prodsyn {
 
@@ -57,8 +58,12 @@ struct ClassifierRunStats {
   /// Wall/CPU time, items and queue-depth gauges of the offline stages,
   /// in execution order (bag_index.build, lr.train, classifier.score).
   /// NOT deterministic — observability only, like
-  /// SynthesisStats::stage_metrics.
+  /// SynthesisStats::stage_metrics. Same data as `registry.stages`.
   std::vector<StageSnapshot> stage_metrics;
+  /// Full telemetry of the offline run (stage counters + latency
+  /// histograms + gauges), renderable via MetricsRegistry::RenderJson /
+  /// RenderPrometheus. NOT deterministic.
+  RegistrySnapshot registry;
 };
 
 /// \brief The paper's learned matcher.

@@ -11,6 +11,7 @@
 #include "src/text/tokenizer.h"
 #include "src/util/string_util.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 
@@ -50,10 +51,11 @@ TitleOfferProductMatcher::TitleOfferProductMatcher(
 Result<MatchStore> TitleOfferProductMatcher::Match(
     const Catalog& catalog, const OfferStore& offers,
     TitleMatcherStats* stats) const {
+  PRODSYN_TRACE_SPAN("title_match.bootstrap");
   MatchStore matches;
   if (stats != nullptr) *stats = TitleMatcherStats{};
-  StageMetrics metrics;
-  StageCounters* stage = metrics.GetStage("title_match.bootstrap");
+  MetricsRegistry registry;
+  StageCounters* stage = registry.GetStage("title_match.bootstrap");
 
   // Group offers per category so each category's index is built once.
   std::map<CategoryId, std::vector<const Offer*>> offers_by_category;
@@ -76,6 +78,7 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
   // bit-identical for any thread count.
   std::vector<CategoryShard> shards(categories.size());
   const auto process_category = [&](size_t slot) {
+    PRODSYN_TRACE_SPAN("title_match.category");
     CategoryShard& shard = shards[slot];
     const CategoryId category = categories[slot];
     const std::vector<const Offer*>& category_offers =
@@ -203,7 +206,12 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
     }
   }
   stage->AddItems(offers_considered);
-  if (stats != nullptr) stats->stage_metrics = metrics.Snapshot();
+  registry.SetGauge("title_match.categories",
+                    static_cast<int64_t>(categories.size()));
+  if (stats != nullptr) {
+    stats->registry = registry.Snapshot();
+    stats->stage_metrics = stats->registry.stages;
+  }
   return matches;
 }
 

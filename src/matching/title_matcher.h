@@ -16,6 +16,7 @@
 
 #include "src/catalog/catalog.h"
 #include "src/catalog/match_store.h"
+#include "src/util/metrics_registry.h"
 #include "src/util/result.h"
 #include "src/util/stage_metrics.h"
 
@@ -45,7 +46,12 @@ struct TitleMatcherStats {
   size_t offers_with_candidates = 0;
   size_t matches_made = 0;
   /// Wall/CPU/queue-depth snapshot of the "title_match.bootstrap" stage.
+  /// Same data as `registry.stages`.
   std::vector<StageSnapshot> stage_metrics;
+  /// Full telemetry of the run (stage counters + latency histograms +
+  /// gauges), renderable via MetricsRegistry::RenderJson /
+  /// RenderPrometheus. NOT deterministic.
+  RegistrySnapshot registry;
 };
 
 /// \brief Bootstraps offer-to-product matches from titles.

@@ -3,23 +3,32 @@
 #include <set>
 #include <utility>
 
+#include "src/util/trace.h"
+
 namespace prodsyn {
 
 Result<Specification> ExtractOfferSpecification(
     const Offer& offer, const LandingPageProvider& pages,
     const TableExtractorOptions& options, StageCounters* metrics) {
+  PRODSYN_TRACE_SPAN("extraction.offer");
   ScopedStageTimer timer(metrics);
   if (metrics != nullptr) metrics->AddItems(1);
   Specification spec = offer.spec;
   std::set<std::pair<std::string, std::string>> seen;
   for (const auto& av : spec) seen.insert({av.name, av.value});
 
-  auto page = pages.Fetch(offer.url);
+  Result<std::string> page = [&] {
+    PRODSYN_TRACE_SPAN("extraction.fetch");
+    return pages.Fetch(offer.url);
+  }();
   if (!page.ok()) {
     if (page.status().IsNotFound()) return spec;  // dead link: feed data only
     return page.status();
   }
-  auto extracted = ExtractPairsFromHtml(*page, options);
+  auto extracted = [&] {
+    PRODSYN_TRACE_SPAN("extraction.parse");
+    return ExtractPairsFromHtml(*page, options);
+  }();
   if (!extracted.ok()) {
     if (extracted.status().IsInvalidArgument()) return spec;  // blank page
     return extracted.status();

@@ -4,6 +4,7 @@
 
 #include "src/util/check.h"
 #include "src/util/string_util.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 
@@ -42,7 +43,8 @@ std::string CompositeKey(const Specification& spec,
 Result<std::vector<OfferCluster>> ClusterByKey(
     const std::vector<ReconciledOffer>& offers, const SchemaRegistry& schemas,
     const ClusteringOptions& options, size_t* dropped, ThreadPool* pool,
-    StageCounters* metrics) {
+    StageCounters* metrics, std::vector<std::string>* offer_keys) {
+  PRODSYN_TRACE_SPAN("clustering.cluster_by_key");
   ScopedStageTimer stage_timer(metrics);
   if (metrics != nullptr) metrics->AddItems(offers.size());
   if (dropped != nullptr) *dropped = 0;
@@ -64,6 +66,7 @@ Result<std::vector<OfferCluster>> ClusterByKey(
   // depends only on offers[i], so any thread count yields the same keys.
   std::vector<std::string> keys(offers.size());
   auto extract_range = [&](size_t begin, size_t end) {
+    PRODSYN_TRACE_SPAN("clustering.key_scan");
     for (size_t i = begin; i < end; ++i) {
       const ReconciledOffer& offer = offers[i];
       if (offer.category == kInvalidCategory) continue;
@@ -85,6 +88,7 @@ Result<std::vector<OfferCluster>> ClusterByKey(
   }
 
   // Sequential deterministic merge in input order.
+  PRODSYN_TRACE_SPAN("clustering.merge");
   std::map<std::pair<CategoryId, std::string>, OfferCluster> clusters;
   for (size_t i = 0; i < offers.size(); ++i) {
     const auto& offer = offers[i];
@@ -115,6 +119,7 @@ Result<std::vector<OfferCluster>> ClusterByKey(
   if (dropped != nullptr) {
     PRODSYN_DCHECK_EQ(clustered + *dropped, offers.size());
   }
+  if (offer_keys != nullptr) *offer_keys = std::move(keys);
   return out;
 }
 

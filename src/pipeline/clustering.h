@@ -69,11 +69,13 @@ std::string CompositeKey(const Specification& spec,
 /// order) are bit-identical for any thread count — the pipeline's
 /// determinism contract. Must not be called from a `pool` worker thread.
 /// `metrics` (optional) receives one item per input offer plus stage
-/// timing.
+/// timing. `offer_keys` (optional, provenance) receives the normalized
+/// key of every input offer parallel to `offers` ("" = dropped).
 Result<std::vector<OfferCluster>> ClusterByKey(
     const std::vector<ReconciledOffer>& offers, const SchemaRegistry& schemas,
     const ClusteringOptions& options = {}, size_t* dropped = nullptr,
-    ThreadPool* pool = nullptr, StageCounters* metrics = nullptr);
+    ThreadPool* pool = nullptr, StageCounters* metrics = nullptr,
+    std::vector<std::string>* offer_keys = nullptr);
 
 }  // namespace prodsyn
 

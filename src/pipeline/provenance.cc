@@ -1,0 +1,123 @@
+#include "src/pipeline/provenance.h"
+
+#include <cstdio>
+
+#include "src/util/file.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  *out += '"';
+  *out += JsonEscape(s);
+  *out += '"';
+}
+
+void AppendScore(std::string* out, double score) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", score);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone:
+      return "none";
+    case DropReason::kNoCategory:
+      return "no_category";
+    case DropReason::kNoKey:
+      return "no_key";
+    case DropReason::kUnknownSchema:
+      return "unknown_schema";
+    case DropReason::kEmptyFusedSpec:
+      return "empty_fused_spec";
+  }
+  return "?";
+}
+
+std::string SynthesisProvenance::ToJsonl() const {
+  std::string out;
+  for (const auto& o : offers) {
+    out += "{\"type\": \"offer\", \"offer_id\": ";
+    out += std::to_string(o.offer_id);
+    out += ", \"category\": ";
+    out += std::to_string(o.category);
+    out += ", \"classified_from_title\": ";
+    out += o.classified_from_title ? "true" : "false";
+    out += ", \"feed_pairs\": ";
+    out += std::to_string(o.feed_pairs);
+    out += ", \"extracted_pairs\": ";
+    out += std::to_string(o.extracted_pairs);
+    out += ", \"reconciled_pairs\": ";
+    out += std::to_string(o.reconciled_pairs);
+    out += ", \"cluster_key\": ";
+    AppendQuoted(&out, o.cluster_key);
+    out += ", \"drop\": ";
+    AppendQuoted(&out, DropReasonName(o.drop));
+    out += ", \"reconciliation\": [";
+    for (size_t i = 0; i < o.reconciliation.size(); ++i) {
+      const ReconciliationCandidate& c = o.reconciliation[i];
+      if (i > 0) out += ", ";
+      out += "{\"offer_attribute\": ";
+      AppendQuoted(&out, c.offer_attribute);
+      out += ", \"catalog_attribute\": ";
+      AppendQuoted(&out, c.catalog_attribute);
+      out += ", \"score\": ";
+      AppendScore(&out, c.score);
+      out += ", \"applied\": ";
+      out += c.applied ? "true" : "false";
+      out += "}";
+    }
+    out += "]}\n";
+  }
+  for (const auto& c : clusters) {
+    out += "{\"type\": \"cluster\", \"category\": ";
+    out += std::to_string(c.category);
+    out += ", \"key\": ";
+    AppendQuoted(&out, c.key);
+    out += ", \"members\": [";
+    for (size_t i = 0; i < c.members.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(c.members[i]);
+    }
+    out += "], \"produced_product\": ";
+    out += c.produced_product ? "true" : "false";
+    out += ", \"drop\": ";
+    AppendQuoted(&out, DropReasonName(c.drop));
+    out += ", \"fusion\": [";
+    for (size_t i = 0; i < c.fusion.size(); ++i) {
+      const FusionDecision& f = c.fusion[i];
+      if (i > 0) out += ", ";
+      out += "{\"attribute\": ";
+      AppendQuoted(&out, f.attribute);
+      out += ", \"winner\": ";
+      AppendQuoted(&out, f.winner);
+      out += ", \"candidate_values\": ";
+      out += std::to_string(f.candidate_values);
+      out += ", \"distinct_values\": ";
+      out += std::to_string(f.distinct_values);
+      out += "}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+Status SynthesisProvenance::WriteJsonl(const std::string& path) const {
+  return WriteStringToFile(path, ToJsonl());
+}
+
+ProvenanceRecorder::ProvenanceRecorder(size_t offer_count, size_t top_k)
+    : top_k_(top_k) {
+  provenance_.offers.resize(offer_count);
+}
+
+void ProvenanceRecorder::AddCluster(ClusterProvenance cluster) {
+  provenance_.clusters.push_back(std::move(cluster));
+}
+
+}  // namespace prodsyn

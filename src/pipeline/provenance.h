@@ -1,0 +1,130 @@
+// Decision provenance for the run-time pipeline (opt in via
+// SynthesizerOptions::record_provenance): per offer, WHY it was
+// classified, reconciled, clustered, or dropped — extraction hits, the
+// top-k reconciliation candidates with their classifier scores, the
+// cluster assignment, the fusion winners, and a drop reason for every
+// offer that contributed to no product. This is the explainability
+// channel the paper's §4 pipeline lacks: counters say how many offers
+// were dropped, provenance says which ones and why.
+//
+// Recording discipline: worker threads fill per-offer slots (slot i
+// depends only on offers[i]) and the cluster records are assembled in
+// the sequential merge, so the recorded *content* is deterministic for
+// any thread count — but recording is still observability: enabling it
+// never changes products or stats counters.
+
+#ifndef PRODSYN_PIPELINE_PROVENANCE_H_
+#define PRODSYN_PIPELINE_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/types.h"
+#include "src/util/status.h"
+
+namespace prodsyn {
+
+/// \brief Why an offer (or a whole cluster) contributed to no product.
+enum class DropReason : int {
+  kNone = 0,        ///< contributed to a synthesized product
+  kNoCategory,      ///< no feed category and title classification failed
+  kNoKey,           ///< clustering found no key attribute value
+  kUnknownSchema,   ///< the cluster's category has no registered schema
+  kEmptyFusedSpec,  ///< fusion produced an empty specification
+};
+
+/// \brief Stable machine-readable name ("none", "no_key", ...).
+const char* DropReasonName(DropReason reason);
+
+/// \brief One reconciliation candidate considered for an offer attribute.
+struct ReconciliationCandidate {
+  std::string offer_attribute;    ///< Ao as extracted
+  std::string catalog_attribute;  ///< Ap it may map to
+  double score = 0.0;             ///< classifier probability
+  /// True when this candidate won: above theta and the best-scoring
+  /// target for its (merchant, category, offer attribute).
+  bool applied = false;
+};
+
+/// \brief One fused attribute of a cluster: which value won the vote.
+struct FusionDecision {
+  std::string attribute;       ///< catalog attribute name
+  std::string winner;          ///< representative value selected
+  size_t candidate_values = 0;  ///< values voted (one per providing member)
+  size_t distinct_values = 0;   ///< distinct values among them
+};
+
+/// \brief Everything recorded about one input offer, in input order.
+struct OfferProvenance {
+  OfferId offer_id = kInvalidOffer;
+  CategoryId category = kInvalidCategory;  ///< after classification
+  bool classified_from_title = false;
+  size_t feed_pairs = 0;       ///< pairs the feed carried
+  size_t extracted_pairs = 0;  ///< feed + landing page, deduplicated
+  size_t reconciled_pairs = 0;  ///< pairs surviving reconciliation
+  /// Top-k candidates per extracted attribute (k =
+  /// SynthesizerOptions::provenance_top_k), score-descending per
+  /// attribute, attributes in extraction order.
+  std::vector<ReconciliationCandidate> reconciliation;
+  std::string cluster_key;  ///< empty when dropped before/at clustering
+  DropReason drop = DropReason::kNone;
+};
+
+/// \brief Everything recorded about one (category, key) cluster.
+struct ClusterProvenance {
+  CategoryId category = kInvalidCategory;
+  std::string key;
+  std::vector<OfferId> members;  ///< input order
+  bool produced_product = false;
+  DropReason drop = DropReason::kNone;  ///< kUnknownSchema/kEmptyFusedSpec
+  std::vector<FusionDecision> fusion;  ///< schema order, fused attrs only
+};
+
+/// \brief The provenance of one Synthesize run.
+struct SynthesisProvenance {
+  std::vector<OfferProvenance> offers;      ///< input order
+  std::vector<ClusterProvenance> clusters;  ///< (category, key) order
+
+  /// \brief JSONL rendering: one {"type": "offer", ...} line per offer
+  /// followed by one {"type": "cluster", ...} line per cluster — schema
+  /// in docs/OBSERVABILITY.md.
+  std::string ToJsonl() const;
+
+  /// \brief ToJsonl written to `path` (IOError on failure).
+  Status WriteJsonl(const std::string& path) const;
+};
+
+/// \brief Collects provenance during one Synthesize run.
+///
+/// Thread safety: offer(i) returns a preallocated slot owned by whichever
+/// worker processes offers[i] — distinct indices may be filled
+/// concurrently without synchronization; the cluster records are set by
+/// the sequential merge on the caller thread after workers joined.
+class ProvenanceRecorder {
+ public:
+  /// \param offer_count size of the input OfferStore (slots preallocated)
+  /// \param top_k reconciliation candidates kept per offer attribute
+  explicit ProvenanceRecorder(size_t offer_count, size_t top_k = 3);
+
+  ProvenanceRecorder(const ProvenanceRecorder&) = delete;
+  ProvenanceRecorder& operator=(const ProvenanceRecorder&) = delete;
+
+  /// \brief Slot for input offer `index` (worker-owned, see class doc).
+  OfferProvenance* offer(size_t index) { return &provenance_.offers[index]; }
+
+  size_t top_k() const { return top_k_; }
+
+  /// \brief Appends one cluster record (sequential merge only).
+  void AddCluster(ClusterProvenance cluster);
+
+  /// \brief Moves the collected provenance out (recorder is spent).
+  SynthesisProvenance Take() { return std::move(provenance_); }
+
+ private:
+  SynthesisProvenance provenance_;
+  size_t top_k_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_PROVENANCE_H_

@@ -1,5 +1,9 @@
 #include "src/pipeline/schema_reconciliation.h"
 
+#include <algorithm>
+
+#include "src/util/trace.h"
+
 namespace prodsyn {
 
 std::string SchemaReconciler::Key(MerchantId merchant, CategoryId category,
@@ -10,11 +14,16 @@ std::string SchemaReconciler::Key(MerchantId merchant, CategoryId category,
 
 SchemaReconciler::SchemaReconciler(
     const std::vector<AttributeCorrespondence>& correspondences,
-    double theta) {
+    double theta, bool keep_candidates) {
   for (const auto& c : correspondences) {
-    if (c.score <= theta) continue;
     const std::string key =
         Key(c.tuple.merchant, c.tuple.category, c.tuple.offer_attribute);
+    if (keep_candidates) {
+      candidates_[key].push_back(ReconciliationCandidate{
+          c.tuple.offer_attribute, c.tuple.catalog_attribute, c.score,
+          /*applied=*/false});
+    }
+    if (c.score <= theta) continue;
     auto it = map_.find(key);
     if (it == map_.end() || c.score > it->second.score ||
         (c.score == it->second.score &&
@@ -22,11 +31,41 @@ SchemaReconciler::SchemaReconciler(
       map_[key] = Target{c.tuple.catalog_attribute, c.score};
     }
   }
+  // Candidate lists sorted once here so CandidatesFor stays a const
+  // read; `applied` marks the winner Reconcile would pick.
+  for (auto& [key, list] : candidates_) {
+    std::sort(list.begin(), list.end(),
+              [](const ReconciliationCandidate& a,
+                 const ReconciliationCandidate& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.catalog_attribute < b.catalog_attribute;
+              });
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;
+    for (auto& c : list) {
+      if (c.catalog_attribute == it->second.catalog_attribute &&
+          c.score == it->second.score) {
+        c.applied = true;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<ReconciliationCandidate> SchemaReconciler::CandidatesFor(
+    MerchantId merchant, CategoryId category,
+    const std::string& offer_attribute, size_t top_k) const {
+  auto it = candidates_.find(Key(merchant, category, offer_attribute));
+  if (it == candidates_.end()) return {};
+  const auto& list = it->second;
+  return std::vector<ReconciliationCandidate>(
+      list.begin(), list.begin() + std::min(top_k, list.size()));
 }
 
 Specification SchemaReconciler::Reconcile(
     MerchantId merchant, CategoryId category, const Specification& extracted,
     StageCounters* metrics) const {
+  PRODSYN_TRACE_SPAN("reconciliation.offer");
   ScopedStageTimer timer(metrics);
   if (metrics != nullptr) metrics->AddItems(extracted.size());
   Specification out;

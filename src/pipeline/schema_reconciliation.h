@@ -12,6 +12,7 @@
 
 #include "src/catalog/types.h"
 #include "src/matching/types.h"
+#include "src/pipeline/provenance.h"
 #include "src/util/stage_metrics.h"
 
 namespace prodsyn {
@@ -26,8 +27,13 @@ class SchemaReconciler {
   /// \brief Keeps correspondences with score > `theta`; when several map
   /// the same (M, C, offer attribute) to different catalog attributes the
   /// best-scoring one wins (ties break on catalog-attribute name).
+  ///
+  /// With `keep_candidates` true ALL scored correspondences — including
+  /// below-theta ones — are retained for CandidatesFor, so decision
+  /// provenance can show what reconciliation rejected and by how much.
+  /// Costs memory proportional to the candidate set; off by default.
   SchemaReconciler(const std::vector<AttributeCorrespondence>& correspondences,
-                   double theta = 0.5);
+                   double theta = 0.5, bool keep_candidates = false);
 
   /// \brief Translates `extracted` for an offer of `merchant` in
   /// `category`. Unmapped pairs are dropped; if two source pairs map to
@@ -41,6 +47,16 @@ class SchemaReconciler {
   /// \brief Number of (M, C, offer attribute) mappings retained.
   size_t mapping_count() const { return map_.size(); }
 
+  /// \brief The up to `top_k` best-scoring candidates considered for
+  /// (merchant, category, offer_attribute), score-descending (ties by
+  /// catalog-attribute name). `applied` marks the above-theta winner that
+  /// Reconcile uses. Empty unless constructed with keep_candidates, or
+  /// when no correspondence was scored for the key. Const and
+  /// concurrency-safe like Reconcile.
+  std::vector<ReconciliationCandidate> CandidatesFor(
+      MerchantId merchant, CategoryId category,
+      const std::string& offer_attribute, size_t top_k) const;
+
  private:
   struct Target {
     std::string catalog_attribute;
@@ -51,6 +67,10 @@ class SchemaReconciler {
                          const std::string& offer_attribute);
 
   std::unordered_map<std::string, Target> map_;
+  /// Per (M, C, offer attribute): every scored candidate, sorted
+  /// score-descending at construction. Empty unless keep_candidates.
+  std::unordered_map<std::string, std::vector<ReconciliationCandidate>>
+      candidates_;
 };
 
 }  // namespace prodsyn

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <set>
+#include <unordered_map>
 
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 
@@ -14,6 +17,7 @@ ProductSynthesizer::ProductSynthesizer(const Catalog* catalog,
 
 Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
                                         const MatchStore& matches) {
+  PRODSYN_TRACE_SPAN("offline.learn");
   MatchingContext ctx;
   ctx.catalog = catalog_;
   ctx.offers = &historical_offers;
@@ -24,7 +28,8 @@ Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
   ClassifierMatcher matcher(std::move(matcher_options));
   PRODSYN_ASSIGN_OR_RETURN(correspondences_, matcher.Generate(ctx));
   learning_stats_ = matcher.stats();
-  reconciler_.emplace(correspondences_, options_.correspondence_threshold);
+  reconciler_.emplace(correspondences_, options_.correspondence_threshold,
+                      options_.record_provenance);
 
   const size_t titles = title_classifier_.TrainOnStore(historical_offers);
   PRODSYN_LOG(Info) << "offline learning: " << correspondences_.size()
@@ -37,11 +42,13 @@ Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
 void ProductSynthesizer::SetCorrespondences(
     std::vector<AttributeCorrespondence> corrs) {
   correspondences_ = std::move(corrs);
-  reconciler_.emplace(correspondences_, options_.correspondence_threshold);
+  reconciler_.emplace(correspondences_, options_.correspondence_threshold,
+                      options_.record_provenance);
 }
 
 Result<SynthesisResult> ProductSynthesizer::Synthesize(
     const OfferStore& incoming, const LandingPageProvider& pages) {
+  PRODSYN_TRACE_SPAN("runtime.synthesize");
   if (!reconciler_.has_value()) {
     return Status::FailedPrecondition(
         "call LearnOffline or SetCorrespondences before Synthesize");
@@ -49,17 +56,20 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   SynthesisResult result;
   result.stats.correspondences_applied = reconciler_->mapping_count();
 
-  StageMetrics metrics;
-  StageCounters* classification_stage = metrics.GetStage("classification");
-  StageCounters* extraction_stage = metrics.GetStage("extraction");
-  StageCounters* reconciliation_stage = metrics.GetStage("reconciliation");
-  StageCounters* clustering_stage = metrics.GetStage("clustering");
-  StageCounters* fusion_stage = metrics.GetStage("fusion");
+  MetricsRegistry registry;
+  StageCounters* classification_stage = registry.GetStage("classification");
+  StageCounters* extraction_stage = registry.GetStage("extraction");
+  StageCounters* reconciliation_stage = registry.GetStage("reconciliation");
+  StageCounters* clustering_stage = registry.GetStage("clustering");
+  StageCounters* fusion_stage = registry.GetStage("fusion");
 
   const auto& offers = incoming.offers();
   size_t threads = options_.runtime_threads;
   if (threads == 0) threads = ThreadPool::HardwareThreads();
   threads = std::min(threads, std::max<size_t>(1, offers.size()));
+  registry.SetGauge("runtime.threads", static_cast<int64_t>(threads));
+  registry.SetGauge("runtime.input_offers",
+                    static_cast<int64_t>(offers.size()));
   // One pool for the whole run-time phase; absent when a single thread
   // suffices, in which case every stage runs inline on the caller.
   std::optional<ThreadPool> pool;
@@ -68,10 +78,17 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
 
   const bool have_classifier = title_classifier_.category_count() > 0;
 
+  std::unique_ptr<ProvenanceRecorder> recorder;
+  if (options_.record_provenance) {
+    recorder = std::make_unique<ProvenanceRecorder>(
+        offers.size(), options_.provenance_top_k);
+  }
+
   // --- Per-offer stages: classification → extraction → reconciliation.
   // Workers fill slot i from offers[i] only; all cross-offer effects
   // (stats, the reconciled list, error propagation) happen in the
   // sequential merge below, so the result is thread-count-invariant.
+  // The provenance slot for offer i is worker-owned the same way.
   struct PerOffer {
     Status status = Status::OK();  // first failure of this offer's chain
     bool has_category = false;
@@ -82,20 +99,35 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   std::vector<PerOffer> per_offer(offers.size());
   auto process_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
+      PRODSYN_TRACE_SPAN("runtime.offer");
       const Offer& offer = offers[i];
       PerOffer& slot = per_offer[i];
+      OfferProvenance* prov =
+          recorder != nullptr ? recorder->offer(i) : nullptr;
+      if (prov != nullptr) {
+        prov->offer_id = offer.id;
+        prov->feed_pairs = offer.spec.size();
+      }
 
       // Category: classify from the title when required or missing.
       CategoryId category = offer.category;
       if ((options_.always_classify_titles ||
            category == kInvalidCategory) &&
           have_classifier) {
+        PRODSYN_TRACE_SPAN("classification.offer");
         ScopedStageTimer timer(classification_stage);
         classification_stage->AddItems(1);
         auto classified = title_classifier_.Classify(offer.title);
-        if (classified.ok()) category = *classified;
+        if (classified.ok()) {
+          category = *classified;
+          if (prov != nullptr) prov->classified_from_title = true;
+        }
       }
-      if (category == kInvalidCategory) continue;
+      if (prov != nullptr) prov->category = category;
+      if (category == kInvalidCategory) {
+        if (prov != nullptr) prov->drop = DropReason::kNoCategory;
+        continue;
+      }
       slot.has_category = true;
 
       // Web-page attribute extraction.
@@ -107,6 +139,19 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
       }
       slot.extracted_nonempty = !extracted->empty();
       slot.extracted_pairs = extracted->size();
+      if (prov != nullptr) {
+        prov->extracted_pairs = extracted->size();
+        // Top-k reconciliation candidates per distinct extracted
+        // attribute, in extraction order.
+        std::set<std::string> seen_attrs;
+        for (const auto& av : *extracted) {
+          if (!seen_attrs.insert(av.name).second) continue;
+          auto cands = reconciler_->CandidatesFor(
+              offer.merchant, category, av.name, recorder->top_k());
+          prov->reconciliation.insert(prov->reconciliation.end(),
+                                      cands.begin(), cands.end());
+        }
+      }
 
       // Schema reconciliation.
       slot.reconciled.offer_id = offer.id;
@@ -114,6 +159,9 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
       slot.reconciled.category = category;
       slot.reconciled.spec = reconciler_->Reconcile(
           offer.merchant, category, *extracted, reconciliation_stage);
+      if (prov != nullptr) {
+        prov->reconciled_pairs = slot.reconciled.spec.size();
+      }
     }
   };
   if (pool_ptr != nullptr) {
@@ -125,25 +173,50 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
 
   // Deterministic merge in input order; the first failed offer (by input
   // index) aborts the run, matching single-threaded semantics.
+  // `reconciled_to_input` maps each reconciled slot back to its input
+  // index and `input_index_of` each OfferId, so provenance can tie
+  // clustering/fusion outcomes back to offers.
   std::vector<ReconciledOffer> reconciled;
+  std::vector<size_t> reconciled_to_input;
+  std::unordered_map<OfferId, size_t> input_index_of;
   reconciled.reserve(offers.size());
+  if (recorder != nullptr) reconciled_to_input.reserve(offers.size());
   result.stats.input_offers = offers.size();
-  for (auto& slot : per_offer) {
+  for (size_t i = 0; i < per_offer.size(); ++i) {
+    PerOffer& slot = per_offer[i];
     if (!slot.status.ok()) return slot.status;
     if (!slot.has_category) continue;
     if (slot.extracted_nonempty) ++result.stats.offers_with_extracted_pairs;
     result.stats.extracted_pairs += slot.extracted_pairs;
     result.stats.reconciled_pairs += slot.reconciled.spec.size();
+    if (recorder != nullptr) {
+      reconciled_to_input.push_back(i);
+      input_index_of[slot.reconciled.offer_id] = i;
+    }
     reconciled.push_back(std::move(slot.reconciled));
   }
 
   // Clustering by key attributes (sharded key scan, sequential merge).
+  std::vector<std::string> offer_keys;
   PRODSYN_ASSIGN_OR_RETURN(
       std::vector<OfferCluster> clusters,
       ClusterByKey(reconciled, catalog_->schemas(), options_.clustering,
                    &result.stats.offers_without_key, pool_ptr,
-                   clustering_stage));
+                   clustering_stage,
+                   recorder != nullptr ? &offer_keys : nullptr));
   result.stats.clusters = clusters.size();
+  registry.SetGauge("runtime.clusters",
+                    static_cast<int64_t>(clusters.size()));
+  if (recorder != nullptr) {
+    for (size_t j = 0; j < offer_keys.size(); ++j) {
+      OfferProvenance* prov = recorder->offer(reconciled_to_input[j]);
+      if (offer_keys[j].empty()) {
+        prov->drop = DropReason::kNoKey;
+      } else {
+        prov->cluster_key = offer_keys[j];
+      }
+    }
+  }
 
   // Value fusion: one product per cluster, fused independently per
   // (category, key) slot, assembled sequentially in cluster order.
@@ -151,6 +224,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     Status status = Status::OK();
     bool schema_known = false;
     Specification spec;
+    std::vector<FusionDecision> decisions;  // filled only when recording
   };
   std::vector<FusedCluster> fused(clusters.size());
   auto fuse_range = [&](size_t begin, size_t end) {
@@ -160,7 +234,8 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
       if (!schema.ok()) continue;
       slot.schema_known = true;
       auto spec =
-          FuseCluster(clusters[i], *schema.ValueOrDie(), fusion_stage);
+          FuseCluster(clusters[i], *schema.ValueOrDie(), fusion_stage,
+                      recorder != nullptr ? &slot.decisions : nullptr);
       if (!spec.ok()) {
         slot.status = spec.status();
         continue;
@@ -177,7 +252,32 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   for (size_t i = 0; i < clusters.size(); ++i) {
     FusedCluster& slot = fused[i];
     if (!slot.status.ok()) return slot.status;
-    if (!slot.schema_known || slot.spec.empty()) continue;
+    const bool produced = slot.schema_known && !slot.spec.empty();
+    if (recorder != nullptr) {
+      ClusterProvenance cp;
+      cp.category = clusters[i].category;
+      cp.key = clusters[i].key;  // copied before the move below
+      cp.produced_product = produced;
+      if (!slot.schema_known) {
+        cp.drop = DropReason::kUnknownSchema;
+      } else if (slot.spec.empty()) {
+        cp.drop = DropReason::kEmptyFusedSpec;
+      }
+      cp.fusion = std::move(slot.decisions);
+      for (const auto& member : clusters[i].members) {
+        cp.members.push_back(member.offer_id);
+        if (cp.drop != DropReason::kNone) {
+          // The whole cluster died after clustering: every member offer
+          // inherits the cluster's drop reason.
+          auto it = input_index_of.find(member.offer_id);
+          if (it != input_index_of.end()) {
+            recorder->offer(it->second)->drop = cp.drop;
+          }
+        }
+      }
+      recorder->AddCluster(std::move(cp));
+    }
+    if (!produced) continue;
     SynthesizedProduct product;
     product.category = clusters[i].category;
     product.key = std::move(clusters[i].key);
@@ -189,7 +289,14 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     result.products.push_back(std::move(product));
   }
   result.stats.synthesized_products = result.products.size();
-  result.stats.stage_metrics = metrics.Snapshot();
+  registry.SetGauge("runtime.products",
+                    static_cast<int64_t>(result.products.size()));
+  result.stats.registry = registry.Snapshot();
+  result.stats.stage_metrics = result.stats.registry.stages;
+  if (recorder != nullptr) {
+    result.provenance =
+        std::make_shared<const SynthesisProvenance>(recorder->Take());
+  }
   return result;
 }
 

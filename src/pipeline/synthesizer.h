@@ -12,7 +12,9 @@
 #include "src/matching/classifier_matcher.h"
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
+#include "src/pipeline/provenance.h"
 #include "src/pipeline/schema_reconciliation.h"
+#include "src/util/metrics_registry.h"
 #include "src/util/stage_metrics.h"
 #include "src/pipeline/title_classifier.h"
 #include "src/pipeline/value_fusion.h"
@@ -48,14 +50,25 @@ struct SynthesisStats {
   /// Per-stage wall/CPU time, item counts and queue-depth gauges of the
   /// run-time phase, in pipeline order (classification, extraction,
   /// reconciliation, clustering, fusion). NOT deterministic — see
-  /// StageSnapshot.
+  /// StageSnapshot. Same data as `registry.stages`, kept as a separate
+  /// field for callers that predate the registry.
   std::vector<StageSnapshot> stage_metrics;
+  /// Full telemetry of the run-time phase — the stage counters above
+  /// plus per-stage latency histograms and run gauges — renderable via
+  /// MetricsRegistry::RenderJson / RenderPrometheus. NOT deterministic.
+  RegistrySnapshot registry;
 };
 
 /// \brief Output of one synthesis run.
 struct SynthesisResult {
   std::vector<SynthesizedProduct> products;  ///< (category, key) order
   SynthesisStats stats;  ///< counters + per-stage metrics of the run
+  /// Decision provenance of the run: null unless
+  /// SynthesizerOptions::record_provenance. Shared so SynthesisResult
+  /// stays cheap to copy; the provenance content itself is deterministic
+  /// for any thread count (worker-filled per-offer slots, sequential
+  /// cluster assembly).
+  std::shared_ptr<const SynthesisProvenance> provenance;
 };
 
 /// \brief Options of ProductSynthesizer.
@@ -72,6 +85,17 @@ struct SynthesizerOptions {
   /// keep a pre-assigned category and only uncategorized ones are
   /// classified.
   bool always_classify_titles = false;
+  /// Record decision provenance during Synthesize: per offer, the
+  /// extraction hit counts, top-k reconciliation candidates with scores,
+  /// cluster assignment, fusion winners, and a drop reason — surfaced as
+  /// SynthesisResult::provenance (JSONL-dumpable). Recording never
+  /// changes products or stats counters; it costs memory per offer and
+  /// makes the reconciler retain all scored candidates, so it is off by
+  /// default.
+  bool record_provenance = false;
+  /// Reconciliation candidates kept per extracted attribute when
+  /// record_provenance is on.
+  size_t provenance_top_k = 3;
   /// Worker threads for the Run-Time Offer Processing phase (0 = hardware
   /// default). Extraction/reconciliation shard per offer, clustering's
   /// key scan per offer, fusion per (category, key) cluster; every merge

@@ -7,6 +7,7 @@
 
 #include "src/text/tokenizer.h"
 #include "src/util/check.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
 
@@ -91,7 +92,9 @@ std::string FuseValues(const std::vector<std::string>& values) {
 
 Result<Specification> FuseCluster(const OfferCluster& cluster,
                                   const CategorySchema& schema,
-                                  StageCounters* metrics) {
+                                  StageCounters* metrics,
+                                  std::vector<FusionDecision>* decisions) {
+  PRODSYN_TRACE_SPAN("fusion.cluster");
   ScopedStageTimer timer(metrics);
   if (metrics != nullptr) metrics->AddItems(1);
   if (cluster.members.empty()) {
@@ -108,7 +111,14 @@ Result<Specification> FuseCluster(const OfferCluster& cluster,
   for (const auto& def : schema.attributes()) {
     auto it = candidates.find(def.name);
     if (it == candidates.end()) continue;
-    fused.push_back(AttributeValue{def.name, FuseValues(it->second)});
+    std::string winner = FuseValues(it->second);
+    if (decisions != nullptr) {
+      const std::set<std::string> distinct(it->second.begin(),
+                                           it->second.end());
+      decisions->push_back(FusionDecision{def.name, winner, it->second.size(),
+                                          distinct.size()});
+    }
+    fused.push_back(AttributeValue{def.name, std::move(winner)});
   }
   return fused;
 }

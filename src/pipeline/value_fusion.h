@@ -13,6 +13,7 @@
 
 #include "src/catalog/schema.h"
 #include "src/pipeline/clustering.h"
+#include "src/pipeline/provenance.h"
 #include "src/util/stage_metrics.h"
 #include "src/util/result.h"
 
@@ -32,10 +33,14 @@ std::string FuseValues(const std::vector<std::string>& values);
 /// Thread safety: pure function of its inputs; the run-time pipeline
 /// fuses distinct clusters concurrently. `metrics` (optional, may be
 /// shared across threads) receives one item per cluster plus the call's
-/// wall/CPU time.
+/// wall/CPU time. `decisions` (optional, provenance) receives one
+/// FusionDecision per fused attribute, in schema order, describing the
+/// vote that picked the winner.
 Result<Specification> FuseCluster(const OfferCluster& cluster,
                                   const CategorySchema& schema,
-                                  StageCounters* metrics = nullptr);
+                                  StageCounters* metrics = nullptr,
+                                  std::vector<FusionDecision>* decisions =
+                                      nullptr);
 
 }  // namespace prodsyn
 

@@ -1,0 +1,87 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+
+namespace prodsyn {
+
+size_t LogHistogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t width = 0;  // bit width of value: floor(log2(value)) + 1
+  while (value != 0) {
+    value >>= 1;
+    ++width;
+  }
+  return width;  // 1..64; bucket i covers [2^(i-1), 2^i)
+}
+
+uint64_t LogHistogram::BucketLowerBound(size_t index) {
+  if (index == 0) return 0;
+  if (index == 1) return 1;
+  return uint64_t{1} << (index - 1);
+}
+
+uint64_t LogHistogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 1;
+  if (index >= kBucketCount - 1) return UINT64_MAX;
+  return uint64_t{1} << index;
+}
+
+void LogHistogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t current = min_.load(std::memory_order_relaxed);
+  while (value < current &&
+         !min_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+  current = max_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !max_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LogHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (snap.count == 0 || min == UINT64_MAX) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank in [1, count] of the requested quantile (nearest-rank base,
+  // interpolated within the bucket below).
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lo =
+          static_cast<double>(LogHistogram::BucketLowerBound(i));
+      const double hi =
+          static_cast<double>(LogHistogram::BucketUpperBound(i));
+      const double into_bucket =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[i]);
+      double value = lo + into_bucket * (hi - lo);
+      // The true extremes are known exactly; never estimate outside them.
+      value = std::min(value, static_cast<double>(max));
+      value = std::max(value, static_cast<double>(min));
+      return value;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace prodsyn

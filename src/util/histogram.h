@@ -1,0 +1,88 @@
+// Fixed log2-bucketed histograms for latency and size distributions.
+//
+// Bucket boundaries are deterministic powers of two (bucket 0 holds the
+// value 0; bucket i, 1 <= i <= 64, holds [2^(i-1), 2^i)), so two runs
+// that observe the same values always produce the same bucket counts —
+// only the observed values themselves (nanosecond readings) vary run to
+// run. Recording is a handful of relaxed atomic adds, cheap enough to
+// leave on in production; like StageCounters, the recorded *values* are
+// measurements and sit outside the pipeline's determinism contract.
+
+#ifndef PRODSYN_UTIL_HISTOGRAM_H_
+#define PRODSYN_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace prodsyn {
+
+/// \brief Point-in-time copy of a histogram's counters (plain values).
+/// `name`/`unit` are filled by the owner (LogHistogram itself is
+/// nameless so it can be embedded, e.g. in StageCounters).
+struct HistogramSnapshot {
+  /// Value-0 bucket plus one bucket per power of two: 65 total.
+  static constexpr size_t kBucketCount = 65;
+
+  std::string name;
+  std::string unit;  ///< "ns", "bytes", "count", ...
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when count == 0
+  uint64_t max = 0;
+  std::array<uint64_t, kBucketCount> buckets{};
+
+  /// \brief Estimated value at quantile `q` in [0, 1]: linear
+  /// interpolation inside the bucket containing the rank, clamped to the
+  /// observed [min, max]. 0 when the histogram is empty.
+  double ValueAtQuantile(double q) const;
+
+  double p50() const { return ValueAtQuantile(0.50); }
+  double p90() const { return ValueAtQuantile(0.90); }
+  double p99() const { return ValueAtQuantile(0.99); }
+};
+
+/// \brief Thread-safe log2-bucketed histogram.
+///
+/// Thread safety: Record may be called concurrently from any number of
+/// threads (independent relaxed atomics). snapshot() is safe concurrently
+/// but only guaranteed to be a consistent total after the contributing
+/// threads have joined — the same contract as StageCounters.
+class LogHistogram {
+ public:
+  static constexpr size_t kBucketCount = HistogramSnapshot::kBucketCount;
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// \brief Adds one observation of `value`.
+  void Record(uint64_t value);
+
+  /// \brief Current counters as plain data (`name`/`unit` left empty).
+  HistogramSnapshot snapshot() const;
+
+  /// \brief Deterministic bucket of `value`: 0 for 0, else
+  /// 1 + floor(log2(value)) (so bucket i covers [2^(i-1), 2^i)).
+  static size_t BucketIndex(uint64_t value);
+
+  /// \brief Inclusive lower bound of bucket `index`.
+  static uint64_t BucketLowerBound(size_t index);
+
+  /// \brief Exclusive upper bound of bucket `index` (saturates to
+  /// UINT64_MAX for the last bucket).
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_HISTOGRAM_H_

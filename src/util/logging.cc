@@ -45,9 +45,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-  }
+  if (!enabled_) return;
+  // Newline appended to the buffer so the whole line — terminator
+  // included — goes out in a single fwrite. stdio locks the stream per
+  // call, so lines from concurrent threads never interleave.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

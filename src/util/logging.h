@@ -1,5 +1,12 @@
-// Minimal leveled logging for prodsyn. Not thread-safe by design (the
-// library is single-threaded per pipeline instance); writes go to stderr.
+// Minimal leveled logging for prodsyn. Thread-safe: the pipeline logs
+// from worker threads (runtime_threads / offline_threads > 1), so each
+// log line is emitted to stderr as ONE fwrite call — POSIX stdio locks
+// the FILE* per call, so concurrent lines never interleave.
+//
+// Level race (intentionally relaxed): each LogMessage snapshots the
+// enablement decision ONCE in its constructor. A SetLogLevel racing with
+// an in-flight line may let that line through at the old level (or drop
+// it), but never tears it — the relaxed atomic level is only a filter.
 
 #ifndef PRODSYN_UTIL_LOGGING_H_
 #define PRODSYN_UTIL_LOGGING_H_
@@ -26,6 +33,10 @@ class LogMessage {
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
+  /// Streams into the line buffer only when the line was enabled at
+  /// construction: `enabled_` is a one-time snapshot, so a level raised
+  /// concurrently by another thread never makes half a line disappear —
+  /// and a dropped line never pays for formatting its operands.
   template <typename T>
   LogMessage& operator<<(const T& v) {
     if (enabled_) stream_ << v;
@@ -33,7 +44,7 @@ class LogMessage {
   }
 
  private:
-  bool enabled_;
+  const bool enabled_;  ///< snapshot of `level >= GetLogLevel()` at ctor
   LogLevel level_;
   std::ostringstream stream_;
 };

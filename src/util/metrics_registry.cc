@@ -1,0 +1,255 @@
+#include "src/util/metrics_registry.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace {
+
+// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and
+// every other foreign character become underscores.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+// Prometheus label-value escaping: backslash, quote, newline.
+std::string PromLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+// {"count": ..., "sum": ..., "min": ..., "max": ..., "p50": ..., ...,
+//  "buckets": [{"le": ..., "count": ...}, ...]} — `le` is the exclusive
+// upper bound of the log2 bucket, in the histogram's unit; zero-count
+// buckets are omitted.
+void AppendHistogramBodyJson(std::string* out, const HistogramSnapshot& h) {
+  AppendF(out,
+          "{\"unit\": \"%s\", \"count\": %llu, \"sum\": %llu, "
+          "\"min\": %llu, \"max\": %llu, "
+          "\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"buckets\": [",
+          JsonEscape(h.unit).c_str(),
+          static_cast<unsigned long long>(h.count),
+          static_cast<unsigned long long>(h.sum),
+          static_cast<unsigned long long>(h.min),
+          static_cast<unsigned long long>(h.max), h.p50(), h.p90(), h.p99());
+  bool first = true;
+  for (size_t i = 0; i < HistogramSnapshot::kBucketCount; ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) *out += ", ";
+    first = false;
+    AppendF(out, "{\"le\": %llu, \"count\": %llu}",
+            static_cast<unsigned long long>(LogHistogram::BucketUpperBound(i)),
+            static_cast<unsigned long long>(h.buckets[i]));
+  }
+  *out += "]}";
+}
+
+// One Prometheus histogram family instance under `base` with the given
+// label (empty = no label). ns-unit histograms are exposed in seconds,
+// per Prometheus convention; other units verbatim.
+void AppendPromHistogram(std::string* out, const std::string& base,
+                         const std::string& label,
+                         const HistogramSnapshot& h) {
+  const bool ns = h.unit == "ns";
+  const double scale = ns ? 1e-9 : 1.0;
+  const std::string sel = label.empty() ? "" : "{" + label + "}";
+  const std::string sel_open =
+      label.empty() ? "{le=\"" : "{" + label + ",le=\"";
+  uint64_t cumulative = 0;
+  size_t last_nonzero = 0;
+  for (size_t i = 0; i < HistogramSnapshot::kBucketCount; ++i) {
+    if (h.buckets[i] != 0) last_nonzero = i;
+  }
+  for (size_t i = 0; i <= last_nonzero; ++i) {
+    if (h.buckets[i] == 0) continue;
+    cumulative += h.buckets[i];
+    AppendF(out, "%s_bucket%s%.9g\"} %llu\n", base.c_str(), sel_open.c_str(),
+            static_cast<double>(LogHistogram::BucketUpperBound(i)) * scale,
+            static_cast<unsigned long long>(cumulative));
+  }
+  AppendF(out, "%s_bucket%s+Inf\"} %llu\n", base.c_str(), sel_open.c_str(),
+          static_cast<unsigned long long>(h.count));
+  AppendF(out, "%s_sum%s %.9g\n", base.c_str(), sel.c_str(),
+          static_cast<double>(h.sum) * scale);
+  AppendF(out, "%s_count%s %llu\n", base.c_str(), sel.c_str(),
+          static_cast<unsigned long long>(h.count));
+}
+
+}  // namespace
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                            const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name == name) return &h->histogram;
+  }
+  auto h = std::make_unique<NamedHistogram>();
+  h->name = name;
+  h->unit = unit;
+  histograms_.push_back(std::move(h));
+  return &histograms_.back()->histogram;
+}
+
+std::atomic<int64_t>* MetricsRegistry::GaugeCell(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : gauges_) {
+    if (g->name == name) return &g->value;
+  }
+  auto g = std::make_unique<Gauge>();
+  g->name = name;
+  gauges_.push_back(std::move(g));
+  return &gauges_.back()->value;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, int64_t value) {
+  GaugeCell(name)->store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::AddGauge(const std::string& name, int64_t delta) {
+  GaugeCell(name)->fetch_add(delta, std::memory_order_relaxed);
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  snap.stages = stages_.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramSnapshot hs = h->histogram.snapshot();
+    hs.name = h->name;
+    hs.unit = h->unit;
+    snap.histograms.push_back(std::move(hs));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    snap.gauges.push_back(
+        GaugeSnapshot{g->name, g->value.load(std::memory_order_relaxed)});
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderJson(const RegistrySnapshot& snapshot) {
+  std::string json = "{\n  \"stages\": [\n";
+  for (size_t i = 0; i < snapshot.stages.size(); ++i) {
+    const StageSnapshot& s = snapshot.stages[i];
+    AppendF(&json,
+            "    {\"name\": \"%s\", \"wall_ms\": %.3f, \"cpu_ms\": %.3f, "
+            "\"items\": %llu, \"max_queue_depth\": %llu,\n     \"latency\": ",
+            JsonEscape(s.name).c_str(), s.wall_ns / 1e6, s.cpu_ns / 1e6,
+            static_cast<unsigned long long>(s.items),
+            static_cast<unsigned long long>(s.max_queue_depth));
+    AppendHistogramBodyJson(&json, s.latency);
+    json += "}";
+    json += (i + 1 == snapshot.stages.size()) ? "\n" : ",\n";
+  }
+  json += "  ],\n  \"histograms\": [\n";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    AppendF(&json, "    {\"name\": \"%s\", \"data\": ",
+            JsonEscape(h.name).c_str());
+    AppendHistogramBodyJson(&json, h);
+    json += "}";
+    json += (i + 1 == snapshot.histograms.size()) ? "\n" : ",\n";
+  }
+  json += "  ],\n  \"gauges\": [\n";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSnapshot& g = snapshot.gauges[i];
+    AppendF(&json, "    {\"name\": \"%s\", \"value\": %lld}",
+            JsonEscape(g.name).c_str(), static_cast<long long>(g.value));
+    json += (i + 1 == snapshot.gauges.size()) ? "\n" : ",\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+std::string MetricsRegistry::RenderPrometheus(
+    const RegistrySnapshot& snapshot) {
+  std::string out;
+  if (!snapshot.stages.empty()) {
+    out += "# TYPE prodsyn_stage_wall_seconds counter\n";
+    for (const auto& s : snapshot.stages) {
+      AppendF(&out, "prodsyn_stage_wall_seconds{stage=\"%s\"} %.9g\n",
+              PromLabel(s.name).c_str(), s.wall_ns * 1e-9);
+    }
+    out += "# TYPE prodsyn_stage_cpu_seconds counter\n";
+    for (const auto& s : snapshot.stages) {
+      AppendF(&out, "prodsyn_stage_cpu_seconds{stage=\"%s\"} %.9g\n",
+              PromLabel(s.name).c_str(), s.cpu_ns * 1e-9);
+    }
+    out += "# TYPE prodsyn_stage_items_total counter\n";
+    for (const auto& s : snapshot.stages) {
+      AppendF(&out, "prodsyn_stage_items_total{stage=\"%s\"} %llu\n",
+              PromLabel(s.name).c_str(),
+              static_cast<unsigned long long>(s.items));
+    }
+    out += "# TYPE prodsyn_stage_max_queue_depth gauge\n";
+    for (const auto& s : snapshot.stages) {
+      AppendF(&out, "prodsyn_stage_max_queue_depth{stage=\"%s\"} %llu\n",
+              PromLabel(s.name).c_str(),
+              static_cast<unsigned long long>(s.max_queue_depth));
+    }
+    out += "# TYPE prodsyn_stage_latency_seconds histogram\n";
+    for (const auto& s : snapshot.stages) {
+      std::string label = "stage=\"";
+      label += PromLabel(s.name);
+      label += "\"";
+      AppendPromHistogram(&out, "prodsyn_stage_latency_seconds", label,
+                          s.latency);
+    }
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::string base = "prodsyn_";
+    base += PromName(h.name);
+    if (h.unit == "ns") {
+      base += "_seconds";
+    } else if (!h.unit.empty()) {
+      base += "_";
+      base += PromName(h.unit);
+    }
+    AppendF(&out, "# TYPE %s histogram\n", base.c_str());
+    AppendPromHistogram(&out, base, "", h);
+  }
+  for (const auto& g : snapshot.gauges) {
+    std::string name = "prodsyn_";
+    name += PromName(g.name);
+    AppendF(&out, "# TYPE %s gauge\n%s %lld\n", name.c_str(), name.c_str(),
+            static_cast<long long>(g.value));
+  }
+  return out;
+}
+
+}  // namespace prodsyn

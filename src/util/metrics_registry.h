@@ -1,0 +1,107 @@
+// Unified telemetry registry: one place that owns the per-stage counters
+// (StageCounters), standalone log2 histograms, and integer gauges of a
+// pipeline run, and renders them in two machine-readable exposition
+// formats — a JSON document (the bench artifacts and tools/
+// trace_summary.py consume this) and Prometheus text exposition (for a
+// scrape endpoint in a serving deployment).
+//
+// Everything the registry records is observability-only: readings vary
+// run to run and sit outside the pipeline's determinism contract.
+
+#ifndef PRODSYN_UTIL_METRICS_REGISTRY_H_
+#define PRODSYN_UTIL_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/histogram.h"
+#include "src/util/stage_metrics.h"
+
+namespace prodsyn {
+
+/// \brief Point-in-time copy of one gauge.
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// \brief Point-in-time copy of a whole registry (plain data, safe to
+/// store in run stats and render after the run).
+struct RegistrySnapshot {
+  std::vector<StageSnapshot> stages;        ///< registration order
+  std::vector<HistogramSnapshot> histograms;  ///< standalone histograms
+  std::vector<GaugeSnapshot> gauges;        ///< registration order
+};
+
+/// \brief Registry of the telemetry instruments of one pipeline run.
+///
+/// Thread safety: Get*/Set*/Add* are mutex-guarded lookups returning
+/// pointers that stay valid for the registry's lifetime; the instruments
+/// themselves are thread-safe (relaxed atomics). Snapshot() is safe from
+/// any thread but is only a consistent total once the contributing
+/// threads have joined — the StageMetrics contract.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief The stage named `name`, created on first use (delegates to
+  /// the embedded StageMetrics; registration order is preserved).
+  StageCounters* GetStage(const std::string& name) {
+    return stages_.GetStage(name);
+  }
+
+  /// \brief The standalone histogram named `name`, created on first use.
+  /// `unit` ("ns", "bytes", "count", ...) is fixed at creation.
+  LogHistogram* GetHistogram(const std::string& name,
+                             const std::string& unit = "ns");
+
+  /// \brief Sets gauge `name` to `value`, creating it on first use.
+  void SetGauge(const std::string& name, int64_t value);
+
+  /// \brief Adds `delta` to gauge `name`, creating it (at 0) on first use.
+  void AddGauge(const std::string& name, int64_t delta);
+
+  /// \brief The embedded per-stage metrics (for code that predates the
+  /// registry and takes a StageMetrics&).
+  StageMetrics& stages() { return stages_; }
+
+  /// \brief Copies of every instrument's current values.
+  RegistrySnapshot Snapshot() const;
+
+  /// \brief JSON exposition: {"stages": [...], "histograms": [...],
+  /// "gauges": [...]} with per-stage latency quantiles — see
+  /// docs/OBSERVABILITY.md for the schema.
+  static std::string RenderJson(const RegistrySnapshot& snapshot);
+
+  /// \brief Prometheus text exposition (stage counters, latency
+  /// histograms with cumulative `le` buckets, gauges).
+  static std::string RenderPrometheus(const RegistrySnapshot& snapshot);
+
+ private:
+  struct NamedHistogram {
+    std::string name;
+    std::string unit;
+    LogHistogram histogram;
+  };
+  struct Gauge {
+    std::string name;
+    std::atomic<int64_t> value{0};
+  };
+
+  std::atomic<int64_t>* GaugeCell(const std::string& name);
+
+  StageMetrics stages_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<NamedHistogram>> histograms_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_METRICS_REGISTRY_H_

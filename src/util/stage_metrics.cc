@@ -32,6 +32,9 @@ StageSnapshot StageCounters::snapshot() const {
   snap.cpu_ns = cpu_ns_.load(std::memory_order_relaxed);
   snap.items = items_.load(std::memory_order_relaxed);
   snap.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  snap.latency = latency_ns_.snapshot();
+  snap.latency.name = name_;
+  snap.latency.unit = "ns";
   return snap;
 }
 
@@ -62,10 +65,12 @@ ScopedStageTimer::~ScopedStageTimer() {
   if (stage_ == nullptr) return;
   const uint64_t cpu_end = ThreadCpuNanos();
   const auto wall_end = std::chrono::steady_clock::now();
-  stage_->AddWallNanos(static_cast<uint64_t>(
+  const uint64_t wall_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
                                                            wall_start_)
-          .count()));
+          .count());
+  stage_->AddWallNanos(wall_ns);
+  stage_->RecordLatencyNanos(wall_ns);
   if (cpu_end > cpu_start_) stage_->AddCpuNanos(cpu_end - cpu_start_);
 }
 

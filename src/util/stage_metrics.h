@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/histogram.h"
+
 namespace prodsyn {
 
 /// \brief Point-in-time copy of one stage's counters (plain values, safe
@@ -40,6 +42,11 @@ struct StageSnapshot {
   /// High-water mark of the work queue feeding the stage (0 when the
   /// stage ran inline without a pool).
   uint64_t max_queue_depth = 0;
+  /// Distribution of per-timed-scope wall nanoseconds (one observation
+  /// per ScopedStageTimer / RecordLatencyNanos). `name` is the stage
+  /// name, `unit` is "ns". Like the timing totals, the observed values
+  /// are measurements outside the determinism contract.
+  HistogramSnapshot latency;
 };
 
 /// \brief Thread-safe accumulator for one pipeline stage.
@@ -72,6 +79,11 @@ class StageCounters {
   /// \brief Raises the queue-depth high-water mark to at least `depth`.
   void RecordQueueDepth(uint64_t depth);
 
+  /// \brief Adds one latency observation (wall nanoseconds of one timed
+  /// scope) to the stage's log2-bucketed histogram. ScopedStageTimer
+  /// calls this automatically alongside AddWallNanos.
+  void RecordLatencyNanos(uint64_t ns) { latency_ns_.Record(ns); }
+
   const std::string& name() const { return name_; }
 
   /// \brief Current counter values as plain data.
@@ -83,6 +95,7 @@ class StageCounters {
   std::atomic<uint64_t> cpu_ns_{0};
   std::atomic<uint64_t> items_{0};
   std::atomic<uint64_t> max_queue_depth_{0};
+  LogHistogram latency_ns_;
 };
 
 /// \brief Registry of the stages of one pipeline run.

@@ -1,6 +1,7 @@
 #include "src/util/string_util.h"
 
 #include <cctype>
+#include <cstdio>
 
 namespace prodsyn {
 
@@ -125,6 +126,40 @@ std::string NormalizeKey(std::string_view value) {
   out.reserve(value.size());
   for (char c : value) {
     if (IsAlnumChar(c)) out.push_back(UpperChar(c));
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }

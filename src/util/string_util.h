@@ -51,6 +51,10 @@ std::string NormalizeAttributeName(std::string_view name);
 /// non-alphanumeric character removed. "hdt-725050 vla360" -> "HDT725050VLA360".
 std::string NormalizeKey(std::string_view value);
 
+/// \brief Escapes `s` for embedding inside a JSON string literal
+/// (backslash, quote, and control characters; everything else verbatim).
+std::string JsonEscape(std::string_view s);
+
 /// \brief True iff every character of `s` is an ASCII digit (and non-empty).
 bool IsAllDigits(std::string_view s);
 

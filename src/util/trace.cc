@@ -1,0 +1,194 @@
+#include "src/util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/file.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Epoch of the current session as steady-clock nanoseconds; atomic so the
+// per-span hot path never locks. 0 = never enabled.
+std::atomic<uint64_t> g_epoch_ns{0};
+
+// Session generation, bumped by Enable/Reset; a thread whose cached ring
+// belongs to an older session re-registers on its next span.
+std::atomic<uint64_t> g_session{0};
+
+struct ThreadTraceState {
+  std::shared_ptr<TraceRing> ring;  // shared: survives Tracer::Reset
+  uint64_t session = 0;
+  uint32_t depth = 0;
+};
+
+ThreadTraceState& ThreadState() {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceRing
+// ---------------------------------------------------------------------------
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(std::max<size_t>(1, capacity)) {}
+
+void TraceRing::Push(const TraceEvent& event) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  slots_[head % slots_.size()] = event;
+  // Release: an exporter that acquires `head` sees the slot contents of
+  // every prior push (exporting concurrently with pushes is still only
+  // defined before the ring wraps; see the file comment in trace.h).
+  head_.store(head + 1, std::memory_order_release);
+}
+
+uint64_t TraceRing::dropped() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  return head > slots_.size() ? head - slots_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t retained = std::min<uint64_t>(head, slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(retained);
+  // Oldest retained event first: when wrapped, that is slot head % size.
+  for (uint64_t i = head - retained; i < head; ++i) {
+    out.push_back(slots_[i % slots_.size()]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Enable(size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  ring_capacity_ = std::max<size_t>(1, ring_capacity);
+  g_epoch_ns.store(SteadyNowNanos(), std::memory_order_relaxed);
+  session_ = g_session.fetch_add(1, std::memory_order_acq_rel) + 1;
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  session_ = g_session.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+uint64_t Tracer::NowNanos() const {
+  const uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  if (epoch == 0) return 0;
+  const uint64_t now = SteadyNowNanos();
+  return now > epoch ? now - epoch : 0;
+}
+
+TraceRing* Tracer::RingForThisThread() {
+  ThreadTraceState& state = ThreadState();
+  const uint64_t session = g_session.load(std::memory_order_acquire);
+  if (state.ring != nullptr && state.session == session) {
+    return state.ring.get();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled()) return nullptr;
+  auto ring = std::make_shared<TraceRing>(ring_capacity_);
+  rings_.push_back(ring);
+  state.ring = std::move(ring);
+  state.session = session_;
+  state.depth = 0;
+  return state.ring.get();
+}
+
+size_t Tracer::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  char buf[160];
+  for (size_t t = 0; t < rings_.size(); ++t) {
+    for (const TraceEvent& event : rings_[t]->Events()) {
+      if (!first) json += ",\n";
+      first = false;
+      json += "{\"name\": \"";
+      json += JsonEscape(event.name != nullptr ? event.name : "?");
+      // Chrome trace timestamps/durations are microseconds.
+      std::snprintf(buf, sizeof(buf),
+                    "\", \"cat\": \"prodsyn\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                    "\"tid\": %llu, \"args\": {\"depth\": %u}}",
+                    event.start_ns / 1e3, event.dur_ns / 1e3,
+                    static_cast<unsigned long long>(t + 1), event.depth);
+      json += buf;
+    }
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  return WriteStringToFile(path, ExportChromeJson());
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+void TraceSpan::Begin(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  ring_ = tracer.RingForThisThread();
+  if (ring_ == nullptr) return;  // lost a race with Disable
+  name_ = name;
+  start_ns_ = tracer.NowNanos();
+  depth_ = ThreadState().depth++;
+}
+
+void TraceSpan::End() {
+  const uint64_t end_ns = Tracer::Global().NowNanos();
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  event.depth = depth_;
+  ring_->Push(event);
+  --ThreadState().depth;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,173 @@
+// Span-based tracing for the synthesis pipeline, exportable to
+// chrome://tracing / Perfetto (Chrome trace-event JSON).
+//
+// Design:
+//  * Each thread records completed spans into its own fixed-capacity ring
+//    buffer (single writer, no locks on the hot path); rings are
+//    registered with the process-global Tracer on a thread's first span
+//    and kept alive by the registry after the thread exits.
+//  * `PRODSYN_TRACE_SPAN("name")` opens an RAII span. When tracing is
+//    disabled it costs exactly one relaxed atomic load + branch; defining
+//    PRODSYN_TRACE_DISABLED at compile time removes even that.
+//  * Span names must be string literals (or otherwise outlive the
+//    tracer): the ring stores the pointer, not a copy.
+//
+// Determinism: tracing records *measurements* (timestamps, durations) and
+// sits entirely outside the pipeline's determinism contract — enabling or
+// disabling it never changes products, correspondences, or stats
+// counters.
+//
+// Thread safety: recording is safe from any number of threads. Export
+// (ExportChromeJson/WriteChromeJson) and Reset require the instrumented
+// threads to be quiescent (joined, or provably not inside spans) — the
+// rings are single-writer and the exporter does not lock them.
+
+#ifndef PRODSYN_UTIL_TRACE_H_
+#define PRODSYN_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace prodsyn {
+
+/// \brief One completed span, recorded when its scope closes.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-storage string (macro literal)
+  uint64_t start_ns = 0;       ///< since Tracer::Enable
+  uint64_t dur_ns = 0;
+  uint32_t depth = 0;  ///< nesting depth at open time (0 = top level)
+};
+
+/// \brief Fixed-capacity single-writer ring of completed spans. When full
+/// the oldest events are overwritten (the tail of a run matters more than
+/// its start for perf triage); `dropped()` reports how many were lost.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// \brief Appends one event. Single writer: only the owning thread.
+  void Push(const TraceEvent& event);
+
+  size_t capacity() const { return slots_.size(); }
+  uint64_t pushed() const { return head_.load(std::memory_order_acquire); }
+  uint64_t dropped() const;
+
+  /// \brief Retained events, oldest first. Caller must ensure the owning
+  /// thread is quiescent (see file comment).
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<uint64_t> head_{0};  ///< total pushes; release on write
+};
+
+namespace internal {
+/// One relaxed load of this flag is the entire disabled-tracer cost.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// \brief Process-global span collector.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 1 << 16;
+
+  /// \brief The global tracer (one per process; spans always record here).
+  static Tracer& Global();
+
+  /// \brief True while tracing is on; the one branch a disabled span pays.
+  static bool enabled() {
+    return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Starts a fresh tracing session: drops previously recorded
+  /// events, re-anchors the epoch, and sets the per-thread ring capacity.
+  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+
+  /// \brief Stops recording (events stay exportable until Enable/Reset).
+  void Disable();
+
+  /// \brief Drops all recorded events and thread registrations. Requires
+  /// quiescent instrumented threads.
+  void Reset();
+
+  /// \brief Chrome trace-event JSON ("traceEvents" array of "ph":"X"
+  /// complete events; microsecond timestamps) — loadable by
+  /// chrome://tracing and https://ui.perfetto.dev.
+  std::string ExportChromeJson() const;
+
+  /// \brief ExportChromeJson written to `path` (IOError on failure).
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// \brief Threads that recorded at least one span this session.
+  size_t thread_count() const;
+
+  /// \brief Events lost to ring overwrite, summed over threads.
+  uint64_t dropped_events() const;
+
+  /// \brief Nanoseconds since Enable (0 when never enabled).
+  uint64_t NowNanos() const;
+
+  /// \brief This thread's ring for the current session, registering it on
+  /// first use. Only called by TraceSpan when tracing is enabled.
+  TraceRing* RingForThisThread();
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  // shared_ptr: thread_local caches keep a ring alive across Reset so a
+  // stale cached pointer can never dangle (its writes just go nowhere).
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+  size_t ring_capacity_ = kDefaultRingCapacity;
+  uint64_t session_ = 0;  ///< bumped by Enable/Reset; invalidates caches
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// \brief RAII span: records one TraceEvent when the scope closes. Use
+/// via PRODSYN_TRACE_SPAN; `name` must outlive the tracer (pass literals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Tracer::enabled()) return;  // the disabled-tracer fast path
+    Begin(name);
+  }
+  ~TraceSpan() {
+    if (ring_ != nullptr) End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name);  // out of line: keeps the ctor inlineable
+  void End();
+
+  TraceRing* ring_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace prodsyn
+
+#define PRODSYN_TRACE_CONCAT_INNER_(a, b) a##b
+#define PRODSYN_TRACE_CONCAT_(a, b) PRODSYN_TRACE_CONCAT_INNER_(a, b)
+
+#if defined(PRODSYN_TRACE_DISABLED)
+#define PRODSYN_TRACE_SPAN(name) static_cast<void>(0)
+#else
+/// Opens a span covering the rest of the enclosing scope.
+#define PRODSYN_TRACE_SPAN(name)        \
+  ::prodsyn::TraceSpan PRODSYN_TRACE_CONCAT_(prodsyn_trace_span_, \
+                                             __LINE__)(name)
+#endif
+
+#endif  // PRODSYN_UTIL_TRACE_H_

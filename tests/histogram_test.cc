@@ -1,0 +1,111 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace prodsyn {
+namespace {
+
+TEST(LogHistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(LogHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LogHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LogHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(LogHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(LogHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LogHistogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(LogHistogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(LogHistogram::BucketIndex(UINT64_MAX), 64u);
+}
+
+TEST(LogHistogramTest, BucketBoundsBracketTheirValues) {
+  // Every value lands in a bucket whose [lower, upper) range contains it.
+  constexpr uint64_t kValues[] = {0, 1, 2, 3, 7, 8, 1000, uint64_t{1} << 40,
+                                  UINT64_MAX};
+  for (uint64_t value : kValues) {
+    const size_t idx = LogHistogram::BucketIndex(value);
+    EXPECT_LE(LogHistogram::BucketLowerBound(idx), value) << value;
+    if (idx < LogHistogram::kBucketCount - 1) {
+      EXPECT_LT(value, LogHistogram::BucketUpperBound(idx)) << value;
+    }
+  }
+}
+
+TEST(LogHistogramTest, EmptySnapshotIsZero) {
+  LogHistogram h;
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, CountSumMinMax) {
+  LogHistogram h;
+  h.Record(5);
+  h.Record(100);
+  h.Record(0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 105u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_EQ(snap.buckets[0], 1u);  // the value 0
+}
+
+TEST(LogHistogramTest, SingleValueQuantileIsTheValue) {
+  LogHistogram h;
+  h.Record(42);
+  const HistogramSnapshot snap = h.snapshot();
+  // Interpolation is clamped to [min, max], which collapse to the value.
+  EXPECT_EQ(snap.ValueAtQuantile(0.0), 42.0);
+  EXPECT_EQ(snap.p50(), 42.0);
+  EXPECT_EQ(snap.p99(), 42.0);
+}
+
+TEST(LogHistogramTest, QuantilesLandInTheRightBucket) {
+  LogHistogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.snapshot();
+  // Rank 50 of 1..100 falls in bucket [32, 64).
+  EXPECT_GE(snap.p50(), 32.0);
+  EXPECT_LT(snap.p50(), 64.0);
+  // Quantiles are monotone and clamped to the observed range.
+  EXPECT_LE(snap.p50(), snap.p90());
+  EXPECT_LE(snap.p90(), snap.p99());
+  EXPECT_GE(snap.ValueAtQuantile(0.0), 1.0);
+  EXPECT_LE(snap.p99(), 100.0);
+}
+
+TEST(LogHistogramTest, DeterministicBucketCountsAcrossRuns) {
+  // Same observations -> identical bucket counts, whatever the order.
+  LogHistogram a;
+  LogHistogram b;
+  for (uint64_t v = 1; v <= 64; ++v) a.Record(v);
+  for (uint64_t v = 64; v >= 1; --v) b.Record(v);
+  EXPECT_EQ(a.snapshot().buckets, b.snapshot().buckets);
+}
+
+TEST(LogHistogramTest, ConcurrentRecordsAggregate) {
+  LogHistogram h;
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (uint64_t v = 1; v <= kPerThread; ++v) h.Record(v);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, kThreads * kPerThread * (kPerThread + 1) / 2);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, kPerThread);
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,131 @@
+#include "src/util/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prodsyn {
+namespace {
+
+TEST(MetricsRegistryTest, StagesAreSharedByName) {
+  MetricsRegistry registry;
+  StageCounters* a = registry.GetStage("extraction");
+  StageCounters* b = registry.GetStage("extraction");
+  EXPECT_EQ(a, b);
+  a->AddItems(3);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.stages.size(), 1u);
+  EXPECT_EQ(snap.stages[0].name, "extraction");
+  EXPECT_EQ(snap.stages[0].items, 3u);
+}
+
+TEST(MetricsRegistryTest, StageLatencyHistogramFeedsSnapshot) {
+  MetricsRegistry registry;
+  StageCounters* stage = registry.GetStage("fusion");
+  stage->RecordLatencyNanos(1000);
+  stage->RecordLatencyNanos(3000);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.stages.size(), 1u);
+  EXPECT_EQ(snap.stages[0].latency.count, 2u);
+  EXPECT_GT(snap.stages[0].latency.p50(), 0.0);
+  EXPECT_GT(snap.stages[0].latency.p99(), 0.0);
+  EXPECT_EQ(snap.stages[0].latency.unit, "ns");
+}
+
+TEST(MetricsRegistryTest, HistogramsAndGauges) {
+  MetricsRegistry registry;
+  LogHistogram* h = registry.GetHistogram("fetch_bytes", "bytes");
+  EXPECT_EQ(h, registry.GetHistogram("fetch_bytes", "bytes"));
+  h->Record(512);
+  registry.SetGauge("runtime.threads", 4);
+  registry.AddGauge("runtime.threads", 2);
+  registry.AddGauge("retries", 1);
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "fetch_bytes");
+  EXPECT_EQ(snap.histograms[0].unit, "bytes");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].name, "runtime.threads");
+  EXPECT_EQ(snap.gauges[0].value, 6);
+  EXPECT_EQ(snap.gauges[1].name, "retries");
+  EXPECT_EQ(snap.gauges[1].value, 1);
+}
+
+TEST(MetricsRegistryTest, RenderJsonContainsAllSections) {
+  MetricsRegistry registry;
+  StageCounters* stage = registry.GetStage("clustering");
+  stage->AddItems(7);
+  stage->RecordLatencyNanos(2048);
+  registry.GetHistogram("queue_wait")->Record(100);
+  registry.SetGauge("runtime.threads", 4);
+  const std::string json = MetricsRegistry::RenderJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"clustering\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"runtime.threads\", \"value\": 4}"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusExposition) {
+  MetricsRegistry registry;
+  StageCounters* stage = registry.GetStage("extraction");
+  stage->AddItems(3);
+  stage->AddWallNanos(2'000'000'000);  // 2 s
+  stage->RecordLatencyNanos(1000);
+  stage->RecordLatencyNanos(1000);
+  registry.GetHistogram("fetch_bytes", "bytes")->Record(512);
+  registry.SetGauge("runtime.threads", 4);
+  const std::string prom =
+      MetricsRegistry::RenderPrometheus(registry.Snapshot());
+  EXPECT_NE(prom.find("# TYPE prodsyn_stage_items_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("prodsyn_stage_items_total{stage=\"extraction\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("prodsyn_stage_wall_seconds{stage=\"extraction\"} 2"),
+            std::string::npos);
+  // Stage latency is a histogram family with cumulative buckets.
+  EXPECT_NE(prom.find("# TYPE prodsyn_stage_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("prodsyn_stage_latency_seconds_count{stage=\"extraction\"} 2"),
+      std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\"} 2"), std::string::npos);
+  // Standalone non-ns histogram keeps its unit; dots sanitize to _.
+  EXPECT_NE(prom.find("# TYPE prodsyn_fetch_bytes_bytes histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("prodsyn_runtime_threads 4"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentStageUpdatesAggregate) {
+  MetricsRegistry registry;
+  StageCounters* stage = registry.GetStage("score");
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        stage->AddItems(1);
+        stage->RecordLatencyNanos(100 + i);
+        registry.AddGauge("ops", 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.stages[0].items, kThreads * kPerThread);
+  EXPECT_EQ(snap.stages[0].latency.count, kThreads * kPerThread);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value,
+            static_cast<int64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,269 @@
+// Decision-provenance tests: a hand-built world where every drop reason
+// is reachable, so each offer's recorded fate can be asserted exactly.
+
+#include "src/pipeline/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "src/catalog/catalog.h"
+#include "src/pipeline/schema_reconciliation.h"
+#include "src/pipeline/synthesizer.h"
+#include "src/util/file.h"
+
+namespace prodsyn {
+namespace {
+
+class EmptyPages : public LandingPageProvider {
+ public:
+  Result<std::string> Fetch(const std::string&) const override {
+    return Status::NotFound("no page");  // feed-spec-only extraction
+  }
+};
+
+// One category with a key attribute (normal path), one category with no
+// registered schema (kUnknownSchema), and one whose schema shares no
+// attribute with the reconciled specs (kEmptyFusedSpec via the fallback
+// key attributes).
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    drives_ = *catalog_.taxonomy().AddCategory("Drives");
+    CategorySchema schema(drives_);
+    ASSERT_TRUE(
+        schema.AddAttribute({"Model Part Number", AttributeKind::kText, true})
+            .ok());
+    ASSERT_TRUE(schema.AddAttribute({"Capacity"}).ok());
+    ASSERT_TRUE(schema.AddAttribute({"Brand"}).ok());
+    ASSERT_TRUE(catalog_.schemas().Register(std::move(schema)).ok());
+
+    mystery_ = *catalog_.taxonomy().AddCategory("Mystery");  // no schema
+
+    gadgets_ = *catalog_.taxonomy().AddCategory("Gadgets");
+    CategorySchema gadget_schema(gadgets_);
+    ASSERT_TRUE(gadget_schema.AddAttribute({"Color"}).ok());
+    ASSERT_TRUE(catalog_.schemas().Register(std::move(gadget_schema)).ok());
+
+    auto add = [&](CategoryId category, Specification spec) {
+      Offer offer;
+      offer.merchant = 0;
+      offer.category = category;
+      offer.title = "t";
+      offer.spec = std::move(spec);
+      ids_.push_back(*offers_.AddOffer(std::move(offer)));
+    };
+    add(drives_, {{"MPN", "X100"}, {"Cap", "500GB"}});   // product member
+    add(drives_, {{"MPN", "x100"}, {"Cap", "640GB"}});   // same cluster
+    add(drives_, {{"Junk", "z"}});                       // -> kNoKey
+    add(kInvalidCategory, {{"MPN", "n1"}});              // -> kNoCategory
+    add(mystery_, {{"MPN", "M9"}});                      // -> kUnknownSchema
+    add(gadgets_, {{"MPN", "G7"}});                      // -> kEmptyFusedSpec
+  }
+
+  std::vector<AttributeCorrespondence> Correspondences() const {
+    return {
+        {{"Model Part Number", "MPN", 0, drives_}, 0.9},
+        {{"Capacity", "Cap", 0, drives_}, 0.8},
+        {{"Brand", "Cap", 0, drives_}, 0.3},  // below theta: never applied
+        {{"Model Part Number", "MPN", 0, mystery_}, 0.9},
+        {{"Model Part Number", "MPN", 0, gadgets_}, 0.9},
+    };
+  }
+
+  SynthesisResult Run(size_t threads, bool record) {
+    SynthesizerOptions options;
+    options.record_provenance = record;
+    options.runtime_threads = threads;
+    ProductSynthesizer synthesizer(&catalog_, options);
+    synthesizer.SetCorrespondences(Correspondences());
+    return *synthesizer.Synthesize(offers_, pages_);
+  }
+
+  Catalog catalog_;
+  OfferStore offers_;
+  EmptyPages pages_;
+  CategoryId drives_ = kInvalidCategory;
+  CategoryId mystery_ = kInvalidCategory;
+  CategoryId gadgets_ = kInvalidCategory;
+  std::vector<OfferId> ids_;
+};
+
+TEST_F(ProvenanceTest, NullUnlessRequested) {
+  EXPECT_EQ(Run(1, /*record=*/false).provenance, nullptr);
+  EXPECT_NE(Run(1, /*record=*/true).provenance, nullptr);
+}
+
+TEST_F(ProvenanceTest, RecordingNeverChangesProductsOrCounters) {
+  const SynthesisResult off = Run(1, false);
+  const SynthesisResult on = Run(1, true);
+  ASSERT_EQ(on.products.size(), off.products.size());
+  for (size_t i = 0; i < on.products.size(); ++i) {
+    EXPECT_EQ(on.products[i].key, off.products[i].key);
+    EXPECT_EQ(on.products[i].spec, off.products[i].spec);
+  }
+  EXPECT_EQ(on.stats.reconciled_pairs, off.stats.reconciled_pairs);
+  EXPECT_EQ(on.stats.clusters, off.stats.clusters);
+  EXPECT_EQ(on.stats.synthesized_products, off.stats.synthesized_products);
+}
+
+TEST_F(ProvenanceTest, DropReasonsCoverEveryFate) {
+  const SynthesisResult result = Run(1, true);
+  const SynthesisProvenance& prov = *result.provenance;
+  ASSERT_EQ(prov.offers.size(), ids_.size());
+  std::unordered_map<OfferId, const OfferProvenance*> by_id;
+  for (const auto& o : prov.offers) by_id[o.offer_id] = &o;
+
+  EXPECT_EQ(by_id.at(ids_[0])->drop, DropReason::kNone);
+  EXPECT_EQ(by_id.at(ids_[1])->drop, DropReason::kNone);
+  EXPECT_EQ(by_id.at(ids_[2])->drop, DropReason::kNoKey);
+  EXPECT_EQ(by_id.at(ids_[3])->drop, DropReason::kNoCategory);
+  EXPECT_EQ(by_id.at(ids_[4])->drop, DropReason::kUnknownSchema);
+  EXPECT_EQ(by_id.at(ids_[5])->drop, DropReason::kEmptyFusedSpec);
+
+  // The two product members share a normalized cluster key.
+  EXPECT_FALSE(by_id.at(ids_[0])->cluster_key.empty());
+  EXPECT_EQ(by_id.at(ids_[0])->cluster_key, by_id.at(ids_[1])->cluster_key);
+  EXPECT_TRUE(by_id.at(ids_[2])->cluster_key.empty());
+
+  // Pair counts: offer 0 fed 2 pairs, both extracted, both reconciled.
+  EXPECT_EQ(by_id.at(ids_[0])->feed_pairs, 2u);
+  EXPECT_EQ(by_id.at(ids_[0])->extracted_pairs, 2u);
+  EXPECT_EQ(by_id.at(ids_[0])->reconciled_pairs, 2u);
+  EXPECT_EQ(by_id.at(ids_[2])->reconciled_pairs, 0u);
+  EXPECT_FALSE(by_id.at(ids_[0])->classified_from_title);
+}
+
+TEST_F(ProvenanceTest, ReconciliationCandidatesCarryScoresAndWinner) {
+  const SynthesisResult result = Run(1, true);
+  const OfferProvenance* offer = nullptr;
+  for (const auto& o : result.provenance->offers) {
+    if (o.offer_id == ids_[0]) offer = &o;
+  }
+  ASSERT_NE(offer, nullptr);
+  // MPN has one candidate; Cap has two (0.8 applied, 0.3 rejected).
+  ASSERT_EQ(offer->reconciliation.size(), 3u);
+  EXPECT_EQ(offer->reconciliation[0].offer_attribute, "MPN");
+  EXPECT_EQ(offer->reconciliation[0].catalog_attribute, "Model Part Number");
+  EXPECT_DOUBLE_EQ(offer->reconciliation[0].score, 0.9);
+  EXPECT_TRUE(offer->reconciliation[0].applied);
+  EXPECT_EQ(offer->reconciliation[1].catalog_attribute, "Capacity");
+  EXPECT_TRUE(offer->reconciliation[1].applied);
+  EXPECT_EQ(offer->reconciliation[2].catalog_attribute, "Brand");
+  EXPECT_DOUBLE_EQ(offer->reconciliation[2].score, 0.3);
+  EXPECT_FALSE(offer->reconciliation[2].applied);
+}
+
+TEST_F(ProvenanceTest, ClustersRecordMembershipAndFusion) {
+  const SynthesisResult result = Run(1, true);
+  const SynthesisProvenance& prov = *result.provenance;
+  ASSERT_EQ(prov.clusters.size(), 3u);
+
+  const ClusterProvenance* product_cluster = nullptr;
+  size_t produced = 0;
+  for (const auto& c : prov.clusters) {
+    if (c.produced_product) {
+      product_cluster = &c;
+      ++produced;
+    }
+  }
+  ASSERT_EQ(produced, 1u);
+  ASSERT_NE(product_cluster, nullptr);
+  EXPECT_EQ(product_cluster->category, drives_);
+  EXPECT_EQ(product_cluster->drop, DropReason::kNone);
+  ASSERT_EQ(product_cluster->members.size(), 2u);
+  EXPECT_EQ(product_cluster->members[0], ids_[0]);
+  EXPECT_EQ(product_cluster->members[1], ids_[1]);
+  // Fusion decisions in schema order; the Capacity vote is a 2-way tie
+  // broken lexicographically.
+  ASSERT_EQ(product_cluster->fusion.size(), 2u);
+  EXPECT_EQ(product_cluster->fusion[0].attribute, "Model Part Number");
+  EXPECT_EQ(product_cluster->fusion[1].attribute, "Capacity");
+  EXPECT_EQ(product_cluster->fusion[1].winner, "500GB");
+  EXPECT_EQ(product_cluster->fusion[1].candidate_values, 2u);
+  EXPECT_EQ(product_cluster->fusion[1].distinct_values, 2u);
+
+  for (const auto& c : prov.clusters) {
+    if (c.produced_product) continue;
+    EXPECT_TRUE(c.drop == DropReason::kUnknownSchema ||
+                c.drop == DropReason::kEmptyFusedSpec);
+    EXPECT_TRUE(c.fusion.empty() || c.drop == DropReason::kEmptyFusedSpec);
+  }
+}
+
+TEST_F(ProvenanceTest, TopKLimitsCandidates) {
+  SynthesizerOptions options;
+  options.record_provenance = true;
+  options.provenance_top_k = 1;
+  options.runtime_threads = 1;
+  ProductSynthesizer synthesizer(&catalog_, options);
+  synthesizer.SetCorrespondences(Correspondences());
+  const SynthesisResult result = *synthesizer.Synthesize(offers_, pages_);
+  for (const auto& o : result.provenance->offers) {
+    if (o.offer_id != ids_[0]) continue;
+    // One candidate per extracted attribute instead of all scored ones.
+    EXPECT_EQ(o.reconciliation.size(), 2u);
+    for (const auto& c : o.reconciliation) EXPECT_TRUE(c.applied);
+  }
+}
+
+TEST_F(ProvenanceTest, DeterministicAcrossThreadCounts) {
+  const SynthesisResult a = Run(1, true);
+  const SynthesisResult b = Run(4, true);
+  EXPECT_EQ(a.provenance->ToJsonl(), b.provenance->ToJsonl());
+}
+
+TEST_F(ProvenanceTest, JsonlDumpIsLinePerRecord) {
+  const SynthesisResult result = Run(2, true);
+  const std::string jsonl = result.provenance->ToJsonl();
+  size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines,
+            result.provenance->offers.size() +
+                result.provenance->clusters.size());
+  EXPECT_NE(jsonl.find("\"type\": \"offer\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\": \"cluster\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"drop\": \"no_category\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"drop\": \"no_key\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"drop\": \"unknown_schema\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"drop\": \"empty_fused_spec\""), std::string::npos);
+
+  const std::string path =
+      ::testing::TempDir() + "prodsyn_provenance_test.jsonl";
+  ASSERT_TRUE(result.provenance->WriteJsonl(path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, jsonl);
+}
+
+TEST(SchemaReconcilerCandidatesTest, KeepsRanksAndGatesOnFlag) {
+  std::vector<AttributeCorrespondence> corrs = {
+      {{"Capacity", "Cap", 0, 1}, 0.8},
+      {{"Brand", "Cap", 0, 1}, 0.3},
+      {{"Speed", "Cap", 0, 1}, 0.6},
+  };
+  const SchemaReconciler keeping(corrs, 0.5, /*keep_candidates=*/true);
+  auto all = keeping.CandidatesFor(0, 1, "Cap", 10);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].catalog_attribute, "Capacity");  // score-descending
+  EXPECT_TRUE(all[0].applied);
+  EXPECT_EQ(all[1].catalog_attribute, "Speed");
+  EXPECT_FALSE(all[1].applied);  // above theta but not the winner
+  EXPECT_EQ(all[2].catalog_attribute, "Brand");
+  EXPECT_FALSE(all[2].applied);
+  EXPECT_EQ(keeping.CandidatesFor(0, 1, "Cap", 2).size(), 2u);
+  EXPECT_TRUE(keeping.CandidatesFor(0, 2, "Cap", 10).empty());
+
+  const SchemaReconciler plain(corrs, 0.5);
+  EXPECT_TRUE(plain.CandidatesFor(0, 1, "Cap", 10).empty());
+  // Keeping candidates must not change what Reconcile applies.
+  Specification extracted = {{"Cap", "500GB"}};
+  EXPECT_EQ(plain.Reconcile(0, 1, extracted),
+            keeping.Reconcile(0, 1, extracted));
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -1,0 +1,138 @@
+#include "src/util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/file.h"
+
+namespace prodsyn {
+namespace {
+
+// Every test drives the process-global tracer, so each starts and ends
+// from a clean disabled state (tests may share one process when the
+// binary is run directly rather than through ctest's per-test discovery).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Reset();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Reset();
+  }
+};
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    PRODSYN_TRACE_SPAN("disabled.outer");
+    PRODSYN_TRACE_SPAN("disabled.inner");
+  }
+  EXPECT_EQ(Tracer::Global().thread_count(), 0u);
+  EXPECT_EQ(CountOccurrences(Tracer::Global().ExportChromeJson(), "\"name\""),
+            0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpansWithDepth) {
+  Tracer::Global().Enable();
+  {
+    PRODSYN_TRACE_SPAN("outer");
+    { PRODSYN_TRACE_SPAN("inner"); }
+  }
+  Tracer::Global().Disable();
+  EXPECT_EQ(Tracer::Global().thread_count(), 1u);
+  const std::string json = Tracer::Global().ExportChromeJson();
+  EXPECT_NE(json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+  // The inner span opened at depth 1, the outer at depth 0.
+  EXPECT_NE(json.find("\"depth\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 0"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"X\""), 2u);
+}
+
+TEST_F(TraceTest, ExportIsChromeTraceShaped) {
+  Tracer::Global().Enable();
+  { PRODSYN_TRACE_SPAN("shape"); }
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ExportChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"prodsyn\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+}
+
+TEST_F(TraceTest, EachThreadGetsItsOwnRing) {
+  Tracer::Global().Enable();
+  constexpr size_t kThreads = 3;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 10; ++i) {
+        PRODSYN_TRACE_SPAN("worker.span");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  Tracer::Global().Disable();
+  // The main thread recorded no span, so exactly the workers registered.
+  EXPECT_EQ(Tracer::Global().thread_count(), kThreads);
+  EXPECT_EQ(Tracer::Global().dropped_events(), 0u);
+  EXPECT_EQ(CountOccurrences(Tracer::Global().ExportChromeJson(),
+                             "\"name\": \"worker.span\""),
+            kThreads * 10u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDropped) {
+  Tracer::Global().Enable(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    PRODSYN_TRACE_SPAN("overwrite.span");
+  }
+  Tracer::Global().Disable();
+  EXPECT_EQ(Tracer::Global().dropped_events(), 6u);
+  // Only the newest `capacity` events are retained for export.
+  EXPECT_EQ(CountOccurrences(Tracer::Global().ExportChromeJson(),
+                             "\"name\": \"overwrite.span\""),
+            4u);
+}
+
+TEST_F(TraceTest, EnableStartsAFreshSession) {
+  Tracer::Global().Enable();
+  { PRODSYN_TRACE_SPAN("first.session"); }
+  Tracer::Global().Enable();  // restart: drops the earlier events
+  { PRODSYN_TRACE_SPAN("second.session"); }
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ExportChromeJson();
+  EXPECT_EQ(json.find("first.session"), std::string::npos);
+  EXPECT_NE(json.find("second.session"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeJsonRoundTrips) {
+  Tracer::Global().Enable();
+  { PRODSYN_TRACE_SPAN("to.disk"); }
+  Tracer::Global().Disable();
+  const std::string path = ::testing::TempDir() + "prodsyn_trace_test.json";
+  ASSERT_TRUE(Tracer::Global().WriteChromeJson(path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, Tracer::Global().ExportChromeJson());
+  EXPECT_NE(contents->find("to.disk"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prodsyn

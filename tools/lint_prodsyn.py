@@ -15,6 +15,11 @@ Enforces conventions that clang-tidy cannot express:
                        APIs return util::Status / util::Result, invariants
                        use PRODSYN_CHECK / PRODSYN_DCHECK, and only
                        src/util may abort/exit the process.
+  R5  no-raw-clock     Pipeline/matching code never calls
+                       std::chrono::steady_clock::now() directly: timing
+                       goes through ScopedStageTimer (util/stage_metrics)
+                       or PRODSYN_TRACE_SPAN (util/trace) so every
+                       measurement lands in the telemetry registry.
 
 Usage: tools/lint_prodsyn.py [paths...]   (default: src tests bench examples)
 Exit status: 0 when clean, 1 when findings were printed.
@@ -44,6 +49,11 @@ RE_LIBC_RAND = re.compile(r"(?<![\w:.])(?:std::)?(rand|srand|random_shuffle)\s*\
 RE_THROW = re.compile(r"\bthrow\b(?!\s*\(\s*\))")  # `throw()` specs don't occur
 RE_ASSERT = re.compile(r"(?<![\w:.])assert\s*\(")
 RE_PROCESS_EXIT = re.compile(r"(?<![\w:.])(?:std::)?(abort|exit|_Exit|quick_exit)\s*\(")
+RE_RAW_CLOCK = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
+
+# Directories where R5 (no-raw-clock) applies: instrumented pipeline code
+# must time itself through the stage/trace abstractions, never ad hoc.
+RAW_CLOCK_DIRS = ("src/pipeline/", "src/matching/")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -140,6 +150,10 @@ class Linter:
                     self.report(path, i, "status-errors",
                                 "process exit/abort outside src/util; return "
                                 "a Status instead")
+            if rel.startswith(RAW_CLOCK_DIRS) and RE_RAW_CLOCK.search(code):
+                self.report(path, i, "no-raw-clock",
+                            "raw steady_clock::now() in instrumented code; "
+                            "use ScopedStageTimer or PRODSYN_TRACE_SPAN")
 
         if in_src and path.suffix in {".h", ".hpp"}:
             self.lint_guard(path, lines)
