@@ -1,7 +1,11 @@
 #include "src/catalog/feed.h"
 
 #include <charconv>
+#include <cmath>
+#include <utility>
 
+#include "src/util/fault.h"
+#include "src/util/file.h"
 #include "src/util/string_util.h"
 
 namespace prodsyn {
@@ -20,6 +24,14 @@ Result<double> ParsePrice(std::string_view s, size_t line_no) {
   if (ec != std::errc() || ptr != end) {
     return Status::ParseError("line " + std::to_string(line_no) +
                               ": bad price '" + trimmed + "'");
+  }
+  // from_chars happily parses "inf", "nan" and negative numbers; none is
+  // a price, and letting them through poisons downstream price statistics
+  // (NaN compares false with everything, so such offers cluster oddly).
+  if (!std::isfinite(value) || value < 0.0) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": price must be finite and non-negative, got '" +
+                              trimmed + "'");
   }
   return value;
 }
@@ -151,32 +163,75 @@ std::string SerializeFeed(const std::vector<FeedRecord>& records) {
   return out;
 }
 
-Result<std::vector<FeedRecord>> ParseFeed(std::string_view tsv) {
-  std::vector<FeedRecord> records;
+namespace {
+
+Result<FeedRecord> ParseFeedLine(std::string_view line, size_t line_no) {
+  PRODSYN_FAULT_POINT_KEYED("feed.parse_line", line_no);
+  const auto fields = Split(line, '\t');
+  if (fields.size() != 7) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": expected 7 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  FeedRecord r;
+  r.url = UnescapeTsvField(fields[0]);
+  r.title = UnescapeTsvField(fields[1]);
+  r.description = UnescapeTsvField(fields[2]);
+  PRODSYN_ASSIGN_OR_RETURN(r.price, ParsePrice(fields[3], line_no));
+  r.seller = UnescapeTsvField(fields[4]);
+  r.category_path = UnescapeTsvField(fields[5]);
+  auto spec = ParseSpec(UnescapeTsvField(fields[6]));
+  if (!spec.ok()) {
+    // Spec errors lack positions; add one so a FeedLineError's status is
+    // self-contained like every other per-line failure.
+    return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                              spec.status().message());
+  }
+  r.spec = std::move(spec).ValueOrDie();
+  return r;
+}
+
+}  // namespace
+
+Result<LenientFeedResult> ParseFeedLenient(std::string_view tsv) {
+  PRODSYN_FAULT_POINT("feed.parse");
+  LenientFeedResult out;
   const auto lines = Split(tsv, '\n');
   if (lines.empty() || TrimView(lines[0]) != kHeader) {
     return Status::ParseError("feed missing header line");
   }
   for (size_t line_no = 1; line_no < lines.size(); ++line_no) {
-    const auto& line = lines[line_no];
+    std::string_view line = lines[line_no];
+    // CRLF feeds: splitting on '\n' leaves the '\r' glued to the last
+    // field, where it would silently corrupt spec values.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (TrimView(line).empty()) continue;
-    const auto fields = Split(line, '\t');
-    if (fields.size() != 7) {
-      return Status::ParseError("line " + std::to_string(line_no + 1) +
-                                ": expected 7 fields, got " +
-                                std::to_string(fields.size()));
+    auto record = ParseFeedLine(line, line_no + 1);
+    if (record.ok()) {
+      out.records.push_back(std::move(record).ValueOrDie());
+    } else {
+      out.errors.push_back({line_no + 1, record.status()});
     }
-    FeedRecord r;
-    r.url = UnescapeTsvField(fields[0]);
-    r.title = UnescapeTsvField(fields[1]);
-    r.description = UnescapeTsvField(fields[2]);
-    PRODSYN_ASSIGN_OR_RETURN(r.price, ParsePrice(fields[3], line_no + 1));
-    r.seller = UnescapeTsvField(fields[4]);
-    r.category_path = UnescapeTsvField(fields[5]);
-    PRODSYN_ASSIGN_OR_RETURN(r.spec, ParseSpec(UnescapeTsvField(fields[6])));
-    records.push_back(std::move(r));
   }
-  return records;
+  return out;
+}
+
+Result<std::vector<FeedRecord>> ParseFeed(std::string_view tsv) {
+  PRODSYN_ASSIGN_OR_RETURN(LenientFeedResult lenient, ParseFeedLenient(tsv));
+  if (!lenient.errors.empty()) return lenient.errors.front().status;
+  return std::move(lenient.records);
+}
+
+Result<std::vector<FeedRecord>> ReadFeedFile(const std::string& path) {
+  PRODSYN_ASSIGN_OR_RETURN(std::string contents,
+                           ReadFileToStringWithRetry(path));
+  return ParseFeed(contents);
+}
+
+Result<LenientFeedResult> ReadFeedFileLenient(const std::string& path) {
+  PRODSYN_ASSIGN_OR_RETURN(std::string contents,
+                           ReadFileToStringWithRetry(path));
+  return ParseFeedLenient(contents);
 }
 
 }  // namespace prodsyn

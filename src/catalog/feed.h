@@ -34,6 +34,37 @@ std::string SerializeFeed(const std::vector<FeedRecord>& records);
 /// the same header). Returns ParseError with a line number on bad input.
 Result<std::vector<FeedRecord>> ParseFeed(std::string_view tsv);
 
+/// \brief One rejected feed line: its 1-based line number and the
+/// ParseError explaining why (the message also carries the line prefix,
+/// so it is self-contained when surfaced alone).
+struct FeedLineError {
+  size_t line = 0;
+  Status status;
+};
+
+/// \brief What ParseFeedLenient salvaged from a feed: every parseable
+/// record plus a per-line error list for the rest, in line order.
+struct LenientFeedResult {
+  std::vector<FeedRecord> records;
+  std::vector<FeedLineError> errors;
+};
+
+/// \brief Parses feed TSV, skipping malformed lines instead of aborting:
+/// each bad line becomes a FeedLineError and parsing continues. Only a
+/// missing/garbled header is fatal (there is no way to trust any line
+/// without it). Strict ParseFeed delegates to this and fails on the first
+/// collected error.
+Result<LenientFeedResult> ParseFeedLenient(std::string_view tsv);
+
+/// \brief Reads and strictly parses a feed file, retrying transient read
+/// failures (see ReadFileToStringWithRetry). The ingestion entry point
+/// pipeline code should prefer over hand-rolled read+parse.
+Result<std::vector<FeedRecord>> ReadFeedFile(const std::string& path);
+
+/// \brief Lenient twin of ReadFeedFile: transient read failures are
+/// retried, malformed lines are collected instead of fatal.
+Result<LenientFeedResult> ReadFeedFileLenient(const std::string& path);
+
 /// \brief Escapes a single field for TSV embedding.
 std::string EscapeTsvField(std::string_view field);
 

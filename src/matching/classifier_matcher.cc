@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "src/util/check.h"
+#include "src/util/fault.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -17,7 +18,15 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   PRODSYN_TRACE_SPAN("offline.generate");
   stats_ = ClassifierRunStats{};
   MetricsRegistry registry;
+  const CancellationToken* token = options_.cancellation;
+  auto cancelled = [token] {
+    return token != nullptr && token->cancelled();
+  };
 
+  if (cancelled()) {
+    return Status::Cancelled("offline learning cancelled before bag build");
+  }
+  PRODSYN_FAULT_POINT("offline.bag_build");
   BagIndexOptions bag_options = options_.bag_index;
   bag_options.build_threads = options_.offline_threads;
   PRODSYN_ASSIGN_OR_RETURN(
@@ -26,6 +35,10 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
                              registry.GetStage("bag_index.build")));
   FeatureComputer computer(&index, options_.features);
 
+  if (cancelled()) {
+    return Status::Cancelled(
+        "offline learning cancelled before training-set construction");
+  }
   PRODSYN_ASSIGN_OR_RETURN(
       CorrespondenceTrainingSet training,
       BuildTrainingSet(index, &computer, options_.training));
@@ -40,6 +53,10 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
         " negatives); need name-identity anchors with alternatives");
   }
 
+  if (cancelled()) {
+    return Status::Cancelled("offline learning cancelled before LR training");
+  }
+  PRODSYN_FAULT_POINT("offline.lr_train");
   {
     PRODSYN_TRACE_SPAN("lr.train");
     StageCounters* train_stage = registry.GetStage("lr.train");
@@ -52,6 +69,10 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   }
   stats_.lr_iterations = model_.iterations_used();
 
+  if (cancelled()) {
+    return Status::Cancelled("offline learning cancelled before scoring");
+  }
+  PRODSYN_FAULT_POINT("offline.score");
   const auto& candidates = index.candidates();
   stats_.candidates = candidates.size();
   std::vector<AttributeCorrespondence> out(candidates.size());
@@ -76,6 +97,7 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
     // chunking.
     FeatureComputer local_computer(&index, options_.features);
     size_t valid = 0;
+    if (cancelled()) return;  // chunk skipped; Generate reports Cancelled
     for (size_t i = begin; i < end && !failed.load(std::memory_order_relaxed);
          ++i) {
       const CandidateTuple& tuple = candidates[i];
@@ -107,10 +129,16 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
     score_range(0, candidates.size());
   } else {
     ThreadPool pool(threads);
-    pool.ParallelFor(candidates.size(), score_range);
+    pool.ParallelFor(candidates.size(), score_range, token);
     score_stage->RecordQueueDepth(pool.max_queue_depth());
   }
   score_stage->AddItems(candidates.size());
+  if (cancelled()) {
+    // Unlike Synthesize (which salvages a partial result), offline
+    // learning is all-or-nothing: a partially scored correspondence set
+    // would silently skew reconciliation.
+    return Status::Cancelled("offline learning cancelled during scoring");
+  }
   if (failed.load()) {
     return Status::Internal("candidate scoring failed (dimension mismatch)");
   }

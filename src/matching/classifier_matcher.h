@@ -21,6 +21,7 @@
 #include "src/matching/training_set.h"
 #include "src/ml/logistic_regression.h"
 #include "src/ml/scaler.h"
+#include "src/util/cancellation.h"
 #include "src/util/metrics_registry.h"
 
 namespace prodsyn {
@@ -45,6 +46,11 @@ struct ClassifierMatcherOptions {
   /// count. 0 = hardware default, mirroring
   /// SynthesizerOptions::runtime_threads.
   size_t offline_threads = 1;
+  /// Optional cancellation of the offline phase: checked at every stage
+  /// boundary (bag build, training-set construction, LR training,
+  /// candidate scoring) and per scoring chunk; Generate returns
+  /// Status::Cancelled when it fires. Must outlive the Generate call.
+  const CancellationToken* cancellation = nullptr;
 };
 
 /// \brief Statistics of one Generate() run, for reports (paper §5.1 quotes

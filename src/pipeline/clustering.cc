@@ -43,9 +43,13 @@ std::string CompositeKey(const Specification& spec,
 Result<std::vector<OfferCluster>> ClusterByKey(
     const std::vector<ReconciledOffer>& offers, const SchemaRegistry& schemas,
     const ClusteringOptions& options, size_t* dropped, ThreadPool* pool,
-    StageCounters* metrics, std::vector<std::string>* offer_keys) {
+    StageCounters* metrics, std::vector<std::string>* offer_keys,
+    const CancellationToken* token) {
   PRODSYN_TRACE_SPAN("clustering.cluster_by_key");
   ScopedStageTimer stage_timer(metrics);
+  if (token != nullptr && token->cancelled()) {
+    return Status::Cancelled("clustering cancelled before key scan");
+  }
   if (metrics != nullptr) metrics->AddItems(offers.size());
   if (dropped != nullptr) *dropped = 0;
 
@@ -79,7 +83,7 @@ Result<std::vector<OfferCluster>> ClusterByKey(
     }
   };
   if (pool != nullptr && pool->thread_count() > 1) {
-    pool->ParallelFor(offers.size(), extract_range);
+    pool->ParallelFor(offers.size(), extract_range, token);
     if (metrics != nullptr) {
       metrics->RecordQueueDepth(pool->max_queue_depth());
     }

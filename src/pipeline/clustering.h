@@ -71,11 +71,15 @@ std::string CompositeKey(const Specification& spec,
 /// `metrics` (optional) receives one item per input offer plus stage
 /// timing. `offer_keys` (optional, provenance) receives the normalized
 /// key of every input offer parallel to `offers` ("" = dropped).
+/// `token` (optional) makes the stage cancellable: Status::Cancelled when
+/// it fires before the key scan; a mid-scan cut leaves unscanned offers
+/// keyless (counted dropped) — callers treat that run as truncated.
 Result<std::vector<OfferCluster>> ClusterByKey(
     const std::vector<ReconciledOffer>& offers, const SchemaRegistry& schemas,
     const ClusteringOptions& options = {}, size_t* dropped = nullptr,
     ThreadPool* pool = nullptr, StageCounters* metrics = nullptr,
-    std::vector<std::string>* offer_keys = nullptr);
+    std::vector<std::string>* offer_keys = nullptr,
+    const CancellationToken* token = nullptr);
 
 }  // namespace prodsyn
 

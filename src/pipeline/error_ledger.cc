@@ -1,0 +1,50 @@
+#include "src/pipeline/error_ledger.h"
+
+#include "src/util/file.h"
+#include "src/util/string_util.h"
+
+namespace prodsyn {
+
+const char* FailureStageName(FailureStage stage) {
+  switch (stage) {
+    case FailureStage::kIngestion:
+      return "ingestion";
+    case FailureStage::kClassification:
+      return "classification";
+    case FailureStage::kExtraction:
+      return "extraction";
+    case FailureStage::kReconciliation:
+      return "reconciliation";
+    case FailureStage::kClustering:
+      return "clustering";
+    case FailureStage::kFusion:
+      return "fusion";
+    case FailureStage::kOffline:
+      return "offline";
+  }
+  return "unknown";
+}
+
+std::string ErrorLedger::ToJsonl() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += "{\"type\":\"quarantine\",\"offer\":";
+    out += std::to_string(entry.offer_id);
+    out += ",\"stage\":\"";
+    out += FailureStageName(entry.stage);
+    out += "\",\"code\":\"";
+    out += StatusCodeToString(entry.status.code());
+    out += "\",\"message\":\"";
+    out += JsonEscape(entry.status.message());
+    out += "\",\"retries\":";
+    out += std::to_string(entry.retries);
+    out += "}\n";
+  }
+  return out;
+}
+
+Status ErrorLedger::WriteJsonl(const std::string& path) const {
+  return WriteStringToFile(path, ToJsonl());
+}
+
+}  // namespace prodsyn

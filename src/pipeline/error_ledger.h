@@ -1,0 +1,86 @@
+// Quarantine ledger of the fault-tolerance layer: when
+// SynthesizerOptions::error_policy is kQuarantine, offers (or whole
+// clusters) whose stage chain fails are diverted here instead of aborting
+// the run — the paper's pipeline is a bulk process over millions of
+// offers, and one malformed landing page must not discard a night's work.
+//
+// Determinism contract: entries are appended only by the sequential
+// merges of the synthesizer (never by worker threads), in input order for
+// offers and (category, key) order for clusters, so a ledger is
+// bit-identical for any SynthesizerOptions::runtime_threads. On clean
+// input the ledger stays empty and the run's products/stats are
+// bit-identical to kFailFast.
+
+#ifndef PRODSYN_PIPELINE_ERROR_LEDGER_H_
+#define PRODSYN_PIPELINE_ERROR_LEDGER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/catalog/types.h"
+#include "src/util/status.h"
+
+namespace prodsyn {
+
+/// \brief What Synthesize does with a failing offer.
+enum class ErrorPolicy : int {
+  /// First failure aborts the whole run with its Status (the pre-existing
+  /// behavior; default).
+  kFailFast = 0,
+  /// Failing offers/clusters are recorded in the run's ErrorLedger and
+  /// synthesis continues without them.
+  kQuarantine,
+};
+
+/// \brief Pipeline stage a quarantined failure was observed in.
+enum class FailureStage : int {
+  kIngestion = 0,   ///< feed read/parse (ledgers built by callers)
+  kClassification,  ///< title classification
+  kExtraction,      ///< landing-page attribute extraction
+  kReconciliation,  ///< schema reconciliation
+  kClustering,      ///< key extraction / grouping
+  kFusion,          ///< per-cluster value fusion
+  kOffline,         ///< offline learning stages
+};
+
+/// \brief Stable machine-readable name ("extraction", "fusion", ...).
+const char* FailureStageName(FailureStage stage);
+
+/// \brief One quarantined failure.
+struct ErrorLedgerEntry {
+  /// Failing offer, or for cluster-scope failures (fusion) the cluster's
+  /// first member in input order. kInvalidOffer when no offer applies.
+  OfferId offer_id = kInvalidOffer;
+  FailureStage stage = FailureStage::kIngestion;
+  Status status;       ///< the failure as observed (never OK)
+  size_t retries = 0;  ///< extra attempts consumed before quarantining
+};
+
+/// \brief Append-only record of every failure a quarantine run survived.
+///
+/// Thread safety: Add is sequential-merge-only (see file doc); the const
+/// accessors are safe once the run has finished.
+class ErrorLedger {
+ public:
+  /// \brief Appends one entry (sequential merge only).
+  void Add(ErrorLedgerEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<ErrorLedgerEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// \brief JSONL rendering: one {"type": "quarantine", ...} line per
+  /// entry with offer, stage, code, message and retries fields — the
+  /// artifact the chaos CI leg uploads.
+  std::string ToJsonl() const;
+
+  /// \brief ToJsonl written to `path` (IOError on failure).
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  std::vector<ErrorLedgerEntry> entries_;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_PIPELINE_ERROR_LEDGER_H_

@@ -35,6 +35,10 @@ const char* DropReasonName(DropReason reason) {
       return "unknown_schema";
     case DropReason::kEmptyFusedSpec:
       return "empty_fused_spec";
+    case DropReason::kFault:
+      return "fault";
+    case DropReason::kCancelled:
+      return "cancelled";
   }
   return "?";
 }

@@ -31,6 +31,8 @@ enum class DropReason : int {
   kNoKey,           ///< clustering found no key attribute value
   kUnknownSchema,   ///< the cluster's category has no registered schema
   kEmptyFusedSpec,  ///< fusion produced an empty specification
+  kFault,           ///< stage failure quarantined (ErrorPolicy::kQuarantine)
+  kCancelled,       ///< unprocessed: run cancelled / deadline exceeded
 };
 
 /// \brief Stable machine-readable name ("none", "no_key", ...).

@@ -5,7 +5,9 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/util/fault.h"
 #include "src/util/logging.h"
+#include "src/util/random.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -25,6 +27,7 @@ Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
 
   ClassifierMatcherOptions matcher_options = options_.matcher;
   matcher_options.offline_threads = options_.offline_threads;
+  matcher_options.cancellation = options_.cancellation;
   ClassifierMatcher matcher(std::move(matcher_options));
   PRODSYN_ASSIGN_OR_RETURN(correspondences_, matcher.Generate(ctx));
   learning_stats_ = matcher.stats();
@@ -55,6 +58,24 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   }
   SynthesisResult result;
   result.stats.correspondences_applied = reconciler_->mapping_count();
+
+  // Run-scoped cancellation: chains the caller's token (if any) and owns
+  // the deadline. All clock reads live inside CancellationToken — the
+  // stages below only poll cancelled().
+  CancellationToken run_token(options_.cancellation);
+  if (options_.deadline.count() > 0) {
+    run_token.SetDeadline(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            options_.deadline));
+  }
+  const CancellationToken* token = &run_token;
+  const bool quarantine =
+      options_.error_policy == ErrorPolicy::kQuarantine;
+  std::shared_ptr<ErrorLedger> ledger;
+  if (quarantine) ledger = std::make_shared<ErrorLedger>();
+  // Set whenever any unit of work was skipped (cancellation/deadline);
+  // the returned result is then partial (complete = false).
+  bool truncated = false;
 
   MetricsRegistry registry;
   StageCounters* classification_stage = registry.GetStage("classification");
@@ -91,88 +112,163 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   // The provenance slot for offer i is worker-owned the same way.
   struct PerOffer {
     Status status = Status::OK();  // first failure of this offer's chain
+    bool processed = false;  // false = skipped by cancellation/deadline
     bool has_category = false;
     bool extracted_nonempty = false;
     size_t extracted_pairs = 0;
+    size_t retries = 0;  // extra attempts consumed (quarantine only)
+    FailureStage failed_stage = FailureStage::kClassification;
     ReconciledOffer reconciled;
   };
   std::vector<PerOffer> per_offer(offers.size());
+  // One attempt at one offer's classification → extraction →
+  // reconciliation chain. Writes only slot/prov (worker-owned).
+  auto process_offer = [&](const Offer& offer, PerOffer& slot,
+                           OfferProvenance* prov) {
+    if (prov != nullptr) {
+      prov->offer_id = offer.id;
+      prov->feed_pairs = offer.spec.size();
+    }
+    const auto fault_key = static_cast<uint64_t>(offer.id);
+
+    // Category: classify from the title when required or missing.
+    Status fault = PRODSYN_FAULT_CHECK_KEYED("runtime.classification",
+                                             fault_key);
+    if (!fault.ok()) {
+      slot.status = std::move(fault);
+      slot.failed_stage = FailureStage::kClassification;
+      return;
+    }
+    CategoryId category = offer.category;
+    if ((options_.always_classify_titles ||
+         category == kInvalidCategory) &&
+        have_classifier) {
+      PRODSYN_TRACE_SPAN("classification.offer");
+      ScopedStageTimer timer(classification_stage);
+      classification_stage->AddItems(1);
+      auto classified = title_classifier_.Classify(offer.title);
+      if (classified.ok()) {
+        category = *classified;
+        if (prov != nullptr) prov->classified_from_title = true;
+      }
+    }
+    if (prov != nullptr) prov->category = category;
+    if (category == kInvalidCategory) {
+      if (prov != nullptr) prov->drop = DropReason::kNoCategory;
+      return;
+    }
+    slot.has_category = true;
+
+    // Web-page attribute extraction.
+    fault = PRODSYN_FAULT_CHECK_KEYED("runtime.extraction", fault_key);
+    auto extracted =
+        fault.ok() ? ExtractOfferSpecification(offer, pages,
+                                               options_.extractor,
+                                               extraction_stage)
+                   : Result<Specification>(std::move(fault));
+    if (!extracted.ok()) {
+      slot.status = extracted.status();
+      slot.failed_stage = FailureStage::kExtraction;
+      return;
+    }
+    slot.extracted_nonempty = !extracted->empty();
+    slot.extracted_pairs = extracted->size();
+    if (prov != nullptr) {
+      prov->extracted_pairs = extracted->size();
+      // Top-k reconciliation candidates per distinct extracted
+      // attribute, in extraction order.
+      std::set<std::string> seen_attrs;
+      for (const auto& av : *extracted) {
+        if (!seen_attrs.insert(av.name).second) continue;
+        auto cands = reconciler_->CandidatesFor(
+            offer.merchant, category, av.name, recorder->top_k());
+        prov->reconciliation.insert(prov->reconciliation.end(),
+                                    cands.begin(), cands.end());
+      }
+    }
+
+    // Schema reconciliation.
+    fault = PRODSYN_FAULT_CHECK_KEYED("runtime.reconciliation", fault_key);
+    if (!fault.ok()) {
+      slot.status = std::move(fault);
+      slot.failed_stage = FailureStage::kReconciliation;
+      return;
+    }
+    slot.reconciled.offer_id = offer.id;
+    slot.reconciled.merchant = offer.merchant;
+    slot.reconciled.category = category;
+    slot.reconciled.spec = reconciler_->Reconcile(
+        offer.merchant, category, *extracted, reconciliation_stage);
+    if (prov != nullptr) {
+      prov->reconciled_pairs = slot.reconciled.spec.size();
+    }
+  };
+  // Under quarantine a failing offer is re-attempted from classification
+  // (transient extraction failures can recover); keyed injected faults
+  // are pure functions of the offer id, so they fail identically on
+  // every attempt and determinism is preserved.
+  const size_t offer_attempts =
+      quarantine ? 1 + options_.quarantine_retries : 1;
   auto process_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       PRODSYN_TRACE_SPAN("runtime.offer");
-      const Offer& offer = offers[i];
+      // Offers the cut reaches first stay unprocessed; the sequential
+      // merge counts them instead of reading half-filled slots.
+      if (token->cancelled()) return;
       PerOffer& slot = per_offer[i];
       OfferProvenance* prov =
           recorder != nullptr ? recorder->offer(i) : nullptr;
-      if (prov != nullptr) {
-        prov->offer_id = offer.id;
-        prov->feed_pairs = offer.spec.size();
+      for (size_t attempt = 0; attempt < offer_attempts; ++attempt) {
+        slot = PerOffer{};
+        slot.retries = attempt;
+        if (prov != nullptr && attempt > 0) *prov = OfferProvenance{};
+        process_offer(offers[i], slot, prov);
+        if (slot.status.ok()) break;
       }
-
-      // Category: classify from the title when required or missing.
-      CategoryId category = offer.category;
-      if ((options_.always_classify_titles ||
-           category == kInvalidCategory) &&
-          have_classifier) {
-        PRODSYN_TRACE_SPAN("classification.offer");
-        ScopedStageTimer timer(classification_stage);
-        classification_stage->AddItems(1);
-        auto classified = title_classifier_.Classify(offer.title);
-        if (classified.ok()) {
-          category = *classified;
-          if (prov != nullptr) prov->classified_from_title = true;
-        }
-      }
-      if (prov != nullptr) prov->category = category;
-      if (category == kInvalidCategory) {
-        if (prov != nullptr) prov->drop = DropReason::kNoCategory;
-        continue;
-      }
-      slot.has_category = true;
-
-      // Web-page attribute extraction.
-      auto extracted = ExtractOfferSpecification(
-          offer, pages, options_.extractor, extraction_stage);
-      if (!extracted.ok()) {
-        slot.status = extracted.status();
-        continue;
-      }
-      slot.extracted_nonempty = !extracted->empty();
-      slot.extracted_pairs = extracted->size();
-      if (prov != nullptr) {
-        prov->extracted_pairs = extracted->size();
-        // Top-k reconciliation candidates per distinct extracted
-        // attribute, in extraction order.
-        std::set<std::string> seen_attrs;
-        for (const auto& av : *extracted) {
-          if (!seen_attrs.insert(av.name).second) continue;
-          auto cands = reconciler_->CandidatesFor(
-              offer.merchant, category, av.name, recorder->top_k());
-          prov->reconciliation.insert(prov->reconciliation.end(),
-                                      cands.begin(), cands.end());
-        }
-      }
-
-      // Schema reconciliation.
-      slot.reconciled.offer_id = offer.id;
-      slot.reconciled.merchant = offer.merchant;
-      slot.reconciled.category = category;
-      slot.reconciled.spec = reconciler_->Reconcile(
-          offer.merchant, category, *extracted, reconciliation_stage);
-      if (prov != nullptr) {
-        prov->reconciled_pairs = slot.reconciled.spec.size();
-      }
+      slot.processed = true;
     }
   };
   if (pool_ptr != nullptr) {
-    pool_ptr->ParallelFor(offers.size(), process_range);
+    pool_ptr->ParallelFor(offers.size(), process_range, token);
     extraction_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
   } else {
     process_range(0, offers.size());
   }
 
-  // Deterministic merge in input order; the first failed offer (by input
-  // index) aborts the run, matching single-threaded semantics.
+  // Common tail of every exit path (complete, truncated, quarantined):
+  // final gauges, registry snapshot, provenance/ledger handover.
+  auto finalize = [&]() -> SynthesisResult {
+    result.complete = !truncated;
+    result.stats.synthesized_products = result.products.size();
+    registry.SetGauge("runtime.products",
+                      static_cast<int64_t>(result.products.size()));
+    registry.SetGauge("runtime.deadline_exceeded",
+                      run_token.deadline_exceeded() ? 1 : 0);
+    registry.SetGauge("runtime.truncated", truncated ? 1 : 0);
+    registry.SetGauge(
+        "runtime.cancelled_offers",
+        static_cast<int64_t>(result.stats.cancelled_offers));
+    registry.SetGauge(
+        "runtime.quarantined_offers",
+        static_cast<int64_t>(result.stats.quarantined_offers));
+    registry.SetGauge(
+        "runtime.quarantined_clusters",
+        static_cast<int64_t>(result.stats.quarantined_clusters));
+    registry.SetGauge("runtime.offer_retries",
+                      static_cast<int64_t>(result.stats.offer_retries));
+    result.stats.registry = registry.Snapshot();
+    result.stats.stage_metrics = result.stats.registry.stages;
+    if (recorder != nullptr) {
+      result.provenance =
+          std::make_shared<const SynthesisProvenance>(recorder->Take());
+    }
+    result.ledger = ledger;
+    return std::move(result);
+  };
+
+  // Deterministic merge in input order; under kFailFast the first failed
+  // offer (by input index) aborts the run, matching single-threaded
+  // semantics, while kQuarantine ledgers it and keeps going.
   // `reconciled_to_input` maps each reconciled slot back to its input
   // index and `input_index_of` each OfferId, so provenance can tie
   // clustering/fusion outcomes back to offers.
@@ -184,8 +280,41 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   result.stats.input_offers = offers.size();
   for (size_t i = 0; i < per_offer.size(); ++i) {
     PerOffer& slot = per_offer[i];
-    if (!slot.status.ok()) return slot.status;
+    OfferProvenance* prov =
+        recorder != nullptr ? recorder->offer(i) : nullptr;
+    if (!slot.processed) {
+      // The cancellation/deadline cut reached this offer before a worker
+      // did; it is not an error, the run is just partial.
+      truncated = true;
+      ++result.stats.cancelled_offers;
+      if (prov != nullptr) {
+        prov->offer_id = offers[i].id;
+        prov->drop = DropReason::kCancelled;
+      }
+      continue;
+    }
+    result.stats.offer_retries += slot.retries;
+    if (!slot.status.ok()) {
+      if (!quarantine) return slot.status;
+      ledger->Add({offers[i].id, slot.failed_stage, slot.status,
+                   slot.retries});
+      ++result.stats.quarantined_offers;
+      if (prov != nullptr) prov->drop = DropReason::kFault;
+      continue;
+    }
     if (!slot.has_category) continue;
+    // The clusterer has no per-offer error channel, so its injection
+    // point lives here, keyed like the in-stage sites.
+    Status cluster_fault = PRODSYN_FAULT_CHECK_KEYED(
+        "runtime.clustering", static_cast<uint64_t>(offers[i].id));
+    if (!cluster_fault.ok()) {
+      if (!quarantine) return cluster_fault;
+      ledger->Add({offers[i].id, FailureStage::kClustering,
+                   std::move(cluster_fault), 0});
+      ++result.stats.quarantined_offers;
+      if (prov != nullptr) prov->drop = DropReason::kFault;
+      continue;
+    }
     if (slot.extracted_nonempty) ++result.stats.offers_with_extracted_pairs;
     result.stats.extracted_pairs += slot.extracted_pairs;
     result.stats.reconciled_pairs += slot.reconciled.spec.size();
@@ -195,15 +324,28 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     }
     reconciled.push_back(std::move(slot.reconciled));
   }
+  if (token->cancelled()) {
+    truncated = true;
+    return finalize();
+  }
 
   // Clustering by key attributes (sharded key scan, sequential merge).
   std::vector<std::string> offer_keys;
-  PRODSYN_ASSIGN_OR_RETURN(
-      std::vector<OfferCluster> clusters,
+  auto clusters_result =
       ClusterByKey(reconciled, catalog_->schemas(), options_.clustering,
                    &result.stats.offers_without_key, pool_ptr,
                    clustering_stage,
-                   recorder != nullptr ? &offer_keys : nullptr));
+                   recorder != nullptr ? &offer_keys : nullptr, token);
+  if (!clusters_result.ok()) {
+    // Cancellation inside the clusterer is a truncation, not a failure.
+    if (clusters_result.status().IsCancelled()) {
+      truncated = true;
+      return finalize();
+    }
+    return clusters_result.status();
+  }
+  std::vector<OfferCluster> clusters =
+      std::move(clusters_result).ValueOrDie();
   result.stats.clusters = clusters.size();
   registry.SetGauge("runtime.clusters",
                     static_cast<int64_t>(clusters.size()));
@@ -222,6 +364,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   // (category, key) slot, assembled sequentially in cluster order.
   struct FusedCluster {
     Status status = Status::OK();
+    bool processed = false;  // false = skipped by cancellation/deadline
     bool schema_known = false;
     Specification spec;
     std::vector<FusionDecision> decisions;  // filled only when recording
@@ -229,7 +372,20 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   std::vector<FusedCluster> fused(clusters.size());
   auto fuse_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
+      if (token->cancelled()) return;
       FusedCluster& slot = fused[i];
+      slot.processed = true;
+      // Clusters are already in deterministic (category, key) order, so
+      // keying the fusion site by that pair keeps the firing pattern
+      // thread-count-invariant.
+      Status fault = PRODSYN_FAULT_CHECK_KEYED(
+          "runtime.fusion",
+          HashString(clusters[i].key) ^
+              static_cast<uint64_t>(clusters[i].category));
+      if (!fault.ok()) {
+        slot.status = std::move(fault);
+        continue;
+      }
       auto schema = catalog_->schemas().Get(clusters[i].category);
       if (!schema.ok()) continue;
       slot.schema_known = true;
@@ -244,14 +400,42 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     }
   };
   if (pool_ptr != nullptr) {
-    pool_ptr->ParallelFor(clusters.size(), fuse_range);
+    pool_ptr->ParallelFor(clusters.size(), fuse_range, token);
     fusion_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
   } else {
     fuse_range(0, clusters.size());
   }
   for (size_t i = 0; i < clusters.size(); ++i) {
     FusedCluster& slot = fused[i];
-    if (!slot.status.ok()) return slot.status;
+    if (!slot.processed) {
+      truncated = true;
+      continue;
+    }
+    if (!slot.status.ok()) {
+      if (!quarantine) return slot.status;
+      // Cluster-scope quarantine: ledger one entry under the cluster's
+      // first member (input order — deterministic), record the members'
+      // provenance, and keep synthesizing the other clusters.
+      ledger->Add({clusters[i].members.front().offer_id,
+                   FailureStage::kFusion, slot.status, 0});
+      ++result.stats.quarantined_clusters;
+      if (recorder != nullptr) {
+        ClusterProvenance cp;
+        cp.category = clusters[i].category;
+        cp.key = clusters[i].key;
+        cp.produced_product = false;
+        cp.drop = DropReason::kFault;
+        for (const auto& member : clusters[i].members) {
+          cp.members.push_back(member.offer_id);
+          auto it = input_index_of.find(member.offer_id);
+          if (it != input_index_of.end()) {
+            recorder->offer(it->second)->drop = DropReason::kFault;
+          }
+        }
+        recorder->AddCluster(std::move(cp));
+      }
+      continue;
+    }
     const bool produced = slot.schema_known && !slot.spec.empty();
     if (recorder != nullptr) {
       ClusterProvenance cp;
@@ -288,16 +472,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     result.stats.synthesized_attributes += product.spec.size();
     result.products.push_back(std::move(product));
   }
-  result.stats.synthesized_products = result.products.size();
-  registry.SetGauge("runtime.products",
-                    static_cast<int64_t>(result.products.size()));
-  result.stats.registry = registry.Snapshot();
-  result.stats.stage_metrics = result.stats.registry.stages;
-  if (recorder != nullptr) {
-    result.provenance =
-        std::make_shared<const SynthesisProvenance>(recorder->Take());
-  }
-  return result;
+  return finalize();
 }
 
 }  // namespace prodsyn

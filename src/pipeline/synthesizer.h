@@ -5,6 +5,7 @@
 #ifndef PRODSYN_PIPELINE_SYNTHESIZER_H_
 #define PRODSYN_PIPELINE_SYNTHESIZER_H_
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -12,7 +13,9 @@
 #include "src/matching/classifier_matcher.h"
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
+#include "src/pipeline/error_ledger.h"
 #include "src/pipeline/provenance.h"
+#include "src/util/cancellation.h"
 #include "src/pipeline/schema_reconciliation.h"
 #include "src/util/metrics_registry.h"
 #include "src/util/stage_metrics.h"
@@ -47,6 +50,18 @@ struct SynthesisStats {
   size_t synthesized_products = 0;    ///< products emitted
   size_t synthesized_attributes = 0;  ///< total pairs across products
   size_t correspondences_applied = 0;  ///< mappings retained by theta
+  /// Offers diverted to the ErrorLedger (ErrorPolicy::kQuarantine only;
+  /// always 0 under kFailFast — a failure aborts the run instead).
+  size_t quarantined_offers = 0;
+  /// Clusters whose fusion failed and was quarantined.
+  size_t quarantined_clusters = 0;
+  /// Extra per-offer attempts consumed before success or quarantine
+  /// (SynthesizerOptions::quarantine_retries).
+  size_t offer_retries = 0;
+  /// Offers never processed because the run was cancelled or overran its
+  /// deadline. NOT part of the determinism contract (cancellation timing
+  /// is wall-clock-dependent); always 0 on complete runs.
+  size_t cancelled_offers = 0;
   /// Per-stage wall/CPU time, item counts and queue-depth gauges of the
   /// run-time phase, in pipeline order (classification, extraction,
   /// reconciliation, clustering, fusion). NOT deterministic — see
@@ -69,6 +84,13 @@ struct SynthesisResult {
   /// for any thread count (worker-filled per-offer slots, sequential
   /// cluster assembly).
   std::shared_ptr<const SynthesisProvenance> provenance;
+  /// Quarantine ledger of the run: non-null (possibly empty) iff
+  /// SynthesizerOptions::error_policy is kQuarantine. Bit-identical for
+  /// any runtime_threads (entries appended only by sequential merges).
+  std::shared_ptr<const ErrorLedger> ledger;
+  /// False when the run was truncated by cancellation or a deadline:
+  /// products/stats then cover only the offers processed before the cut.
+  bool complete = true;
 };
 
 /// \brief Options of ProductSynthesizer.
@@ -109,6 +131,25 @@ struct SynthesizerOptions {
   /// merges are sequential in a deterministic order, so correspondences
   /// and learning stats are bit-identical for any value.
   size_t offline_threads = 0;
+  /// What to do when an offer's stage chain fails (see ErrorPolicy).
+  /// kQuarantine diverts failing offers to SynthesisResult::ledger and
+  /// keeps going; on clean input the output is bit-identical to
+  /// kFailFast.
+  ErrorPolicy error_policy = ErrorPolicy::kFailFast;
+  /// Extra attempts per failing offer before quarantining it (only under
+  /// kQuarantine; retried from classification, so transient extraction
+  /// failures can recover). 0 = quarantine on first failure.
+  size_t quarantine_retries = 0;
+  /// Wall-clock budget for Synthesize (0 = none). Overrunning never
+  /// fails the call: the run stops starting new work, finishes in-flight
+  /// shards, and returns a partial SynthesisResult (complete = false,
+  /// runtime.deadline_exceeded gauge set). Clock reads stay inside
+  /// CancellationToken — the pipeline only polls.
+  std::chrono::milliseconds deadline{0};
+  /// Optional external cancellation (parent token): when it fires,
+  /// Synthesize winds down exactly like a deadline overrun. Must outlive
+  /// the Synthesize call. Null = not cancellable from outside.
+  const CancellationToken* cancellation = nullptr;
 };
 
 /// \brief Orchestrates the two phases of Fig. 4.

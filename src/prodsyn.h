@@ -6,11 +6,14 @@
 #ifndef PRODSYN_PRODSYN_H_
 #define PRODSYN_PRODSYN_H_
 
-// util: error handling, RNG, strings, files, logging
+// util: error handling, RNG, strings, files, logging, fault tolerance
+#include "src/util/cancellation.h"
+#include "src/util/fault.h"
 #include "src/util/file.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
 #include "src/util/result.h"
+#include "src/util/retry.h"
 #include "src/util/status.h"
 #include "src/util/string_util.h"
 #include "src/util/thread_pool.h"
@@ -64,6 +67,7 @@
 // pipeline: the run-time offer processing stages
 #include "src/pipeline/attribute_extraction.h"
 #include "src/pipeline/clustering.h"
+#include "src/pipeline/error_ledger.h"
 #include "src/pipeline/schema_reconciliation.h"
 #include "src/util/stage_metrics.h"
 #include "src/pipeline/synthesizer.h"

@@ -1,0 +1,36 @@
+#include "src/util/cancellation.h"
+
+namespace prodsyn {
+
+namespace {
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void CancellationToken::SetDeadline(std::chrono::nanoseconds budget) {
+  const int64_t budget_ns = budget.count();
+  if (budget_ns <= 0) {
+    deadline_exceeded_.store(true, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  deadline_ns_.store(SteadyNowNanos() + budget_ns, std::memory_order_relaxed);
+}
+
+bool CancellationToken::cancelled() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && SteadyNowNanos() >= deadline) {
+    // Latch so later polls take the one-load fast path and so
+    // deadline_exceeded() can attribute the cancellation.
+    deadline_exceeded_.store(true, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return parent_ != nullptr && parent_->cancelled();
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,75 @@
+// Cooperative cancellation and deadlines for the synthesis pipeline.
+//
+// A CancellationToken is a sticky flag plus an optional deadline that the
+// long-running loops of both phases poll: ThreadPool::ParallelFor skips
+// unstarted shards, the run-time per-offer/per-cluster loops stop between
+// items, and the offline stages bail between (and inside) their sweeps.
+// Cancellation is cooperative — in-flight work items finish; nothing is
+// interrupted mid-item — so an expired deadline converts into a *partial*
+// result bounded by roughly one work item of overshoot, never a hang.
+//
+// Tokens can be chained (child consults parent), which is how Synthesize
+// merges a caller-provided token with its own deadline token.
+//
+// Determinism note: whether a particular item ran before cancellation is
+// timing-dependent by nature. Cancelled/partial runs are therefore outside
+// the bit-identical determinism contract; runs that complete without
+// cancellation are unaffected by the token (polling has no side effects).
+
+#ifndef PRODSYN_UTIL_CANCELLATION_H_
+#define PRODSYN_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace prodsyn {
+
+/// \brief Sticky cancellation flag with an optional deadline and an
+/// optional parent token.
+///
+/// Thread safety: Cancel and cancelled may be called concurrently from any
+/// thread. SetDeadline must happen-before the first concurrent cancelled()
+/// call (arm it before handing the token to workers). The parent (if any)
+/// must outlive this token.
+class CancellationToken {
+ public:
+  /// \param parent optional token consulted by cancelled() in addition to
+  /// this token's own state; cancellation of the parent cancels the child.
+  explicit CancellationToken(const CancellationToken* parent = nullptr)
+      : parent_(parent) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// \brief Requests cancellation. Idempotent; never blocks.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// \brief Arms a deadline `budget` from now. cancelled() turns true once
+  /// the deadline passes; deadline_exceeded() distinguishes that from an
+  /// explicit Cancel. A zero/negative budget cancels immediately.
+  void SetDeadline(std::chrono::nanoseconds budget);
+
+  /// \brief True once Cancel was called, the deadline passed, or the
+  /// parent token reports cancelled. The fast path (no deadline armed, not
+  /// cancelled) is one relaxed load per token in the chain.
+  bool cancelled() const;
+
+  /// \brief True iff cancellation came from this token's deadline (latched
+  /// by the cancelled() call that observed the overrun).
+  bool deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->deadline_exceeded());
+  }
+
+ private:
+  const CancellationToken* parent_;
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> deadline_exceeded_{false};
+  /// Steady-clock deadline in ns-since-epoch; 0 = no deadline armed.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_CANCELLATION_H_

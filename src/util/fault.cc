@@ -1,0 +1,144 @@
+#include "src/util/fault.h"
+
+#include "src/util/random.h"
+
+namespace prodsyn {
+
+namespace {
+
+// SplitMix64 finalizer — the keyed fire decision must be a high-quality
+// pure function of (seed, site, key) so per-key outcomes look independent.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double KeyedUniform(uint64_t seed, uint64_t site_hash, uint64_t key) {
+  const uint64_t h = Mix64(Mix64(seed ^ site_hash) ^ key);
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::set_recording(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recording_ == on) return;
+  recording_ = on;
+  active_.fetch_add(on ? 1 : -1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) active_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.spec = std::move(spec);
+  state.hits = 0;
+  state.injected = 0;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  active_.fetch_add(-1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  total_injected_ = 0;
+  recording_ = false;
+  active_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string> FaultInjector::RegisteredSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, state] : sites_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::injected(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+bool FaultInjector::ShouldFireLocked(SiteState* state) {
+  if (!state->armed) return false;
+  const FaultSpec& spec = state->spec;
+  const uint64_t hit_index = state->hits - 1;  // hits already incremented
+  return hit_index >= spec.skip_hits && state->injected < spec.max_failures;
+}
+
+Status FaultInjector::InjectedStatus(const char* site,
+                                     const SiteState& state) {
+  std::string message = state.spec.message;
+  if (message.empty()) {
+    message = "injected fault at ";
+    message += site;
+  }
+  return Status(state.spec.code, std::move(message));
+}
+
+Status FaultInjector::Check(const char* site) {
+  if (!active()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  ++state.hits;
+  if (!ShouldFireLocked(&state)) return Status::OK();
+  ++state.injected;
+  ++total_injected_;
+  return InjectedStatus(site, state);
+}
+
+Status FaultInjector::CheckKeyed(const char* site, uint64_t key) {
+  if (!active()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  ++state.hits;
+  if (!state.armed) return Status::OK();
+  const FaultSpec& spec = state.spec;
+  // The decision hashes the *site name* in as well so two sites armed with
+  // the same seed fail on different key subsets.
+  if (KeyedUniform(spec.seed, HashString(site), key) >= spec.probability) {
+    return Status::OK();
+  }
+  ++state.injected;
+  ++total_injected_;
+  return InjectedStatus(site, state);
+}
+
+void FaultInjector::Hit(const char* site) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  ++state.hits;
+  if (!ShouldFireLocked(&state)) return;
+  ++state.injected;
+  ++total_injected_;
+}
+
+}  // namespace prodsyn

@@ -1,0 +1,196 @@
+// Deterministic fault injection for robustness testing.
+//
+// Library code declares *fault sites* — named points where an error can be
+// injected — with the PRODSYN_FAULT_* macros. In release builds
+// (NDEBUG without PRODSYN_FORCE_DCHECK/PRODSYN_FORCE_FAULT_INJECTION) the
+// macros compile to nothing; in debug and sanitizer builds a disarmed
+// injector costs one relaxed atomic load per site hit.
+//
+// Tests drive the process-global FaultInjector in two modes:
+//
+//  * Scripted (unkeyed sites): fire after `skip_hits` passing hits, at
+//    most `max_failures` times. Hit order is global, so this mode is only
+//    deterministic on single-threaded paths (file I/O, feed parsing).
+//
+//  * Keyed (per-work-item sites): the site passes a stable 64-bit key —
+//    the offer id, the cluster-key hash, the feed line number — and the
+//    fire decision is a pure hash of (seed, site, key) compared against
+//    `probability`. The same (seed, key) fires identically no matter how
+//    work is sharded across threads, which is what makes the quarantine
+//    ledger bit-identical for any thread count.
+//
+// Sites self-register on first execution while the injector is *active*
+// (recording enabled or at least one site armed); a clean "discovery" run
+// with recording on enumerates every reachable site for the chaos suite.
+
+#ifndef PRODSYN_UTIL_FAULT_H_
+#define PRODSYN_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+// Whether PRODSYN_FAULT_* expand to real fault sites in this TU. Mirrors
+// the PRODSYN_DCHECK gate: on in Debug and sanitizer builds, compiled out
+// in Release (hot paths pay nothing in production).
+#if !defined(NDEBUG) || defined(PRODSYN_FORCE_DCHECK) || \
+    defined(PRODSYN_FORCE_FAULT_INJECTION)
+#define PRODSYN_FAULT_INJECTION_IS_ON() 1
+#else
+#define PRODSYN_FAULT_INJECTION_IS_ON() 0
+#endif
+
+namespace prodsyn {
+
+/// \brief How an armed fault site fails.
+struct FaultSpec {
+  /// Status code of the injected error.
+  StatusCode code = StatusCode::kInternal;
+  /// Message of the injected error; empty = "injected fault at <site>".
+  /// Kept key-independent so quarantine ledgers stay comparable.
+  std::string message;
+  /// Unkeyed sites: let this many hits pass before firing.
+  uint64_t skip_hits = 0;
+  /// Unkeyed sites: stop firing after this many injected failures
+  /// (default: unlimited). Lets tests script "fail twice, then recover"
+  /// transients for the retry wrapper.
+  uint64_t max_failures = UINT64_MAX;
+  /// Keyed sites: fire probability per distinct key, decided by a pure
+  /// hash of (seed, site, key) — thread-count invariant.
+  double probability = 1.0;
+  /// Keyed sites: decision-hash seed.
+  uint64_t seed = 0;
+};
+
+/// \brief Process-global scripted/seeded fault injector.
+///
+/// Thread safety: all methods may be called concurrently; Check/CheckKeyed
+/// are called from worker threads. The disarmed fast path is one relaxed
+/// atomic load. Arm/Reset while a pipeline run is in flight is not
+/// supported (arm, run, inspect, reset).
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// \brief Enables site registration and hit counting even with no site
+  /// armed; used by chaos tests to discover reachable sites via a clean
+  /// run. Off by default so production-shaped test runs stay at the
+  /// one-load fast path.
+  void set_recording(bool on);
+
+  /// \brief Arms `site` with `spec`. Re-arming replaces the spec and
+  /// resets the site's hit/injection counters.
+  void Arm(const std::string& site, FaultSpec spec);
+
+  /// \brief Disarms `site` (registration and counters survive).
+  void Disarm(const std::string& site);
+
+  /// \brief Disarms every site, zeroes all counters, clears registration,
+  /// and turns recording off.
+  void Reset();
+
+  /// \brief Names of every site that executed while the injector was
+  /// active, sorted.
+  std::vector<std::string> RegisteredSites() const;
+
+  /// \brief Hits of `site` while the injector was active.
+  uint64_t hits(const std::string& site) const;
+
+  /// \brief Faults injected at `site`.
+  uint64_t injected(const std::string& site) const;
+
+  /// \brief Total faults injected across all sites.
+  uint64_t total_injected() const;
+
+  /// \brief Fault-site entry point (unkeyed). OK unless the site is armed
+  /// and its script says fire. Called via PRODSYN_FAULT_POINT/_CHECK.
+  Status Check(const char* site);
+
+  /// \brief Fault-site entry point (keyed). The fire decision is a pure
+  /// function of (armed seed, site, key). Called via the *_KEYED macros.
+  Status CheckKeyed(const char* site, uint64_t key);
+
+  /// \brief Void-context fault site (e.g. thread-pool task execution):
+  /// counts the hit and, when armed and scripted to fire, counts an
+  /// injection — there is no error channel to divert into.
+  void Hit(const char* site);
+
+ private:
+  struct SiteState {
+    bool armed = false;
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t injected = 0;
+  };
+
+  FaultInjector() = default;
+
+  bool active() const { return active_.load(std::memory_order_relaxed) != 0; }
+  // Returns whether the (already locked, unkeyed) site fires on this hit.
+  bool ShouldFireLocked(SiteState* state);
+  Status InjectedStatus(const char* site, const SiteState& state);
+
+  std::atomic<int> active_{0};  ///< recording flag + armed-site count
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  uint64_t total_injected_ = 0;
+  bool recording_ = false;
+};
+
+}  // namespace prodsyn
+
+#if PRODSYN_FAULT_INJECTION_IS_ON()
+
+/// Expression forms: evaluate to the injected Status (OK when disarmed).
+#define PRODSYN_FAULT_CHECK(site) \
+  ::prodsyn::FaultInjector::Global().Check(site)
+#define PRODSYN_FAULT_CHECK_KEYED(site, key) \
+  ::prodsyn::FaultInjector::Global().CheckKeyed((site), (key))
+
+/// Statement forms: early-return the injected Status from the enclosing
+/// Status/Result-returning function.
+#define PRODSYN_FAULT_POINT(site) \
+  PRODSYN_RETURN_NOT_OK(PRODSYN_FAULT_CHECK(site))
+#define PRODSYN_FAULT_POINT_KEYED(site, key) \
+  PRODSYN_RETURN_NOT_OK(PRODSYN_FAULT_CHECK_KEYED((site), (key)))
+
+/// Void-context site (no error channel; counts hits/injections only).
+#define PRODSYN_FAULT_HIT(site) ::prodsyn::FaultInjector::Global().Hit(site)
+
+#else  // PRODSYN_FAULT_INJECTION_IS_ON()
+
+// Compiled out: operands stay syntactically checked but are never
+// evaluated (same discipline as the PRODSYN_DCHECK noops).
+#define PRODSYN_FAULT_CHECK(site) \
+  (false ? ::prodsyn::FaultInjector::Global().Check(site) \
+         : ::prodsyn::Status::OK())
+#define PRODSYN_FAULT_CHECK_KEYED(site, key) \
+  (false ? ::prodsyn::FaultInjector::Global().CheckKeyed((site), (key)) \
+         : ::prodsyn::Status::OK())
+#define PRODSYN_FAULT_POINT(site)    \
+  do {                               \
+    if (false) {                     \
+      (void)PRODSYN_FAULT_CHECK(site); \
+    }                                \
+  } while (false)
+#define PRODSYN_FAULT_POINT_KEYED(site, key)          \
+  do {                                                \
+    if (false) {                                      \
+      (void)PRODSYN_FAULT_CHECK_KEYED((site), (key)); \
+    }                                                 \
+  } while (false)
+#define PRODSYN_FAULT_HIT(site)                       \
+  do {                                                \
+    if (false) {                                      \
+      ::prodsyn::FaultInjector::Global().Hit(site);   \
+    }                                                 \
+  } while (false)
+
+#endif  // PRODSYN_FAULT_INJECTION_IS_ON()
+
+#endif  // PRODSYN_UTIL_FAULT_H_

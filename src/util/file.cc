@@ -5,9 +5,12 @@
 #include <cstring>
 #include <sys/stat.h>
 
+#include "src/util/fault.h"
+
 namespace prodsyn {
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  PRODSYN_FAULT_POINT("file.read");
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     if (errno == ENOENT) {
@@ -27,6 +30,13 @@ Result<std::string> ReadFileToString(const std::string& path) {
     return Status::IOError("read '" + path + "' failed");
   }
   return contents;
+}
+
+Result<std::string> ReadFileToStringWithRetry(const std::string& path,
+                                              const RetryOptions& options,
+                                              RetryStats* stats) {
+  return RetryWithBackoff([&path] { return ReadFileToString(path); },
+                          options, stats);
 }
 
 Status WriteStringToFile(const std::string& path,

@@ -7,12 +7,26 @@
 #include <string>
 
 #include "src/util/result.h"
+#include "src/util/retry.h"
 
 namespace prodsyn {
 
 /// \brief Reads a whole file into a string. NotFound when the file does
 /// not exist; IOError on other failures.
+///
+/// Ingestion paths in src/pipeline and src/catalog must use
+/// ReadFileToStringWithRetry instead (enforced by lint rule R6) — merchant
+/// feeds live on flaky storage and a transient IOError must not discard
+/// a run.
 Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief ReadFileToString wrapped in RetryWithBackoff: transient IOErrors
+/// are retried per `options` (NotFound fails fast — a missing file is not
+/// a transient). `stats` (optional) receives the attempt/backoff counters
+/// for ledgers and gauges.
+Result<std::string> ReadFileToStringWithRetry(const std::string& path,
+                                              const RetryOptions& options = {},
+                                              RetryStats* stats = nullptr);
 
 /// \brief Writes (truncates) `contents` to `path`. IOError on failure.
 Status WriteStringToFile(const std::string& path,

@@ -1,0 +1,18 @@
+#include "src/util/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace prodsyn {
+namespace internal {
+
+void SleepMs(uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool DefaultRetryable(const Status& status) {
+  return status.IsIOError() || status.IsInternal();
+}
+
+}  // namespace internal
+}  // namespace prodsyn

@@ -1,0 +1,113 @@
+// Bounded retry with decorrelated-jitter backoff, for transient failures
+// at ingestion boundaries (file reads, future fetch/RPC layers).
+//
+// Real merchant infrastructure flakes: NFS mounts hiccup, feeds land
+// mid-write, crawler caches time out. RetryWithBackoff turns such
+// transients into at most `max_attempts` tries separated by decorrelated
+// jittered sleeps (AWS-style: next = uniform[base, prev*3], capped), so
+// herds of workers do not resynchronize on a recovering dependency.
+//
+// Determinism: the jitter RNG is util::Rng seeded from RetryOptions::seed
+// and the sleep is an injectable function, so tests observe the exact
+// backoff schedule without sleeping and results are bit-reproducible.
+
+#ifndef PRODSYN_UTIL_RETRY_H_
+#define PRODSYN_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/util/cancellation.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Policy knobs of RetryWithBackoff.
+struct RetryOptions {
+  /// Total tries, including the first (1 = no retry).
+  size_t max_attempts = 3;
+  /// Backoff bounds in milliseconds (decorrelated jitter between them).
+  uint64_t initial_backoff_ms = 10;
+  uint64_t max_backoff_ms = 1000;
+  /// Jitter RNG seed (deterministic schedule for a fixed seed).
+  uint64_t seed = 0x7e7245;
+  /// Which failures are worth retrying. Default: IOError and Internal
+  /// (transient infrastructure); NotFound/ParseError etc. fail fast.
+  std::function<bool(const Status&)> retryable;
+  /// Sleep implementation; tests inject a recorder. Null = real sleep.
+  std::function<void(uint64_t ms)> sleep_ms;
+  /// Optional cancellation: checked before every attempt and sleep.
+  const CancellationToken* cancellation = nullptr;
+};
+
+/// \brief Counters of one RetryWithBackoff call (for ledgers and gauges).
+struct RetryStats {
+  size_t attempts = 0;           ///< tries actually made
+  uint64_t total_backoff_ms = 0;  ///< backoff slept between them
+};
+
+namespace internal {
+
+/// Real sleep used when RetryOptions::sleep_ms is null.
+void SleepMs(uint64_t ms);
+
+/// Default retryable predicate: transient infrastructure failures only.
+bool DefaultRetryable(const Status& status);
+
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+Status StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace internal
+
+/// \brief Calls `fn` (returning Status or Result<T>) up to
+/// `options.max_attempts` times, sleeping a decorrelated-jittered backoff
+/// between attempts. Returns the first success, the first non-retryable
+/// failure, the last failure when attempts are exhausted, or
+/// Status::Cancelled when `options.cancellation` fires between attempts.
+/// `stats` (optional) receives the attempt/backoff counters.
+template <typename Fn>
+auto RetryWithBackoff(Fn&& fn, const RetryOptions& options = {},
+                      RetryStats* stats = nullptr) -> decltype(fn()) {
+  const size_t max_attempts = std::max<size_t>(1, options.max_attempts);
+  Rng rng(options.seed);
+  uint64_t prev_backoff = options.initial_backoff_ms;
+  if (stats != nullptr) *stats = RetryStats{};
+  for (size_t attempt = 1;; ++attempt) {
+    if (options.cancellation != nullptr && options.cancellation->cancelled()) {
+      return Status::Cancelled("retry cancelled before attempt " +
+                               std::to_string(attempt));
+    }
+    if (stats != nullptr) stats->attempts = attempt;
+    auto result = fn();
+    const Status status = internal::StatusOf(result);
+    if (status.ok() || attempt >= max_attempts) return result;
+    const bool retryable = options.retryable
+                               ? options.retryable(status)
+                               : internal::DefaultRetryable(status);
+    if (!retryable) return result;
+    // Decorrelated jitter: uniform in [initial, prev*3], capped.
+    const uint64_t lo = options.initial_backoff_ms;
+    const uint64_t hi =
+        std::min(options.max_backoff_ms,
+                 std::max(lo, prev_backoff * 3));
+    const uint64_t backoff =
+        lo >= hi ? lo : lo + rng.NextBelow(hi - lo + 1);
+    prev_backoff = backoff;
+    if (stats != nullptr) stats->total_backoff_ms += backoff;
+    if (options.sleep_ms) {
+      options.sleep_ms(backoff);
+    } else {
+      internal::SleepMs(backoff);
+    }
+  }
+}
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_RETRY_H_

@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kParseError = 6,
   kIOError = 7,
   kInternal = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -70,6 +72,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// \brief True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -96,6 +104,10 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/fault.h"
+
 namespace prodsyn {
 
 size_t ThreadPool::HardwareThreads() {
@@ -62,6 +64,9 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    // Void-context site: a fired fault is counted by the injector (there
+    // is no status channel here); chaos runs assert the accounting.
+    PRODSYN_FAULT_HIT("thread_pool.task");
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -73,7 +78,14 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(
     size_t n, const std::function<void(size_t begin, size_t end)>& body) {
+  ParallelFor(n, body, nullptr);
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t begin, size_t end)>& body,
+    const CancellationToken* token) {
   if (n == 0) return;
+  if (token != nullptr && token->cancelled()) return;
   const size_t chunks = std::min(thread_count(), n);
   if (chunks <= 1) {
     body(0, n);
@@ -93,8 +105,11 @@ void ThreadPool::ParallelFor(
       std::lock_guard<std::mutex> lock(done_mu);
       ++remaining;
     }
-    Submit([&body, &done_mu, &done_cv, &remaining, begin, end] {
-      body(begin, end);
+    Submit([&body, &done_mu, &done_cv, &remaining, begin, end, token] {
+      // Cooperative cancellation: a chunk that has not started when the
+      // token fires is skipped wholesale; the latch still completes so
+      // the caller never hangs.
+      if (token == nullptr || !token->cancelled()) body(begin, end);
       std::lock_guard<std::mutex> lock(done_mu);
       if (--remaining == 0) done_cv.notify_all();
     });

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/cancellation.h"
+
 namespace prodsyn {
 
 /// \brief A fixed-size pool of worker threads draining one shared FIFO
@@ -80,6 +82,15 @@ class ThreadPool {
   /// overall result to be thread-count-invariant.
   void ParallelFor(size_t n,
                    const std::function<void(size_t begin, size_t end)>& body);
+
+  /// \brief ParallelFor with cooperative cancellation: chunks whose
+  /// execution has not started when `token` reports cancelled are skipped
+  /// entirely (the call still returns only after in-flight chunks finish).
+  /// For prompt cancellation *within* a chunk, `body` should also poll the
+  /// token per index. A null token behaves like plain ParallelFor.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t begin, size_t end)>& body,
+                   const CancellationToken* token);
 
  private:
   void WorkerLoop();

@@ -1,0 +1,173 @@
+// FaultInjector: scripted and keyed injection, site registration,
+// counters, and the compiled-out gate.
+
+#include "src/util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+namespace {
+
+// Every test drives the process-global injector; reset around each so
+// tests are order-independent.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!PRODSYN_FAULT_INJECTION_IS_ON()) {
+      GTEST_SKIP() << "fault injection compiled out in this build";
+    }
+    FaultInjector::Global().Reset();
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedSiteIsOk) {
+  EXPECT_TRUE(PRODSYN_FAULT_CHECK("test.site").ok());
+  EXPECT_TRUE(PRODSYN_FAULT_CHECK_KEYED("test.site", 7).ok());
+}
+
+TEST_F(FaultInjectorTest, ArmedSiteFiresWithDefaultSpec) {
+  FaultInjector::Global().Arm("test.site", FaultSpec{});
+  Status st = PRODSYN_FAULT_CHECK("test.site");
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_EQ(st.message(), "injected fault at test.site");
+  // Other sites are unaffected.
+  EXPECT_TRUE(PRODSYN_FAULT_CHECK("test.other").ok());
+}
+
+TEST_F(FaultInjectorTest, CustomCodeAndMessageHonored) {
+  FaultSpec spec;
+  spec.code = StatusCode::kIOError;
+  spec.message = "disk on fire";
+  FaultInjector::Global().Arm("test.site", spec);
+  Status st = PRODSYN_FAULT_CHECK("test.site");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "disk on fire");
+}
+
+TEST_F(FaultInjectorTest, ScriptedSkipAndMaxFailures) {
+  FaultSpec spec;
+  spec.skip_hits = 2;
+  spec.max_failures = 3;
+  FaultInjector::Global().Arm("test.site", spec);
+  size_t failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!PRODSYN_FAULT_CHECK("test.site").ok()) ++failures;
+  }
+  // Hits 0,1 pass; hits 2,3,4 fire; the cap stops the rest.
+  EXPECT_EQ(failures, 3u);
+  EXPECT_EQ(FaultInjector::Global().hits("test.site"), 10u);
+  EXPECT_EQ(FaultInjector::Global().injected("test.site"), 3u);
+  EXPECT_EQ(FaultInjector::Global().total_injected(), 3u);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringButKeepsCounters) {
+  FaultInjector::Global().Arm("test.site", FaultSpec{});
+  EXPECT_FALSE(PRODSYN_FAULT_CHECK("test.site").ok());
+  FaultInjector::Global().Disarm("test.site");
+  EXPECT_TRUE(PRODSYN_FAULT_CHECK("test.site").ok());
+  EXPECT_EQ(FaultInjector::Global().injected("test.site"), 1u);
+}
+
+TEST_F(FaultInjectorTest, KeyedDecisionIsPureFunctionOfSeedAndKey) {
+  FaultSpec spec;
+  spec.probability = 0.3;
+  spec.seed = 42;
+  FaultInjector::Global().Arm("test.keyed", spec);
+  auto fired_keys = [&] {
+    std::set<uint64_t> fired;
+    for (uint64_t key = 0; key < 1000; ++key) {
+      if (!PRODSYN_FAULT_CHECK_KEYED("test.keyed", key).ok()) {
+        fired.insert(key);
+      }
+    }
+    return fired;
+  };
+  const std::set<uint64_t> first = fired_keys();
+  // Same seed, same keys, any call order: identical decisions — the
+  // property the quarantine-ledger determinism contract rests on.
+  EXPECT_EQ(first, fired_keys());
+  // Roughly `probability` of keys fire (generous 3-sigma-ish bounds).
+  EXPECT_GT(first.size(), 200u);
+  EXPECT_LT(first.size(), 400u);
+  // A different seed picks a different subset.
+  spec.seed = 43;
+  FaultInjector::Global().Arm("test.keyed", spec);
+  EXPECT_NE(first, fired_keys());
+}
+
+TEST_F(FaultInjectorTest, KeyedProbabilityExtremes) {
+  FaultSpec spec;
+  spec.probability = 0.0;
+  FaultInjector::Global().Arm("test.keyed", spec);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_TRUE(PRODSYN_FAULT_CHECK_KEYED("test.keyed", key).ok());
+  }
+  spec.probability = 1.0;
+  FaultInjector::Global().Arm("test.keyed", spec);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_FALSE(PRODSYN_FAULT_CHECK_KEYED("test.keyed", key).ok());
+  }
+}
+
+TEST_F(FaultInjectorTest, RecordingRegistersExecutedSites) {
+  // Inactive injector: sites do not register (fast path).
+  (void)PRODSYN_FAULT_CHECK("test.unrecorded");
+  EXPECT_TRUE(FaultInjector::Global().RegisteredSites().empty());
+
+  FaultInjector::Global().set_recording(true);
+  (void)PRODSYN_FAULT_CHECK("test.b");
+  (void)PRODSYN_FAULT_CHECK_KEYED("test.a", 1);
+  PRODSYN_FAULT_HIT("test.c");
+  const std::vector<std::string> sites =
+      FaultInjector::Global().RegisteredSites();
+  EXPECT_EQ(sites,
+            (std::vector<std::string>{"test.a", "test.b", "test.c"}));
+  EXPECT_EQ(FaultInjector::Global().hits("test.b"), 1u);
+
+  FaultInjector::Global().Reset();
+  EXPECT_TRUE(FaultInjector::Global().RegisteredSites().empty());
+}
+
+TEST_F(FaultInjectorTest, VoidHitSiteCountsInjections) {
+  FaultSpec spec;
+  spec.skip_hits = 1;
+  FaultInjector::Global().Arm("test.void", spec);
+  for (int i = 0; i < 3; ++i) PRODSYN_FAULT_HIT("test.void");
+  EXPECT_EQ(FaultInjector::Global().hits("test.void"), 3u);
+  EXPECT_EQ(FaultInjector::Global().injected("test.void"), 2u);
+}
+
+TEST_F(FaultInjectorTest, RearmResetsSiteCounters) {
+  FaultInjector::Global().Arm("test.site", FaultSpec{});
+  (void)PRODSYN_FAULT_CHECK("test.site");
+  EXPECT_EQ(FaultInjector::Global().hits("test.site"), 1u);
+  FaultInjector::Global().Arm("test.site", FaultSpec{});
+  EXPECT_EQ(FaultInjector::Global().hits("test.site"), 0u);
+  EXPECT_EQ(FaultInjector::Global().injected("test.site"), 0u);
+}
+
+// Compiles in every build: the macros must be syntactically valid (and
+// no-ops) when injection is compiled out.
+Status FunctionWithFaultPoint() {
+  PRODSYN_FAULT_POINT("test.gate");
+  PRODSYN_FAULT_POINT_KEYED("test.gate_keyed", 5);
+  PRODSYN_FAULT_HIT("test.gate_hit");
+  return Status::OK();
+}
+
+TEST(FaultGateTest, MacrosCompileInEveryBuild) {
+  if (PRODSYN_FAULT_INJECTION_IS_ON()) {
+    FaultInjector::Global().Reset();
+  }
+  EXPECT_TRUE(FunctionWithFaultPoint().ok());
+}
+
+}  // namespace
+}  // namespace prodsyn

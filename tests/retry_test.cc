@@ -1,0 +1,205 @@
+// RetryWithBackoff: attempt accounting, decorrelated-jitter schedule,
+// retryable classification, cancellation, and the file-ingestion wrapper.
+
+#include "src/util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/fault.h"
+#include "src/util/file.h"
+
+namespace prodsyn {
+namespace {
+
+// Records backoffs instead of sleeping, so tests observe the schedule.
+struct SleepRecorder {
+  std::vector<uint64_t> slept;
+  RetryOptions Options() {
+    RetryOptions options;
+    options.sleep_ms = [this](uint64_t ms) { slept.push_back(ms); };
+    return options;
+  }
+};
+
+TEST(RetryTest, FirstTrySuccessMakesOneAttempt) {
+  SleepRecorder rec;
+  RetryStats stats;
+  size_t calls = 0;
+  Status st = RetryWithBackoff(
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      rec.Options(), &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_TRUE(rec.slept.empty());
+}
+
+TEST(RetryTest, TransientFailureRecovers) {
+  SleepRecorder rec;
+  RetryStats stats;
+  size_t calls = 0;
+  Status st = RetryWithBackoff(
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IOError("flake") : Status::OK();
+      },
+      rec.Options(), &stats);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(rec.slept.size(), 2u);  // one backoff between each retry
+  uint64_t total = 0;
+  for (uint64_t ms : rec.slept) total += ms;
+  EXPECT_EQ(stats.total_backoff_ms, total);
+}
+
+TEST(RetryTest, NonRetryableFailsFast) {
+  SleepRecorder rec;
+  RetryStats stats;
+  size_t calls = 0;
+  Status st = RetryWithBackoff(
+      [&] {
+        ++calls;
+        return Status::NotFound("gone");
+      },
+      rec.Options(), &stats);
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(calls, 1u);
+  EXPECT_TRUE(rec.slept.empty());
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnLastFailure) {
+  SleepRecorder rec;
+  RetryOptions options = rec.Options();
+  options.max_attempts = 4;
+  RetryStats stats;
+  Status st = RetryWithBackoff([&] { return Status::IOError("down"); },
+                               options, &stats);
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(rec.slept.size(), 3u);
+}
+
+TEST(RetryTest, BackoffStaysWithinBounds) {
+  SleepRecorder rec;
+  RetryOptions options = rec.Options();
+  options.max_attempts = 10;
+  options.initial_backoff_ms = 7;
+  options.max_backoff_ms = 100;
+  RetryWithBackoff([&] { return Status::IOError("down"); }, options);
+  ASSERT_EQ(rec.slept.size(), 9u);
+  for (uint64_t ms : rec.slept) {
+    EXPECT_GE(ms, options.initial_backoff_ms);
+    EXPECT_LE(ms, options.max_backoff_ms);
+  }
+}
+
+TEST(RetryTest, ScheduleIsDeterministicPerSeed) {
+  auto schedule = [](uint64_t seed) {
+    SleepRecorder rec;
+    RetryOptions options = rec.Options();
+    options.max_attempts = 8;
+    options.seed = seed;
+    RetryWithBackoff([&] { return Status::IOError("down"); }, options);
+    return rec.slept;
+  };
+  EXPECT_EQ(schedule(1), schedule(1));
+  EXPECT_NE(schedule(1), schedule(2));
+}
+
+TEST(RetryTest, CustomRetryablePredicateHonored) {
+  SleepRecorder rec;
+  RetryOptions options = rec.Options();
+  options.retryable = [](const Status& s) { return s.IsParseError(); };
+  RetryStats stats;
+  // IOError is default-retryable but the custom predicate rejects it.
+  Status st = RetryWithBackoff([&] { return Status::IOError("down"); },
+                               options, &stats);
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(RetryTest, CancellationShortCircuits) {
+  CancellationToken token;
+  token.Cancel();
+  SleepRecorder rec;
+  RetryOptions options = rec.Options();
+  options.cancellation = &token;
+  size_t calls = 0;
+  Status st = RetryWithBackoff(
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      options);
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(RetryTest, ResultReturningFunctionPassesValueThrough) {
+  SleepRecorder rec;
+  size_t calls = 0;
+  Result<int> result = RetryWithBackoff(
+      [&]() -> Result<int> {
+        ++calls;
+        if (calls < 2) return Status::IOError("flake");
+        return 42;
+      },
+      rec.Options());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(RetryTest, ReadFileToStringWithRetryReadsExistingFile) {
+  const std::string path =
+      ::testing::TempDir() + "/retry_read_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "payload").ok());
+  SleepRecorder rec;
+  auto contents = ReadFileToStringWithRetry(path, rec.Options());
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "payload");
+  std::remove(path.c_str());
+}
+
+TEST(RetryTest, ReadFileToStringWithRetryFailsFastOnMissingFile) {
+  SleepRecorder rec;
+  RetryStats stats;
+  auto contents = ReadFileToStringWithRetry(
+      ::testing::TempDir() + "/definitely_missing_file", rec.Options(),
+      &stats);
+  EXPECT_TRUE(contents.status().IsNotFound());
+  EXPECT_EQ(stats.attempts, 1u);  // NotFound is not a transient
+}
+
+TEST(RetryTest, RecoversFromInjectedTransientReadFault) {
+  if (!PRODSYN_FAULT_INJECTION_IS_ON()) {
+    GTEST_SKIP() << "fault injection compiled out in this build";
+  }
+  const std::string path =
+      ::testing::TempDir() + "/retry_fault_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "payload").ok());
+  FaultInjector::Global().Reset();
+  FaultSpec spec;
+  spec.code = StatusCode::kIOError;
+  spec.max_failures = 2;  // fail twice, then recover
+  FaultInjector::Global().Arm("file.read", spec);
+  SleepRecorder rec;
+  RetryStats stats;
+  auto contents = ReadFileToStringWithRetry(path, rec.Options(), &stats);
+  FaultInjector::Global().Reset();
+  std::remove(path.c_str());
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_EQ(*contents, "payload");
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+}  // namespace
+}  // namespace prodsyn

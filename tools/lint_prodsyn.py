@@ -20,6 +20,12 @@ Enforces conventions that clang-tidy cannot express:
                        goes through ScopedStageTimer (util/stage_metrics)
                        or PRODSYN_TRACE_SPAN (util/trace) so every
                        measurement lands in the telemetry registry.
+  R6  retry-ingestion  Pipeline/catalog code never calls ReadFileToString
+                       directly: file ingestion goes through
+                       ReadFileToStringWithRetry (util/retry) so transient
+                       read failures are retried with backoff. Call sites
+                       that genuinely must not retry annotate the line
+                       with `// lint: no-retry`.
 
 Usage: tools/lint_prodsyn.py [paths...]   (default: src tests bench examples)
 Exit status: 0 when clean, 1 when findings were printed.
@@ -54,6 +60,13 @@ RE_RAW_CLOCK = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
 # Directories where R5 (no-raw-clock) applies: instrumented pipeline code
 # must time itself through the stage/trace abstractions, never ad hoc.
 RAW_CLOCK_DIRS = ("src/pipeline/", "src/matching/")
+
+# Naked ReadFileToString( — but not ReadFileToStringWithRetry(.
+RE_NAKED_READ = re.compile(r"\bReadFileToString\s*\(")
+
+# Directories where R6 (retry-ingestion) applies: ingestion entry points
+# must absorb transient I/O failures instead of surfacing them raw.
+RETRY_DIRS = ("src/pipeline/", "src/catalog/")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -154,6 +167,12 @@ class Linter:
                 self.report(path, i, "no-raw-clock",
                             "raw steady_clock::now() in instrumented code; "
                             "use ScopedStageTimer or PRODSYN_TRACE_SPAN")
+            if (rel.startswith(RETRY_DIRS) and "lint: no-retry" not in raw
+                    and RE_NAKED_READ.search(code)):
+                self.report(path, i, "retry-ingestion",
+                            "naked ReadFileToString in ingestion code; use "
+                            "ReadFileToStringWithRetry (util/retry) or "
+                            "annotate `// lint: no-retry`")
 
         if in_src and path.suffix in {".h", ".hpp"}:
             self.lint_guard(path, lines)
