@@ -66,6 +66,11 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
         "MatchingContext requires catalog, offers, and matches");
   }
   MatchedBagIndex index;
+  // Build() *is* the interner's build phase: every Intern() below runs on
+  // this thread, and the parallel shards in between are Lookup-only (the
+  // pool workers never intern). Holding the phase for the whole function
+  // makes the clang-tsa build prove exactly that.
+  PhaseLock intern_phase(index.interner_.build_phase());
 
   const std::vector<CategoryId> categories = EffectiveCategories(ctx);
   const std::set<CategoryId> category_set(categories.begin(),
@@ -166,6 +171,8 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
 
   std::vector<std::unordered_map<Symbol, BagOfWords>> offer_shards(
       group_list.size());
+  // Per-index slots: chunk g writes only offer_shards[g]; the interner is
+  // frozen for lookup. // lint: sharded
   run_chunked(group_list.size(), [&](size_t begin, size_t end) {
     for (size_t g = begin; g < end; ++g) {
       auto& bags = offer_shards[g];
@@ -179,6 +186,7 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
   });
 
   std::vector<ProductProfile> profiles(products.size());
+  // Per-index slots: chunk i writes only profiles[i]. // lint: sharded
   run_chunked(products.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       auto& profile = profiles[i].attr_bags;
@@ -202,6 +210,9 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
   // alone (thread-count-invariant).
   for (size_t g = 0; g < group_list.size(); ++g) {
     const auto [merchant, category] = group_list[g];
+    // Commutative fold: Merge() adds token counts and the kMC move targets
+    // one distinct key per sym, so shard order cannot matter.
+    // lint: order-independent
     for (auto& [sym, bag] : offer_shards[g]) {
       index.offer_bags_.bags[Key(GroupLevel::kCategory, sym, merchant,
                                  category)]
@@ -270,10 +281,15 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
   for (auto* side : {&index.product_bags_, &index.offer_bags_}) {
     std::vector<std::pair<const PackedKey128*, const BagOfWords*>> entries;
     entries.reserve(side->bags.size());
+    // Whatever order the bag map yields is deterministic here: its layout
+    // is fixed by the sequential merges above, and dists mirrors bags
+    // entry-for-entry regardless of enumeration order.
+    // lint: order-independent
     for (const auto& [key, bag] : side->bags) {
       entries.emplace_back(&key, &bag);
     }
     std::vector<TermDistribution> dists(entries.size());
+    // Per-index slots: chunk i writes only dists[i]. // lint: sharded
     run_chunked(entries.size(), [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         // A bag only exists because AddText inserted at least one token,

@@ -88,6 +88,8 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   StageCounters* score_stage = registry.GetStage("classifier.score");
   std::atomic<size_t> predicted_valid{0};
   std::atomic<bool> failed{false};
+  // Shared state is per-index (scores[i]) or atomic (predicted_valid,
+  // failed); everything else is read-only. // lint: sharded
   auto score_range = [&](size_t begin, size_t end) {
     PRODSYN_TRACE_SPAN("classifier.score_chunk");
     ScopedStageTimer timer(score_stage);

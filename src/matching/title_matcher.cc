@@ -183,6 +183,8 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
     }
   } else {
     ThreadPool pool(threads);
+    // process_category writes only its slot of the per-category
+    // results; the inputs are read-only. // lint: sharded
     pool.ParallelFor(categories.size(), [&](size_t begin, size_t end) {
       ScopedStageTimer timer(stage);
       for (size_t slot = begin; slot < end; ++slot) process_category(slot);

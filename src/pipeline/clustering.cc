@@ -69,6 +69,7 @@ Result<std::vector<OfferCluster>> ClusterByKey(
   // Per-offer key extraction: pure per-index work, shardable. Each slot i
   // depends only on offers[i], so any thread count yields the same keys.
   std::vector<std::string> keys(offers.size());
+  // lint: sharded — slot i writes only keys[i].
   auto extract_range = [&](size_t begin, size_t end) {
     PRODSYN_TRACE_SPAN("clustering.key_scan");
     for (size_t i = begin; i < end; ++i) {

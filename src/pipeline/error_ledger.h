@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "src/catalog/types.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace prodsyn {
 
@@ -59,11 +61,21 @@ struct ErrorLedgerEntry {
 /// \brief Append-only record of every failure a quarantine run survived.
 ///
 /// Thread safety: Add is sequential-merge-only (see file doc); the const
-/// accessors are safe once the run has finished.
+/// accessors are safe once the run has finished. The contract is modeled
+/// as a zero-cost PhaseCapability: Add requires the merge phase, which
+/// the synthesizer's sequential merge loops take with
+/// `PhaseLock merge(ledger.merge_phase())` — the clang-tsa build then
+/// rejects any Add that leaks into a worker-thread body.
 class ErrorLedger {
  public:
   /// \brief Appends one entry (sequential merge only).
-  void Add(ErrorLedgerEntry entry) { entries_.push_back(std::move(entry)); }
+  void Add(ErrorLedgerEntry entry) PRODSYN_REQUIRES(merge_phase_) {
+    entries_.push_back(std::move(entry));
+  }
+
+  /// \brief The sequential-merge capability; scope a PhaseLock on it
+  /// around the (single-threaded) merge loop that appends.
+  PhaseCapability& merge_phase() const { return merge_phase_; }
 
   const std::vector<ErrorLedgerEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
@@ -79,6 +91,8 @@ class ErrorLedger {
 
  private:
   std::vector<ErrorLedgerEntry> entries_;
+  // Zero-cost phase token (empty, copyable — the ledger stays movable).
+  mutable PhaseCapability merge_phase_;
 };
 
 }  // namespace prodsyn

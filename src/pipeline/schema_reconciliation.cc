@@ -32,7 +32,9 @@ SchemaReconciler::SchemaReconciler(
     }
   }
   // Candidate lists sorted once here so CandidatesFor stays a const
-  // read; `applied` marks the winner Reconcile would pick.
+  // read; `applied` marks the winner Reconcile would pick. Each list is
+  // sorted in isolation — visiting keys in any order sorts the same
+  // lists. // lint: order-independent
   for (auto& [key, list] : candidates_) {
     std::sort(list.begin(), list.end(),
               [](const ReconciliationCandidate& a,

@@ -209,6 +209,9 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   // every attempt and determinism is preserved.
   const size_t offer_attempts =
       quarantine ? 1 + options_.quarantine_retries : 1;
+  // Workers write only per_offer[i] (per-index slots); the ledger and
+  // stats are touched exclusively by the sequential merge below.
+  // lint: sharded
   auto process_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       PRODSYN_TRACE_SPAN("runtime.offer");
@@ -296,6 +299,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     result.stats.offer_retries += slot.retries;
     if (!slot.status.ok()) {
       if (!quarantine) return slot.status;
+      PhaseLock merge(ledger->merge_phase());  // sequential merge loop
       ledger->Add({offers[i].id, slot.failed_stage, slot.status,
                    slot.retries});
       ++result.stats.quarantined_offers;
@@ -309,6 +313,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
         "runtime.clustering", static_cast<uint64_t>(offers[i].id));
     if (!cluster_fault.ok()) {
       if (!quarantine) return cluster_fault;
+      PhaseLock merge(ledger->merge_phase());  // sequential merge loop
       ledger->Add({offers[i].id, FailureStage::kClustering,
                    std::move(cluster_fault), 0});
       ++result.stats.quarantined_offers;
@@ -370,6 +375,8 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     std::vector<FusionDecision> decisions;  // filled only when recording
   };
   std::vector<FusedCluster> fused(clusters.size());
+  // Workers write only fused[i] (per-index slots); ledgering happens
+  // in the sequential merge below. // lint: sharded
   auto fuse_range = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       if (token->cancelled()) return;
@@ -416,6 +423,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
       // Cluster-scope quarantine: ledger one entry under the cluster's
       // first member (input order — deterministic), record the members'
       // provenance, and keep synthesizing the other clusters.
+      PhaseLock merge(ledger->merge_phase());  // sequential merge loop
       ledger->Add({clusters[i].members.front().offer_id,
                    FailureStage::kFusion, slot.status, 0});
       ++result.stats.quarantined_clusters;

@@ -63,6 +63,10 @@ class CancellationToken {
   }
 
  private:
+  // Sticky flags as relaxed atomics by design: every transition is
+  // monotone (false -> true) and a stale read only delays a cooperative
+  // poll by one item. The §atomics exemption of
+  // docs/STATIC_ANALYSIS.md applies — no mutex, no PRODSYN_GUARDED_BY.
   const CancellationToken* parent_;
   mutable std::atomic<bool> cancelled_{false};
   mutable std::atomic<bool> deadline_exceeded_{false};

@@ -29,14 +29,14 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::set_recording(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (recording_ == on) return;
   recording_ = on;
   active_.fetch_add(on ? 1 : -1, std::memory_order_relaxed);
 }
 
 void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SiteState& state = sites_[site];
   if (!state.armed) active_.fetch_add(1, std::memory_order_relaxed);
   state.armed = true;
@@ -46,7 +46,7 @@ void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return;
   it->second.armed = false;
@@ -54,7 +54,7 @@ void FaultInjector::Disarm(const std::string& site) {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sites_.clear();
   total_injected_ = 0;
   recording_ = false;
@@ -62,7 +62,7 @@ void FaultInjector::Reset() {
 }
 
 std::vector<std::string> FaultInjector::RegisteredSites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(sites_.size());
   for (const auto& [name, state] : sites_) names.push_back(name);
@@ -70,19 +70,19 @@ std::vector<std::string> FaultInjector::RegisteredSites() const {
 }
 
 uint64_t FaultInjector::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::injected(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.injected;
 }
 
 uint64_t FaultInjector::total_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_injected_;
 }
 
@@ -105,7 +105,7 @@ Status FaultInjector::InjectedStatus(const char* site,
 
 Status FaultInjector::Check(const char* site) {
   if (!active()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SiteState& state = sites_[site];
   ++state.hits;
   if (!ShouldFireLocked(&state)) return Status::OK();
@@ -116,7 +116,7 @@ Status FaultInjector::Check(const char* site) {
 
 Status FaultInjector::CheckKeyed(const char* site, uint64_t key) {
   if (!active()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SiteState& state = sites_[site];
   ++state.hits;
   if (!state.armed) return Status::OK();
@@ -133,7 +133,7 @@ Status FaultInjector::CheckKeyed(const char* site, uint64_t key) {
 
 void FaultInjector::Hit(const char* site) {
   if (!active()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SiteState& state = sites_[site];
   ++state.hits;
   if (!ShouldFireLocked(&state)) return;

@@ -29,11 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 // Whether PRODSYN_FAULT_* expand to real fault sites in this TU. Mirrors
 // the PRODSYN_DCHECK gate: on in Debug and sanitizer builds, compiled out
@@ -81,44 +82,44 @@ class FaultInjector {
   /// armed; used by chaos tests to discover reachable sites via a clean
   /// run. Off by default so production-shaped test runs stay at the
   /// one-load fast path.
-  void set_recording(bool on);
+  void set_recording(bool on) PRODSYN_EXCLUDES(mu_);
 
   /// \brief Arms `site` with `spec`. Re-arming replaces the spec and
   /// resets the site's hit/injection counters.
-  void Arm(const std::string& site, FaultSpec spec);
+  void Arm(const std::string& site, FaultSpec spec) PRODSYN_EXCLUDES(mu_);
 
   /// \brief Disarms `site` (registration and counters survive).
-  void Disarm(const std::string& site);
+  void Disarm(const std::string& site) PRODSYN_EXCLUDES(mu_);
 
   /// \brief Disarms every site, zeroes all counters, clears registration,
   /// and turns recording off.
-  void Reset();
+  void Reset() PRODSYN_EXCLUDES(mu_);
 
   /// \brief Names of every site that executed while the injector was
   /// active, sorted.
-  std::vector<std::string> RegisteredSites() const;
+  std::vector<std::string> RegisteredSites() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief Hits of `site` while the injector was active.
-  uint64_t hits(const std::string& site) const;
+  uint64_t hits(const std::string& site) const PRODSYN_EXCLUDES(mu_);
 
   /// \brief Faults injected at `site`.
-  uint64_t injected(const std::string& site) const;
+  uint64_t injected(const std::string& site) const PRODSYN_EXCLUDES(mu_);
 
   /// \brief Total faults injected across all sites.
-  uint64_t total_injected() const;
+  uint64_t total_injected() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief Fault-site entry point (unkeyed). OK unless the site is armed
   /// and its script says fire. Called via PRODSYN_FAULT_POINT/_CHECK.
-  Status Check(const char* site);
+  Status Check(const char* site) PRODSYN_EXCLUDES(mu_);
 
   /// \brief Fault-site entry point (keyed). The fire decision is a pure
   /// function of (armed seed, site, key). Called via the *_KEYED macros.
-  Status CheckKeyed(const char* site, uint64_t key);
+  Status CheckKeyed(const char* site, uint64_t key) PRODSYN_EXCLUDES(mu_);
 
   /// \brief Void-context fault site (e.g. thread-pool task execution):
   /// counts the hit and, when armed and scripted to fire, counts an
   /// injection — there is no error channel to divert into.
-  void Hit(const char* site);
+  void Hit(const char* site) PRODSYN_EXCLUDES(mu_);
 
  private:
   struct SiteState {
@@ -130,16 +131,20 @@ class FaultInjector {
 
   FaultInjector() = default;
 
+  // The disarmed fast path: one relaxed load, deliberately outside the
+  // mutex (active_ is a monotone armed-count whose only job is to gate
+  // the slow path; a stale read is resolved under mu_).
   bool active() const { return active_.load(std::memory_order_relaxed) != 0; }
   // Returns whether the (already locked, unkeyed) site fires on this hit.
-  bool ShouldFireLocked(SiteState* state);
-  Status InjectedStatus(const char* site, const SiteState& state);
+  bool ShouldFireLocked(SiteState* state) PRODSYN_REQUIRES(mu_);
+  Status InjectedStatus(const char* site, const SiteState& state)
+      PRODSYN_REQUIRES(mu_);
 
   std::atomic<int> active_{0};  ///< recording flag + armed-site count
-  mutable std::mutex mu_;
-  std::map<std::string, SiteState> sites_;
-  uint64_t total_injected_ = 0;
-  bool recording_ = false;
+  mutable Mutex mu_;
+  std::map<std::string, SiteState> sites_ PRODSYN_GUARDED_BY(mu_);
+  uint64_t total_injected_ PRODSYN_GUARDED_BY(mu_) = 0;
+  bool recording_ PRODSYN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace prodsyn

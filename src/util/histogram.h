@@ -76,6 +76,10 @@ class LogHistogram {
   static uint64_t BucketUpperBound(size_t index);
 
  private:
+  // Independent relaxed atomics by design (monotone accumulators; a
+  // consistent total is only read after contributing threads join) — the
+  // §atomics exemption of docs/STATIC_ANALYSIS.md, so no mutex and no
+  // PRODSYN_GUARDED_BY here.
   std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};

@@ -9,6 +9,13 @@
 // number of threads may call Lookup()/NameOf()/size() concurrently.
 // MatchedBagIndex follows exactly this discipline (interning happens in
 // its sequential scan; the parallel shards only look up).
+//
+// The build phase is modeled as a zero-cost PhaseCapability so the
+// clang-tsa build enforces it statically: Intern() requires the phase
+// capability, which callers take with `PhaseLock build(x.build_phase())`
+// around their sequential build scan. A real mutex would be wrong twice
+// over — it would serialize nothing (the contract is already
+// single-threaded) and it would make the interner unmovable.
 
 #ifndef PRODSYN_UTIL_INTERNER_H_
 #define PRODSYN_UTIL_INTERNER_H_
@@ -18,6 +25,9 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace prodsyn {
 
@@ -72,7 +82,12 @@ class StringInterner {
 
   /// \brief Returns the Symbol of `s`, interning it on first sight.
   /// Build-phase only: not safe concurrently with any other method.
-  Symbol Intern(std::string_view s);
+  /// Callers hold the build phase via PhaseLock (see file comment).
+  Symbol Intern(std::string_view s) PRODSYN_REQUIRES(build_phase_);
+
+  /// \brief The build-phase capability; scope a PhaseLock on it around
+  /// the sequential scan that interns.
+  PhaseCapability& build_phase() const { return build_phase_; }
 
   /// \brief Symbol of `s`, or kInvalidSymbol if never interned. Safe
   /// concurrently with other const methods.
@@ -98,6 +113,8 @@ class StringInterner {
   std::vector<std::string> names_;  // symbol -> string
   std::unordered_map<std::string, Symbol, TransparentHash, std::equal_to<>>
       ids_;  // string -> symbol
+  // Zero-cost phase token (empty, copyable — keeps the interner movable).
+  mutable PhaseCapability build_phase_;
 };
 
 }  // namespace prodsyn

@@ -7,6 +7,9 @@
 // enablement decision ONCE in its constructor. A SetLogLevel racing with
 // an in-flight line may let that line through at the old level (or drop
 // it), but never tears it — the relaxed atomic level is only a filter.
+// The level therefore carries no PRODSYN_GUARDED_BY and needs no TSA
+// exemption: it is a relaxed atomic under the documented §atomics rule
+// of docs/STATIC_ANALYSIS.md (a filter whose stale reads are benign).
 
 #ifndef PRODSYN_UTIL_LOGGING_H_
 #define PRODSYN_UTIL_LOGGING_H_

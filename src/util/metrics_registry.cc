@@ -113,7 +113,7 @@ void AppendPromHistogram(std::string* out, const std::string& base,
 
 LogHistogram* MetricsRegistry::GetHistogram(const std::string& name,
                                             const std::string& unit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& h : histograms_) {
     if (h->name == name) return &h->histogram;
   }
@@ -125,7 +125,7 @@ LogHistogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::atomic<int64_t>* MetricsRegistry::GaugeCell(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& g : gauges_) {
     if (g->name == name) return &g->value;
   }
@@ -146,7 +146,7 @@ void MetricsRegistry::AddGauge(const std::string& name, int64_t delta) {
 RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snap;
   snap.stages = stages_.Snapshot();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snap.histograms.reserve(histograms_.size());
   for (const auto& h : histograms_) {
     HistogramSnapshot hs = h->histogram.snapshot();

@@ -14,12 +14,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/histogram.h"
+#include "src/util/mutex.h"
 #include "src/util/stage_metrics.h"
+#include "src/util/thread_annotations.h"
 
 namespace prodsyn {
 
@@ -59,20 +60,23 @@ class MetricsRegistry {
   /// \brief The standalone histogram named `name`, created on first use.
   /// `unit` ("ns", "bytes", "count", ...) is fixed at creation.
   LogHistogram* GetHistogram(const std::string& name,
-                             const std::string& unit = "ns");
+                             const std::string& unit = "ns")
+      PRODSYN_EXCLUDES(mu_);
 
   /// \brief Sets gauge `name` to `value`, creating it on first use.
-  void SetGauge(const std::string& name, int64_t value);
+  void SetGauge(const std::string& name, int64_t value)
+      PRODSYN_EXCLUDES(mu_);
 
   /// \brief Adds `delta` to gauge `name`, creating it (at 0) on first use.
-  void AddGauge(const std::string& name, int64_t delta);
+  void AddGauge(const std::string& name, int64_t delta)
+      PRODSYN_EXCLUDES(mu_);
 
   /// \brief The embedded per-stage metrics (for code that predates the
   /// registry and takes a StageMetrics&).
   StageMetrics& stages() { return stages_; }
 
   /// \brief Copies of every instrument's current values.
-  RegistrySnapshot Snapshot() const;
+  RegistrySnapshot Snapshot() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief JSON exposition: {"stages": [...], "histograms": [...],
   /// "gauges": [...]} with per-stage latency quantiles — see
@@ -94,12 +98,16 @@ class MetricsRegistry {
     std::atomic<int64_t> value{0};
   };
 
-  std::atomic<int64_t>* GaugeCell(const std::string& name);
+  std::atomic<int64_t>* GaugeCell(const std::string& name)
+      PRODSYN_EXCLUDES(mu_);
 
   StageMetrics stages_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<NamedHistogram>> histograms_;
-  std::vector<std::unique_ptr<Gauge>> gauges_;
+  mutable Mutex mu_;
+  // The registries (layout) are guarded; the pointed-to instruments are
+  // handed out unlocked on purpose — their state is relaxed atomics.
+  std::vector<std::unique_ptr<NamedHistogram>> histograms_
+      PRODSYN_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Gauge>> gauges_ PRODSYN_GUARDED_BY(mu_);
 };
 
 }  // namespace prodsyn

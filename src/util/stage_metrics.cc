@@ -39,7 +39,7 @@ StageSnapshot StageCounters::snapshot() const {
 }
 
 StageCounters* StageMetrics::GetStage(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& stage : stages_) {
     if (stage->name() == name) return stage.get();
   }
@@ -48,7 +48,7 @@ StageCounters* StageMetrics::GetStage(const std::string& name) {
 }
 
 std::vector<StageSnapshot> StageMetrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<StageSnapshot> out;
   out.reserve(stages_.size());
   for (const auto& stage : stages_) out.push_back(stage->snapshot());

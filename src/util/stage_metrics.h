@@ -17,11 +17,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/histogram.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace prodsyn {
 
@@ -91,6 +92,11 @@ class StageCounters {
 
  private:
   const std::string name_;
+  // Independent relaxed atomics by design — each counter is its own
+  // synchronization domain, so there is no mutex for TSA to check here;
+  // see docs/STATIC_ANALYSIS.md §atomics for when this pattern is
+  // acceptable (monotone accumulators whose consistent total is only
+  // read after the contributing threads join).
   std::atomic<uint64_t> wall_ns_{0};
   std::atomic<uint64_t> cpu_ns_{0};
   std::atomic<uint64_t> items_{0};
@@ -111,14 +117,17 @@ class StageMetrics {
 
   /// \brief Returns the stage named `name`, creating it on first use.
   /// Registration order is preserved in Snapshot().
-  StageCounters* GetStage(const std::string& name);
+  StageCounters* GetStage(const std::string& name) PRODSYN_EXCLUDES(mu_);
 
   /// \brief Copies of every stage's counters, in registration order.
-  std::vector<StageSnapshot> Snapshot() const;
+  std::vector<StageSnapshot> Snapshot() const PRODSYN_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<StageCounters>> stages_;
+  mutable Mutex mu_;
+  // The vector (layout) is guarded; the pointed-to StageCounters are
+  // handed out unlocked on purpose — their state is relaxed atomics.
+  std::vector<std::unique_ptr<StageCounters>> stages_
+      PRODSYN_GUARDED_BY(mu_);
 };
 
 /// \brief This thread's consumed CPU time in nanoseconds

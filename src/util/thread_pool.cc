@@ -21,34 +21,36 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  // Predicate loop over guarded state: CondVar::Wait re-acquires mu_
+  // before returning, so DrainedLocked always runs under the capability.
+  while (!DrainedLocked()) idle_cv_.Wait(lock);
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 size_t ThreadPool::max_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return max_queue_depth_;
 }
 
@@ -56,8 +58,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (IdleLocked()) work_cv_.Wait(lock);
       // Shutdown drains the queue: only exit once no task is left.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -69,9 +71,9 @@ void ThreadPool::WorkerLoop() {
     PRODSYN_FAULT_HIT("thread_pool.task");
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
@@ -93,8 +95,8 @@ void ThreadPool::ParallelFor(
   }
   // Private latch so ParallelFor stays correct even while unrelated tasks
   // are in flight on the same pool.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   size_t remaining = 0;
   const size_t chunk = (n + chunks - 1) / chunks;
   for (size_t t = 0; t < chunks; ++t) {
@@ -102,20 +104,23 @@ void ThreadPool::ParallelFor(
     const size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;  // ceil division: trailing chunks can be empty
     {
-      std::lock_guard<std::mutex> lock(done_mu);
+      MutexLock lock(&done_mu);
       ++remaining;
     }
+    // By-ref captures: `remaining` only mutates under done_mu (the latch);
+    // `body` writes per-index state by the ParallelFor contract.
+    // lint: sharded
     Submit([&body, &done_mu, &done_cv, &remaining, begin, end, token] {
       // Cooperative cancellation: a chunk that has not started when the
       // token fires is skipped wholesale; the latch still completes so
       // the caller never hangs.
       if (token == nullptr || !token->cancelled()) body(begin, end);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_all();
+      MutexLock lock(&done_mu);
+      if (--remaining == 0) done_cv.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  MutexLock lock(&done_mu);
+  while (remaining != 0) done_cv.Wait(lock);
 }
 
 }  // namespace prodsyn

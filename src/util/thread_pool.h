@@ -13,15 +13,15 @@
 #ifndef PRODSYN_UTIL_THREAD_POOL_H_
 #define PRODSYN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/util/cancellation.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace prodsyn {
 
@@ -29,7 +29,9 @@ namespace prodsyn {
 /// task queue.
 ///
 /// Thread safety: Submit, ParallelFor, Wait, queue_depth and
-/// max_queue_depth may be called concurrently from any thread. Tasks may
+/// max_queue_depth may be called concurrently from any thread; the queue
+/// state is PRODSYN_GUARDED_BY(mu_) and the discipline is enforced by the
+/// clang-tsa build. Tasks may
 /// themselves call Submit (re-entrant submission is supported and covered
 /// by Wait), but must not call ParallelFor or Wait from a worker thread —
 /// that can deadlock a fully busy pool.
@@ -54,18 +56,18 @@ class ThreadPool {
 
   /// \brief Enqueues `task` for execution on some worker. Never blocks on
   /// queue capacity (the queue is unbounded).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PRODSYN_EXCLUDES(mu_);
 
   /// \brief Blocks until every task submitted so far — including tasks
   /// submitted by running tasks — has finished. Must not be called from a
   /// worker thread.
-  void Wait();
+  void Wait() PRODSYN_EXCLUDES(mu_);
 
   /// \brief Tasks currently queued (excluding running ones); a snapshot.
-  size_t queue_depth() const;
+  size_t queue_depth() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief High-water mark of queue_depth() over the pool's lifetime.
-  size_t max_queue_depth() const;
+  size_t max_queue_depth() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief std::thread::hardware_concurrency(), never less than 1.
   static size_t HardwareThreads();
@@ -95,13 +97,24 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signals workers: task or shutdown
-  std::condition_variable idle_cv_;  // signals Wait(): everything drained
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;  // tasks currently executing
-  size_t max_queue_depth_ = 0;
-  bool stop_ = false;
+  /// True when a worker should keep sleeping: no task queued, no shutdown.
+  bool IdleLocked() const PRODSYN_REQUIRES(mu_) {
+    return !stop_ && queue_.empty();
+  }
+  /// True when everything submitted so far has finished.
+  bool DrainedLocked() const PRODSYN_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  }
+
+  mutable Mutex mu_;
+  CondVar work_cv_;  // signals workers: task or shutdown
+  CondVar idle_cv_;  // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_ PRODSYN_GUARDED_BY(mu_);
+  size_t active_ PRODSYN_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  size_t max_queue_depth_ PRODSYN_GUARDED_BY(mu_) = 0;
+  bool stop_ PRODSYN_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined by the destructor; all other
+  // accesses are reads of the fixed size. Not mutex-guarded by design.
   std::vector<std::thread> workers_;
 };
 

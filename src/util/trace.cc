@@ -85,7 +85,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Enable(size_t ring_capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rings_.clear();
   ring_capacity_ = std::max<size_t>(1, ring_capacity);
   g_epoch_ns.store(SteadyNowNanos(), std::memory_order_relaxed);
@@ -98,7 +98,7 @@ void Tracer::Disable() {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rings_.clear();
   session_ = g_session.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
@@ -116,7 +116,7 @@ TraceRing* Tracer::RingForThisThread() {
   if (state.ring != nullptr && state.session == session) {
     return state.ring.get();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled()) return nullptr;
   auto ring = std::make_shared<TraceRing>(ring_capacity_);
   rings_.push_back(ring);
@@ -127,19 +127,19 @@ TraceRing* Tracer::RingForThisThread() {
 }
 
 size_t Tracer::thread_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rings_.size();
 }
 
 uint64_t Tracer::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& ring : rings_) total += ring->dropped();
   return total;
 }
 
 std::string Tracer::ExportChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
   char buf[160];

@@ -29,11 +29,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace prodsyn {
 
@@ -66,6 +67,10 @@ class TraceRing {
   std::vector<TraceEvent> Events() const;
 
  private:
+  // Single-writer protocol, not a lock: slots_ is written only by the
+  // owning thread and read by the exporter after quiescence (the release
+  // store on head_ publishes the slot contents). Intentionally outside
+  // TSA's mutex model — see docs/STATIC_ANALYSIS.md §atomics.
   std::vector<TraceEvent> slots_;
   std::atomic<uint64_t> head_{0};  ///< total pushes; release on write
 };
@@ -90,45 +95,47 @@ class Tracer {
 
   /// \brief Starts a fresh tracing session: drops previously recorded
   /// events, re-anchors the epoch, and sets the per-thread ring capacity.
-  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+  void Enable(size_t ring_capacity = kDefaultRingCapacity)
+      PRODSYN_EXCLUDES(mu_);
 
   /// \brief Stops recording (events stay exportable until Enable/Reset).
   void Disable();
 
   /// \brief Drops all recorded events and thread registrations. Requires
   /// quiescent instrumented threads.
-  void Reset();
+  void Reset() PRODSYN_EXCLUDES(mu_);
 
   /// \brief Chrome trace-event JSON ("traceEvents" array of "ph":"X"
   /// complete events; microsecond timestamps) — loadable by
   /// chrome://tracing and https://ui.perfetto.dev.
-  std::string ExportChromeJson() const;
+  std::string ExportChromeJson() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief ExportChromeJson written to `path` (IOError on failure).
-  Status WriteChromeJson(const std::string& path) const;
+  Status WriteChromeJson(const std::string& path) const PRODSYN_EXCLUDES(mu_);
 
   /// \brief Threads that recorded at least one span this session.
-  size_t thread_count() const;
+  size_t thread_count() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief Events lost to ring overwrite, summed over threads.
-  uint64_t dropped_events() const;
+  uint64_t dropped_events() const PRODSYN_EXCLUDES(mu_);
 
   /// \brief Nanoseconds since Enable (0 when never enabled).
   uint64_t NowNanos() const;
 
   /// \brief This thread's ring for the current session, registering it on
   /// first use. Only called by TraceSpan when tracing is enabled.
-  TraceRing* RingForThisThread();
+  TraceRing* RingForThisThread() PRODSYN_EXCLUDES(mu_);
 
  private:
   Tracer() = default;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // shared_ptr: thread_local caches keep a ring alive across Reset so a
   // stale cached pointer can never dangle (its writes just go nowhere).
-  std::vector<std::shared_ptr<TraceRing>> rings_;
-  size_t ring_capacity_ = kDefaultRingCapacity;
-  uint64_t session_ = 0;  ///< bumped by Enable/Reset; invalidates caches
+  std::vector<std::shared_ptr<TraceRing>> rings_ PRODSYN_GUARDED_BY(mu_);
+  size_t ring_capacity_ PRODSYN_GUARDED_BY(mu_) = kDefaultRingCapacity;
+  /// Bumped by Enable/Reset; invalidates caches.
+  uint64_t session_ PRODSYN_GUARDED_BY(mu_) = 0;
   std::chrono::steady_clock::time_point epoch_{};
 };
 

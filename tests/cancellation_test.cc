@@ -77,7 +77,7 @@ TEST(ParallelForCancellationTest, PreCancelledTokenSkipsAllWork) {
   CancellationToken token;
   token.Cancel();
   std::atomic<size_t> executed{0};
-  pool.ParallelFor(
+  pool.ParallelFor(  // lint: sharded — only the atomic counter is shared
       1000, [&](size_t begin, size_t end) { executed += end - begin; },
       &token);
   EXPECT_EQ(executed.load(), 0u);
@@ -86,7 +86,7 @@ TEST(ParallelForCancellationTest, PreCancelledTokenSkipsAllWork) {
 TEST(ParallelForCancellationTest, NullTokenRunsEverything) {
   ThreadPool pool(4);
   std::atomic<size_t> executed{0};
-  pool.ParallelFor(
+  pool.ParallelFor(  // lint: sharded — only the atomic counter is shared
       1000, [&](size_t begin, size_t end) { executed += end - begin; },
       nullptr);
   EXPECT_EQ(executed.load(), 1000u);
@@ -100,6 +100,7 @@ TEST(ParallelForCancellationTest, MidRunCancelReturnsWithoutHang) {
   // started yet are skipped. The call must still return (latch drains).
   pool.ParallelFor(
       64,
+      // lint: sharded — chunks is atomic, Cancel() is thread-safe
       [&](size_t begin, size_t end) {
         (void)begin;
         (void)end;

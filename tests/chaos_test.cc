@@ -256,6 +256,9 @@ TEST_F(ChaosWorld, EveryRegisteredSiteFiresAndLedgerIsDumpable) {
   // it, and ledger every quarantined failure. A site this sweep has no
   // driver for fails the test — extend the drivers when adding sites.
   ErrorLedger sweep_ledger;
+  // The sweep loop is single-threaded, so it is its own "sequential
+  // merge" for the purposes of the ledger's phase capability.
+  PhaseLock sweep_merge(sweep_ledger.merge_phase());
   for (const std::string& site : sites) {
     SCOPED_TRACE(site);
     FaultInjector::Global().Reset();

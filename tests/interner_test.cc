@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/mutex.h"
+
 #include <set>
 #include <string>
 #include <thread>
@@ -16,6 +18,7 @@ namespace {
 
 TEST(InternerTest, AssignsDenseIdsInFirstSightOrder) {
   StringInterner interner;
+  PhaseLock build(interner.build_phase());
   EXPECT_TRUE(interner.empty());
   EXPECT_EQ(interner.Intern("alpha"), 0u);
   EXPECT_EQ(interner.Intern("beta"), 1u);
@@ -26,6 +29,7 @@ TEST(InternerTest, AssignsDenseIdsInFirstSightOrder) {
 
 TEST(InternerTest, InternIsIdempotent) {
   StringInterner interner;
+  PhaseLock build(interner.build_phase());
   const Symbol first = interner.Intern("rpm");
   EXPECT_EQ(interner.Intern("rpm"), first);
   EXPECT_EQ(interner.Intern("rpm"), first);
@@ -34,6 +38,7 @@ TEST(InternerTest, InternIsIdempotent) {
 
 TEST(InternerTest, RoundTripsThroughNameOf) {
   StringInterner interner;
+  PhaseLock build(interner.build_phase());
   const std::vector<std::string> names = {"Spindle Speed", "RPM", "",
                                           "Cache Size", "with\x1fseparator"};
   std::vector<Symbol> symbols;
@@ -46,6 +51,7 @@ TEST(InternerTest, RoundTripsThroughNameOf) {
 
 TEST(InternerTest, LookupMissReturnsInvalidSymbol) {
   StringInterner interner;
+  PhaseLock build(interner.build_phase());
   EXPECT_EQ(interner.Lookup("never seen"), kInvalidSymbol);
   interner.Intern("seen");
   EXPECT_EQ(interner.Lookup("never seen"), kInvalidSymbol);
@@ -54,6 +60,7 @@ TEST(InternerTest, LookupMissReturnsInvalidSymbol) {
 
 TEST(InternerTest, DistinctStringsGetDistinctSymbols) {
   StringInterner interner;
+  PhaseLock build(interner.build_phase());
   std::set<Symbol> symbols;
   for (int i = 0; i < 1000; ++i) {
     symbols.insert(interner.Intern("attr-" + std::to_string(i)));
@@ -68,8 +75,11 @@ TEST(InternerTest, DistinctStringsGetDistinctSymbols) {
 TEST(InternerTest, FrozenSnapshotSupportsConcurrentLookups) {
   StringInterner interner;
   constexpr int kNames = 512;
-  for (int i = 0; i < kNames; ++i) {
-    interner.Intern("name-" + std::to_string(i));
+  {
+    PhaseLock build(interner.build_phase());  // ends before readers start
+    for (int i = 0; i < kNames; ++i) {
+      interner.Intern("name-" + std::to_string(i));
+    }
   }
 
   constexpr int kThreads = 4;

@@ -1,0 +1,6 @@
+// R1 fixture: naked std::cerr in library code.
+namespace prodsyn {
+void Report(int n) {
+  std::cerr << "bad: " << n;
+}
+}  // namespace prodsyn

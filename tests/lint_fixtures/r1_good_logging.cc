@@ -1,0 +1,6 @@
+// R1 fixture: diagnostics go through PRODSYN_LOG.
+namespace prodsyn {
+void Report(int n) {
+  PRODSYN_LOG(Warning) << "ok: " << n;
+}
+}  // namespace prodsyn

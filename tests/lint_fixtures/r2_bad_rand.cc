@@ -1,0 +1,4 @@
+// R2 fixture: libc rand() is banned everywhere.
+namespace prodsyn {
+int Roll() { return rand() % 6; }
+}  // namespace prodsyn

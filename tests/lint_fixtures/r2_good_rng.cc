@@ -1,0 +1,4 @@
+// R2 fixture: the deterministic seedable Rng is the sanctioned source.
+namespace prodsyn {
+int Roll(Rng& rng) { return static_cast<int>(rng.NextUint64() % 6); }
+}  // namespace prodsyn

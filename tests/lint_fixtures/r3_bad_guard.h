@@ -1,0 +1,5 @@
+// R3 fixture: guard does not match the path-derived name.
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+namespace prodsyn {}
+#endif

@@ -1,0 +1,5 @@
+// R3 fixture: PRODSYN_<PATH>_H_ guard, #define adjacent, tagged #endif.
+#ifndef PRODSYN_PIPELINE_R3_GOOD_GUARD_H_
+#define PRODSYN_PIPELINE_R3_GOOD_GUARD_H_
+namespace prodsyn {}
+#endif  // PRODSYN_PIPELINE_R3_GOOD_GUARD_H_

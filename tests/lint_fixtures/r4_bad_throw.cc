@@ -1,0 +1,6 @@
+// R4 fixture: library code must not throw.
+namespace prodsyn {
+void Parse(int v) {
+  if (v < 0) throw v;
+}
+}  // namespace prodsyn

@@ -1,0 +1,7 @@
+// R4 fixture: fallible APIs return Status.
+namespace prodsyn {
+Status Parse(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+}  // namespace prodsyn

@@ -1,0 +1,7 @@
+// R5 fixture: raw clock read in instrumented pipeline code.
+namespace prodsyn {
+void TimeIt() {
+  const auto start = std::chrono::steady_clock::now();
+  (void)start;
+}
+}  // namespace prodsyn

@@ -1,0 +1,6 @@
+// R5 fixture: timing goes through the stage timer abstraction.
+namespace prodsyn {
+void TimeIt(StageCounters* stage) {
+  ScopedStageTimer timer(stage);
+}
+}  // namespace prodsyn

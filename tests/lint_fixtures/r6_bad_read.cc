@@ -1,0 +1,6 @@
+// R6 fixture: naked file read on an ingestion path.
+namespace prodsyn {
+Result<std::string> Load(const std::string& path) {
+  return ReadFileToString(path);
+}
+}  // namespace prodsyn

@@ -1,0 +1,6 @@
+// R6 fixture: ingestion reads absorb transient failures via retry.
+namespace prodsyn {
+Result<std::string> Load(const std::string& path) {
+  return ReadFileToStringWithRetry(path, RetryOptions{});
+}
+}  // namespace prodsyn

@@ -1,0 +1,10 @@
+// R7 fixture: range-for over a hash map in merge code — the iteration
+// order is hash-seed-dependent, so the appended output is too.
+namespace prodsyn {
+void MergeCounts(const std::unordered_map<int, int>& counts,
+                 std::vector<int>* out) {
+  for (const auto& [key, value] : counts) {
+    out->push_back(value);
+  }
+}
+}  // namespace prodsyn

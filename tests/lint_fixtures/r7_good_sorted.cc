@@ -1,0 +1,13 @@
+// R7 fixture: ordered containers iterate deterministically, and a
+// commutative fold over a hash map may opt out explicitly.
+namespace prodsyn {
+int MergeCounts(const std::map<int, int>& ordered,
+                const std::unordered_map<int, int>& unordered) {
+  int total = 0;
+  for (const auto& [key, value] : ordered) total += value;
+  // Integer addition commutes; order cannot matter.
+  // lint: order-independent
+  for (const auto& [key, value] : unordered) total += value;
+  return total;
+}
+}  // namespace prodsyn

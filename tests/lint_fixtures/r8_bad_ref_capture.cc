@@ -1,0 +1,9 @@
+// R8 fixture: by-ref shared state handed to a parallel body.
+namespace prodsyn {
+void CountAll(ThreadPool& pool, size_t n) {
+  size_t hits = 0;
+  pool.ParallelFor(n, [&](size_t begin, size_t end) {
+    hits += end - begin;  // racy write to shared local
+  });
+}
+}  // namespace prodsyn

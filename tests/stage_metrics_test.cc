@@ -51,6 +51,7 @@ TEST(StageMetricsTest, QueueDepthKeepsTheMaximum) {
 TEST(StageMetricsTest, QueueDepthMaxAcrossThreads) {
   StageCounters stage("s");
   ThreadPool pool(4);
+  // lint: sharded — StageCounters is internally atomic
   pool.ParallelFor(256, [&stage](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) stage.RecordQueueDepth(i);
   });

@@ -21,7 +21,7 @@ TEST(ThreadPoolTest, SubmitRunsEveryTask) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Submit([&counter] { counter.fetch_add(1); });  // lint: sharded
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
@@ -37,10 +37,11 @@ TEST(ThreadPoolTest, ReentrantSubmitIsCoveredByWait) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
   for (int i = 0; i < 10; ++i) {
+    // lint: sharded — atomic counter; Submit is thread-safe
     pool.Submit([&pool, &counter] {
       counter.fetch_add(1);
       // A running task may enqueue more work; Wait must cover it too.
-      pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Submit([&counter] { counter.fetch_add(1); });  // lint: sharded
     });
   }
   pool.Wait();
@@ -52,7 +53,7 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
   {
     ThreadPool pool(1);
     for (int i = 0; i < 50; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Submit([&counter] { counter.fetch_add(1); });  // lint: sharded
     }
     // No Wait: the destructor itself must drain the queue, then join,
     // without throwing.
@@ -64,6 +65,7 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(257);
   for (auto& h : hits) h.store(0);
+  // lint: sharded — per-index atomic slots
   pool.ParallelFor(hits.size(), [&hits](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
   });
@@ -75,6 +77,7 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
 TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
   ThreadPool pool(2);
   bool called = false;
+  // lint: sharded — n == 0 means the body never runs
   pool.ParallelFor(0, [&called](size_t, size_t) { called = true; });
   EXPECT_FALSE(called);
 }
@@ -82,6 +85,7 @@ TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
 TEST(ThreadPoolTest, ParallelForSingleElementRunsInline) {
   ThreadPool pool(2);
   std::atomic<int> sum{0};
+  // lint: sharded — atomic accumulator
   pool.ParallelFor(1, [&sum](size_t begin, size_t end) {
     EXPECT_EQ(begin, 0u);
     EXPECT_EQ(end, 1u);
@@ -96,6 +100,7 @@ TEST(ThreadPoolTest, ParallelForPerIndexSlotsAreThreadCountInvariant) {
   auto run = [](size_t threads) {
     ThreadPool pool(threads);
     std::vector<int> out(1000);
+    // lint: sharded — per-index slots (the discipline under test)
     pool.ParallelFor(out.size(), [&out](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         out[i] = static_cast<int>(i * i % 97);
@@ -114,6 +119,7 @@ TEST(ThreadPoolTest, QueueDepthHighWaterMarkIsRecorded) {
   ThreadPool pool(1);
   std::atomic<bool> release{false};
   // Block the single worker so further submissions pile up in the queue.
+  // lint: sharded — release is atomic
   pool.Submit([&release] {
     while (!release.load()) {
     }

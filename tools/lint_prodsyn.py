@@ -27,7 +27,11 @@ Enforces conventions that clang-tidy cannot express:
                        that genuinely must not retry annotate the line
                        with `// lint: no-retry`.
 
-Usage: tools/lint_prodsyn.py [paths...]   (default: src tests bench examples)
+Usage: tools/lint_prodsyn.py [--root DIR] [paths...]
+       (default paths: src tests bench examples)
+--root overrides the repo root the layout rules (stream-hygiene,
+include-guards, rule scoping) are resolved against — the rule-fixture
+suite uses it to lint staged fixture trees as if they were the repo.
 Exit status: 0 when clean, 1 when findings were printed.
 """
 
@@ -69,28 +73,71 @@ RE_NAKED_READ = re.compile(r"\bReadFileToString\s*\(")
 RETRY_DIRS = ("src/pipeline/", "src/catalog/")
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Blanks out string/char literals and // comments (line-local heuristic)."""
-    out = []
-    i, n = 0, len(line)
-    in_str: str | None = None
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literal contents across a whole file.
+
+    Handles // line comments, multi-line /* */ block comments, ordinary
+    "..." / '...' literals with escapes, and C++ raw string literals
+    R"delim( ... )delim" (which may span lines and contain anything,
+    including comment markers). Newlines are preserved so findings keep
+    their 1-based line numbers; stripped regions become spaces/empty.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
     while i < n:
-        ch = line[i]
-        if in_str:
-            if ch == "\\":
-                i += 2
+        ch = text[i]
+        # Raw string literal: R"delim( ... )delim". Must come before the
+        # plain-quote case; `R` must start a token (not e.g. `FooR"...`).
+        if (ch == "R" and i + 1 < n and text[i + 1] == '"'
+                and (i == 0 or not (text[i - 1].isalnum()
+                                    or text[i - 1] == "_"))):
+            j = i + 2
+            while j < n and j - i - 2 <= 16 and text[j] not in '()\\"\t\n ':
+                j += 1
+            if j < n and text[j] == "(":
+                close = ")" + text[i + 2 : j] + '"'
+                end = text.find(close, j + 1)
+                end = n if end < 0 else end + len(close)
+                out.append('""')
+                out.append("\n" * text.count("\n", i, end))
+                i = end
                 continue
-            if ch == in_str:
-                in_str = None
-            i += 1
-            continue
-        if ch in ('"', "'"):
-            in_str = ch
+        if ch == '"' or ch == "'":
+            # Skip digit separators (1'000'000) and literal suffixes: a
+            # quote directly after an alphanumeric is not a literal start.
+            if ch == "'" and i > 0 and (text[i - 1].isalnum()
+                                        or text[i - 1] == "_"):
+                out.append(ch)
+                i += 1
+                continue
             out.append(ch)
             i += 1
+            while i < n:
+                c = text[i]
+                if c == "\\":
+                    i += 2
+                    continue
+                if c == ch:
+                    out.append(c)
+                    i += 1
+                    break
+                if c == "\n":  # unterminated literal: stop at EOL
+                    out.append("\n")
+                    i += 1
+                    break
+                i += 1
             continue
-        if ch == "/" and i + 1 < n and line[i + 1] == "/":
-            break
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append(" ")
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+            continue
         out.append(ch)
         i += 1
     return "".join(out)
@@ -103,43 +150,33 @@ def expected_guard(rel: Path) -> str:
     return f"{body}_H_"
 
 
-def repo_relative(path: Path) -> Path:
+def repo_relative(path: Path, root: Path = REPO_ROOT) -> Path:
     # Paths outside the repo (explicit absolute roots) keep their full path;
     # repo-layout rules (stream-hygiene, guards) only apply inside the repo.
     try:
-        return path.relative_to(REPO_ROOT)
+        return path.relative_to(root)
     except ValueError:
         return path
 
 
 class Linter:
-    def __init__(self) -> None:
+    def __init__(self, root: Path = REPO_ROOT) -> None:
+        self.root = root
         self.findings: list[str] = []
 
     def report(self, path: Path, line_no: int, rule: str, msg: str) -> None:
-        rel = repo_relative(path)
+        rel = repo_relative(path, self.root)
         self.findings.append(f"{rel}:{line_no}: [{rule}] {msg}")
 
     def lint_file(self, path: Path) -> None:
-        rel = str(repo_relative(path))
+        rel = str(repo_relative(path, self.root))
         text = path.read_text(encoding="utf-8", errors="replace")
         lines = text.splitlines()
+        code_lines = strip_comments_and_strings(text).splitlines()
         in_src = rel.startswith("src/")
 
-        in_block_comment = False
         for i, raw in enumerate(lines, start=1):
-            line = raw
-            if in_block_comment:
-                end = line.find("*/")
-                if end < 0:
-                    continue
-                line = line[end + 2 :]
-                in_block_comment = False
-            start = line.find("/*")
-            if start >= 0 and line.find("*/", start) < 0:
-                in_block_comment = True
-                line = line[:start]
-            code = strip_comments_and_strings(line)
+            code = code_lines[i - 1] if i - 1 < len(code_lines) else ""
 
             if RE_LIBC_RAND.search(code):
                 self.report(path, i, "no-libc-rand",
@@ -178,7 +215,7 @@ class Linter:
             self.lint_guard(path, lines)
 
     def lint_guard(self, path: Path, lines: list[str]) -> None:
-        rel = repo_relative(path)
+        rel = repo_relative(path, self.root)
         guard = expected_guard(rel)
         ifndef = f"#ifndef {guard}"
         define = f"#define {guard}"
@@ -202,8 +239,12 @@ class Linter:
             if root.is_file():
                 files.append(root)
             else:
+                # lint_fixtures holds deliberately-violating sources; the
+                # fixture suite (tools/test_lint_rules.py) lints staged
+                # copies of them, the live-tree walk must not.
                 files.extend(p for p in sorted(root.rglob("*"))
-                             if p.suffix in CC_SUFFIXES and p.is_file())
+                             if p.suffix in CC_SUFFIXES and p.is_file()
+                             and "lint_fixtures" not in p.parts)
         for f in files:
             self.lint_file(f)
         for finding in self.findings:
@@ -214,17 +255,25 @@ class Linter:
 
 
 def main(argv: list[str]) -> int:
-    args = argv[1:] or ["src", "tests", "bench", "examples"]
+    args = argv[1:]
+    root = REPO_ROOT
+    if args[:1] == ["--root"]:
+        if len(args) < 2:
+            print("lint_prodsyn: --root needs a directory", file=sys.stderr)
+            return 2
+        root = Path(args[1]).resolve()
+        args = args[2:]
+    args = args or ["src", "tests", "bench", "examples"]
     roots = []
     for a in args:
         p = Path(a)
         if not p.is_absolute():
-            p = REPO_ROOT / p
+            p = root / p
         if not p.exists():
             print(f"lint_prodsyn: no such path: {a}", file=sys.stderr)
             return 2
         roots.append(p)
-    return Linter().run(roots)
+    return Linter(root).run(roots)
 
 
 if __name__ == "__main__":

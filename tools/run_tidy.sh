@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy) over the prodsyn source tree.
 #
-# Usage: tools/run_tidy.sh [--strict] [--build-dir DIR] [paths...]
+# Usage: tools/run_tidy.sh [--strict] [--build-dir DIR] [--changed [BASE]]
+#                          [paths...]
 #
 #   --strict      Fail (exit 2) when clang-tidy is not installed. Without it
 #                 the script prints a warning and exits 0 so that containers
 #                 with only gcc still pass the lint gate; CI uses --strict.
 #   --build-dir   Build tree holding compile_commands.json. Default:
 #                 build-tidy (configured on demand).
+#   --changed     Check only .cc files under src/ that differ from BASE
+#                 (default: origin/main, falling back to HEAD~1). This is
+#                 the PR gate: a diagnostic in a changed file FAILS the
+#                 run — new code does not get to add tidy debt even when
+#                 older files still carry some.
 #   paths...      Files to check. Default: every .cc under src/.
+#
+# Exit status: 0 clean (or tool missing without --strict), 1 diagnostics
+# were reported, 2 usage/tooling error.
 
 set -euo pipefail
 
@@ -17,14 +26,30 @@ cd "${REPO_ROOT}"
 
 STRICT=0
 BUILD_DIR="build-tidy"
+CHANGED=0
+CHANGED_BASE=""
 declare -a PATHS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --strict) STRICT=1; shift ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --changed)
+      CHANGED=1; shift
+      # Optional BASE operand: next arg unless it is a flag or a path that
+      # exists (then it's a file to check, not a ref).
+      if [[ $# -gt 0 && "$1" != --* && ! -e "$1" ]]; then
+        CHANGED_BASE="$1"; shift
+      fi
+      ;;
     *) PATHS+=("$1"); shift ;;
   esac
 done
+
+# Usage errors fail even when clang-tidy is absent.
+if [[ "${CHANGED}" -eq 1 && ${#PATHS[@]} -gt 0 ]]; then
+  echo "run_tidy: --changed and explicit paths are mutually exclusive" >&2
+  exit 2
+fi
 
 # Locate clang-tidy: plain name first, then versioned installs (newest wins).
 TIDY="$(command -v clang-tidy || true)"
@@ -55,12 +80,36 @@ if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
     -DPRODSYN_BUILD_EXAMPLES=OFF >/dev/null
 fi
 
+if [[ "${CHANGED}" -eq 1 ]]; then
+  BASE="${CHANGED_BASE}"
+  if [[ -z "${BASE}" ]]; then
+    if git rev-parse --verify --quiet origin/main >/dev/null; then
+      BASE="origin/main"
+    else
+      BASE="HEAD~1"
+    fi
+  fi
+  # Changed = added/copied/modified/renamed vs the merge base; deleted
+  # files have nothing to check.
+  mapfile -t PATHS < <(git diff --name-only --diff-filter=ACMR \
+    "${BASE}...HEAD" -- 'src/*.cc' 'src/**/*.cc' | sort -u)
+  if [[ ${#PATHS[@]} -eq 0 ]]; then
+    echo "run_tidy: no changed src/*.cc files vs ${BASE}; nothing to check" >&2
+    exit 0
+  fi
+  echo "run_tidy: checking ${#PATHS[@]} changed files vs ${BASE}" >&2
+fi
+
 if [[ ${#PATHS[@]} -eq 0 ]]; then
   mapfile -t PATHS < <(find src -name '*.cc' | sort)
 fi
 
 echo "run_tidy: ${TIDY} over ${#PATHS[@]} files" >&2
 JOBS="$(nproc 2>/dev/null || echo 2)"
-printf '%s\n' "${PATHS[@]}" \
-  | xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet
+if ! printf '%s\n' "${PATHS[@]}" \
+    | xargs -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet; then
+  echo "run_tidy: FAILED — clang-tidy reported diagnostics in the files" \
+       "above; fix them (or justify a NOLINT with a trailing comment)" >&2
+  exit 1
+fi
 echo "run_tidy: clean" >&2

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Fixture suite for the prodsyn static checkers.
+
+Stages every fixture in tests/lint_fixtures/ into a throwaway fake repo
+root (<tmp>/src/pipeline/<fixture>) — so the path-scoped rules
+(stream-hygiene, include-guards, no-raw-clock, retry-ingestion,
+unordered-iteration) see the fixture as pipeline code — then runs the
+owning checker and asserts:
+
+  *_bad_*   trips its rule (the rule tag appears in the findings for
+            that file, at a line > 0), and
+  *_good_*  produces zero findings from its owning checker.
+
+Fixture names encode the rule: r<N>_<bad|good>_<slug>.<ext>. The rule
+id maps to (checker, finding tag) in RULES below. Runs as the ctest
+target `lint_rule_fixtures`; exits non-zero on any expectation failure,
+printing one FAIL line per miss.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = TOOLS_DIR.parent
+FIXTURE_DIR = REPO_ROOT / "tests" / "lint_fixtures"
+
+LINT = TOOLS_DIR / "lint_prodsyn.py"
+ANALYZE = TOOLS_DIR / "analyze_determinism.py"
+
+# rule id -> (checker script, finding tag printed in square brackets)
+RULES = {
+    "r1": (LINT, "stream-hygiene"),
+    "r2": (LINT, "no-libc-rand"),
+    "r3": (LINT, "include-guards"),
+    "r4": (LINT, "status-errors"),
+    "r5": (LINT, "no-raw-clock"),
+    "r6": (LINT, "retry-ingestion"),
+    "r7": (ANALYZE, "unordered-iteration"),
+    "r8": (ANALYZE, "shared-capture"),
+    "r9": (ANALYZE, "float-accumulation"),
+}
+
+RE_NAME = re.compile(r"^(r\d+)_(bad|good)_\w+\.(cc|cpp|h|hpp)$")
+RE_FINDING = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<tag>[^\]]+)\]")
+
+
+def run_checker(script: Path, staged: Path, fake_root: Path) -> list[dict]:
+    """Findings the checker reports for one staged fixture file."""
+    if script == LINT:
+        cmd = [sys.executable, str(script), "--root", str(fake_root),
+               str(staged)]
+    else:
+        cmd = [sys.executable, str(script), "--mode", "regex", str(staged)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = RE_FINDING.match(line)
+        if m:
+            findings.append({"line": int(m.group("line")),
+                             "tag": m.group("tag")})
+    return findings
+
+
+def main() -> int:
+    fixtures = sorted(p for p in FIXTURE_DIR.iterdir()
+                      if RE_NAME.match(p.name))
+    if not fixtures:
+        print(f"test_lint_rules: no fixtures found in {FIXTURE_DIR}",
+              file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    checked = 0
+    with tempfile.TemporaryDirectory(prefix="prodsyn_fixtures_") as tmp:
+        fake_root = Path(tmp)
+        stage_dir = fake_root / "src" / "pipeline"
+        stage_dir.mkdir(parents=True)
+        for fixture in fixtures:
+            m = RE_NAME.match(fixture.name)
+            assert m is not None
+            rule, kind = m.group(1), m.group(2)
+            if rule not in RULES:
+                failures.append(f"FAIL {fixture.name}: unknown rule '{rule}' "
+                                "(add it to RULES)")
+                continue
+            script, tag = RULES[rule]
+            staged = stage_dir / fixture.name
+            shutil.copyfile(fixture, staged)
+            findings = run_checker(script, staged, fake_root)
+            staged.unlink()
+            checked += 1
+
+            tags = {f["tag"] for f in findings}
+            if kind == "bad":
+                hits = [f for f in findings if f["tag"] == tag]
+                if not hits:
+                    failures.append(
+                        f"FAIL {fixture.name}: expected a [{tag}] finding, "
+                        f"got {sorted(tags) or 'none'}")
+                elif any(f["line"] <= 0 for f in hits):
+                    failures.append(
+                        f"FAIL {fixture.name}: [{tag}] finding has no "
+                        "usable line number")
+            else:  # good
+                if findings:
+                    failures.append(
+                        f"FAIL {fixture.name}: expected clean, got "
+                        f"{sorted(tags)}")
+
+    for f in failures:
+        print(f)
+    print(f"test_lint_rules: {checked} fixtures, {len(failures)} failures",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
