@@ -4,14 +4,19 @@
 // (index + training set + LR + scoring sweep), and the title-match
 // bootstrap — with a determinism cross-check against the 1-thread run.
 //
-// Writes the machine-readable BENCH_offline_matching.json (wall ms per
-// phase per thread count, per-stage wall/CPU breakdown from the
-// StageMetrics snapshots) so the offline perf trajectory is trackable
-// across PRs — see docs/PERFORMANCE.md for the format.
+// Writes the machine-readable BENCH_offline_matching[.<scale>].json
+// (wall ms per phase per thread count, chunking plan, per-stage wall/CPU
+// breakdown from the StageMetrics snapshots) so the offline perf
+// trajectory is trackable across PRs — see docs/PERFORMANCE.md for the
+// format and docs/BENCHMARKING.md for the tier guide.
 //
 // Environment knobs (mirroring bench_perf_pipeline):
-//   PRODSYN_BENCH_TINY=1     tiny world + 1 repetition (CI smoke scale)
-//   PRODSYN_BENCH_JSON=path  output path (default BENCH_offline_matching.json)
+//   PRODSYN_BENCH_SCALE={tiny,seed,paper}  world tier (default seed)
+//   PRODSYN_BENCH_TINY=1     legacy alias for PRODSYN_BENCH_SCALE=tiny
+//   PRODSYN_BENCH_CHUNKING={static,dynamic}  override every phase's
+//                            ParallelFor chunking mode
+//   PRODSYN_BENCH_GRAIN=n    override every phase's min_grain
+//   PRODSYN_BENCH_JSON=path  output path (default per DefaultJsonPath)
 //   PRODSYN_TRACE=1          enable span tracing and write
 //                            <json_path minus .json>.trace.json plus
 //                            .metrics.json (telemetry-registry dump)
@@ -22,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_scale.h"
 #include "src/datagen/world.h"
 #include "src/matching/bag_index.h"
 #include "src/matching/classifier_matcher.h"
@@ -33,15 +39,6 @@
 
 namespace prodsyn {
 namespace {
-
-WorldConfig BenchWorld(bool tiny) {
-  WorldConfig config;
-  config.seed = 99;
-  config.categories_per_archetype = 1;
-  config.merchants = tiny ? 10 : 50;
-  config.products_per_category = tiny ? 8 : 25;
-  return config;
-}
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -93,10 +90,13 @@ void AppendJsonStages(std::string* out, const char* key,
 
 bool WriteSweepJson(const std::string& path, const World& world,
                     const std::string& scale,
+                    const ParallelForOptions& parallel,
                     const std::vector<OfflineRun>& runs) {
   std::string json = "{\n";
   json += "  \"bench\": \"offline_matching\",\n";
   json += "  \"scale\": \"" + scale + "\",\n";
+  // "categories" counts leaf categories (the paper's §1 granularity);
+  // top-level domains are excluded.
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
@@ -104,8 +104,11 @@ bool WriteSweepJson(const std::string& path, const World& world,
       "\"categories\": %llu},\n",
       static_cast<unsigned long long>(world.historical_offers.size()),
       static_cast<unsigned long long>(world.merchants.size()),
-      static_cast<unsigned long long>(world.catalog.taxonomy().size()));
+      static_cast<unsigned long long>(world.category_instances.size()));
   json += buf;
+  // The scoring sweep's ParallelFor plan (the headline generate_ms
+  // phase); bag build and title match take the same env overrides.
+  json += "  \"chunking\": " + bench::ChunkingJson(parallel) + ",\n";
   // Headline: offline-learning speedup of 4 threads over 1 thread.
   double generate_1 = 0.0, generate_4 = 0.0;
   for (const auto& run : runs) {
@@ -175,14 +178,15 @@ std::string StripJsonSuffix(const std::string& path) {
 }
 
 int RunOfflineSweep() {
-  const bool tiny = std::getenv("PRODSYN_BENCH_TINY") != nullptr;
+  const bench::BenchScale scale = bench::ParseBenchScale();
   const bool tracing = std::getenv("PRODSYN_TRACE") != nullptr;
   const char* json_env = std::getenv("PRODSYN_BENCH_JSON");
   const std::string json_path =
-      json_env != nullptr ? json_env : "BENCH_offline_matching.json";
+      json_env != nullptr ? json_env
+                          : bench::DefaultJsonPath("offline_matching", scale);
 
-  const size_t repetitions = tiny ? 1 : 3;
-  auto world_or = World::Generate(BenchWorld(tiny));
+  const size_t repetitions = bench::ScaleRepetitions(scale);
+  auto world_or = World::Generate(bench::ScaledWorldConfig(scale));
   if (!world_or.ok()) {
     std::printf("offline sweep: world generation failed\n");
     return 1;
@@ -193,9 +197,22 @@ int RunOfflineSweep() {
   ctx.offers = &world.historical_offers;
   ctx.matches = &world.historical_matches;
 
-  std::printf("-- offline learning thread sweep (%s scale, best of %llu) --\n",
-              tiny ? "tiny" : "default",
-              static_cast<unsigned long long>(repetitions));
+  // Each phase keeps its own chunking default; the env knobs override all
+  // three uniformly.
+  const ParallelForOptions bag_parallel =
+      bench::ApplyChunkingEnv(BagIndexOptions{}.parallel);
+  const ParallelForOptions score_parallel =
+      bench::ApplyChunkingEnv(ClassifierMatcherOptions{}.parallel);
+  const ParallelForOptions title_parallel =
+      bench::ApplyChunkingEnv(TitleMatcherOptions{}.parallel);
+
+  std::printf(
+      "-- offline learning thread sweep (%s scale, best of %llu, "
+      "%s chunking, scoring grain %llu) --\n",
+      bench::BenchScaleName(scale),
+      static_cast<unsigned long long>(repetitions),
+      bench::ChunkingModeName(score_parallel),
+      static_cast<unsigned long long>(score_parallel.min_grain));
   if (tracing) Tracer::Global().Enable();
   std::vector<OfflineRun> runs;
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
@@ -208,6 +225,7 @@ int RunOfflineSweep() {
     for (size_t rep = 0; rep < repetitions; ++rep) {
       BagIndexOptions options;
       options.build_threads = threads;
+      options.parallel = bag_parallel;
       const auto start = std::chrono::steady_clock::now();
       auto index = MatchedBagIndex::Build(ctx, options);
       const double wall_ms = MillisSince(start);
@@ -223,6 +241,8 @@ int RunOfflineSweep() {
     for (size_t rep = 0; rep < repetitions; ++rep) {
       ClassifierMatcherOptions options;
       options.offline_threads = threads;
+      options.parallel = score_parallel;
+      options.bag_index.parallel = bag_parallel;
       ClassifierMatcher matcher(options);
       const auto start = std::chrono::steady_clock::now();
       auto scored = matcher.Generate(ctx);
@@ -244,6 +264,7 @@ int RunOfflineSweep() {
     for (size_t rep = 0; rep < repetitions; ++rep) {
       TitleMatcherOptions options;
       options.threads = threads;
+      options.parallel = title_parallel;
       TitleMatcherStats stats;
       const auto start = std::chrono::steady_clock::now();
       auto matches = TitleOfferProductMatcher(options).Match(
@@ -279,7 +300,8 @@ int RunOfflineSweep() {
                 static_cast<unsigned long long>(run.correspondences));
     runs.push_back(std::move(run));
   }
-  if (!WriteSweepJson(json_path, world, tiny ? "tiny" : "default", runs)) {
+  if (!WriteSweepJson(json_path, world, bench::BenchScaleName(scale),
+                      score_parallel, runs)) {
     std::printf("offline sweep: cannot write %s\n", json_path.c_str());
     return 1;
   }

@@ -3,14 +3,23 @@
 // substrates and of the end-to-end pipeline.
 //
 // Besides the google-benchmark suite, the binary runs a run-time-phase
-// thread sweep (Synthesize at runtime_threads = 1, 2, 4, hardware) and
-// writes the machine-readable BENCH_perf_pipeline.json (offers/s per
-// thread count, per-stage wall/CPU breakdown) so the perf trajectory is
-// trackable across PRs — see docs/PERFORMANCE.md for the format.
+// thread sweep (offline learning once, then Synthesize at
+// runtime_threads = 1, 2, 4, hardware on the same learned state) and
+// writes the machine-readable BENCH_perf_pipeline[.<scale>].json
+// (offers/s per thread count, chunking plan, per-stage wall/CPU
+// breakdown) so the perf trajectory is trackable across PRs — see
+// docs/PERFORMANCE.md for the format and docs/BENCHMARKING.md for the
+// tier guide.
 //
 // Environment knobs (env vars, so google-benchmark flags stay usable):
-//   PRODSYN_BENCH_TINY=1     tiny world + 1 repetition (CI smoke scale)
-//   PRODSYN_BENCH_JSON=path  output path (default BENCH_perf_pipeline.json)
+//   PRODSYN_BENCH_SCALE={tiny,seed,paper}  world tier (default seed;
+//                            tiny = CI smoke, paper = §1 Bing scale —
+//                            the tier the CI perf gate measures)
+//   PRODSYN_BENCH_TINY=1     legacy alias for PRODSYN_BENCH_SCALE=tiny
+//   PRODSYN_BENCH_CHUNKING={static,dynamic}  override the sweep's
+//                            ParallelFor chunking mode
+//   PRODSYN_BENCH_GRAIN=n    override the sweep's min_grain
+//   PRODSYN_BENCH_JSON=path  output path (default per DefaultJsonPath)
 //   PRODSYN_TRACE=1          enable span tracing for the thread sweep and
 //                            write <json_path minus .json>.trace.json
 //                            (chrome://tracing / Perfetto) plus
@@ -24,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_scale.h"
 #include "src/datagen/page_gen.h"
 #include "src/datagen/world.h"
 #include "src/html/table_extractor.h"
@@ -275,18 +285,25 @@ void AppendJsonStage(std::string* out, const StageSnapshot& stage,
 
 bool WriteSweepJson(const std::string& path, const World& world,
                     const std::string& scale,
+                    const ParallelForOptions& parallel,
                     const std::vector<SweepRun>& runs) {
   std::string json = "{\n";
   json += "  \"bench\": \"perf_pipeline\",\n";
   json += "  \"scale\": \"" + scale + "\",\n";
+  // "categories" counts leaf categories (the paper's §1 granularity);
+  // top-level domains are excluded.
   char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "  \"world\": {\"incoming_offers\": %llu, \"merchants\": "
-                "%llu, \"categories\": %llu},\n",
-                static_cast<unsigned long long>(world.incoming_offers.size()),
-                static_cast<unsigned long long>(world.merchants.size()),
-                static_cast<unsigned long long>(world.catalog.taxonomy().size()));
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"world\": {\"incoming_offers\": %llu, \"merchants\": "
+      "%llu, \"categories\": %llu},\n",
+      static_cast<unsigned long long>(world.incoming_offers.size()),
+      static_cast<unsigned long long>(world.merchants.size()),
+      static_cast<unsigned long long>(world.category_instances.size()));
   json += buf;
+  // The sweep's ParallelFor plan, so scaling regressions are diagnosable
+  // from the artifact alone.
+  json += "  \"chunking\": " + bench::ChunkingJson(parallel) + ",\n";
   // Headline: run-time-phase speedup of 4 threads over 1 thread.
   double wall_1 = 0.0, wall_4 = 0.0;
   for (const auto& run : runs) {
@@ -343,45 +360,50 @@ std::string StripJsonSuffix(const std::string& path) {
 }
 
 int RunThreadSweep() {
-  const bool tiny = std::getenv("PRODSYN_BENCH_TINY") != nullptr;
+  const bench::BenchScale scale = bench::ParseBenchScale();
   const bool tracing = std::getenv("PRODSYN_TRACE") != nullptr;
   const char* json_env = std::getenv("PRODSYN_BENCH_JSON");
   const std::string json_path =
-      json_env != nullptr ? json_env : "BENCH_perf_pipeline.json";
+      json_env != nullptr ? json_env
+                          : bench::DefaultJsonPath("perf_pipeline", scale);
 
-  WorldConfig config = SmallWorld();
-  if (tiny) {
-    config.merchants = 10;
-    config.products_per_category = 8;
-  }
-  const size_t repetitions = tiny ? 1 : 3;
-  auto world_or = World::Generate(config);
+  const size_t repetitions = bench::ScaleRepetitions(scale);
+  auto world_or = World::Generate(bench::ScaledWorldConfig(scale));
   if (!world_or.ok()) {
     std::printf("thread sweep: world generation failed\n");
     return 1;
   }
   const World& world = *world_or;
 
-  std::printf("\n-- run-time phase thread sweep (%s scale, best of %llu) --\n",
-              tiny ? "tiny" : "default",
-              static_cast<unsigned long long>(repetitions));
+  SynthesizerOptions base_options;
+  base_options.parallel = bench::ApplyChunkingEnv(base_options.parallel);
+  std::printf(
+      "\n-- run-time phase thread sweep (%s scale, best of %llu, "
+      "%s chunking, grain %llu) --\n",
+      bench::BenchScaleName(scale),
+      static_cast<unsigned long long>(repetitions),
+      bench::ChunkingModeName(base_options.parallel),
+      static_cast<unsigned long long>(base_options.parallel.min_grain));
   if (tracing) Tracer::Global().Enable();
-  RegistrySnapshot offline_registry;
+
+  // Offline learning is independent of runtime_threads, so learn once
+  // and sweep set_runtime_threads over the same learned state — at paper
+  // scale relearning per thread count would dominate the sweep.
+  ProductSynthesizer synthesizer(&world.catalog, base_options);
+  if (!synthesizer
+           .LearnOffline(world.historical_offers, world.historical_matches)
+           .ok()) {
+    std::printf("thread sweep: offline learning failed\n");
+    return 1;
+  }
+  const RegistrySnapshot offline_registry =
+      synthesizer.learning_stats().registry;
   std::vector<SweepRun> runs;
   const std::vector<SynthesizedProduct>* reference_products = nullptr;
   std::vector<std::vector<SynthesizedProduct>> keep_alive;
   keep_alive.reserve(4);  // stable addresses for reference_products
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
-    SynthesizerOptions options;
-    options.runtime_threads = threads;
-    ProductSynthesizer synthesizer(&world.catalog, options);
-    if (!synthesizer
-             .LearnOffline(world.historical_offers, world.historical_matches)
-             .ok()) {
-      std::printf("thread sweep: offline learning failed\n");
-      return 1;
-    }
-    offline_registry = synthesizer.learning_stats().registry;
+    synthesizer.set_runtime_threads(threads);
     SweepRun run;
     run.requested_threads = threads;
     run.effective_threads =
@@ -435,7 +457,8 @@ int RunThreadSweep() {
                     run.stats.synthesized_products));
     runs.push_back(std::move(run));
   }
-  if (!WriteSweepJson(json_path, world, tiny ? "tiny" : "default", runs)) {
+  if (!WriteSweepJson(json_path, world, bench::BenchScaleName(scale),
+                      base_options.parallel, runs)) {
     std::printf("thread sweep: cannot write %s\n", json_path.c_str());
     return 1;
   }

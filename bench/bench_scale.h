@@ -1,0 +1,115 @@
+// Shared bench-tier plumbing for the thread-sweep benches
+// (bench_perf_pipeline, bench_offline_matching): the three world scales,
+// the PRODSYN_BENCH_SCALE / PRODSYN_BENCH_CHUNKING / PRODSYN_BENCH_GRAIN
+// environment knobs, and the JSON fragments that report them. See
+// docs/BENCHMARKING.md for the tier guide.
+
+#ifndef PRODSYN_BENCH_BENCH_SCALE_H_
+#define PRODSYN_BENCH_BENCH_SCALE_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "src/datagen/config.h"
+#include "src/datagen/world.h"
+#include "src/util/thread_pool.h"
+
+namespace prodsyn {
+namespace bench {
+
+/// \brief The three bench world tiers (docs/BENCHMARKING.md):
+/// tiny = CI smoke (seconds), seed = the default trend tier the tracked
+/// BENCH_*.json trajectories use, paper = the §1 Bing-scale corpus
+/// (~856K offers / 1,143 merchants / 498 leaf categories; minutes).
+enum class BenchScale { kTiny, kSeed, kPaper };
+
+inline const char* BenchScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kTiny:
+      return "tiny";
+    case BenchScale::kPaper:
+      return "paper";
+    case BenchScale::kSeed:
+      break;
+  }
+  return "seed";
+}
+
+/// \brief Reads PRODSYN_BENCH_SCALE={tiny,seed,paper}; the legacy
+/// PRODSYN_BENCH_TINY=1 knob still means tiny when the new variable is
+/// unset. Anything unrecognized falls back to seed.
+inline BenchScale ParseBenchScale() {
+  if (const char* scale = std::getenv("PRODSYN_BENCH_SCALE")) {
+    const std::string name = scale;
+    if (name == "tiny") return BenchScale::kTiny;
+    if (name == "paper") return BenchScale::kPaper;
+    return BenchScale::kSeed;
+  }
+  return std::getenv("PRODSYN_BENCH_TINY") != nullptr ? BenchScale::kTiny
+                                                      : BenchScale::kSeed;
+}
+
+/// \brief The world of a tier. Tiny and seed are the historical bench
+/// worlds (seed 99, one instance per archetype); paper is
+/// PaperScaleWorldConfig() — the only tier big enough for the chunked
+/// scheduler's speedup to clear the CI gate (tools/check_speedup.py).
+inline WorldConfig ScaledWorldConfig(BenchScale scale) {
+  if (scale == BenchScale::kPaper) return PaperScaleWorldConfig();
+  WorldConfig config;
+  config.seed = 99;
+  config.categories_per_archetype = 1;
+  config.merchants = scale == BenchScale::kTiny ? 10 : 50;
+  config.products_per_category = scale == BenchScale::kTiny ? 8 : 25;
+  return config;
+}
+
+/// \brief Best-of-N repetitions per thread count: 3 at seed (the trend
+/// tier wants low noise), 1 at tiny (smoke) and paper (each run is long
+/// enough to be stable).
+inline size_t ScaleRepetitions(BenchScale scale) {
+  return scale == BenchScale::kSeed ? 3 : 1;
+}
+
+/// \brief Default JSON path: the historical BENCH_<name>.json at seed
+/// scale (the name the tracked trend files use), BENCH_<name>.<scale>.json
+/// otherwise so tiers never clobber each other.
+inline std::string DefaultJsonPath(const char* name, BenchScale scale) {
+  std::string path = std::string("BENCH_") + name;
+  if (scale != BenchScale::kSeed) {
+    path += std::string(".") + BenchScaleName(scale);
+  }
+  return path + ".json";
+}
+
+/// \brief Applies the PRODSYN_BENCH_CHUNKING={static,dynamic} and
+/// PRODSYN_BENCH_GRAIN=<n> overrides to a call site's default
+/// ParallelForOptions, so scaling regressions can be bisected to the
+/// chunking mode or the grain without a rebuild.
+inline ParallelForOptions ApplyChunkingEnv(ParallelForOptions options) {
+  if (const char* mode = std::getenv("PRODSYN_BENCH_CHUNKING")) {
+    options.chunking = std::string(mode) == "static"
+                           ? ParallelChunking::kStatic
+                           : ParallelChunking::kDynamic;
+  }
+  if (const char* grain = std::getenv("PRODSYN_BENCH_GRAIN")) {
+    const long value = std::atol(grain);
+    if (value > 0) options.min_grain = static_cast<size_t>(value);
+  }
+  return options;
+}
+
+inline const char* ChunkingModeName(const ParallelForOptions& options) {
+  return options.chunking == ParallelChunking::kStatic ? "static" : "dynamic";
+}
+
+/// \brief The "chunking" JSON object the sweep files embed, e.g.
+/// {"mode": "dynamic", "min_grain": 8}.
+inline std::string ChunkingJson(const ParallelForOptions& options) {
+  return std::string("{\"mode\": \"") + ChunkingModeName(options) +
+         "\", \"min_grain\": " + std::to_string(options.min_grain) + "}";
+}
+
+}  // namespace bench
+}  // namespace prodsyn
+
+#endif  // PRODSYN_BENCH_BENCH_SCALE_H_

@@ -21,6 +21,11 @@ struct WorldConfig {
   /// gets a distinguishing qualifier, its own products, and its own
   /// merchant naming), e.g. "Hard Drives" / "Server Hard Drives".
   size_t categories_per_archetype = 2;
+  /// Hard cap on instantiated leaf categories across all archetypes
+  /// (0 = no cap). Capped worlds instantiate round-robin across the
+  /// archetypes so the cap spreads evenly; the paper-scale bench world
+  /// uses this to hit the exact 498-category Bing count of §1.
+  size_t max_leaf_categories = 0;
 
   // ----- Participants -----------------------------------------------------
   size_t merchants = 120;

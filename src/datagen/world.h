@@ -80,6 +80,14 @@ struct World {
 /// \brief Key into World::naming_truth.
 std::string NamingTruthKey(MerchantId merchant, CategoryId category);
 
+/// \brief The paper-scale world: the Bing Shopping corpus size the paper
+/// quotes in §1 — 498 leaf categories, 1,143 merchants, and ~856K offers
+/// (calibrated via products_per_category; datagen tests pin the counts).
+/// Generating it takes minutes and several GB of RAM; it backs the
+/// `PRODSYN_BENCH_SCALE=paper` bench tier (docs/BENCHMARKING.md), not
+/// tests or examples.
+WorldConfig PaperScaleWorldConfig(uint64_t seed = 2011);
+
 }  // namespace prodsyn
 
 #endif  // PRODSYN_DATAGEN_WORLD_H_

@@ -161,9 +161,10 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
   const auto run_chunked =
-      [&pool](size_t n, const std::function<void(size_t, size_t)>& body) {
+      [&pool, &options](size_t n,
+                        const std::function<void(size_t, size_t)>& body) {
         if (pool.has_value()) {
-          pool->ParallelFor(n, body);
+          pool->ParallelFor(n, body, options.parallel);
         } else if (n > 0) {
           body(0, n);
         }

@@ -36,6 +36,7 @@
 #include "src/util/interner.h"
 #include "src/util/result.h"
 #include "src/util/stage_metrics.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 
@@ -49,6 +50,11 @@ struct BagIndexOptions {
   /// default. Output is bit-identical for any value (sequential merge in
   /// sorted group order).
   size_t build_threads = 1;
+  /// Chunked-scheduling knobs for the build shards. (Merchant, category)
+  /// groups inherit the Zipf skew of the offer distribution, so the
+  /// default claims groups dynamically; grain 1 because each item is a
+  /// whole group. Never affects output.
+  ParallelForOptions parallel{/*min_grain=*/1, ParallelChunking::kDynamic};
 };
 
 /// \brief Immutable bag/distribution index over one MatchingContext.

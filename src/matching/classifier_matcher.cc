@@ -131,7 +131,7 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
     score_range(0, candidates.size());
   } else {
     ThreadPool pool(threads);
-    pool.ParallelFor(candidates.size(), score_range, token);
+    pool.ParallelFor(candidates.size(), score_range, options_.parallel, token);
     score_stage->RecordQueueDepth(pool.max_queue_depth());
   }
   score_stage->AddItems(candidates.size());

@@ -46,6 +46,12 @@ struct ClassifierMatcherOptions {
   /// count. 0 = hardware default, mirroring
   /// SynthesizerOptions::runtime_threads.
   size_t offline_threads = 1;
+  /// Chunked-scheduling knobs for the candidate-scoring sweep. Each chunk
+  /// instantiates a private FeatureComputer whose memo caches must warm
+  /// up from scratch, so the default grain keeps chunks large enough to
+  /// amortize that fixed cost; dynamic claiming absorbs the cost skew
+  /// between categories. Never affects output.
+  ParallelForOptions parallel{/*min_grain=*/512, ParallelChunking::kDynamic};
   /// Optional cancellation of the offline phase: checked at every stage
   /// boundary (bag build, training-set construction, LR training,
   /// candidate scoring) and per scoring chunk; Generate returns

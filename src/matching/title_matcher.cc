@@ -185,10 +185,13 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
     ThreadPool pool(threads);
     // process_category writes only its slot of the per-category
     // results; the inputs are read-only. // lint: sharded
-    pool.ParallelFor(categories.size(), [&](size_t begin, size_t end) {
-      ScopedStageTimer timer(stage);
-      for (size_t slot = begin; slot < end; ++slot) process_category(slot);
-    });
+    pool.ParallelFor(
+        categories.size(),
+        [&](size_t begin, size_t end) {
+          ScopedStageTimer timer(stage);
+          for (size_t slot = begin; slot < end; ++slot) process_category(slot);
+        },
+        options_.parallel);
     stage->RecordQueueDepth(pool.max_queue_depth());
   }
 

@@ -19,6 +19,7 @@
 #include "src/util/metrics_registry.h"
 #include "src/util/result.h"
 #include "src/util/stage_metrics.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
 
@@ -36,6 +37,10 @@ struct TitleMatcherOptions {
   /// sequentially in category order, so the MatchStore and the counter
   /// stats are bit-identical for any value.
   size_t threads = 1;
+  /// Chunked-scheduling knobs for the per-category shards. Categories
+  /// differ wildly in offer and product count, so the default claims them
+  /// one at a time (dynamic, grain 1). Never affects output.
+  ParallelForOptions parallel{/*min_grain=*/1, ParallelChunking::kDynamic};
 };
 
 /// \brief Statistics of one Match() run. The counters are deterministic

@@ -84,7 +84,7 @@ Result<std::vector<OfferCluster>> ClusterByKey(
     }
   };
   if (pool != nullptr && pool->thread_count() > 1) {
-    pool->ParallelFor(offers.size(), extract_range, token);
+    pool->ParallelFor(offers.size(), extract_range, options.parallel, token);
     if (metrics != nullptr) {
       metrics->RecordQueueDepth(pool->max_queue_depth());
     }

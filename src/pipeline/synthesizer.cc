@@ -232,7 +232,8 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     }
   };
   if (pool_ptr != nullptr) {
-    pool_ptr->ParallelFor(offers.size(), process_range, token);
+    pool_ptr->ParallelFor(offers.size(), process_range, options_.parallel,
+                          token);
     extraction_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
   } else {
     process_range(0, offers.size());
@@ -407,7 +408,8 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     }
   };
   if (pool_ptr != nullptr) {
-    pool_ptr->ParallelFor(clusters.size(), fuse_range, token);
+    pool_ptr->ParallelFor(clusters.size(), fuse_range, options_.parallel,
+                          token);
     fusion_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
   } else {
     fuse_range(0, clusters.size());

@@ -131,6 +131,12 @@ struct SynthesizerOptions {
   /// merges are sequential in a deterministic order, so correspondences
   /// and learning stats are bit-identical for any value.
   size_t offline_threads = 0;
+  /// Chunked-scheduling knobs for the run-time phase's ParallelFor calls
+  /// (the per-offer stage chain and per-cluster fusion). Per-offer cost
+  /// is skewed — landing-page size and cluster size both vary — so the
+  /// default claims modest chunks dynamically. Clustering's key scan has
+  /// its own knob (ClusteringOptions::parallel). Never affects output.
+  ParallelForOptions parallel{/*min_grain=*/8, ParallelChunking::kDynamic};
   /// What to do when an offer's stage chain fails (see ErrorPolicy).
   /// kQuarantine diverts failing offers to SynthesisResult::ledger and
   /// keeps going; on clean input the output is bit-identical to
@@ -189,6 +195,16 @@ class ProductSynthesizer {
   const ClassifierRunStats& learning_stats() const { return learning_stats_; }
 
   const TitleClassifier& title_classifier() const { return title_classifier_; }
+
+  /// \brief Overrides SynthesizerOptions::runtime_threads for subsequent
+  /// Synthesize calls (0 = hardware default). Lets thread sweeps (e.g.
+  /// bench_perf_pipeline) learn offline once and re-measure the run-time
+  /// phase at several thread counts on the same learned state. Not safe
+  /// to call concurrently with a running Synthesize (same single-driver
+  /// contract as LearnOffline).
+  void set_runtime_threads(size_t threads) {
+    options_.runtime_threads = threads;
+  }
 
  private:
   const Catalog* catalog_;

@@ -1,11 +1,21 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "src/util/fault.h"
+#include "src/util/trace.h"
 
 namespace prodsyn {
+
+namespace {
+// kDynamic targets this many chunks per worker before the min_grain floor
+// kicks in: enough slack that one heavy chunk leaves ~7 lighter ones for
+// the other workers to absorb, few enough that per-chunk claim overhead
+// (one relaxed fetch_add) stays invisible next to the body.
+constexpr size_t kDynamicChunksPerThread = 8;
+}  // namespace
 
 size_t ThreadPool::HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
@@ -78,18 +88,50 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ChunkPlan ThreadPool::PlanChunks(size_t n, size_t threads,
+                                 const ParallelForOptions& options) {
+  ChunkPlan plan;
+  if (n == 0) return plan;
+  if (threads <= 1) {
+    plan.grain = n;
+    plan.chunks = 1;
+    return plan;  // tasks == 0: inline on the caller
+  }
+  const size_t min_grain = std::max<size_t>(1, options.min_grain);
+  size_t target = options.chunking == ParallelChunking::kStatic
+                      ? threads
+                      : threads * kDynamicChunksPerThread;
+  target = std::min(target, n);
+  plan.grain = std::max(min_grain, (n + target - 1) / target);
+  plan.chunks = (n + plan.grain - 1) / plan.grain;
+  if (plan.chunks <= 1) return plan;  // tasks == 0: inline on the caller
+  // kStatic: one task per chunk (chunks <= threads by construction).
+  // kDynamic: one claim loop per worker that could possibly get a chunk.
+  plan.tasks = options.chunking == ParallelChunking::kStatic
+                   ? plan.chunks
+                   : std::min(threads, plan.chunks);
+  return plan;
+}
+
 void ThreadPool::ParallelFor(
     size_t n, const std::function<void(size_t begin, size_t end)>& body) {
-  ParallelFor(n, body, nullptr);
+  ParallelFor(n, body, ParallelForOptions{}, nullptr);
 }
 
 void ThreadPool::ParallelFor(
     size_t n, const std::function<void(size_t begin, size_t end)>& body,
     const CancellationToken* token) {
+  ParallelFor(n, body, ParallelForOptions{}, token);
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t begin, size_t end)>& body,
+    const ParallelForOptions& options, const CancellationToken* token) {
   if (n == 0) return;
   if (token != nullptr && token->cancelled()) return;
-  const size_t chunks = std::min(thread_count(), n);
-  if (chunks <= 1) {
+  const ChunkPlan plan = PlanChunks(n, thread_count(), options);
+  if (plan.tasks == 0) {
+    PRODSYN_TRACE_SPAN("pool.chunk");
     body(0, n);
     return;
   }
@@ -98,26 +140,56 @@ void ThreadPool::ParallelFor(
   Mutex done_mu;
   CondVar done_cv;
   size_t remaining = 0;
-  const size_t chunk = (n + chunks - 1) / chunks;
-  for (size_t t = 0; t < chunks; ++t) {
-    const size_t begin = t * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;  // ceil division: trailing chunks can be empty
+  // §atomics exemption (docs/STATIC_ANALYSIS.md): the kDynamic claim
+  // cursor is a monotone ticket counter — fetch_add hands each chunk
+  // index to exactly one claim loop, so relaxed order suffices; the data
+  // the chunks touch is ordered by the queue mutex (Submit/pop) on the
+  // way in and by the latch mutex on the way out. Lives on this frame:
+  // the latch wait below outlives every task that references it.
+  std::atomic<size_t> next_chunk{0};
+  for (size_t t = 0; t < plan.tasks; ++t) {
     {
       MutexLock lock(&done_mu);
       ++remaining;
     }
-    // By-ref captures: `remaining` only mutates under done_mu (the latch);
-    // `body` writes per-index state by the ParallelFor contract.
-    // lint: sharded
-    Submit([&body, &done_mu, &done_cv, &remaining, begin, end, token] {
-      // Cooperative cancellation: a chunk that has not started when the
-      // token fires is skipped wholesale; the latch still completes so
-      // the caller never hangs.
-      if (token == nullptr || !token->cancelled()) body(begin, end);
-      MutexLock lock(&done_mu);
-      if (--remaining == 0) done_cv.NotifyAll();
-    });
+    if (options.chunking == ParallelChunking::kStatic) {
+      const size_t begin = t * plan.grain;
+      const size_t end = std::min(n, begin + plan.grain);
+      // By-ref captures: `remaining` only mutates under done_mu (the
+      // latch); `body` writes per-index state by the ParallelFor contract.
+      // lint: sharded
+      Submit([&body, &done_mu, &done_cv, &remaining, begin, end, token] {
+        // Cooperative cancellation: a chunk that has not started when the
+        // token fires is skipped wholesale; the latch still completes so
+        // the caller never hangs.
+        if (token == nullptr || !token->cancelled()) {
+          PRODSYN_TRACE_SPAN("pool.chunk");
+          body(begin, end);
+        }
+        MutexLock lock(&done_mu);
+        if (--remaining == 0) done_cv.NotifyAll();
+      });
+    } else {
+      // Claim loop: race on next_chunk for the next unstarted chunk until
+      // the range is exhausted or the token fires. Which loop executes
+      // which chunk is timing-dependent; slot contents are not (the
+      // ParallelFor contract), so output stays bit-identical.
+      // lint: sharded
+      Submit([&body, &done_mu, &done_cv, &remaining, &next_chunk, plan, n,
+              token] {
+        for (;;) {
+          if (token != nullptr && token->cancelled()) break;
+          const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+          if (c >= plan.chunks) break;
+          const size_t begin = c * plan.grain;
+          const size_t end = std::min(n, begin + plan.grain);
+          PRODSYN_TRACE_SPAN("pool.chunk");
+          body(begin, end);
+        }
+        MutexLock lock(&done_mu);
+        if (--remaining == 0) done_cv.NotifyAll();
+      });
+    }
   }
   MutexLock lock(&done_mu);
   while (remaining != 0) done_cv.Wait(lock);

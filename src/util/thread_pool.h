@@ -1,14 +1,25 @@
-// Fixed-size thread pool with a single shared FIFO queue (deliberately
-// work-stealing-free: the pipeline's units of work are coarse enough that
-// a shared queue never becomes the bottleneck, and one queue keeps the
-// execution order easy to reason about). Used by the run-time offer
-// pipeline (ProductSynthesizer) and available to any component that wants
-// deterministic fork-join parallelism.
+// Fixed-size thread pool with a single shared FIFO queue and a chunked
+// fork-join ParallelFor. The pool deliberately has no per-worker deques:
+// load balance comes from how ParallelFor carves an index range into
+// contiguous chunks, not from migrating queued tasks between workers.
+// Used by the run-time offer pipeline (ProductSynthesizer) and by every
+// offline stage that wants deterministic fork-join parallelism.
+//
+// History note (why per-item tasks failed): an earlier revision submitted
+// work at a much finer granularity — up to one closure per item on some
+// paths. At the pipeline's per-item cost (~20–30µs for a stage body) the
+// queue mutex, the std::function allocation, and the wake-up round trip
+// dominated, and the thread sweep measured *negative* scaling
+// (speedup_4_over_1 ≈ 0.8–0.9 on the seed bench world). ParallelFor now
+// always hands out contiguous chunks sized by PlanChunks; per-item
+// submission is reserved for genuinely coarse tasks.
 //
 // Determinism contract: the pool itself never reorders results — callers
-// obtain bit-identical output for any thread count by writing into
-// per-index slots (see ParallelFor) and merging sequentially, the same
-// discipline classifier_matcher.cc uses for offline scoring.
+// obtain bit-identical output for any thread count *and any chunk plan*
+// by writing into per-index slots (see ParallelFor) and merging
+// sequentially, the same discipline classifier_matcher.cc uses for
+// offline scoring. Chunk boundaries (grain, chunking mode, claim order)
+// affect only which worker touches which slot, never a slot's content.
 
 #ifndef PRODSYN_UTIL_THREAD_POOL_H_
 #define PRODSYN_UTIL_THREAD_POOL_H_
@@ -24,6 +35,42 @@
 #include "src/util/thread_annotations.h"
 
 namespace prodsyn {
+
+/// \brief How ParallelFor carves [0, n) into contiguous chunks.
+enum class ParallelChunking {
+  /// At most one chunk per worker, assigned up front. Minimal scheduling
+  /// overhead (one queue round trip per worker); no load balancing. Right
+  /// for bodies whose per-item cost is uniform.
+  kStatic,
+  /// Smaller chunks (~8 per worker before the min_grain floor) claimed
+  /// dynamically: min(thread_count, chunks) claim loops race on an atomic
+  /// chunk cursor, so a worker stuck on a heavy chunk does not serialize
+  /// the rest of the range. Right for skewed per-item cost (Zipf-sized
+  /// groups, categories of very different sizes).
+  kDynamic,
+};
+
+/// \brief Scheduling knobs for ParallelFor. The defaults reproduce the
+/// classic one-chunk-per-worker split.
+///
+/// `min_grain` is the floor on items per chunk: raise it when the body is
+/// so cheap (sub-microsecond) that per-chunk overhead would dominate, or
+/// when each chunk pays a fixed setup cost (e.g. a private memo cache)
+/// worth amortizing. Neither knob affects output — see the determinism
+/// contract above.
+struct ParallelForOptions {
+  size_t min_grain = 1;
+  ParallelChunking chunking = ParallelChunking::kStatic;
+};
+
+/// \brief The chunk layout a ParallelFor call will use; computed by
+/// ThreadPool::PlanChunks and exposed for tests and bench reporting.
+/// Chunks cover [0, n): chunk c is [c*grain, min(n, (c+1)*grain)).
+struct ChunkPlan {
+  size_t grain = 0;   ///< items per chunk (the last chunk may be smaller)
+  size_t chunks = 0;  ///< number of chunks covering the range
+  size_t tasks = 0;   ///< pool tasks submitted; 0 = body runs inline
+};
 
 /// \brief A fixed-size pool of worker threads draining one shared FIFO
 /// task queue.
@@ -72,24 +119,48 @@ class ThreadPool {
   /// \brief std::thread::hardware_concurrency(), never less than 1.
   static size_t HardwareThreads();
 
-  /// \brief Splits [0, n) into at most thread_count() contiguous chunks,
-  /// runs `body(begin, end)` on each from the pool, and blocks until all
-  /// chunks finish. The calling thread only waits (it does not steal
-  /// work), so this must not be invoked from a worker thread. With
-  /// thread_count() <= 1 or n <= 1, `body(0, n)` runs inline on the
-  /// caller.
+  /// \brief The chunk layout ParallelFor(n, ..., options) would use on a
+  /// pool with `threads` workers. Pure function; exposed so tests can pin
+  /// the grain heuristic and benches can report the plan they measured.
   ///
-  /// Chunk boundaries depend on the thread count, so `body` must write
-  /// only to per-index state (e.g. slot i of a pre-sized vector) for the
-  /// overall result to be thread-count-invariant.
+  /// Layout rules: n == 0 plans nothing; threads <= 1 plans one inline
+  /// chunk. Otherwise grain = max(min_grain, ceil(n / target)) where
+  /// target is `threads` chunks (kStatic) or ~8x that (kDynamic), and
+  /// chunks = ceil(n / grain). A plan that collapses to a single chunk
+  /// runs inline (tasks == 0); otherwise kStatic submits one task per
+  /// chunk and kDynamic submits min(threads, chunks) claim loops.
+  static ChunkPlan PlanChunks(size_t n, size_t threads,
+                              const ParallelForOptions& options);
+
+  /// \brief Splits [0, n) into contiguous chunks per PlanChunks, runs
+  /// `body(begin, end)` on each from the pool, and blocks until all
+  /// chunks finish. The calling thread only waits (it does not steal
+  /// work), so this must not be invoked from a worker thread. Plans with
+  /// a single chunk (thread_count() <= 1, n <= min_grain, ...) run
+  /// `body(0, n)` inline on the caller.
+  ///
+  /// Chunk boundaries depend on the thread count and the options, so
+  /// `body` must write only to per-index state (e.g. slot i of a
+  /// pre-sized vector) for the overall result to be
+  /// thread-count-invariant. Each executed chunk is wrapped in a
+  /// "pool.chunk" trace span (see docs/OBSERVABILITY.md).
+  ///
+  /// Cooperative cancellation: when `token` is non-null, chunks whose
+  /// execution has not started when the token reports cancelled are
+  /// skipped wholesale (kDynamic claim loops stop claiming); the call
+  /// still returns only after in-flight chunks finish — the latch always
+  /// drains. For prompt cancellation *within* a chunk, `body` should also
+  /// poll the token per index. A null token never cancels.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t begin, size_t end)>& body,
+                   const ParallelForOptions& options,
+                   const CancellationToken* token = nullptr);
+
+  /// \brief ParallelFor with default options (static chunking, grain 1).
   void ParallelFor(size_t n,
                    const std::function<void(size_t begin, size_t end)>& body);
 
-  /// \brief ParallelFor with cooperative cancellation: chunks whose
-  /// execution has not started when `token` reports cancelled are skipped
-  /// entirely (the call still returns only after in-flight chunks finish).
-  /// For prompt cancellation *within* a chunk, `body` should also poll the
-  /// token per index. A null token behaves like plain ParallelFor.
+  /// \brief ParallelFor with default options and cancellation.
   void ParallelFor(size_t n,
                    const std::function<void(size_t begin, size_t end)>& body,
                    const CancellationToken* token);

@@ -1,0 +1,93 @@
+// Paper-scale world checks: PaperScaleWorldConfig reproduces the corpus
+// shape from §1 of the paper (~856K offers across 1,143 merchants and 498
+// leaf categories), and the max_leaf_categories cap mechanics that make
+// that leaf count reachable (37 archetypes x 14 instances = 518, capped
+// to 498) behave as documented. The full-scale generation test runs for
+// tens of seconds at -O2 — it lives in its own binary so the rest of the
+// suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/datagen/world.h"
+
+namespace prodsyn {
+namespace {
+
+TEST(DatagenPaperTest, PaperScaleConfigMatchesPaperKnobs) {
+  const WorldConfig config = PaperScaleWorldConfig();
+  EXPECT_EQ(config.categories_per_archetype, 14u);
+  EXPECT_EQ(config.max_leaf_categories, 498u);
+  EXPECT_EQ(config.merchants, 1143u);
+  EXPECT_EQ(config.products_per_category, 314u);
+  // 37 archetypes x 14 instances = 518 candidates, so the 498 cap binds.
+  EXPECT_LT(config.max_leaf_categories,
+            config.categories_per_archetype *
+                BuiltinCategoryArchetypes().size());
+}
+
+TEST(DatagenPaperTest, CapSpreadsRoundRobinAcrossArchetypes) {
+  WorldConfig config;
+  config.seed = 81;
+  config.categories_per_archetype = 3;
+  config.max_leaf_categories = 50;
+  config.merchants = 5;
+  config.products_per_category = 2;
+  World world = *World::Generate(config);
+  ASSERT_EQ(world.category_instances.size(), 50u);
+  // Instance-major instantiation: every archetype contributes before any
+  // contributes twice, so per-archetype counts differ by at most one.
+  std::map<const CategoryArchetype*, size_t> per_archetype;
+  for (const auto& inst : world.category_instances) {
+    ++per_archetype[inst.archetype];
+  }
+  size_t lo = world.category_instances.size();
+  size_t hi = 0;
+  for (const auto& [archetype, count] : per_archetype) {
+    (void)archetype;
+    lo = std::min(lo, count);
+    hi = std::max(hi, count);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(DatagenPaperTest, LooseCapKeepsTheFullInstanceSet) {
+  // A cap above the candidate count changes the instantiation order (the
+  // capped path is instance-major) but not the set of leaves.
+  WorldConfig uncapped;
+  uncapped.seed = 82;
+  uncapped.categories_per_archetype = 2;
+  uncapped.merchants = 5;
+  uncapped.products_per_category = 2;
+  WorldConfig capped = uncapped;
+  capped.max_leaf_categories = 10000;
+  World a = *World::Generate(uncapped);
+  World b = *World::Generate(capped);
+  std::set<std::string> names_a, names_b;
+  for (const auto& inst : a.category_instances) names_a.insert(inst.name);
+  for (const auto& inst : b.category_instances) names_b.insert(inst.name);
+  EXPECT_EQ(names_a, names_b);
+  EXPECT_EQ(b.category_instances.size(),
+            2 * BuiltinCategoryArchetypes().size());
+}
+
+TEST(DatagenPaperTest, PaperScaleWorldMatchesSection1Counts) {
+  const WorldConfig config = PaperScaleWorldConfig();
+  World world = *World::Generate(config);
+  EXPECT_EQ(world.category_instances.size(), 498u);
+  EXPECT_EQ(world.merchant_profiles.size(), 1143u);
+  // Offer volume is stochastic (acceptance thinning); the calibrated
+  // products_per_category=314 lands within a few percent of the paper's
+  // 856K total offers.
+  const size_t total_offers =
+      world.historical_offers.size() + world.incoming_offers.size();
+  EXPECT_GE(total_offers, 800000u);
+  EXPECT_LE(total_offers, 920000u);
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -115,6 +115,161 @@ TEST(ThreadPoolTest, ParallelForPerIndexSlotsAreThreadCountInvariant) {
   EXPECT_EQ(one, five);
 }
 
+TEST(ThreadPoolTest, PlanChunksEmptyRangePlansNothing) {
+  const ChunkPlan plan = ThreadPool::PlanChunks(0, 4, {});
+  EXPECT_EQ(plan.grain, 0u);
+  EXPECT_EQ(plan.chunks, 0u);
+  EXPECT_EQ(plan.tasks, 0u);
+}
+
+TEST(ThreadPoolTest, PlanChunksSingleThreadRunsInline) {
+  const ChunkPlan plan = ThreadPool::PlanChunks(1000, 1, {});
+  EXPECT_EQ(plan.grain, 1000u);
+  EXPECT_EQ(plan.chunks, 1u);
+  EXPECT_EQ(plan.tasks, 0u);  // inline on the caller
+}
+
+TEST(ThreadPoolTest, PlanChunksFewerItemsThanThreads) {
+  // n < threads: at most one item per chunk, never an empty chunk.
+  const ChunkPlan plan = ThreadPool::PlanChunks(3, 8, {});
+  EXPECT_EQ(plan.grain, 1u);
+  EXPECT_EQ(plan.chunks, 3u);
+  EXPECT_EQ(plan.tasks, 3u);
+}
+
+TEST(ThreadPoolTest, PlanChunksGrainLargerThanRangeCollapsesInline) {
+  ParallelForOptions options;
+  options.min_grain = 100;
+  const ChunkPlan plan = ThreadPool::PlanChunks(64, 4, options);
+  EXPECT_EQ(plan.grain, 100u);
+  EXPECT_EQ(plan.chunks, 1u);
+  EXPECT_EQ(plan.tasks, 0u);  // one chunk — not worth a queue round trip
+}
+
+TEST(ThreadPoolTest, PlanChunksRespectsMinGrain) {
+  ParallelForOptions options;
+  options.min_grain = 64;
+  options.chunking = ParallelChunking::kDynamic;
+  const ChunkPlan plan = ThreadPool::PlanChunks(1000, 4, options);
+  EXPECT_GE(plan.grain, 64u);
+  EXPECT_EQ(plan.chunks, (1000 + plan.grain - 1) / plan.grain);
+  // Dynamic mode submits claim loops, at most one per worker.
+  EXPECT_LE(plan.tasks, 4u);
+  EXPECT_GT(plan.tasks, 0u);
+}
+
+TEST(ThreadPoolTest, PlanChunksStaticNeverExceedsOneChunkPerThread) {
+  for (size_t n : {2u, 7u, 64u, 1000u, 12345u}) {
+    for (size_t threads : {2u, 3u, 8u}) {
+      const ChunkPlan plan = ThreadPool::PlanChunks(n, threads, {});
+      EXPECT_LE(plan.chunks, threads) << "n=" << n << " threads=" << threads;
+      EXPECT_EQ(plan.tasks, plan.chunks);
+      // The chunks exactly cover [0, n).
+      EXPECT_GE(plan.grain * plan.chunks, n);
+      EXPECT_LT(plan.grain * (plan.chunks - 1), n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PlanChunksDynamicMakesMoreChunksThanThreads) {
+  ParallelForOptions options;
+  options.chunking = ParallelChunking::kDynamic;
+  const ChunkPlan plan = ThreadPool::PlanChunks(10000, 4, options);
+  EXPECT_GT(plan.chunks, 4u);   // finer than static for load balance...
+  EXPECT_EQ(plan.tasks, 4u);    // ...but still one claim loop per worker
+}
+
+TEST(ThreadPoolTest, DynamicParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  ParallelForOptions options;
+  options.min_grain = 3;
+  options.chunking = ParallelChunking::kDynamic;
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  // lint: sharded — per-index atomic slots
+  pool.ParallelFor(
+      hits.size(),
+      [&hits](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      options);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedModesAreThreadCountInvariant) {
+  // The determinism discipline under both chunking modes: per-index slot
+  // writes assemble the same result for any thread count (0 = hardware),
+  // any mode, any grain.
+  auto run = [](size_t threads, ParallelChunking chunking, size_t grain) {
+    ThreadPool pool(threads);
+    ParallelForOptions options;
+    options.chunking = chunking;
+    options.min_grain = grain;
+    std::vector<int> out(1000);
+    // lint: sharded — per-index slots (the discipline under test)
+    pool.ParallelFor(
+        out.size(),
+        [&out](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            out[i] = static_cast<int>(i * i % 97);
+          }
+        },
+        options);
+    return out;
+  };
+  const auto reference = run(1, ParallelChunking::kStatic, 1);
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    for (const auto mode :
+         {ParallelChunking::kStatic, ParallelChunking::kDynamic}) {
+      for (const size_t grain : {size_t{1}, size_t{7}, size_t{512}}) {
+        EXPECT_EQ(run(threads, mode, grain), reference)
+            << "threads=" << threads << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DynamicCancellationSkipsUnstartedChunksAndDrains) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  ParallelForOptions options;
+  options.min_grain = 10;
+  options.chunking = ParallelChunking::kDynamic;
+  std::atomic<size_t> processed{0};
+  std::atomic<bool> fired{false};
+  // 1000 items in ≥100 chunks: the first executed chunk cancels, so at
+  // most the in-flight chunks (≤ workers + 1 claim race) ever run; the
+  // call must still return (the latch drains skipped chunks).
+  // lint: sharded — atomics only
+  pool.ParallelFor(
+      1000,
+      [&](size_t begin, size_t end) {
+        if (!fired.exchange(true)) token.Cancel();
+        processed.fetch_add(end - begin);
+      },
+      options, &token);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_GT(processed.load(), 0u);   // something ran before the cut
+  EXPECT_LT(processed.load(), 500u); // the bulk of the range was skipped
+}
+
+TEST(ThreadPoolTest, StaticCancellationBeforeStartSkipsEverything) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  token.Cancel();
+  std::atomic<size_t> processed{0};
+  // lint: sharded — atomic counter
+  pool.ParallelFor(
+      1000,
+      [&processed](size_t begin, size_t end) {
+        processed.fetch_add(end - begin);
+      },
+      ParallelForOptions{}, &token);
+  EXPECT_EQ(processed.load(), 0u);
+}
+
 TEST(ThreadPoolTest, QueueDepthHighWaterMarkIsRecorded) {
   ThreadPool pool(1);
   std::atomic<bool> release{false};

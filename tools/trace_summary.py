@@ -9,6 +9,11 @@ per thread from the complete-event (ph "X") ts/dur/depth fields.
 With --metrics it also prints the per-stage wall/p50/p99 table from the
 matching *.metrics.json telemetry-registry dump.
 
+Every chunk a ParallelFor executes is wrapped in a `pool.chunk` span, so
+that row's count is the number of scheduled chunks and its self-time
+spread shows per-chunk imbalance — wide variance inside one stage is
+the skew signature that dynamic chunking (docs/PERFORMANCE.md) absorbs.
+
 Usage:
   tools/trace_summary.py BENCH_perf_pipeline.trace.json \
       [--metrics BENCH_perf_pipeline.metrics.json] [--top N]
