@@ -53,6 +53,11 @@ struct OfflineRun {
   size_t effective_threads = 0;
   double bag_build_ms = 0.0;
   double generate_ms = 0.0;
+  // LR training sub-stage of the best generate run: the wall of its
+  // "lr.train" stage snapshot plus the trainer's throughput gauges.
+  double lr_train_ms = 0.0;
+  size_t lr_iterations = 0;
+  long long lr_rows_per_sec = 0;
   double title_ms = 0.0;
   size_t candidates = 0;
   size_t correspondences = 0;
@@ -109,14 +114,25 @@ bool WriteSweepJson(const std::string& path, const World& world,
   // The scoring sweep's ParallelFor plan (the headline generate_ms
   // phase); bag build and title match take the same env overrides.
   json += "  \"chunking\": " + bench::ChunkingJson(parallel) + ",\n";
-  // Headline: offline-learning speedup of 4 threads over 1 thread.
+  // Headlines: offline-learning and LR-training speedups of 4 threads
+  // over 1 thread (the latter gated by tools/check_speedup.py --lr-min).
   double generate_1 = 0.0, generate_4 = 0.0;
+  double lr_1 = 0.0, lr_4 = 0.0;
   for (const auto& run : runs) {
-    if (run.requested_threads == 1) generate_1 = run.generate_ms;
-    if (run.requested_threads == 4) generate_4 = run.generate_ms;
+    if (run.requested_threads == 1) {
+      generate_1 = run.generate_ms;
+      lr_1 = run.lr_train_ms;
+    }
+    if (run.requested_threads == 4) {
+      generate_4 = run.generate_ms;
+      lr_4 = run.lr_train_ms;
+    }
   }
   std::snprintf(buf, sizeof(buf), "  \"speedup_4_over_1\": %.3f,\n",
                 generate_4 > 0.0 ? generate_1 / generate_4 : 0.0);
+  json += buf;
+  std::snprintf(buf, sizeof(buf), "  \"lr_train_speedup_4_over_1\": %.3f,\n",
+                lr_4 > 0.0 ? lr_1 / lr_4 : 0.0);
   json += buf;
   json += "  \"runs\": [\n";
   for (size_t r = 0; r < runs.size(); ++r) {
@@ -137,6 +153,13 @@ bool WriteSweepJson(const std::string& path, const World& world,
                   static_cast<unsigned long long>(run.candidates),
                   static_cast<unsigned long long>(run.correspondences),
                   static_cast<unsigned long long>(run.title_matches));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "     \"lr_train_ms\": %.3f, \"lr_iterations\": %llu, "
+                  "\"lr_rows_per_sec\": %lld,\n",
+                  run.lr_train_ms,
+                  static_cast<unsigned long long>(run.lr_iterations),
+                  run.lr_rows_per_sec);
     json += buf;
     AppendJsonStages(&json, "classifier_stages", run.classifier_stages,
                      /*last=*/false);
@@ -203,6 +226,8 @@ int RunOfflineSweep() {
       bench::ApplyChunkingEnv(BagIndexOptions{}.parallel);
   const ParallelForOptions score_parallel =
       bench::ApplyChunkingEnv(ClassifierMatcherOptions{}.parallel);
+  const ParallelForOptions lr_parallel =
+      bench::ApplyChunkingEnv(LogisticRegressionOptions{}.parallel);
   const ParallelForOptions title_parallel =
       bench::ApplyChunkingEnv(TitleMatcherOptions{}.parallel);
 
@@ -243,6 +268,7 @@ int RunOfflineSweep() {
       options.offline_threads = threads;
       options.parallel = score_parallel;
       options.bag_index.parallel = bag_parallel;
+      options.regression.parallel = lr_parallel;
       ClassifierMatcher matcher(options);
       const auto start = std::chrono::steady_clock::now();
       auto scored = matcher.Generate(ctx);
@@ -259,6 +285,19 @@ int RunOfflineSweep() {
       }
     }
     run.correspondences = run.scored.size();
+    // LR training sub-stage of the best generate run: stage wall for the
+    // latency, registry gauges for iterations and throughput.
+    for (const StageSnapshot& stage : run.classifier_stages) {
+      if (stage.name == "lr.train") run.lr_train_ms = stage.wall_ns / 1e6;
+    }
+    for (const auto& gauge : run.classifier_registry.gauges) {
+      if (gauge.name == "lr.iterations_used") {
+        run.lr_iterations = static_cast<size_t>(gauge.value);
+      }
+      if (gauge.name == "lr.rows_per_sec") {
+        run.lr_rows_per_sec = static_cast<long long>(gauge.value);
+      }
+    }
 
     // Phase 3: the title-match bootstrap.
     for (size_t rep = 0; rep < repetitions; ++rep) {
@@ -293,10 +332,12 @@ int RunOfflineSweep() {
       return 1;
     }
     std::printf("  offline_threads=%llu (effective %llu): bag %8.2f ms, "
-                "generate %8.2f ms, title %8.2f ms, %llu correspondences\n",
+                "generate %8.2f ms (lr %8.2f ms, %lld rows/s), "
+                "title %8.2f ms, %llu correspondences\n",
                 static_cast<unsigned long long>(run.requested_threads),
                 static_cast<unsigned long long>(run.effective_threads),
-                run.bag_build_ms, run.generate_ms, run.title_ms,
+                run.bag_build_ms, run.generate_ms, run.lr_train_ms,
+                run.lr_rows_per_sec, run.title_ms,
                 static_cast<unsigned long long>(run.correspondences));
     runs.push_back(std::move(run));
   }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <memory>
 
+#include "src/ml/dense_matrix.h"
 #include "src/util/check.h"
 #include "src/util/fault.h"
 #include "src/util/thread_pool.h"
@@ -53,37 +56,68 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
         " negatives); need name-identity anchors with alternatives");
   }
 
+  // Resolve the single offline thread knob once; one pool serves both the
+  // per-epoch LR gradient sweeps and the candidate-scoring sweep, so the
+  // epoch loop never pays a pool construction per Fit. The training rows
+  // are a subset of the candidates, so the candidate clamp never
+  // under-provisions training.
+  const auto& candidates = index.candidates();
+  size_t threads = options_.offline_threads == 0
+                       ? ThreadPool::HardwareThreads()
+                       : options_.offline_threads;
+  threads = std::min(threads, std::max<size_t>(1, candidates.size()));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  registry.SetGauge("offline.threads", static_cast<int64_t>(threads));
+  registry.SetGauge("offline.candidates",
+                    static_cast<int64_t>(candidates.size()));
+
   if (cancelled()) {
     return Status::Cancelled("offline learning cancelled before LR training");
   }
   PRODSYN_FAULT_POINT("offline.lr_train");
+  StageCounters* epoch_stage = nullptr;
   {
     PRODSYN_TRACE_SPAN("lr.train");
     StageCounters* train_stage = registry.GetStage("lr.train");
+    epoch_stage = registry.GetStage("lr.epoch");
     ScopedStageTimer timer(train_stage);
-    PRODSYN_RETURN_NOT_OK(scaler_.Fit(training.dataset));
-    PRODSYN_ASSIGN_OR_RETURN(Dataset scaled,
-                             scaler_.TransformDataset(training.dataset));
-    PRODSYN_RETURN_NOT_OK(model_.Fit(scaled, options_.regression));
+    // Pack the AoS training set into one contiguous row-major matrix and
+    // standardize it in place — the scaler writes into the flat buffer
+    // instead of producing a second per-example-vector copy, and the
+    // trainer's per-epoch sweeps stream it linearly.
+    PRODSYN_ASSIGN_OR_RETURN(DenseMatrix matrix,
+                             DenseMatrix::FromDataset(training.dataset));
+    PRODSYN_RETURN_NOT_OK(scaler_.Fit(matrix));
+    PRODSYN_RETURN_NOT_OK(scaler_.TransformInPlace(&matrix));
+    LogisticRegressionOptions lr_options = options_.regression;
+    lr_options.threads = threads;
+    PRODSYN_RETURN_NOT_OK(
+        model_.Fit(matrix, lr_options, pool.get(), epoch_stage));
     train_stage->AddItems(training.dataset.size());
   }
   stats_.lr_iterations = model_.iterations_used();
+  registry.SetGauge("lr.iterations_used",
+                    static_cast<int64_t>(model_.iterations_used()));
+  // Training throughput: rows swept per wall second over all epochs. The
+  // epoch scopes are sequential at the Fit level, so their wall total is
+  // the training loop's elapsed time.
+  const StageSnapshot epoch_snapshot = epoch_stage->snapshot();
+  if (epoch_snapshot.wall_ns > 0) {
+    const double rows_per_sec =
+        static_cast<double>(model_.iterations_used()) *
+        static_cast<double>(training.dataset.size()) * 1e9 /
+        static_cast<double>(epoch_snapshot.wall_ns);
+    registry.SetGauge("lr.rows_per_sec",
+                      static_cast<int64_t>(std::llround(rows_per_sec)));
+  }
 
   if (cancelled()) {
     return Status::Cancelled("offline learning cancelled before scoring");
   }
   PRODSYN_FAULT_POINT("offline.score");
-  const auto& candidates = index.candidates();
   stats_.candidates = candidates.size();
   std::vector<AttributeCorrespondence> out(candidates.size());
-
-  size_t threads = options_.offline_threads == 0
-                       ? ThreadPool::HardwareThreads()
-                       : options_.offline_threads;
-  threads = std::min(threads, std::max<size_t>(1, candidates.size()));
-  registry.SetGauge("offline.threads", static_cast<int64_t>(threads));
-  registry.SetGauge("offline.candidates",
-                    static_cast<int64_t>(candidates.size()));
 
   StageCounters* score_stage = registry.GetStage("classifier.score");
   std::atomic<size_t> predicted_valid{0};
@@ -127,12 +161,12 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
     predicted_valid.fetch_add(valid, std::memory_order_relaxed);
   };
 
-  if (threads <= 1) {
+  if (pool == nullptr) {
     score_range(0, candidates.size());
   } else {
-    ThreadPool pool(threads);
-    pool.ParallelFor(candidates.size(), score_range, options_.parallel, token);
-    score_stage->RecordQueueDepth(pool.max_queue_depth());
+    pool->ParallelFor(candidates.size(), score_range, options_.parallel,
+                      token);
+    score_stage->RecordQueueDepth(pool->max_queue_depth());
   }
   score_stage->AddItems(candidates.size());
   if (cancelled()) {

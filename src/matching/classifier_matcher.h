@@ -37,13 +37,16 @@ struct ClassifierMatcherOptions {
   /// assumption 1); give them score 1 in the output so reconciliation
   /// always applies them. Evaluation excludes A=B tuples regardless.
   bool force_name_identity_score = true;
-  /// The single offline-phase thread knob: drives both the bag-index
-  /// build shards (overrides bag_index.build_threads at Generate time)
-  /// and the candidate-scoring sweep — the two dominant costs of offline
-  /// learning at catalog scale. Each scoring chunk gets its own
-  /// FeatureComputer (the memoization caches are not shared) and writes
-  /// per-index slots, so results are bit-identical regardless of thread
-  /// count. 0 = hardware default, mirroring
+  /// The single offline-phase thread knob: drives the bag-index build
+  /// shards (overrides bag_index.build_threads at Generate time), the
+  /// per-epoch LR gradient sweeps (overrides regression.threads; training
+  /// and scoring share one pool), and the candidate-scoring sweep — the
+  /// three dominant costs of offline learning at catalog scale. Each
+  /// scoring chunk gets its own FeatureComputer (the memoization caches
+  /// are not shared) and writes per-index slots, and LR training reduces
+  /// fixed-block partial gradients in order, so results are bit-identical
+  /// regardless of thread count (unless regression.parallel_mode opts
+  /// into hogwild). 0 = hardware default, mirroring
   /// SynthesizerOptions::runtime_threads.
   size_t offline_threads = 1;
   /// Chunked-scheduling knobs for the candidate-scoring sweep. Each chunk
@@ -68,8 +71,9 @@ struct ClassifierRunStats {
   size_t predicted_valid = 0;  ///< score > 0.5, excluding forced identities
   size_t lr_iterations = 0;
   /// Wall/CPU time, items and queue-depth gauges of the offline stages,
-  /// in execution order (bag_index.build, lr.train, classifier.score).
-  /// NOT deterministic — observability only, like
+  /// in execution order (bag_index.build, lr.train, lr.epoch,
+  /// classifier.score; lr.epoch's latency histogram holds one observation
+  /// per training epoch). NOT deterministic — observability only, like
   /// SynthesisStats::stage_metrics. Same data as `registry.stages`.
   std::vector<StageSnapshot> stage_metrics;
   /// Full telemetry of the offline run (stage counters + latency

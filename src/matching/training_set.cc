@@ -2,6 +2,8 @@
 
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/util/string_util.h"
 
@@ -37,17 +39,32 @@ Result<CorrespondenceTrainingSet> BuildTrainingSet(
     }
   }
 
-  for (const auto& tuple : index.candidates()) {
+  // Second sweep: select the anchored candidates and label them once, so
+  // the build loop below knows the exact example count to Reserve and
+  // never recomputes the (normalizing, allocating) name-identity test.
+  std::vector<std::pair<size_t, bool>> selected;  // (candidate idx, label)
+  const auto& candidates = index.candidates();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const auto& tuple = candidates[i];
     const std::string anchor_key = std::to_string(tuple.merchant) + "/" +
                                    std::to_string(tuple.category) + "/" +
                                    tuple.catalog_attribute;
     if (anchored.count(anchor_key) == 0) continue;  // unlabeled
+    selected.emplace_back(i, IsNameIdentity(tuple, options));
+  }
+
+  out.dataset.Reserve(selected.size());
+  out.tuples.reserve(selected.size());
+  for (const auto& [i, is_identity] : selected) {
+    const auto& tuple = candidates[i];
     Example ex;
+    // Compute returns by value; move the feature vector through Add so it
+    // is never copied on its way into the dataset.
     ex.features = computer->Compute(tuple);
-    ex.label = IsNameIdentity(tuple, options) ? 1 : 0;
+    ex.label = is_identity ? 1 : 0;
     PRODSYN_RETURN_NOT_OK(out.dataset.Add(std::move(ex)));
     out.tuples.push_back(tuple);
-    if (IsNameIdentity(tuple, options)) {
+    if (is_identity) {
       ++out.positives;
     } else {
       ++out.negatives;

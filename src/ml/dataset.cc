@@ -7,6 +7,11 @@ Status Dataset::Add(Example example) {
     return Status::InvalidArgument("label must be 0 or 1");
   }
   if (dimension_ == 0 && examples_.empty()) {
+    if (example.features.empty()) {
+      return Status::InvalidArgument(
+          "first example has no features; it cannot fix the dataset "
+          "dimension");
+    }
     dimension_ = example.features.size();
   }
   if (example.features.size() != dimension_) {

@@ -27,9 +27,18 @@ class Dataset {
   size_t size() const { return examples_.size(); }
   bool empty() const { return examples_.empty(); }
 
+  /// \brief Pre-allocates storage for `n` examples (builders like
+  /// BuildTrainingSet know the count up front; this avoids the O(log n)
+  /// reallocation-and-copy rounds of growing push_back).
+  void Reserve(size_t n) { examples_.reserve(n); }
+
   /// \brief Adds an example; its feature vector must match the dataset
   /// dimension (the first added example fixes the dimension when the
-  /// dataset was default-constructed).
+  /// dataset was default-constructed). The example is moved through into
+  /// storage — callers pass `std::move(ex)` to avoid copying the feature
+  /// vector. An empty feature vector is rejected even as the first
+  /// example: it would silently fix the dimension at 0 and poison every
+  /// later Add.
   Status Add(Example example);
 
   const std::vector<Example>& examples() const { return examples_; }

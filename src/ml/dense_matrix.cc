@@ -1,0 +1,49 @@
+#include "src/ml/dense_matrix.h"
+
+#include <string>
+
+namespace prodsyn {
+
+Result<DenseMatrix> DenseMatrix::FromDataset(const Dataset& data) {
+  if (data.dimension() == 0) {
+    return Status::InvalidArgument(
+        "cannot build a DenseMatrix from a dimension-0 dataset");
+  }
+  PRODSYN_ASSIGN_OR_RETURN(DenseMatrix out,
+                           CreateEmpty(data.dimension(), data.size()));
+  for (const auto& ex : data.examples()) {
+    PRODSYN_RETURN_NOT_OK(
+        out.AddRow(ex.features.data(), ex.features.size(), ex.label));
+  }
+  return out;
+}
+
+Result<DenseMatrix> DenseMatrix::CreateEmpty(size_t cols,
+                                             size_t expected_rows) {
+  if (cols == 0) {
+    return Status::InvalidArgument("DenseMatrix needs at least one column");
+  }
+  DenseMatrix out;
+  out.cols_ = cols;
+  out.values_.reserve(cols * expected_rows);
+  out.labels_.reserve(expected_rows);
+  return out;
+}
+
+Status DenseMatrix::AddRow(const double* features, size_t n, int label) {
+  if (n != cols_) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(n) + " features, matrix expects " +
+        std::to_string(cols_));
+  }
+  if (label != 0 && label != 1) {
+    return Status::InvalidArgument("label must be 0 or 1");
+  }
+  values_.insert(values_.end(), features, features + n);
+  labels_.push_back(label);
+  if (label == 1) ++positives_;
+  ++rows_;
+  return Status::OK();
+}
+
+}  // namespace prodsyn

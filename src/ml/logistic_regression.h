@@ -2,9 +2,19 @@
 // uses logistic regression to predict whether a candidate ⟨A,B,M,C⟩ tuple
 // is actually an attribute correspondence").
 //
-// Training is full-batch gradient descent with L2 regularization — the
-// feature space is tiny (six distributional-similarity features), so
-// batch GD converges quickly and is fully deterministic.
+// Training is full-batch gradient descent with L2 regularization over a
+// flat row-major DenseMatrix. Each epoch shards the rows into FIXED
+// numeric blocks (boundaries depend only on the row count and
+// `block_rows`, never on the thread count or the ParallelFor chunk plan),
+// computes each block's partial gradient into its own pre-sized slot on
+// the pool, and combines the slots with a sequential in-order pairwise
+// tree reduce — so the trained weights are bit-identical for any
+// `threads` value and any scheduling plan, the same determinism contract
+// as every other parallel stage (docs/ARCHITECTURE.md).
+//
+// An opt-in hogwild mode (LrParallelMode::kHogwild) trades that
+// determinism for per-row SGD updates applied straight to shared
+// relaxed-atomic weights; see LogisticRegressionOptions::parallel_mode.
 
 #ifndef PRODSYN_ML_LOGISTIC_REGRESSION_H_
 #define PRODSYN_ML_LOGISTIC_REGRESSION_H_
@@ -12,16 +22,35 @@
 #include <vector>
 
 #include "src/ml/dataset.h"
+#include "src/ml/dense_matrix.h"
 #include "src/util/result.h"
+#include "src/util/stage_metrics.h"
+#include "src/util/thread_pool.h"
 
 namespace prodsyn {
+
+/// \brief How Fit parallelizes the per-epoch gradient computation.
+enum class LrParallelMode {
+  /// Fixed-block partial gradients + sequential in-order tree reduce:
+  /// bit-identical weights for any thread count and chunk plan. The
+  /// default, and the only mode the determinism contract covers.
+  kDeterministic,
+  /// Sharded hogwild: every row applies its SGD step directly to shared
+  /// relaxed-atomic weights, no reduce, no momentum. Roughly another ~2×
+  /// at high thread counts, but the result depends on the interleaving —
+  /// NOT deterministic, NOT covered by the contract (see
+  /// docs/STATIC_ANALYSIS.md). Converges to the same optimum in
+  /// expectation; tests pin AUC parity, not weight equality.
+  kHogwild,
+};
 
 /// \brief Training options for LogisticRegression.
 struct LogisticRegressionOptions {
   double learning_rate = 0.5;
   /// Heavy-ball momentum (0 disables). With standardized features the
   /// default cuts convergence by roughly an order of magnitude while
-  /// remaining fully deterministic.
+  /// remaining fully deterministic. Ignored in hogwild mode (per-row SGD
+  /// has no global velocity).
   double momentum = 0.9;
   size_t max_iterations = 2000;
   /// L2 penalty λ applied to weights (not the intercept).
@@ -32,6 +61,22 @@ struct LogisticRegressionOptions {
   /// Reweight classes inversely to frequency (the auto-generated training
   /// set is imbalanced: ~1 positive per several negatives).
   bool balance_classes = true;
+
+  /// Worker threads for the per-epoch gradient sweep; 0 = hardware
+  /// default, 1 = fully sequential (no pool). ClassifierMatcher overrides
+  /// this with its `offline_threads` knob at Generate time.
+  size_t threads = 1;
+  /// Rows per numeric block in deterministic mode. Block boundaries — and
+  /// therefore the floating-point reduce order — depend ONLY on this and
+  /// the row count, so changing `threads` or `parallel` never changes the
+  /// trained weights. Changing `block_rows` itself is a (documented)
+  /// numeric change, like changing the learning rate.
+  size_t block_rows = 256;
+  /// Scheduling-only knobs for the per-epoch ParallelFor over blocks.
+  /// Never affects output in deterministic mode.
+  ParallelForOptions parallel{/*min_grain=*/1, ParallelChunking::kStatic};
+  /// See LrParallelMode.
+  LrParallelMode parallel_mode = LrParallelMode::kDeterministic;
 };
 
 /// \brief Trained binary logistic model.
@@ -39,7 +84,21 @@ class LogisticRegression {
  public:
   LogisticRegression() = default;
 
-  /// \brief Fits on `data`. Requires at least one example of each class.
+  /// \brief Fits on the flat matrix. Requires at least one example of
+  /// each class.
+  ///
+  /// `pool` is an optional externally owned pool to run the per-epoch
+  /// sweeps on (ClassifierMatcher shares one pool between LR training and
+  /// candidate scoring); when null and options.threads != 1, Fit creates
+  /// a private pool. `epoch_stage` is optional observability: one latency
+  /// observation per epoch (the `lr.epoch` histogram) — measurements
+  /// only, outside the determinism contract.
+  Status Fit(const DenseMatrix& data,
+             const LogisticRegressionOptions& options = {},
+             ThreadPool* pool = nullptr, StageCounters* epoch_stage = nullptr);
+
+  /// \brief Fits on an AoS dataset by packing it into a DenseMatrix
+  /// first; bit-identical to the flat-matrix overload.
   Status Fit(const Dataset& data, const LogisticRegressionOptions& options = {});
 
   bool fitted() const { return !weights_.empty(); }
@@ -58,6 +117,15 @@ class LogisticRegression {
   size_t iterations_used() const { return iterations_used_; }
 
  private:
+  Status FitDeterministic(const DenseMatrix& data,
+                          const LogisticRegressionOptions& options,
+                          ThreadPool* pool, StageCounters* epoch_stage,
+                          double w_pos, double w_neg, double total_weight);
+  Status FitHogwild(const DenseMatrix& data,
+                    const LogisticRegressionOptions& options, ThreadPool* pool,
+                    StageCounters* epoch_stage, double w_pos, double w_neg,
+                    double total_weight);
+
   std::vector<double> weights_;
   double intercept_ = 0.0;
   size_t iterations_used_ = 0;

@@ -33,6 +33,54 @@ Status StandardScaler::Fit(const Dataset& data) {
   return Status::OK();
 }
 
+Status StandardScaler::Fit(const DenseMatrix& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot fit scaler on empty dataset");
+  }
+  const size_t dim = data.cols();
+  means_.assign(dim, 0.0);
+  stds_.assign(dim, 0.0);
+  const double n = static_cast<double>(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double* row = data.Row(i);
+    for (size_t j = 0; j < dim; ++j) means_[j] += row[j];
+  }
+  for (size_t j = 0; j < dim; ++j) means_[j] /= n;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double* row = data.Row(i);
+    for (size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - means_[j];
+      stds_[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    stds_[j] = std::sqrt(stds_[j] / n);
+    if (stds_[j] < 1e-12) stds_[j] = 1.0;  // constant feature: pass through
+    PRODSYN_DCHECK_FINITE(means_[j]);
+    PRODSYN_DCHECK(stds_[j] > 0.0);
+  }
+  return Status::OK();
+}
+
+Status StandardScaler::TransformInPlace(DenseMatrix* data) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("scaler not fitted");
+  }
+  if (data->cols() != means_.size()) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch in TransformInPlace");
+  }
+  const size_t dim = data->cols();
+  for (size_t i = 0; i < data->rows(); ++i) {
+    double* row = data->MutableRow(i);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = (row[j] - means_[j]) / stds_[j];
+      PRODSYN_DCHECK_FINITE(row[j]);
+    }
+  }
+  return Status::OK();
+}
+
 Status StandardScaler::Transform(std::vector<double>* features) const {
   if (!fitted()) {
     return Status::FailedPrecondition("scaler not fitted");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/ml/dataset.h"
+#include "src/ml/dense_matrix.h"
 #include "src/util/result.h"
 
 namespace prodsyn {
@@ -19,10 +20,20 @@ class StandardScaler {
   /// \brief Computes means and standard deviations from `data`.
   Status Fit(const Dataset& data);
 
+  /// \brief Flat-matrix overload: same sums in the same row order, so the
+  /// fitted means/stds are bit-identical to Fit(Dataset) on the
+  /// equivalent dataset.
+  Status Fit(const DenseMatrix& data);
+
   bool fitted() const { return !means_.empty(); }
 
   /// \brief Transforms one feature vector in place.
   Status Transform(std::vector<double>* features) const;
+
+  /// \brief Standardizes every row of the flat matrix in place — the
+  /// training path's replacement for TransformDataset, which produced a
+  /// second AoS copy of the whole training set.
+  Status TransformInPlace(DenseMatrix* data) const;
 
   /// \brief Returns a standardized copy of an entire dataset.
   Result<Dataset> TransformDataset(const Dataset& data) const;

@@ -23,6 +23,31 @@ TEST(DatasetTest, TracksDimensionAndPositives) {
   EXPECT_TRUE(data.Add({{1.0, 1.0}, 2}).IsInvalidArgument());  // bad label
 }
 
+TEST(DatasetTest, RejectsEmptyFirstExample) {
+  // An empty first example would silently fix the dimension at 0 and make
+  // every later (non-empty) Add fail with a confusing dimension mismatch.
+  Dataset data;
+  EXPECT_TRUE(data.Add({{}, 0}).IsInvalidArgument());
+  EXPECT_EQ(data.dimension(), 0u);
+  ASSERT_TRUE(data.Add({{1.0, 2.0}, 1}).ok());  // dataset still usable
+  EXPECT_EQ(data.dimension(), 2u);
+}
+
+TEST(DatasetTest, ReserveAndMoveThroughAdd) {
+  Dataset data;
+  data.Reserve(3);
+  Example ex;
+  ex.features = {1.0, 2.0, 3.0};
+  ex.label = 1;
+  const double* storage = ex.features.data();
+  ASSERT_TRUE(data.Add(std::move(ex)).ok());
+  // The feature buffer was moved through, not copied: the stored example
+  // owns the exact allocation the caller built.
+  EXPECT_EQ(data.examples()[0].features.data(), storage);
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.positive_count(), 1u);
+}
+
 TEST(ScalerTest, StandardizesToZeroMeanUnitVariance) {
   Dataset data;
   ASSERT_TRUE(data.Add({{1.0, 10.0}, 0}).ok());

@@ -124,14 +124,35 @@ TEST_F(OfflineParallelTest, ClassifierStatsCarryOfflineStageSnapshots) {
   ClassifierMatcher matcher(options);
   ASSERT_TRUE(matcher.Generate(ctx_).ok());
   const auto& stages = matcher.stats().stage_metrics;
-  ASSERT_EQ(stages.size(), 3u);
+  ASSERT_EQ(stages.size(), 4u);
   EXPECT_EQ(stages[0].name, "bag_index.build");
   EXPECT_EQ(stages[1].name, "lr.train");
-  EXPECT_EQ(stages[2].name, "classifier.score");
+  EXPECT_EQ(stages[2].name, "lr.epoch");
+  EXPECT_EQ(stages[3].name, "classifier.score");
   // Items are deterministic: offers scanned, examples, candidates.
   EXPECT_GT(stages[0].items, 0u);
   EXPECT_EQ(stages[1].items, matcher.stats().training_examples);
-  EXPECT_EQ(stages[2].items, matcher.stats().candidates);
+  EXPECT_EQ(stages[3].items, matcher.stats().candidates);
+  // The per-epoch histogram records exactly one latency observation per
+  // training iteration.
+  EXPECT_EQ(stages[2].latency.count, matcher.stats().lr_iterations);
+  EXPECT_GT(matcher.stats().lr_iterations, 0u);
+
+  // The training-throughput gauges ride along in the registry.
+  bool saw_iterations = false, saw_rows_per_sec = false;
+  for (const auto& gauge : matcher.stats().registry.gauges) {
+    if (gauge.name == "lr.iterations_used") {
+      saw_iterations = true;
+      EXPECT_EQ(gauge.value,
+                static_cast<int64_t>(matcher.stats().lr_iterations));
+    }
+    if (gauge.name == "lr.rows_per_sec") {
+      saw_rows_per_sec = true;
+      EXPECT_GT(gauge.value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_iterations);
+  EXPECT_TRUE(saw_rows_per_sec);
 }
 
 // The bootstrapped MatchStore and its counter stats must be identical for

@@ -27,11 +27,19 @@ state inside parallel bodies. Complements lint_prodsyn.py (R1-R6) with:
                             a parallel body, inside one: even with a
                             mutex, floating-point addition is not
                             associative, so the total depends on chunk
-                            boundaries. Accumulate into per-index slots
-                            and reduce sequentially instead (per-slot
-                            writes like `out[i] += ...` are fine and not
-                            flagged). No opt-out: there is no
-                            thread-count-invariant way to do this.
+                            boundaries. The sanctioned pattern is
+                            per-chunk slots reduced sequentially — for a
+                            float container declared outside the body
+                            (std::vector<double>, std::array<double,N>,
+                            `double name[N]`), `name[expr] +=` is fine
+                            when `expr` involves an identifier (the
+                            chunk/row index shards the writes), and
+                            flagged when the index is a bare constant
+                            (`name[0] +=`: every chunk races on one slot
+                            and the sum is chunk-order-dependent, exactly
+                            like a scalar). No opt-out: there is no
+                            thread-count-invariant way to accumulate
+                            shared floats.
 
 Two analysis modes, selected with --mode (default: auto):
 
@@ -83,6 +91,15 @@ RE_UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set)\s*<")
 RE_IDENT = re.compile(r"[A-Za-z_]\w*")
 RE_FLOAT_DECL = re.compile(
     r"(?:^|[^\w])(?:double|float)\s+(\w+)\s*(?:=|\{|;|\()")
+# Containers of floats declared outside a parallel body: vector/array of
+# double/float, and C arrays (`double name[N]`). Element writes through an
+# identifier-bearing index are the sanctioned per-chunk-slot pattern;
+# writes through a constant index are a shared accumulator in disguise.
+RE_FLOAT_CONTAINER_DECL = re.compile(
+    r"(?:^|[^\w:])(?:std\s*::\s*)?(?:vector|array)\s*<\s*(?:std\s*::\s*)?"
+    r"(?:double|float)\b[^>;]*>\s*(\w+)"
+    r"|(?:^|[^\w])(?:double|float)\s+(\w+)\s*\[")
+RE_NUMERIC_LITERAL = re.compile(r"\b\d[\w.]*")
 RE_ENTRY_CALL = re.compile(
     r"(?:^|[^\w.])(?:[\w.>-]+(?:->|\.))?(" + "|".join(ENTRY_POINTS) + r")\s*\(")
 
@@ -184,6 +201,17 @@ def unordered_names(code: str) -> set[str]:
 
 def float_names(code: str) -> set[str]:
     return {m.group(1) for m in RE_FLOAT_DECL.finditer(code)}
+
+
+def float_container_names(code: str) -> set[str]:
+    return {m.group(1) or m.group(2)
+            for m in RE_FLOAT_CONTAINER_DECL.finditer(code)}
+
+
+def index_is_constant(index_expr: str) -> bool:
+    """True when a subscript expression carries no identifier — a literal
+    (or literal arithmetic) slot shared by every chunk."""
+    return RE_IDENT.search(RE_NUMERIC_LITERAL.sub("", index_expr)) is None
 
 
 def lambda_captures(code: str, lbracket: int) -> list[str] | None:
@@ -297,6 +325,7 @@ class Analyzer:
     def check_parallel_bodies(self, path: Path, code: str,
                               raw_lines: list[str]) -> None:
         floats = float_names(code)
+        containers = float_container_names(code)
         named = named_lambdas(code)
         for m in RE_ENTRY_CALL.finditer(code):
             entry = m.group(1)
@@ -319,11 +348,11 @@ class Analyzer:
             call_line = line_of(code, m.start())
             for lb in lbrackets:
                 self.check_one_lambda(path, code, raw_lines, entry, lb,
-                                      call_line, floats)
+                                      call_line, floats, containers)
 
     def check_one_lambda(self, path: Path, code: str, raw_lines: list[str],
                          entry: str, lbracket: int, call_line: int,
-                         floats: set[str]) -> None:
+                         floats: set[str], containers: set[str]) -> None:
         captures = lambda_captures(code, lbracket) or []
         by_ref = [c for c in captures
                   if c.startswith("&") or c == "&"]
@@ -341,7 +370,7 @@ class Analyzer:
         # R9 applies even to sharded-exempt bodies: a float accumulator
         # is order-sensitive no matter how well the writes are guarded.
         span = lambda_body_span(code, lbracket)
-        if span is None or not floats:
+        if span is None or not (floats or containers):
             return
         body = code[span[0]:span[1]]
         body_floats = float_names(body)  # locals shadow the outer decls
@@ -355,6 +384,33 @@ class Analyzer:
                     f"{entry} body: FP addition is not associative, so "
                     "the sum depends on chunk boundaries; accumulate "
                     "into per-index slots and reduce sequentially"))
+        # Float containers: `slots[chunk_index] +=` is the sanctioned
+        # per-chunk-slot pattern (each chunk owns its own slot, the caller
+        # reduces sequentially afterwards) — but a CONSTANT subscript is a
+        # single slot every chunk races on, a scalar accumulator wearing a
+        # container costume.
+        body_containers = float_container_names(body)
+        for acc in sorted(containers - body_containers):
+            for am in re.finditer(r"(?:^|[^\w\].])(" + re.escape(acc)
+                                  + r")\s*\[", body):
+                sub_open = body.index("[", am.end(1))
+                sub_close = match_paren(body, sub_open, "[", "]")
+                if sub_close < 0:
+                    continue
+                if not body[sub_close:].lstrip().startswith("+="):
+                    continue
+                index_expr = body[sub_open + 1:sub_close - 1]
+                if not index_is_constant(index_expr):
+                    continue  # identifier-bearing index: per-chunk slot
+                line = line_of(code, span[0] + am.start(1))
+                self.findings.append(Finding(
+                    path, line, "float-accumulation",
+                    f"floating-point accumulation `{acc}[{index_expr.strip()}]"
+                    f" +=` inside a {entry} body: a constant subscript is "
+                    "one slot shared by every chunk, so the sum depends on "
+                    "chunk boundaries; index the slot by the chunk (or row) "
+                    "so each chunk accumulates privately, then reduce "
+                    "sequentially"))
 
     # ---- driver ------------------------------------------------------
 

@@ -3,9 +3,12 @@
 
 Reads one or more sweep files (bench_perf_pipeline / bench_offline_matching
 emit them; see docs/BENCHMARKING.md) and fails when any reports a
-speedup_4_over_1 below the threshold. The gate only means something on a
-machine that can actually run 4 threads in parallel, so it SKIPS (exit 0,
-with a report) when the sweep's hardware default resolved to fewer than
+speedup_4_over_1 below the threshold. Sweeps that carry the LR-training
+sub-stage headline (lr_train_speedup_4_over_1, emitted by
+bench_offline_matching) are additionally gated at --lr-min; sweeps without
+the field are unaffected. The gate only means something on a machine that
+can actually run 4 threads in parallel, so it SKIPS (exit 0, with a
+report) when the sweep's hardware default resolved to fewer than
 --require-threads workers — e.g. a 1-core laptop, where a 4-thread run is
 pure timesharing overhead and the headline is physically capped at 1.0.
 
@@ -13,7 +16,7 @@ Exit codes: 0 pass/skip, 1 gate failure, 2 unreadable/malformed input.
 
 Usage:
   tools/check_speedup.py BENCH_perf_pipeline.paper.json \
-      BENCH_offline_matching.paper.json --min 2.5
+      BENCH_offline_matching.paper.json --min 2.5 --lr-min 2.5
 """
 
 import argparse
@@ -54,6 +57,13 @@ def main():
         help="minimum acceptable speedup_4_over_1 (default: 2.5)",
     )
     parser.add_argument(
+        "--lr-min",
+        type=float,
+        default=2.5,
+        help="minimum acceptable lr_train_speedup_4_over_1 for sweeps "
+        "that report it (default: 2.5)",
+    )
+    parser.add_argument(
         "--require-threads",
         type=int,
         default=4,
@@ -74,6 +84,7 @@ def main():
         if not isinstance(speedup, (int, float)):
             print(f"check_speedup: ERROR {path}: no speedup_4_over_1 field")
             return 2
+        lr_speedup = doc.get("lr_train_speedup_4_over_1")
         hw = hardware_threads(doc)
         if hw < args.require_threads:
             print(
@@ -89,6 +100,15 @@ def main():
         )
         if verdict == "FAIL":
             failures += 1
+        if isinstance(lr_speedup, (int, float)):
+            lr_verdict = "PASS" if lr_speedup >= args.lr_min else "FAIL"
+            print(
+                f"check_speedup: {lr_verdict} {path}: "
+                f"lr_train_speedup_4_over_1={lr_speedup:.3f} "
+                f"(min {args.lr_min}) ({describe(doc)})"
+            )
+            if lr_verdict == "FAIL":
+                failures += 1
     return 1 if failures else 0
 
 
