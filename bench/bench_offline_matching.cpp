@@ -34,6 +34,7 @@
 #include "src/matching/title_matcher.h"
 #include "src/util/file.h"
 #include "src/util/metrics_registry.h"
+#include "src/util/sched_stats.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -100,6 +101,10 @@ bool WriteSweepJson(const std::string& path, const World& world,
   std::string json = "{\n";
   json += "  \"bench\": \"offline_matching\",\n";
   json += "  \"scale\": \"" + scale + "\",\n";
+  // Hardware + knob context (satellite of the scaling reports): read last
+  // so peak RSS covers the measured runs.
+  json += "  \"environment\": " +
+          bench::EnvironmentJson(bench::ParseBenchScale()) + ",\n";
   // "categories" counts leaf categories (the paper's §1 granularity);
   // top-level domains are excluded.
   char buf[256];
@@ -161,6 +166,13 @@ bool WriteSweepJson(const std::string& path, const World& world,
                   static_cast<unsigned long long>(run.lr_iterations),
                   run.lr_rows_per_sec);
     json += buf;
+    // Scheduler-observability gauges: the generate run's registry covers
+    // the classifier.score/lr.epoch regions, the title run's covers
+    // title_match. Separate keys because each has its own pool.* block.
+    json += "     \"sched\": " + bench::SchedJson(run.classifier_registry) +
+            ",\n";
+    json += "     \"title_sched\": " + bench::SchedJson(run.title_registry) +
+            ",\n";
     AppendJsonStages(&json, "classifier_stages", run.classifier_stages,
                      /*last=*/false);
     AppendJsonStages(&json, "title_stages", run.title_stages, /*last=*/true);
@@ -239,6 +251,10 @@ int RunOfflineSweep() {
       bench::ChunkingModeName(score_parallel),
       static_cast<unsigned long long>(score_parallel.min_grain));
   if (tracing) Tracer::Global().Enable();
+  // Scheduler accounting on by default for the sweep (the whole point of
+  // the artifact's "sched" blocks); PRODSYN_SCHED_STATS=0 turns it off to
+  // measure the accounting's own cost.
+  SchedulerStats::EnableFromEnv(/*default_on=*/true);
   std::vector<OfflineRun> runs;
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
     OfflineRun run;

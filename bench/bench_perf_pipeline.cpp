@@ -47,6 +47,7 @@
 #include "src/text/jaro_winkler.h"
 #include "src/util/file.h"
 #include "src/util/metrics_registry.h"
+#include "src/util/sched_stats.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -290,6 +291,10 @@ bool WriteSweepJson(const std::string& path, const World& world,
   std::string json = "{\n";
   json += "  \"bench\": \"perf_pipeline\",\n";
   json += "  \"scale\": \"" + scale + "\",\n";
+  // Hardware + knob context (satellite of the scaling reports): read last
+  // so peak RSS covers the measured runs.
+  json += "  \"environment\": " +
+          bench::EnvironmentJson(bench::ParseBenchScale()) + ",\n";
   // "categories" counts leaf categories (the paper's §1 granularity);
   // top-level domains are excluded.
   char buf[256];
@@ -331,6 +336,9 @@ bool WriteSweepJson(const std::string& path, const World& world,
                   static_cast<unsigned long long>(run.stats.clusters),
                   static_cast<unsigned long long>(run.stats.reconciled_pairs));
     json += buf;
+    // Scheduler-observability gauges of the run (pool.*, region.*,
+    // stage.serial_fraction.*): tools/scaling_report.py's input.
+    json += "     \"sched\": " + bench::SchedJson(run.stats.registry) + ",\n";
     json += "     \"stages\": [\n";
     for (size_t s = 0; s < run.stats.stage_metrics.size(); ++s) {
       AppendJsonStage(&json, run.stats.stage_metrics[s],
@@ -385,6 +393,10 @@ int RunThreadSweep() {
       bench::ChunkingModeName(base_options.parallel),
       static_cast<unsigned long long>(base_options.parallel.min_grain));
   if (tracing) Tracer::Global().Enable();
+  // Scheduler accounting on by default for the sweep (the whole point of
+  // the artifact's "sched" blocks); PRODSYN_SCHED_STATS=0 turns it off to
+  // measure the accounting's own cost.
+  SchedulerStats::EnableFromEnv(/*default_on=*/true);
 
   // Offline learning is independent of runtime_threads, so learn once
   // and sweep set_runtime_threads over the same learned state — at paper

@@ -7,11 +7,15 @@
 #ifndef PRODSYN_BENCH_BENCH_SCALE_H_
 #define PRODSYN_BENCH_BENCH_SCALE_H_
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <string>
 
 #include "src/datagen/config.h"
 #include "src/datagen/world.h"
+#include "src/util/metrics_registry.h"
 #include "src/util/thread_pool.h"
 
 namespace prodsyn {
@@ -107,6 +111,62 @@ inline const char* ChunkingModeName(const ParallelForOptions& options) {
 inline std::string ChunkingJson(const ParallelForOptions& options) {
   return std::string("{\"mode\": \"") + ChunkingModeName(options) +
          "\", \"min_grain\": " + std::to_string(options.min_grain) + "}";
+}
+
+/// \brief The "environment" JSON object the sweep files embed: the
+/// hardware the run measured and the knobs that shaped it, so a regression
+/// in a tracked trend file is attributable to the machine or the
+/// configuration without re-running. Peak RSS is read at call time — emit
+/// it after the sweep so it covers the measured runs.
+inline std::string EnvironmentJson(BenchScale scale) {
+  const char* chunking_env = std::getenv("PRODSYN_BENCH_CHUNKING");
+  const char* grain_env = std::getenv("PRODSYN_BENCH_GRAIN");
+  long page_size = sysconf(_SC_PAGESIZE);
+  if (page_size < 0) page_size = 0;
+  long peak_rss_kb = 0;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) peak_rss_kb = usage.ru_maxrss;
+  std::string json = "{";
+  json += "\"hardware_threads\": " +
+          std::to_string(ThreadPool::HardwareThreads());
+  json += ", \"scale\": \"" + std::string(BenchScaleName(scale)) + "\"";
+  json += ", \"chunking_env\": ";
+  json += chunking_env != nullptr
+              ? "\"" + std::string(chunking_env) + "\""
+              : std::string("null");
+  json += ", \"grain_env\": ";
+  json += grain_env != nullptr ? "\"" + std::string(grain_env) + "\""
+                               : std::string("null");
+  json += ", \"page_size\": " + std::to_string(page_size);
+  json += ", \"peak_rss_kb\": " + std::to_string(peak_rss_kb);
+  json += "}";
+  return json;
+}
+
+/// \brief True for the gauge names the scheduler-observability layer
+/// publishes (src/util/sched_stats.h): per-worker pool accounting,
+/// per-region ParallelFor stats, stage serial fractions, and the trace
+/// drop counter.
+inline bool IsSchedGauge(const std::string& name) {
+  return name.rfind("pool.", 0) == 0 || name.rfind("region.", 0) == 0 ||
+         name.rfind("stage.serial_fraction.", 0) == 0 ||
+         name == "trace.dropped_spans";
+}
+
+/// \brief The flat "sched" JSON object of one sweep run: every
+/// scheduler-observability gauge of the run's registry snapshot, keyed by
+/// gauge name. tools/scaling_report.py consumes this.
+inline std::string SchedJson(const RegistrySnapshot& snapshot) {
+  std::string json = "{";
+  bool first = true;
+  for (const auto& gauge : snapshot.gauges) {
+    if (!IsSchedGauge(gauge.name)) continue;
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + gauge.name + "\": " + std::to_string(gauge.value);
+  }
+  json += "}";
+  return json;
 }
 
 }  // namespace bench

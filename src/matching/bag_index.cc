@@ -164,7 +164,11 @@ Result<MatchedBagIndex> MatchedBagIndex::Build(const MatchingContext& ctx,
       [&pool, &options](size_t n,
                         const std::function<void(size_t, size_t)>& body) {
         if (pool.has_value()) {
-          pool->ParallelFor(n, body, options.parallel);
+          ParallelForOptions build_options = options.parallel;
+          if (build_options.label == nullptr) {
+            build_options.label = "bag_index.build";
+          }
+          pool->ParallelFor(n, body, build_options);
         } else if (n > 0) {
           body(0, n);
         }

@@ -8,6 +8,7 @@
 #include "src/ml/dense_matrix.h"
 #include "src/util/check.h"
 #include "src/util/fault.h"
+#include "src/util/sched_stats.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -164,8 +165,9 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   if (pool == nullptr) {
     score_range(0, candidates.size());
   } else {
-    pool->ParallelFor(candidates.size(), score_range, options_.parallel,
-                      token);
+    ParallelForOptions score_options = options_.parallel;
+    score_options.label = "classifier.score";
+    pool->ParallelFor(candidates.size(), score_range, score_options, token);
     score_stage->RecordQueueDepth(pool->max_queue_depth());
   }
   score_stage->AddItems(candidates.size());
@@ -179,7 +181,16 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
     return Status::Internal("candidate scoring failed (dimension mismatch)");
   }
   stats_.predicted_valid = predicted_valid.load();
-  SortByScoreDescending(&out);
+  {
+    // The global sort is the scoring region's sequential tail.
+    ScopedMergeTimer merge_timer(pool.get(), "classifier.score");
+    SortByScoreDescending(&out);
+  }
+  if (pool != nullptr && pool->sched_stats_enabled()) {
+    PublishSchedStats(pool->SchedSnapshot(), &registry);
+  } else {
+    PublishTraceDrops(&registry);
+  }
   stats_.registry = registry.Snapshot();
   stats_.stage_metrics = stats_.registry.stages;
   return out;

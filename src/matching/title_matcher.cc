@@ -9,6 +9,7 @@
 
 #include "src/text/soft_tfidf.h"
 #include "src/text/tokenizer.h"
+#include "src/util/sched_stats.h"
 #include "src/util/string_util.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
@@ -176,43 +177,57 @@ Result<MatchStore> TitleOfferProductMatcher::Match(
 
   const size_t threads = options_.threads == 0 ? ThreadPool::HardwareThreads()
                                                : options_.threads;
+  // The pool (when one runs) outlives the sequential merge below so its
+  // scheduler snapshot can attribute the merge wall to the region.
+  std::optional<ThreadPool> pool;
   if (threads <= 1 || categories.size() <= 1) {
     ScopedStageTimer timer(stage);
     for (size_t slot = 0; slot < categories.size(); ++slot) {
       process_category(slot);
     }
   } else {
-    ThreadPool pool(threads);
+    pool.emplace(threads);
+    ParallelForOptions match_options = options_.parallel;
+    match_options.label = "title_match";
     // process_category writes only its slot of the per-category
     // results; the inputs are read-only. // lint: sharded
-    pool.ParallelFor(
+    pool->ParallelFor(
         categories.size(),
         [&](size_t begin, size_t end) {
           ScopedStageTimer timer(stage);
           for (size_t slot = begin; slot < end; ++slot) process_category(slot);
         },
-        options_.parallel);
-    stage->RecordQueueDepth(pool.max_queue_depth());
+        match_options);
+    stage->RecordQueueDepth(pool->max_queue_depth());
   }
+  ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
 
   // Sequential merge in sorted category order, offers in input order —
   // the exact order the sequential implementation produced.
   size_t offers_considered = 0;
-  for (const CategoryShard& shard : shards) {
-    PRODSYN_RETURN_NOT_OK(shard.status);
-    offers_considered += shard.offers_considered;
-    if (stats != nullptr) {
-      stats->offers_considered += shard.offers_considered;
-      stats->offers_with_candidates += shard.offers_with_candidates;
-      stats->matches_made += shard.matched.size();
-    }
-    for (const auto& [offer_id, product_id] : shard.matched) {
-      PRODSYN_RETURN_NOT_OK(matches.AddMatch(offer_id, product_id));
+  {
+    ScopedMergeTimer merge_timer(pool_ptr, "title_match");
+    for (const CategoryShard& shard : shards) {
+      PRODSYN_RETURN_NOT_OK(shard.status);
+      offers_considered += shard.offers_considered;
+      if (stats != nullptr) {
+        stats->offers_considered += shard.offers_considered;
+        stats->offers_with_candidates += shard.offers_with_candidates;
+        stats->matches_made += shard.matched.size();
+      }
+      for (const auto& [offer_id, product_id] : shard.matched) {
+        PRODSYN_RETURN_NOT_OK(matches.AddMatch(offer_id, product_id));
+      }
     }
   }
   stage->AddItems(offers_considered);
   registry.SetGauge("title_match.categories",
                     static_cast<int64_t>(categories.size()));
+  if (pool_ptr != nullptr && pool_ptr->sched_stats_enabled()) {
+    PublishSchedStats(pool_ptr->SchedSnapshot(), &registry);
+  } else {
+    PublishTraceDrops(&registry);
+  }
   if (stats != nullptr) {
     stats->registry = registry.Snapshot();
     stats->stage_metrics = stats->registry.stages;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "src/util/check.h"
+#include "src/util/sched_stats.h"
 
 namespace prodsyn {
 
@@ -160,14 +161,19 @@ Status LogisticRegression::FitDeterministic(
   std::vector<double> velocity(dim, 0.0);
   double intercept_velocity = 0.0;
   iterations_used_ = 0;
+  ParallelForOptions epoch_options = options.parallel;
+  if (epoch_options.label == nullptr) epoch_options.label = "lr.epoch";
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     ++iterations_used_;
     ScopedStageTimer epoch_timer(epoch_stage);
     if (pool != nullptr && blocks > 1) {
-      pool->ParallelFor(blocks, block_body, options.parallel);
+      pool->ParallelFor(blocks, block_body, epoch_options);
     } else {
       block_body(0, blocks);
     }
+    // The in-order reduce and the weight update are the epoch's mandatory
+    // sequential tail — the lr.epoch region's Amdahl serial component.
+    ScopedMergeTimer merge_timer(pool, "lr.epoch");
     ReduceSlotsInOrder(&slots, blocks, slot_stride);
     const double* sums = slots.data();
 

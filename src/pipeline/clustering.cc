@@ -3,6 +3,7 @@
 #include <map>
 
 #include "src/util/check.h"
+#include "src/util/sched_stats.h"
 #include "src/util/string_util.h"
 #include "src/util/trace.h"
 
@@ -84,7 +85,11 @@ Result<std::vector<OfferCluster>> ClusterByKey(
     }
   };
   if (pool != nullptr && pool->thread_count() > 1) {
-    pool->ParallelFor(offers.size(), extract_range, options.parallel, token);
+    ParallelForOptions scan_options = options.parallel;
+    if (scan_options.label == nullptr) {
+      scan_options.label = "clustering.key_scan";
+    }
+    pool->ParallelFor(offers.size(), extract_range, scan_options, token);
     if (metrics != nullptr) {
       metrics->RecordQueueDepth(pool->max_queue_depth());
     }
@@ -92,7 +97,9 @@ Result<std::vector<OfferCluster>> ClusterByKey(
     extract_range(0, offers.size());
   }
 
-  // Sequential deterministic merge in input order.
+  // Sequential deterministic merge in input order; its wall feeds the
+  // key-scan region's Amdahl serial fraction.
+  ScopedMergeTimer merge_timer(pool, "clustering.key_scan");
   PRODSYN_TRACE_SPAN("clustering.merge");
   std::map<std::pair<CategoryId, std::string>, OfferCluster> clusters;
   for (size_t i = 0; i < offers.size(); ++i) {

@@ -8,6 +8,7 @@
 #include "src/util/fault.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
+#include "src/util/sched_stats.h"
 #include "src/util/thread_pool.h"
 #include "src/util/trace.h"
 
@@ -232,7 +233,9 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     }
   };
   if (pool_ptr != nullptr) {
-    pool_ptr->ParallelFor(offers.size(), process_range, options_.parallel,
+    ParallelForOptions offer_options = options_.parallel;
+    offer_options.label = "runtime.offer_chain";
+    pool_ptr->ParallelFor(offers.size(), process_range, offer_options,
                           token);
     extraction_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
   } else {
@@ -260,6 +263,14 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
         static_cast<int64_t>(result.stats.quarantined_clusters));
     registry.SetGauge("runtime.offer_retries",
                       static_cast<int64_t>(result.stats.offer_retries));
+    // Scheduler accounting + trace-drop visibility: region/worker gauges
+    // when a pool ran with accounting on, the dropped-span gauge always
+    // (truncated traces must be visible even on inline runs).
+    if (pool_ptr != nullptr && pool_ptr->sched_stats_enabled()) {
+      PublishSchedStats(pool_ptr->SchedSnapshot(), &registry);
+    } else {
+      PublishTraceDrops(&registry);
+    }
     result.stats.registry = registry.Snapshot();
     result.stats.stage_metrics = result.stats.registry.stages;
     if (recorder != nullptr) {
@@ -282,6 +293,9 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
   reconciled.reserve(offers.size());
   if (recorder != nullptr) reconciled_to_input.reserve(offers.size());
   result.stats.input_offers = offers.size();
+  // The merge wall feeds the region's Amdahl serial fraction
+  // (stage.serial_fraction.runtime.offer_chain); no-op without a pool.
+  ScopedMergeTimer offer_merge_timer(pool_ptr, "runtime.offer_chain");
   for (size_t i = 0; i < per_offer.size(); ++i) {
     PerOffer& slot = per_offer[i];
     OfferProvenance* prov =
@@ -330,6 +344,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     }
     reconciled.push_back(std::move(slot.reconciled));
   }
+  offer_merge_timer.Stop();
   if (token->cancelled()) {
     truncated = true;
     return finalize();
@@ -408,12 +423,15 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     }
   };
   if (pool_ptr != nullptr) {
-    pool_ptr->ParallelFor(clusters.size(), fuse_range, options_.parallel,
+    ParallelForOptions fusion_options = options_.parallel;
+    fusion_options.label = "runtime.fusion";
+    pool_ptr->ParallelFor(clusters.size(), fuse_range, fusion_options,
                           token);
     fusion_stage->RecordQueueDepth(pool_ptr->max_queue_depth());
   } else {
     fuse_range(0, clusters.size());
   }
+  ScopedMergeTimer fusion_merge_timer(pool_ptr, "runtime.fusion");
   for (size_t i = 0; i < clusters.size(); ++i) {
     FusedCluster& slot = fused[i];
     if (!slot.processed) {
@@ -482,6 +500,7 @@ Result<SynthesisResult> ProductSynthesizer::Synthesize(
     result.stats.synthesized_attributes += product.spec.size();
     result.products.push_back(std::move(product));
   }
+  fusion_merge_timer.Stop();
   return finalize();
 }
 

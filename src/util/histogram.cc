@@ -42,6 +42,27 @@ void LogHistogram::Record(uint64_t value) {
   }
 }
 
+void LogHistogram::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (other.buckets[i] != 0) {
+      buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  uint64_t current = min_.load(std::memory_order_relaxed);
+  while (other.min < current &&
+         !min_.compare_exchange_weak(current, other.min,
+                                     std::memory_order_relaxed)) {
+  }
+  current = max_.load(std::memory_order_relaxed);
+  while (other.max > current &&
+         !max_.compare_exchange_weak(current, other.max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 HistogramSnapshot LogHistogram::snapshot() const {
   HistogramSnapshot snap;
   snap.count = count_.load(std::memory_order_relaxed);

@@ -61,6 +61,12 @@ class LogHistogram {
   /// \brief Adds one observation of `value`.
   void Record(uint64_t value);
 
+  /// \brief Folds a snapshot of another histogram into this one (bucket
+  /// counts, count, sum, min/max). Thread-safe like Record — merges from
+  /// several threads interleave without losing observations; quantiles
+  /// of the merged data are bucket-resolution estimates as usual.
+  void Merge(const HistogramSnapshot& other);
+
   /// \brief Current counters as plain data (`name`/`unit` left empty).
   HistogramSnapshot snapshot() const;
 

@@ -24,14 +24,19 @@
 #ifndef PRODSYN_UTIL_THREAD_POOL_H_
 #define PRODSYN_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/util/cancellation.h"
+#include "src/util/histogram.h"
 #include "src/util/mutex.h"
+#include "src/util/sched_stats.h"
 #include "src/util/thread_annotations.h"
 
 namespace prodsyn {
@@ -61,6 +66,12 @@ enum class ParallelChunking {
 struct ParallelForOptions {
   size_t min_grain = 1;
   ParallelChunking chunking = ParallelChunking::kStatic;
+  /// Region label for scheduler accounting (see sched_stats.h): all
+  /// ParallelFor calls carrying the same label aggregate into one
+  /// PoolRegionStats. Must be a string literal (stored by pointer, like
+  /// trace span names). nullptr falls back to "parallel_for". Purely
+  /// observational — never affects the chunk plan.
+  const char* label = nullptr;
 };
 
 /// \brief The chunk layout a ParallelFor call will use; computed by
@@ -165,8 +176,52 @@ class ThreadPool {
                    const std::function<void(size_t begin, size_t end)>& body,
                    const CancellationToken* token);
 
+  /// \brief Whether this pool records scheduler accounting. Sampled from
+  /// SchedulerStats::enabled() ONCE at construction — flipping the global
+  /// flag later does not affect an existing pool (the benches and tests
+  /// enable accounting before building their pools). When false, the
+  /// only accounting cost anywhere is a non-atomic bool test.
+  bool sched_stats_enabled() const { return stats_enabled_; }
+
+  /// \brief Attributes `ns` of sequential merge wall to region `label`
+  /// (creating the region on first use), so the label's Amdahl serial
+  /// fraction covers the fork-join's mandatory sequential tail. Use via
+  /// ScopedMergeTimer. No-op when accounting is off.
+  void NoteRegionMergeNanos(const char* label, uint64_t ns)
+      PRODSYN_EXCLUDES(sched_mu_);
+
+  /// \brief Point-in-time copy of the scheduler accounting (empty when
+  /// accounting is off). Consistent once the pool is quiescent — the
+  /// same contract as StageMetrics. Publish with PublishSchedStats.
+  PoolSchedSnapshot SchedSnapshot() const PRODSYN_EXCLUDES(sched_mu_);
+
  private:
-  void WorkerLoop();
+  /// One worker's accounting slot: single-writer relaxed atomics (only
+  /// worker `i` writes slot `i`; SchedSnapshot reads after quiescence) —
+  /// the §atomics exemption of docs/STATIC_ANALYSIS.md. Cache-line
+  /// aligned so neighbouring workers never false-share.
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> idle_ns{0};
+    std::atomic<uint64_t> queue_wait_ns{0};
+    std::atomic<uint64_t> tasks{0};
+  };
+
+  /// A queued task plus its enqueue timestamp (0 when accounting is off;
+  /// the timestamp feeds queue_wait_ns at dequeue time).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop(size_t worker_index);
+
+  /// Folds one finished ParallelFor invocation into the label's
+  /// aggregate and records its load-balance factor.
+  void FoldRegion(const char* label, uint64_t executed_chunks,
+                  uint64_t wall_ns, uint64_t chunk_sum_ns,
+                  uint64_t chunk_min_ns, uint64_t chunk_max_ns,
+                  uint64_t claim_attempts) PRODSYN_EXCLUDES(sched_mu_);
 
   /// True when a worker should keep sleeping: no task queued, no shutdown.
   bool IdleLocked() const PRODSYN_REQUIRES(mu_) {
@@ -180,10 +235,22 @@ class ThreadPool {
   mutable Mutex mu_;
   CondVar work_cv_;  // signals workers: task or shutdown
   CondVar idle_cv_;  // signals Wait(): everything drained
-  std::deque<std::function<void()>> queue_ PRODSYN_GUARDED_BY(mu_);
+  std::deque<QueuedTask> queue_ PRODSYN_GUARDED_BY(mu_);
   size_t active_ PRODSYN_GUARDED_BY(mu_) = 0;  // tasks currently executing
   size_t max_queue_depth_ PRODSYN_GUARDED_BY(mu_) = 0;
   bool stop_ PRODSYN_GUARDED_BY(mu_) = false;
+
+  // Scheduler accounting (sched_stats.h). stats_enabled_ is fixed at
+  // construction; the worker slots are written before the workers start
+  // and freed after they join.
+  const bool stats_enabled_;
+  std::unique_ptr<WorkerSlot[]> worker_slots_;  // one per worker
+  mutable Mutex sched_mu_;
+  std::vector<PoolRegionStats> regions_ PRODSYN_GUARDED_BY(sched_mu_);
+  // One observation per multi-chunk region invocation; relaxed atomics
+  // inside, so recorded outside sched_mu_ without a TSA capability.
+  LogHistogram imbalance_permille_;
+
   // Written only by the constructor, joined by the destructor; all other
   // accesses are reads of the fixed size. Not mutex-guarded by design.
   std::vector<std::thread> workers_;

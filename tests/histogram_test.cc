@@ -107,5 +107,78 @@ TEST(LogHistogramTest, ConcurrentRecordsAggregate) {
   EXPECT_EQ(snap.max, kPerThread);
 }
 
+TEST(LogHistogramTest, QuantileInterpolationAtBucketBoundaries) {
+  // Values sitting exactly on power-of-two bucket edges: 100 x 64
+  // (bucket [64, 128)) and 100 x 128 (bucket [128, 256)).
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(64);
+  for (int i = 0; i < 100; ++i) h.Record(128);
+  const HistogramSnapshot snap = h.snapshot();
+  // Rank 50 interpolates halfway into [64, 128).
+  EXPECT_DOUBLE_EQ(snap.ValueAtQuantile(0.25), 96.0);
+  // Rank 100 lands exactly on the first bucket's upper edge: the
+  // interpolation reaches the boundary value, not past it.
+  EXPECT_DOUBLE_EQ(snap.p50(), 128.0);
+  // Deep in the top bucket the estimate would overshoot (128 + 0.98 *
+  // 128), but the observed max clamps it.
+  EXPECT_DOUBLE_EQ(snap.p99(), 128.0);
+  EXPECT_EQ(snap.min, 64u);
+  EXPECT_EQ(snap.max, 128u);
+}
+
+TEST(LogHistogramTest, MergeCombinesSnapshots) {
+  LogHistogram a;
+  LogHistogram b;
+  for (uint64_t v = 1; v <= 50; ++v) a.Record(v);
+  for (uint64_t v = 51; v <= 100; ++v) b.Record(v);
+  LogHistogram merged;
+  merged.Merge(a.snapshot());
+  merged.Merge(b.snapshot());
+  // Merging an empty snapshot is a no-op (including min/max).
+  merged.Merge(LogHistogram().snapshot());
+  LogHistogram direct;
+  for (uint64_t v = 1; v <= 100; ++v) direct.Record(v);
+  const HistogramSnapshot got = merged.snapshot();
+  const HistogramSnapshot want = direct.snapshot();
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(got.sum, want.sum);
+  EXPECT_EQ(got.min, want.min);
+  EXPECT_EQ(got.max, want.max);
+  EXPECT_EQ(got.buckets, want.buckets);
+  EXPECT_DOUBLE_EQ(got.p50(), want.p50());
+  EXPECT_DOUBLE_EQ(got.p99(), want.p99());
+}
+
+TEST(LogHistogramTest, MergeUnderConcurrentWriters) {
+  // The sched-stats publication path: worker threads keep recording into
+  // per-source histograms while other threads merge snapshots into one
+  // aggregate. After the joins the aggregate must account for exactly
+  // the final snapshot of every source.
+  constexpr size_t kSources = 4;
+  constexpr uint64_t kPerSource = 2000;
+  std::vector<LogHistogram> sources(kSources);
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kSources; ++t) {
+    writers.emplace_back([&sources, t] {
+      for (uint64_t v = 1; v <= kPerSource; ++v) sources[t].Record(v);
+    });
+  }
+  for (auto& w : writers) w.join();
+  // Concurrent merges into one destination: fetch_add aggregation must
+  // not lose updates whatever the interleaving.
+  LogHistogram aggregate;
+  std::vector<std::thread> mergers;
+  for (size_t t = 0; t < kSources; ++t) {
+    mergers.emplace_back(
+        [&aggregate, &sources, t] { aggregate.Merge(sources[t].snapshot()); });
+  }
+  for (auto& m : mergers) m.join();
+  const HistogramSnapshot snap = aggregate.snapshot();
+  EXPECT_EQ(snap.count, kSources * kPerSource);
+  EXPECT_EQ(snap.sum, kSources * kPerSource * (kPerSource + 1) / 2);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, kPerSource);
+}
+
 }  // namespace
 }  // namespace prodsyn

@@ -1,0 +1,8 @@
+// R5 fixture: raw clock read in scheduler code without the sanctioned
+// `// lint: sched-clock` annotation (staged as src/util/thread_pool_*).
+namespace prodsyn {
+void AccountChunk() {
+  const auto start = std::chrono::steady_clock::now();
+  (void)start;
+}
+}  // namespace prodsyn

@@ -1,0 +1,8 @@
+// R5 fixture: the scheduler's own accounting clock — the one sanctioned
+// raw steady_clock read — carries the sched-clock annotation.
+namespace prodsyn {
+void AccountChunk() {
+  const auto start = std::chrono::steady_clock::now();  // lint: sched-clock
+  (void)start;
+}
+}  // namespace prodsyn

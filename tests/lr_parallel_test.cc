@@ -18,6 +18,7 @@
 #include "src/ml/metrics.h"
 #include "src/ml/scaler.h"
 #include "src/util/random.h"
+#include "src/util/sched_stats.h"
 #include "src/util/thread_pool.h"
 
 namespace prodsyn {
@@ -116,6 +117,41 @@ TEST_F(LrParallelTest, WeightsBitIdenticalAcrossThreadsAndChunkPlans) {
       }
     }
   }
+}
+
+// Scheduler accounting is observation only: with SchedulerStats enabled
+// the trained weights stay bit-identical to the accounting-off reference
+// for every thread count and chunking mode.
+TEST_F(LrParallelTest, WeightsBitIdenticalWithSchedStatsEnabled) {
+  const bool was_enabled = SchedulerStats::enabled();
+  SchedulerStats::Disable();
+  LogisticRegressionOptions reference_options;
+  reference_options.threads = 1;
+  LogisticRegression reference;
+  ASSERT_TRUE(reference.Fit(matrix_, reference_options).ok());
+
+  SchedulerStats::Enable();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    for (const ParallelChunking chunking :
+         {ParallelChunking::kStatic, ParallelChunking::kDynamic}) {
+      LogisticRegressionOptions options;
+      options.threads = threads;
+      options.parallel = ParallelForOptions{3, chunking};
+      LogisticRegression model;
+      ASSERT_TRUE(model.Fit(matrix_, options).ok());
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads
+                   << " chunking=" << static_cast<int>(chunking));
+      EXPECT_EQ(model.iterations_used(), reference.iterations_used());
+      ASSERT_EQ(model.weights().size(), reference.weights().size());
+      for (size_t j = 0; j < model.weights().size(); ++j) {
+        EXPECT_TRUE(BitIdentical(model.weights()[j], reference.weights()[j]))
+            << "weight " << j;
+      }
+      EXPECT_TRUE(BitIdentical(model.intercept(), reference.intercept()));
+    }
+  }
+  if (!was_enabled) SchedulerStats::Disable();
 }
 
 // An externally shared pool (the ClassifierMatcher arrangement) is just a

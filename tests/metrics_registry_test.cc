@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/sched_stats.h"
+
 namespace prodsyn {
 namespace {
 
@@ -125,6 +127,67 @@ TEST(MetricsRegistryTest, ConcurrentStageUpdatesAggregate) {
   ASSERT_EQ(snap.gauges.size(), 1u);
   EXPECT_EQ(snap.gauges[0].value,
             static_cast<int64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistryTest, SchedStatsSchemaInBothExpositions) {
+  // The scheduler-observability names the ISSUE/docs promise: publishing
+  // a pool snapshot must surface pool.worker.*, region.imbalance,
+  // region.<label>.*, stage.serial_fraction.<label>, and
+  // trace.dropped_spans in RenderJson AND RenderPrometheus.
+  PoolSchedSnapshot snapshot;
+  PoolWorkerStats worker;
+  worker.busy_ns = 5'000'000;
+  worker.idle_ns = 1'000'000;
+  worker.queue_wait_ns = 250'000;
+  worker.tasks = 3;
+  snapshot.workers.push_back(worker);
+  PoolRegionStats region;
+  region.label = "lr.epoch";
+  region.invocations = 2;
+  region.chunks = 8;
+  region.wall_ns = 4'000'000;
+  region.chunk_sum_ns = 6'000'000;
+  region.chunk_min_ns = 500'000;
+  region.chunk_max_ns = 1'500'000;
+  region.claim_attempts = 10;
+  region.merge_ns = 1'000'000;
+  snapshot.regions.push_back(region);
+  LogHistogram imbalance;
+  imbalance.Record(region.ImbalancePermille());
+  snapshot.imbalance_permille = imbalance.snapshot();
+  snapshot.imbalance_permille.name = "region.imbalance";
+  snapshot.imbalance_permille.unit = "permille";
+
+  MetricsRegistry registry;
+  PublishSchedStats(snapshot, &registry);
+  const RegistrySnapshot snap = registry.Snapshot();
+
+  const std::string json = MetricsRegistry::RenderJson(snap);
+  for (const char* needle :
+       {"\"pool.workers\"", "\"pool.worker.busy_ns\", \"value\": 5000000",
+        "\"pool.worker.idle_ns\", \"value\": 1000000",
+        "\"pool.worker.queue_wait_ns\"", "\"pool.tasks\", \"value\": 3",
+        "\"region.imbalance\"", "\"region.lr.epoch.chunks\", \"value\": 8",
+        "\"region.lr.epoch.wall_ns\"", "\"region.lr.epoch.chunk_sum_ns\"",
+        "\"region.lr.epoch.claim_attempts\", \"value\": 10",
+        "\"region.lr.epoch.merge_ns\"",
+        "\"region.lr.epoch.imbalance_permille\"",
+        "\"stage.serial_fraction.lr.epoch\", \"value\": 200",
+        "\"trace.dropped_spans\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  const std::string prom = MetricsRegistry::RenderPrometheus(snap);
+  for (const char* needle :
+       {"prodsyn_pool_worker_busy_ns 5000000",
+        "prodsyn_pool_worker_idle_ns 1000000",
+        "prodsyn_pool_worker_queue_wait_ns", "prodsyn_pool_workers 1",
+        "# TYPE prodsyn_region_imbalance_permille histogram",
+        "prodsyn_region_lr_epoch_chunks 8",
+        "prodsyn_stage_serial_fraction_lr_epoch 200",
+        "prodsyn_trace_dropped_spans"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
 }
 
 }  // namespace

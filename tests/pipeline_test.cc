@@ -7,6 +7,7 @@
 #include "src/pipeline/synthesizer.h"
 #include "src/pipeline/title_classifier.h"
 #include "src/pipeline/value_fusion.h"
+#include "src/util/sched_stats.h"
 #include "src/util/thread_pool.h"
 
 namespace prodsyn {
@@ -359,6 +360,76 @@ TEST(SynthesizeDeterminismTest, IdenticalAcrossRuntimeThreadCounts) {
                 other.products[i].source_offers);
     }
   }
+}
+
+// The observability acceptance bar: scheduler accounting ON must leave
+// the synthesized products bit-identical across {1, 2, 4, hardware}
+// threads x {static, dynamic} chunking, while the parallel runs' stats
+// registries gain the pool.*/region.* gauges.
+TEST(SynthesizeDeterminismTest, SchedStatsAccountingIsNonIntrusive) {
+  WorldConfig config;
+  config.seed = 77;
+  config.categories_per_archetype = 1;
+  config.merchants = 25;
+  config.products_per_category = 12;
+  const World world = *World::Generate(config);
+
+  const bool was_enabled = SchedulerStats::enabled();
+  SchedulerStats::Disable();
+  auto run = [&world](size_t runtime_threads, ParallelChunking chunking) {
+    SynthesizerOptions options;
+    options.runtime_threads = runtime_threads;
+    options.parallel.chunking = chunking;
+    ProductSynthesizer synthesizer(&world.catalog, options);
+    EXPECT_TRUE(synthesizer
+                    .LearnOffline(world.historical_offers,
+                                  world.historical_matches)
+                    .ok());
+    return *synthesizer.Synthesize(world.incoming_offers, world.pages);
+  };
+  // Reference with accounting OFF: the layer must not change the output
+  // relative to a world that never heard of it.
+  const SynthesisResult base = run(1, ParallelChunking::kStatic);
+  ASSERT_GT(base.products.size(), 0u);
+
+  SchedulerStats::Enable();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    for (const ParallelChunking chunking :
+         {ParallelChunking::kStatic, ParallelChunking::kDynamic}) {
+      const SynthesisResult other = run(threads, chunking);
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads
+                   << " chunking=" << static_cast<int>(chunking));
+      EXPECT_EQ(base.stats.synthesized_products,
+                other.stats.synthesized_products);
+      EXPECT_EQ(base.stats.clusters, other.stats.clusters);
+      ASSERT_EQ(base.products.size(), other.products.size());
+      for (size_t i = 0; i < base.products.size(); ++i) {
+        EXPECT_EQ(base.products[i].category, other.products[i].category);
+        EXPECT_EQ(base.products[i].key, other.products[i].key);
+        EXPECT_EQ(base.products[i].spec, other.products[i].spec);
+        EXPECT_EQ(base.products[i].source_offers,
+                  other.products[i].source_offers);
+      }
+      // Multi-threaded runs publish the scheduler gauges into the run's
+      // registry snapshot; single-threaded runs (no pool) still carry
+      // trace.dropped_spans.
+      bool saw_pool = false, saw_region = false, saw_drops = false;
+      for (const auto& gauge : other.stats.registry.gauges) {
+        if (gauge.name == "pool.worker.busy_ns") saw_pool = true;
+        if (gauge.name.rfind("region.", 0) == 0) saw_region = true;
+        if (gauge.name == "trace.dropped_spans") saw_drops = true;
+      }
+      EXPECT_TRUE(saw_drops);
+      const size_t effective =
+          threads == 0 ? ThreadPool::HardwareThreads() : threads;
+      if (effective > 1) {
+        EXPECT_TRUE(saw_pool);
+        EXPECT_TRUE(saw_region);
+      }
+    }
+  }
+  if (!was_enabled) SchedulerStats::Disable();
 }
 
 }  // namespace

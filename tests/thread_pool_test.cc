@@ -3,10 +3,37 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
+
+#include "src/util/sched_stats.h"
 
 namespace prodsyn {
 namespace {
+
+// Restores the process-global scheduler-accounting flag on scope exit,
+// so these tests never leak state into the rest of the suite.
+class ScopedSchedStats {
+ public:
+  explicit ScopedSchedStats(bool on) : prev_(SchedulerStats::enabled()) {
+    if (on) {
+      SchedulerStats::Enable();
+    } else {
+      SchedulerStats::Disable();
+    }
+  }
+  ~ScopedSchedStats() {
+    if (prev_) {
+      SchedulerStats::Enable();
+    } else {
+      SchedulerStats::Disable();
+    }
+  }
+
+ private:
+  bool prev_;
+};
 
 TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
@@ -287,6 +314,168 @@ TEST(ThreadPoolTest, QueueDepthHighWaterMarkIsRecorded) {
   pool.Wait();
   EXPECT_EQ(pool.queue_depth(), 0u);
   EXPECT_GE(pool.max_queue_depth(), 5u);
+}
+
+TEST(ThreadPoolSchedStatsTest, DisabledPoolSnapshotsEmpty) {
+  ScopedSchedStats stats(false);
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.sched_stats_enabled());
+  ParallelForOptions options;
+  options.label = "sched.disabled";
+  pool.ParallelFor(
+      100, [](size_t, size_t) {}, options);
+  pool.NoteRegionMergeNanos("sched.disabled", 123);
+  const PoolSchedSnapshot snapshot = pool.SchedSnapshot();
+  EXPECT_TRUE(snapshot.workers.empty());
+  EXPECT_TRUE(snapshot.regions.empty());
+  EXPECT_EQ(snapshot.imbalance_permille.count, 0u);
+}
+
+TEST(ThreadPoolSchedStatsTest, EnableFlagIsSampledAtConstruction) {
+  ScopedSchedStats stats(false);
+  ThreadPool before(1);
+  SchedulerStats::Enable();
+  ThreadPool after(1);
+  // Flipping the global flag never changes an existing pool's mode.
+  EXPECT_FALSE(before.sched_stats_enabled());
+  EXPECT_TRUE(after.sched_stats_enabled());
+}
+
+TEST(ThreadPoolSchedStatsTest, AccountsWorkersRegionsAndMerge) {
+  ScopedSchedStats stats(true);
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.sched_stats_enabled());
+  ParallelForOptions options;
+  options.min_grain = 1;
+  options.chunking = ParallelChunking::kStatic;
+  options.label = "sched.region";
+  // Each chunk sleeps ~1 ms so every accounted wall is solidly nonzero.
+  pool.ParallelFor(
+      4,
+      [](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      options);
+  {
+    ScopedMergeTimer merge(&pool, "sched.region");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const PoolSchedSnapshot snapshot = pool.SchedSnapshot();
+
+  ASSERT_EQ(snapshot.workers.size(), 2u);
+  uint64_t busy = 0, tasks = 0;
+  for (const PoolWorkerStats& worker : snapshot.workers) {
+    busy += worker.busy_ns;
+    tasks += worker.tasks;
+  }
+  EXPECT_GT(busy, 0u);
+  EXPECT_GT(tasks, 0u);
+
+  ASSERT_EQ(snapshot.regions.size(), 1u);
+  const PoolRegionStats& region = snapshot.regions[0];
+  EXPECT_EQ(region.label, "sched.region");
+  EXPECT_EQ(region.invocations, 1u);
+  EXPECT_GE(region.chunks, 2u);  // 2 workers -> at least 2 static chunks
+  EXPECT_GT(region.wall_ns, 0u);
+  EXPECT_GT(region.chunk_sum_ns, 0u);
+  EXPECT_GE(region.chunk_max_ns, region.chunk_min_ns);
+  EXPECT_GT(region.chunk_min_ns, 0u);
+  // Static chunking claims exactly what it executes.
+  EXPECT_EQ(region.claim_attempts, region.chunks);
+  EXPECT_GT(region.merge_ns, 0u);
+  // Load balance is max/mean in permille: >= 1000 by construction.
+  EXPECT_GE(region.ImbalancePermille(), 1000u);
+  EXPECT_GT(region.SerialFractionPermille(), 0u);
+  EXPECT_LT(region.SerialFractionPermille(), 1000u);
+  // One multi-chunk invocation -> one imbalance observation.
+  EXPECT_EQ(snapshot.imbalance_permille.count, 1u);
+}
+
+TEST(ThreadPoolSchedStatsTest, DynamicClaimsCountEveryAttempt) {
+  ScopedSchedStats stats(true);
+  ThreadPool pool(2);
+  ParallelForOptions options;
+  options.min_grain = 1;
+  options.chunking = ParallelChunking::kDynamic;
+  options.label = "sched.dynamic";
+  pool.ParallelFor(
+      64, [](size_t, size_t) {}, options);
+  const PoolSchedSnapshot snapshot = pool.SchedSnapshot();
+  ASSERT_EQ(snapshot.regions.size(), 1u);
+  const PoolRegionStats& region = snapshot.regions[0];
+  EXPECT_GT(region.chunks, 1u);
+  // Every cursor fetch_add counts, including the over-run claims that
+  // lose the race past the end of the range.
+  EXPECT_GE(region.claim_attempts, region.chunks);
+}
+
+TEST(ThreadPoolSchedStatsTest, InlineSingleChunkIsStillARegion) {
+  ScopedSchedStats stats(true);
+  ThreadPool pool(4);
+  ParallelForOptions options;
+  options.min_grain = 100;  // 3 items < grain: runs inline on the caller
+  options.label = "sched.inline";
+  pool.ParallelFor(
+      3, [](size_t, size_t) {}, options);
+  const PoolSchedSnapshot snapshot = pool.SchedSnapshot();
+  ASSERT_EQ(snapshot.regions.size(), 1u);
+  const PoolRegionStats& region = snapshot.regions[0];
+  EXPECT_EQ(region.label, "sched.inline");
+  EXPECT_EQ(region.invocations, 1u);
+  EXPECT_EQ(region.chunks, 1u);
+  EXPECT_EQ(region.claim_attempts, 1u);
+}
+
+TEST(ThreadPoolSchedStatsTest, UnlabeledRegionsFoldUnderDefaultLabel) {
+  ScopedSchedStats stats(true);
+  ThreadPool pool(2);
+  ParallelForOptions options;
+  options.min_grain = 1;
+  pool.ParallelFor(
+      16, [](size_t, size_t) {}, options);
+  pool.ParallelFor(
+      16, [](size_t, size_t) {}, options);
+  const PoolSchedSnapshot snapshot = pool.SchedSnapshot();
+  ASSERT_EQ(snapshot.regions.size(), 1u);
+  EXPECT_EQ(snapshot.regions[0].label, "parallel_for");
+  EXPECT_EQ(snapshot.regions[0].invocations, 2u);
+}
+
+TEST(ThreadPoolSchedStatsTest, ChunkedModesStayThreadCountInvariant) {
+  // The acceptance bar for the accounting: bit-identical results across
+  // thread counts and chunking modes with accounting ON — the
+  // observability layer must never perturb the chunk plan or the data.
+  ScopedSchedStats stats(true);
+  auto run = [](size_t threads, ParallelChunking chunking, size_t grain) {
+    ThreadPool pool(threads);
+    ParallelForOptions options;
+    options.chunking = chunking;
+    options.min_grain = grain;
+    options.label = "sched.invariance";
+    std::vector<int> out(1000);
+    // lint: sharded — per-index slots (the discipline under test)
+    pool.ParallelFor(
+        out.size(),
+        [&out](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            out[i] = static_cast<int>(i * i % 97);
+          }
+        },
+        options);
+    return out;
+  };
+  const auto reference = run(1, ParallelChunking::kStatic, 1);
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+    for (const auto mode :
+         {ParallelChunking::kStatic, ParallelChunking::kDynamic}) {
+      for (const size_t grain : {size_t{1}, size_t{7}, size_t{512}}) {
+        EXPECT_EQ(run(threads, mode, grain), reference)
+            << "threads=" << threads << " grain=" << grain;
+      }
+    }
+  }
 }
 
 }  // namespace

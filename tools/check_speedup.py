@@ -32,6 +32,16 @@ def hardware_threads(doc):
     return 0
 
 
+def describe_environment(doc):
+    """One-line echo of the sweep's "environment" block (hardware + knob
+    context emitted by the benches); empty string for pre-block sweeps."""
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        return ""
+    parts = [f"{key}={env[key]}" for key in sorted(env)]
+    return "environment: " + " ".join(parts)
+
+
 def describe(doc):
     world = doc.get("world", {})
     chunking = doc.get("chunking", {})
@@ -85,6 +95,9 @@ def main():
             print(f"check_speedup: ERROR {path}: no speedup_4_over_1 field")
             return 2
         lr_speedup = doc.get("lr_train_speedup_4_over_1")
+        env_line = describe_environment(doc)
+        if env_line:
+            print(f"check_speedup: {path}: {env_line}")
         hw = hardware_threads(doc)
         if hw < args.require_threads:
             print(

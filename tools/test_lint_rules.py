@@ -2,10 +2,11 @@
 """Fixture suite for the prodsyn static checkers.
 
 Stages every fixture in tests/lint_fixtures/ into a throwaway fake repo
-root (<tmp>/src/pipeline/<fixture>) — so the path-scoped rules
-(stream-hygiene, include-guards, no-raw-clock, retry-ingestion,
-unordered-iteration) see the fixture as pipeline code — then runs the
-owning checker and asserts:
+root (<tmp>/src/pipeline/<fixture>, or the STAGE_OVERRIDES path for
+fixtures that target another rule scope, e.g. R5's thread-pool
+coverage) — so the path-scoped rules (stream-hygiene, include-guards,
+no-raw-clock, retry-ingestion, unordered-iteration) see the fixture as
+in-scope code — then runs the owning checker and asserts:
 
   *_bad_*   trips its rule (the rule tag appears in the findings for
             that file, at a line > 0), and
@@ -47,6 +48,15 @@ RULES = {
 }
 
 RE_NAME = re.compile(r"^(r\d+)_(bad|good)_\w+\.(cc|cpp|h|hpp)$")
+
+# Fixtures that must be staged somewhere other than the default
+# src/pipeline/ to land in their rule's path scope. The sched-clock pair
+# exercises R5's thread-pool coverage, which matches the
+# "src/util/thread_pool" path prefix.
+STAGE_OVERRIDES = {
+    "r5_bad_sched_clock.cc": Path("src/util") / "thread_pool_r5_bad.cc",
+    "r5_good_sched_clock.cc": Path("src/util") / "thread_pool_r5_good.cc",
+}
 RE_FINDING = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<tag>[^\]]+)\]")
 
 
@@ -90,7 +100,12 @@ def main() -> int:
                                 "(add it to RULES)")
                 continue
             script, tag = RULES[rule]
-            staged = stage_dir / fixture.name
+            override = STAGE_OVERRIDES.get(fixture.name)
+            if override is not None:
+                staged = fake_root / override
+                staged.parent.mkdir(parents=True, exist_ok=True)
+            else:
+                staged = stage_dir / fixture.name
             shutil.copyfile(fixture, staged)
             findings = run_checker(script, staged, fake_root)
             staged.unlink()

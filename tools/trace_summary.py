@@ -104,7 +104,12 @@ def print_metrics(path: str) -> None:
         raise SystemExit(2)
     # The dump is {"<section>": <registry snapshot>, ...}; each snapshot
     # has stages/histograms/gauges (see docs/OBSERVABILITY.md).
+    dropped_by_section: dict[str, int] = {}
     for section, snap in doc.items():
+        gauges = snap.get("gauges", []) if isinstance(snap, dict) else []
+        for g in gauges:
+            if g.get("name") == "trace.dropped_spans" and g.get("value", 0):
+                dropped_by_section[section] = g["value"]
         stages = snap.get("stages", []) if isinstance(snap, dict) else []
         if not stages:
             continue
@@ -118,10 +123,15 @@ def print_metrics(path: str) -> None:
                   f"{stage.get('wall_ms', 0.0):>10.2f} "
                   f"{lat.get('p50', 0.0) / 1e6:>10.4f} "
                   f"{lat.get('p99', 0.0) / 1e6:>10.4f}")
-        gauges = snap.get("gauges", []) if isinstance(snap, dict) else []
         if gauges:
             print(f"  gauges: " + ", ".join(
                 f"{g.get('name', '?')}={g.get('value', 0)}" for g in gauges))
+    for section, dropped in dropped_by_section.items():
+        # Nonzero drops mean the span table above under-counts: the ring
+        # buffer overflowed and the trace is incomplete.
+        print(f"trace_summary: WARNING [{section}] trace.dropped_spans="
+              f"{dropped}: ring buffer overflowed, span counts above are "
+              f"incomplete", file=sys.stderr)
 
 
 def main(argv: list[str]) -> int:
