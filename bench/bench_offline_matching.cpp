@@ -32,6 +32,9 @@
 #include "src/matching/bag_index.h"
 #include "src/matching/classifier_matcher.h"
 #include "src/matching/title_matcher.h"
+#include "src/snapshot/offline_snapshot.h"
+#include "src/snapshot/reader.h"
+#include "src/snapshot/writer.h"
 #include "src/util/file.h"
 #include "src/util/metrics_registry.h"
 #include "src/util/sched_stats.h"
@@ -60,6 +63,13 @@ struct OfflineRun {
   size_t lr_iterations = 0;
   long long lr_rows_per_sec = 0;
   double title_ms = 0.0;
+  // Cold-start economics of the snapshot subsystem (docs/PERSISTENCE.md):
+  // publishing the learned state, mapping + validating + decoding it
+  // back, and the rebuild cost a warm load avoids (generate + title).
+  double snapshot_save_ms = 0.0;
+  double snapshot_load_ms = 0.0;
+  double rebuild_ms = 0.0;
+  size_t snapshot_bytes = 0;
   size_t candidates = 0;
   size_t correspondences = 0;
   size_t title_matches = 0;
@@ -166,6 +176,13 @@ bool WriteSweepJson(const std::string& path, const World& world,
                   static_cast<unsigned long long>(run.lr_iterations),
                   run.lr_rows_per_sec);
     json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "     \"snapshot_save_ms\": %.3f, "
+                  "\"snapshot_load_ms\": %.3f, \"rebuild_ms\": %.3f, "
+                  "\"snapshot_bytes\": %llu,\n",
+                  run.snapshot_save_ms, run.snapshot_load_ms, run.rebuild_ms,
+                  static_cast<unsigned long long>(run.snapshot_bytes));
+    json += buf;
     // Scheduler-observability gauges: the generate run's registry covers
     // the classifier.score/lr.epoch regions, the title run's covers
     // title_match. Separate keys because each has its own pool.* block.
@@ -255,9 +272,19 @@ int RunOfflineSweep() {
   // the artifact's "sched" blocks); PRODSYN_SCHED_STATS=0 turns it off to
   // measure the accounting's own cost.
   SchedulerStats::EnableFromEnv(/*default_on=*/true);
+  // Shared by every thread run's snapshot phase: the profile cache is
+  // thread-count-independent (it is pure per-category derivation).
+  auto profile_cache =
+      TitleOfferProductMatcher().BuildProfileCache(world.catalog);
+  if (!profile_cache.ok()) {
+    std::printf("offline sweep: profile cache build failed\n");
+    return 1;
+  }
+
   std::vector<OfflineRun> runs;
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
     OfflineRun run;
+    OfflineSnapshot snap;
     run.requested_threads = threads;
     run.effective_threads =
         threads == 0 ? ThreadPool::HardwareThreads() : threads;
@@ -285,6 +312,9 @@ int RunOfflineSweep() {
       options.parallel = score_parallel;
       options.bag_index.parallel = bag_parallel;
       options.regression.parallel = lr_parallel;
+      // Retained so the best rep's learned state feeds the snapshot
+      // phase below (the same artifacts LearnOffline persists).
+      options.retain_bag_index = true;
       ClassifierMatcher matcher(options);
       const auto start = std::chrono::steady_clock::now();
       auto scored = matcher.Generate(ctx);
@@ -298,6 +328,12 @@ int RunOfflineSweep() {
         run.classifier_stages = matcher.stats().stage_metrics;
         run.classifier_registry = matcher.stats().registry;
         run.scored = std::move(*scored);
+        snap.bag_index = matcher.TakeBagParts();
+        snap.lr_weights = matcher.model().weights();
+        snap.lr_intercept = matcher.model().intercept();
+        snap.lr_iterations = matcher.stats().lr_iterations;
+        snap.scaler_means = matcher.scaler().means();
+        snap.scaler_stds = matcher.scaler().stds();
       }
     }
     run.correspondences = run.scored.size();
@@ -342,6 +378,44 @@ int RunOfflineSweep() {
     }
     run.title_matches = run.matches.size();
 
+    // Phase 4: snapshot cold-start cost. Save the learned state of the
+    // best generate run, load it back, and report both against the
+    // rebuild wall (generate + title bootstrap) a warm load avoids. The
+    // .snap artifact is left next to the JSON for tools/snapshot_inspect.
+    snap.correspondences = run.scored;
+    snap.title_profiles = *profile_cache;
+    const std::string snap_path = StripJsonSuffix(json_path) + ".snap";
+    for (size_t rep = 0; rep < repetitions; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      if (!SaveOfflineSnapshot(snap, snap_path).ok()) {
+        std::printf("offline sweep: snapshot save failed\n");
+        return 1;
+      }
+      const double save_ms = MillisSince(start);
+      start = std::chrono::steady_clock::now();
+      auto loaded = LoadOfflineSnapshot(snap_path);
+      const double load_ms = MillisSince(start);
+      if (!loaded.ok()) {
+        std::printf("offline sweep: snapshot load failed\n");
+        return 1;
+      }
+      if (rep == 0 || save_ms < run.snapshot_save_ms) {
+        run.snapshot_save_ms = save_ms;
+      }
+      if (rep == 0 || load_ms < run.snapshot_load_ms) {
+        run.snapshot_load_ms = load_ms;
+      }
+    }
+    {
+      std::FILE* f = std::fopen(snap_path.c_str(), "rb");
+      if (f != nullptr) {
+        std::fseek(f, 0, SEEK_END);
+        run.snapshot_bytes = static_cast<size_t>(std::ftell(f));
+        std::fclose(f);
+      }
+    }
+    run.rebuild_ms = run.generate_ms + run.title_ms;
+
     if (!runs.empty() && !SameOutputs(run, runs.front())) {
       std::printf("offline sweep: DETERMINISM VIOLATION at %llu threads\n",
                   static_cast<unsigned long long>(threads));
@@ -355,6 +429,10 @@ int RunOfflineSweep() {
                 run.bag_build_ms, run.generate_ms, run.lr_train_ms,
                 run.lr_rows_per_sec, run.title_ms,
                 static_cast<unsigned long long>(run.correspondences));
+    std::printf("      snapshot: save %8.2f ms, load %8.2f ms vs rebuild "
+                "%8.2f ms (%llu bytes)\n",
+                run.snapshot_save_ms, run.snapshot_load_ms, run.rebuild_ms,
+                static_cast<unsigned long long>(run.snapshot_bytes));
     runs.push_back(std::move(run));
   }
   if (!WriteSweepJson(json_path, world, bench::BenchScaleName(scale),

@@ -193,6 +193,9 @@ Result<std::vector<AttributeCorrespondence>> ClassifierMatcher::Generate(
   }
   stats_.registry = registry.Snapshot();
   stats_.stage_metrics = stats_.registry.stages;
+  if (options_.retain_bag_index) {
+    retained_bag_parts_ = index.ExportParts();
+  }
   return out;
 }
 

@@ -334,4 +334,15 @@ Result<bool> LogisticRegression::Predict(const std::vector<double>& features,
   return p >= threshold;
 }
 
+Status LogisticRegression::Restore(std::vector<double> weights,
+                                   double intercept, size_t iterations_used) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("model restore needs nonempty weights");
+  }
+  weights_ = std::move(weights);
+  intercept_ = intercept;
+  iterations_used_ = iterations_used;
+  return Status::OK();
+}
+
 }  // namespace prodsyn

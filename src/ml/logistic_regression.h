@@ -116,6 +116,13 @@ class LogisticRegression {
   /// \brief Number of gradient-descent iterations the last Fit used.
   size_t iterations_used() const { return iterations_used_; }
 
+  /// \brief Reinstates a previously trained model from serialized state
+  /// (the snapshot restore path): the exact bit patterns of `weights`
+  /// and `intercept` become the model, so predictions are bit-identical
+  /// to the model that was saved. InvalidArgument on empty weights.
+  Status Restore(std::vector<double> weights, double intercept,
+                 size_t iterations_used);
+
  private:
   Status FitDeterministic(const DenseMatrix& data,
                           const LogisticRegressionOptions& options,

@@ -92,4 +92,61 @@ Result<std::string> MultinomialNaiveBayes::Classify(
   return *best_name;
 }
 
+NaiveBayesModel MultinomialNaiveBayes::ExportModel() const {
+  NaiveBayesModel model;
+  model.alpha = alpha_;
+  model.total_documents = total_documents_;
+  model.classes.reserve(class_names_.size());
+  for (const auto& name : class_names_) {
+    const ClassStats& stats = classes_.at(name);
+    NaiveBayesModel::ClassState state;
+    state.label = name;
+    state.documents = stats.documents;
+    state.total_tokens = stats.total_tokens;
+    state.token_counts.assign(stats.token_counts.begin(),
+                              stats.token_counts.end());
+    // Canonical order for byte-identical exports; scoring only ever looks
+    // counts up by token, so the order is free. // lint: order-independent
+    std::sort(state.token_counts.begin(), state.token_counts.end());
+    model.classes.push_back(std::move(state));
+  }
+  model.vocabulary.reserve(vocabulary_.size());
+  // The vocabulary only contributes its size to scoring.
+  // lint: order-independent
+  for (const auto& [token, seen] : vocabulary_) {
+    (void)seen;
+    model.vocabulary.push_back(token);
+  }
+  std::sort(model.vocabulary.begin(), model.vocabulary.end());
+  return model;
+}
+
+Status MultinomialNaiveBayes::RestoreModel(const NaiveBayesModel& model) {
+  classes_.clear();
+  class_names_.clear();
+  vocabulary_.clear();
+  alpha_ = model.alpha;
+  total_documents_ = model.total_documents;
+  for (const auto& state : model.classes) {
+    auto [it, inserted] = classes_.try_emplace(state.label);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate naive-Bayes class label '" +
+                                     state.label + "' in restored model");
+    }
+    class_names_.push_back(state.label);
+    ClassStats& stats = it->second;
+    stats.documents = state.documents;
+    stats.total_tokens = state.total_tokens;
+    stats.token_counts.reserve(state.token_counts.size());
+    for (const auto& [token, count] : state.token_counts) {
+      stats.token_counts[token] = count;
+    }
+  }
+  vocabulary_.reserve(model.vocabulary.size());
+  for (const auto& token : model.vocabulary) {
+    vocabulary_[token] = true;
+  }
+  return Status::OK();
+}
+
 }  // namespace prodsyn

@@ -5,13 +5,37 @@
 #ifndef PRODSYN_ML_NAIVE_BAYES_H_
 #define PRODSYN_ML_NAIVE_BAYES_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/util/result.h"
 
 namespace prodsyn {
+
+/// \brief Serializable state of one trained MultinomialNaiveBayes — the
+/// snapshot codec's view of the model. Canonical ordering: classes in
+/// first-seen training order (which Classify's tie-break depends on),
+/// token counts and vocabulary lexicographically sorted, so two exports
+/// of the same model are byte-identical after encoding.
+struct NaiveBayesModel {
+  struct ClassState {
+    std::string label;
+    uint64_t documents = 0;
+    uint64_t total_tokens = 0;
+    /// Sorted by token.
+    std::vector<std::pair<std::string, uint64_t>> token_counts;
+  };
+
+  double alpha = 1.0;
+  uint64_t total_documents = 0;
+  /// First-seen training order.
+  std::vector<ClassState> classes;
+  /// Sorted.
+  std::vector<std::string> vocabulary;
+};
 
 /// \brief Multinomial NB with Lidstone smoothing; class labels are strings.
 class MultinomialNaiveBayes {
@@ -47,6 +71,16 @@ class MultinomialNaiveBayes {
 
   /// \brief Arg-max classification; ties break to the earlier-seen class.
   Result<std::string> Classify(const std::vector<std::string>& tokens) const;
+
+  /// \brief Canonical serializable state of the trained model.
+  NaiveBayesModel ExportModel() const;
+
+  /// \brief Reinstates a model exported by ExportModel. Classification is
+  /// bit-identical to the exporting instance: scores depend only on the
+  /// per-class counts, the vocabulary *size*, and the first-seen class
+  /// order — all of which the model preserves. InvalidArgument on
+  /// internally inconsistent state (duplicate class labels).
+  Status RestoreModel(const NaiveBayesModel& model);
 
  private:
   struct ClassStats {

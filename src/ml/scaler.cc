@@ -95,6 +95,19 @@ Status StandardScaler::Transform(std::vector<double>* features) const {
   return Status::OK();
 }
 
+Status StandardScaler::Restore(std::vector<double> means,
+                               std::vector<double> stds) {
+  if (means.empty() || means.size() != stds.size()) {
+    return Status::InvalidArgument(
+        "scaler restore needs matching nonempty means/stds (" +
+        std::to_string(means.size()) + " vs " + std::to_string(stds.size()) +
+        ")");
+  }
+  means_ = std::move(means);
+  stds_ = std::move(stds);
+  return Status::OK();
+}
+
 Result<Dataset> StandardScaler::TransformDataset(const Dataset& data) const {
   Dataset out(data.dimension());
   for (const auto& ex : data.examples()) {

@@ -41,6 +41,11 @@ class StandardScaler {
   const std::vector<double>& means() const { return means_; }
   const std::vector<double>& stds() const { return stds_; }
 
+  /// \brief Reinstates a previously fitted scaler from serialized state
+  /// (the snapshot restore path). InvalidArgument unless the two vectors
+  /// are nonempty and the same length.
+  Status Restore(std::vector<double> means, std::vector<double> stds);
+
  private:
   std::vector<double> means_;
   std::vector<double> stds_;

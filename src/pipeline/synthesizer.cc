@@ -5,6 +5,9 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/matching/title_matcher.h"
+#include "src/snapshot/reader.h"
+#include "src/snapshot/writer.h"
 #include "src/util/fault.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
@@ -18,9 +21,82 @@ ProductSynthesizer::ProductSynthesizer(const Catalog* catalog,
                                        SynthesizerOptions options)
     : catalog_(catalog), options_(std::move(options)) {}
 
+Status ProductSynthesizer::RestoreFromSnapshot(OfflineSnapshot snapshot) {
+  // Structural coherence check of the bag-index sections: a CRC-valid
+  // file can still be internally inconsistent if it was produced by a
+  // buggy or newer writer. The rebuilt index is discarded — synthesis
+  // consumes the stored correspondences, not the bags.
+  PRODSYN_RETURN_NOT_OK(
+      MatchedBagIndex::FromParts(snapshot.bag_index).status());
+  PRODSYN_RETURN_NOT_OK(model_.Restore(std::move(snapshot.lr_weights),
+                                       snapshot.lr_intercept,
+                                       snapshot.lr_iterations));
+  PRODSYN_RETURN_NOT_OK(scaler_.Restore(std::move(snapshot.scaler_means),
+                                        std::move(snapshot.scaler_stds)));
+  PRODSYN_RETURN_NOT_OK(title_classifier_.RestoreModel(snapshot.title_model));
+  correspondences_ = std::move(snapshot.correspondences);
+  reconciler_.emplace(correspondences_, options_.correspondence_threshold,
+                      options_.record_provenance);
+  learning_stats_ = ClassifierRunStats{};
+  learning_stats_.candidates = correspondences_.size();
+  learning_stats_.lr_iterations = model_.iterations_used();
+  learning_stats_.registry.gauges.push_back(
+      GaugeSnapshot{"snapshot.loaded", 1});
+  return Status::OK();
+}
+
+Result<OfflineSnapshot> ProductSynthesizer::BuildSnapshot(
+    ClassifierMatcher* matcher) const {
+  OfflineSnapshot snapshot;
+  snapshot.bag_index = matcher->TakeBagParts();
+  snapshot.correspondences = correspondences_;
+  snapshot.lr_weights = model_.weights();
+  snapshot.lr_intercept = model_.intercept();
+  snapshot.lr_iterations = model_.iterations_used();
+  snapshot.scaler_means = scaler_.means();
+  snapshot.scaler_stds = scaler_.stds();
+  snapshot.title_model = title_classifier_.ExportModel();
+  // Warm SoftTfIdf profiles for the title bootstrap matcher. MakeProfile
+  // is threshold-independent, so default matcher options are fine.
+  PRODSYN_ASSIGN_OR_RETURN(
+      snapshot.title_profiles,
+      TitleOfferProductMatcher().BuildProfileCache(*catalog_));
+  return snapshot;
+}
+
 Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
                                         const MatchStore& matches) {
   PRODSYN_TRACE_SPAN("offline.learn");
+  const SnapshotOptions& snap = options_.snapshot;
+  const bool snapshotting = !snap.path.empty();
+
+  // --- Warm path: a valid snapshot replaces the whole rebuild. Any load
+  // failure degrades to the rebuild below; only "no snapshot yet"
+  // (NotFound) skips the warning and the load_failed gauge.
+  bool load_failed = false;
+  if (snapshotting && snap.load_if_present) {
+    Result<OfflineSnapshot> loaded = LoadOfflineSnapshot(snap.path);
+    Status restore_status = loaded.status();
+    if (loaded.ok()) {
+      restore_status = RestoreFromSnapshot(std::move(loaded).ValueOrDie());
+      if (restore_status.ok()) {
+        PRODSYN_LOG(Info) << "offline learning restored from snapshot "
+                          << snap.path << ": " << correspondences_.size()
+                          << " scored candidates, "
+                          << reconciler_->mapping_count()
+                          << " mappings above theta";
+        return Status::OK();
+      }
+    }
+    if (!restore_status.IsNotFound()) {
+      load_failed = true;
+      PRODSYN_LOG(Warning) << "snapshot " << snap.path
+                           << " unusable, rebuilding from feeds: "
+                           << restore_status.ToString();
+    }
+  }
+
+  // --- Cold path: rebuild everything from the historical offers.
   MatchingContext ctx;
   ctx.catalog = catalog_;
   ctx.offers = &historical_offers;
@@ -29,9 +105,13 @@ Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
   ClassifierMatcherOptions matcher_options = options_.matcher;
   matcher_options.offline_threads = options_.offline_threads;
   matcher_options.cancellation = options_.cancellation;
+  matcher_options.retain_bag_index =
+      snapshotting && snap.save_after_learn;
   ClassifierMatcher matcher(std::move(matcher_options));
   PRODSYN_ASSIGN_OR_RETURN(correspondences_, matcher.Generate(ctx));
   learning_stats_ = matcher.stats();
+  model_ = matcher.model();
+  scaler_ = matcher.scaler();
   reconciler_.emplace(correspondences_, options_.correspondence_threshold,
                       options_.record_provenance);
 
@@ -40,6 +120,28 @@ Status ProductSynthesizer::LearnOffline(const OfferStore& historical_offers,
                     << " scored candidates, " << reconciler_->mapping_count()
                     << " mappings above theta, title classifier trained on "
                     << titles << " offers";
+  if (load_failed) {
+    learning_stats_.registry.gauges.push_back(
+        GaugeSnapshot{"snapshot.load_failed", 1});
+  }
+
+  if (snapshotting && snap.save_after_learn) {
+    Result<OfflineSnapshot> snapshot = BuildSnapshot(&matcher);
+    Status saved = snapshot.ok()
+                       ? SaveOfflineSnapshot(*snapshot, snap.path)
+                       : snapshot.status();
+    if (saved.ok()) {
+      learning_stats_.registry.gauges.push_back(
+          GaugeSnapshot{"snapshot.saved", 1});
+    } else {
+      // Persisting is an optimization; failing to persist must never
+      // fail the learning that just succeeded.
+      PRODSYN_LOG(Warning) << "snapshot save to " << snap.path
+                           << " failed: " << saved.ToString();
+      learning_stats_.registry.gauges.push_back(
+          GaugeSnapshot{"snapshot.save_failed", 1});
+    }
+  }
   return Status::OK();
 }
 

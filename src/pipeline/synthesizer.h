@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "src/matching/classifier_matcher.h"
+#include "src/ml/logistic_regression.h"
+#include "src/ml/scaler.h"
 #include "src/pipeline/attribute_extraction.h"
+#include "src/snapshot/offline_snapshot.h"
 #include "src/pipeline/clustering.h"
 #include "src/pipeline/error_ledger.h"
 #include "src/pipeline/provenance.h"
@@ -156,6 +159,13 @@ struct SynthesizerOptions {
   /// Synthesize winds down exactly like a deadline overrun. Must outlive
   /// the Synthesize call. Null = not cancellable from outside.
   const CancellationToken* cancellation = nullptr;
+  /// Offline-state persistence (docs/PERSISTENCE.md). With a non-empty
+  /// path, LearnOffline loads the snapshot instead of rebuilding when a
+  /// valid one exists, and saves a fresh one after a rebuild. Synthesis
+  /// output and LR weights are bit-identical between the load and
+  /// rebuild paths; a corrupt or torn snapshot degrades to a rebuild
+  /// (snapshot.load_failed gauge), never to a failure.
+  SnapshotOptions snapshot;
 };
 
 /// \brief Orchestrates the two phases of Fig. 4.
@@ -196,6 +206,13 @@ class ProductSynthesizer {
 
   const TitleClassifier& title_classifier() const { return title_classifier_; }
 
+  /// \brief The trained LR model of the last LearnOffline — whether it
+  /// was trained fresh or restored from a snapshot (empty before).
+  const LogisticRegression& model() const { return model_; }
+
+  /// \brief The fitted feature scaler of the last LearnOffline.
+  const StandardScaler& scaler() const { return scaler_; }
+
   /// \brief Overrides SynthesizerOptions::runtime_threads for subsequent
   /// Synthesize calls (0 = hardware default). Lets thread sweeps (e.g.
   /// bench_perf_pipeline) learn offline once and re-measure the run-time
@@ -207,12 +224,20 @@ class ProductSynthesizer {
   }
 
  private:
+  /// Installs a loaded snapshot as the learned state. InvalidArgument on
+  /// internally inconsistent snapshot content.
+  Status RestoreFromSnapshot(OfflineSnapshot snapshot);
+  /// Assembles the current learned state for the writer.
+  Result<OfflineSnapshot> BuildSnapshot(ClassifierMatcher* matcher) const;
+
   const Catalog* catalog_;
   SynthesizerOptions options_;
   std::vector<AttributeCorrespondence> correspondences_;
   std::optional<SchemaReconciler> reconciler_;
   TitleClassifier title_classifier_;
   ClassifierRunStats learning_stats_;
+  LogisticRegression model_;
+  StandardScaler scaler_;
 };
 
 }  // namespace prodsyn

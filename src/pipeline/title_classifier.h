@@ -38,6 +38,16 @@ class TitleClassifier {
 
   size_t category_count() const { return nb_.class_count(); }
 
+  /// \brief Canonical serializable state of the trained classifier (the
+  /// snapshot's NBCL section).
+  NaiveBayesModel ExportModel() const { return nb_.ExportModel(); }
+
+  /// \brief Reinstates a classifier exported by ExportModel;
+  /// classification is bit-identical to the exporting instance.
+  Status RestoreModel(const NaiveBayesModel& model) {
+    return nb_.RestoreModel(model);
+  }
+
  private:
   // Small smoothing: title vocabularies are dominated by per-product model
   // codes, so Laplace alpha=1 would bias the classifier toward larger

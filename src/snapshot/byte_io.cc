@@ -1,0 +1,82 @@
+#include "src/snapshot/byte_io.h"
+
+#include <cstring>
+
+namespace prodsyn {
+
+void ByteWriter::PutU32(uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+  buffer_.append(bytes, sizeof(bytes));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+  buffer_.append(bytes, sizeof(bytes));
+}
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void ByteWriter::PutBytes(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+Result<uint32_t> ByteReader::U32() {
+  if (remaining() < 4) {
+    return Status::ParseError("snapshot truncated reading u32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  if (remaining() < 8) {
+    return Status::ParseError("snapshot truncated reading u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<double> ByteReader::F64() {
+  PRODSYN_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::String() {
+  PRODSYN_ASSIGN_OR_RETURN(uint64_t length, U64());
+  if (length > remaining()) {
+    return Status::ParseError("snapshot truncated reading string of " +
+                              std::to_string(length) + " bytes");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(length));
+  pos_ += static_cast<size_t>(length);
+  return s;
+}
+
+}  // namespace prodsyn

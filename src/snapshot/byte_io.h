@@ -1,0 +1,67 @@
+// Little-endian byte serialization for the snapshot codec. The writer
+// appends to a std::string; the reader is a bounds-checked cursor over a
+// borrowed byte range (typically an mmap) that returns Status::ParseError
+// instead of reading past the end — the property the corruption-fuzz
+// suite leans on: no input, however mangled, may cause UB.
+
+#ifndef PRODSYN_SNAPSHOT_BYTE_IO_H_
+#define PRODSYN_SNAPSHOT_BYTE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Stores the IEEE-754 bit pattern — round-trips NaN payloads and
+  /// signed zeros exactly, which the bit-identity contract requires.
+  void PutF64(double v);
+  /// u64 byte length followed by the raw bytes.
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t size);
+
+  const std::string& bytes() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// \brief Bounds-checked little-endian decoder over borrowed bytes.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<double> F64();
+  /// Reads a u64 length + that many bytes. The length is checked against
+  /// remaining() BEFORE any allocation, so a corrupt length cannot drive
+  /// an OOM-sized resize.
+  Result<std::string> String();
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_SNAPSHOT_BYTE_IO_H_

@@ -1,0 +1,59 @@
+// Encoding/decoding between OfflineSnapshot and the on-disk byte layout
+// of src/snapshot/format.h. Pure byte work — no file I/O and no fault
+// sites; the writer and reader wrap this with the crash-safe publish
+// protocol and the mmap/validation pipeline respectively.
+//
+// Decoding never trusts a byte: every read is bounds-checked, every
+// element count is sanity-checked against the remaining payload size
+// before any allocation, and every section must consume its payload
+// exactly. A corrupt input yields Status::ParseError, never UB — the
+// contract the corruption-fuzz suite enforces under asan-ubsan.
+
+#ifndef PRODSYN_SNAPSHOT_CODEC_H_
+#define PRODSYN_SNAPSHOT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/snapshot/offline_snapshot.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief One parsed section-table row.
+struct SnapshotSectionEntry {
+  uint32_t id = 0;
+  uint32_t payload_crc = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// \brief The validated structure of a snapshot file: header fields plus
+/// the section table, everything already checksum-verified.
+struct SnapshotLayout {
+  uint32_t format_version = 0;
+  uint64_t file_size = 0;
+  std::vector<SnapshotSectionEntry> sections;
+};
+
+/// \brief Serializes a snapshot to the complete file byte string
+/// (header + section table + payloads + footer), checksums included.
+std::string EncodeSnapshotFile(const OfflineSnapshot& snapshot);
+
+/// \brief Structural + checksum validation of `size` bytes at `data`:
+/// magic, version, endianness, recorded file size, header CRC, section
+/// bounds and CRCs, footer CRC. ParseError (with the precise reason) on
+/// any mismatch; never reads out of bounds.
+Result<SnapshotLayout> ValidateSnapshotBytes(const void* data, size_t size);
+
+/// \brief Decodes the section payloads of a validated file back into an
+/// OfflineSnapshot. `layout` must come from ValidateSnapshotBytes over
+/// the same bytes. ParseError on malformed payload contents.
+Result<OfflineSnapshot> DecodeSnapshotSections(const void* data, size_t size,
+                                               const SnapshotLayout& layout);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_SNAPSHOT_CODEC_H_

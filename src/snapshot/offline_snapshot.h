@@ -1,0 +1,64 @@
+// The in-memory value an offline snapshot persists: everything the
+// offline-learning phase computed, in canonical order, so that a process
+// restoring it reproduces bit-identical synthesis output without
+// touching the text feeds (docs/PERSISTENCE.md).
+//
+// The scored correspondences are stored, not re-derived: re-scoring from
+// a rebuilt bag index would accumulate divergence sums in a fresh
+// unordered_map layout, which is deterministic per process but not a
+// serializable property. The bag index itself still travels in the
+// snapshot — it is the expensive artifact, inspectable by tools and
+// reusable by future incremental-learning work.
+
+#ifndef PRODSYN_SNAPSHOT_OFFLINE_SNAPSHOT_H_
+#define PRODSYN_SNAPSHOT_OFFLINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/matching/bag_index.h"
+#include "src/matching/title_matcher.h"
+#include "src/matching/types.h"
+#include "src/ml/naive_bayes.h"
+
+namespace prodsyn {
+
+/// \brief The offline-learning state one snapshot file holds.
+struct OfflineSnapshot {
+  /// Sections STRT + BAGS + CAND: the bag index in canonical order.
+  BagIndexParts bag_index;
+  /// Section CORR: the scored correspondences, in the order Generate
+  /// returned them (score-descending).
+  std::vector<AttributeCorrespondence> correspondences;
+  /// Section LRMW: the trained classifier and its feature scaler, as
+  /// exact f64 bit patterns.
+  std::vector<double> lr_weights;
+  double lr_intercept = 0.0;
+  uint64_t lr_iterations = 0;
+  std::vector<double> scaler_means;
+  std::vector<double> scaler_stds;
+  /// Section NBCL: the title classifier's naive-Bayes state.
+  NaiveBayesModel title_model;
+  /// Section TFPF: warm SoftTfIdf profiles of the title bootstrap
+  /// matcher, (category, product) ascending.
+  std::vector<TitleProfileCacheEntry> title_profiles;
+};
+
+/// \brief Snapshot knobs of SynthesizerOptions.
+struct SnapshotOptions {
+  /// Snapshot file path; empty disables snapshotting entirely.
+  std::string path;
+  /// Try to load `path` at the start of LearnOffline and skip the rebuild
+  /// on success. Any load failure (missing, truncated, corrupt, version
+  /// mismatch) degrades gracefully: log, bump the snapshot.load_failed
+  /// gauge, rebuild from the feeds.
+  bool load_if_present = true;
+  /// Save a fresh snapshot after a successful rebuild. Save failures are
+  /// logged and gauged (snapshot.save_failed), never fatal.
+  bool save_after_learn = true;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_SNAPSHOT_OFFLINE_SNAPSHOT_H_

@@ -1,0 +1,21 @@
+#include "src/snapshot/reader.h"
+
+#include "src/snapshot/codec.h"
+#include "src/util/fault.h"
+#include "src/util/mmap_file.h"
+
+namespace prodsyn {
+
+Result<OfflineSnapshot> LoadOfflineSnapshot(const std::string& path) {
+  PRODSYN_FAULT_POINT("snapshot.map");
+  PRODSYN_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+
+  PRODSYN_FAULT_POINT("snapshot.checksum");
+  PRODSYN_ASSIGN_OR_RETURN(SnapshotLayout layout,
+                           ValidateSnapshotBytes(file.data(), file.size()));
+
+  PRODSYN_FAULT_POINT("snapshot.read");
+  return DecodeSnapshotSections(file.data(), file.size(), layout);
+}
+
+}  // namespace prodsyn

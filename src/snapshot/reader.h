@@ -1,0 +1,31 @@
+// Snapshot loading: mmap the file, validate every checksum in place,
+// decode the sections. Zero read()-copies of the payload — validation
+// and decoding walk the mapped bytes directly.
+//
+// Trust nothing: a torn, truncated, bit-flipped, or wrong-version file
+// yields a precise non-OK Status (NotFound / IOError / ParseError),
+// never a crash and never silently wrong state. Callers treat any
+// failure as a cache miss and rebuild from the text feeds.
+//
+// Fault sites (chaos suite): `snapshot.map` before the mmap,
+// `snapshot.checksum` before validation, `snapshot.read` before section
+// decoding.
+
+#ifndef PRODSYN_SNAPSHOT_READER_H_
+#define PRODSYN_SNAPSHOT_READER_H_
+
+#include <string>
+
+#include "src/snapshot/offline_snapshot.h"
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief Loads and fully validates the snapshot at `path`. NotFound
+/// when no file exists; ParseError when the file fails any structural or
+/// checksum validation; IOError on filesystem failure.
+Result<OfflineSnapshot> LoadOfflineSnapshot(const std::string& path);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_SNAPSHOT_READER_H_

@@ -1,0 +1,96 @@
+#include "src/snapshot/writer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/snapshot/codec.h"
+#include "src/util/fault.h"
+
+namespace prodsyn {
+
+namespace {
+
+// fsync of the containing directory makes the rename itself durable.
+// Best-effort: some filesystems refuse O_RDONLY directory syncs, and a
+// lost rename after a crash is indistinguishable from "the snapshot was
+// never written" — a state the loader already degrades from gracefully.
+void SyncContainingDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status SaveOfflineSnapshot(const OfflineSnapshot& snapshot,
+                           const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("snapshot path is empty");
+  }
+  const std::string bytes = EncodeSnapshotFile(snapshot);
+  const std::string tmp_path = path + ".tmp";
+
+  PRODSYN_FAULT_POINT("snapshot.write");
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create snapshot temp file " + tmp_path +
+                           ": " + std::strerror(errno));
+  }
+  // One failure path: close, unlink the temp, report. The final name is
+  // never touched until the temp file is complete and durable.
+  const auto fail = [&](const std::string& what) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IOError(what + " for " + tmp_path + ": " +
+                           std::strerror(saved));
+  };
+
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  {
+    const Status fault = PRODSYN_FAULT_CHECK("snapshot.fsync");
+    if (!fault.ok()) {
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return fault;
+    }
+  }
+  if (::fsync(fd) != 0) return fail("fsync failed");
+  if (::close(fd) != 0) {
+    const int saved = errno;
+    ::unlink(tmp_path.c_str());
+    return Status::IOError("close failed for " + tmp_path + ": " +
+                           std::strerror(saved));
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp_path.c_str());
+    return Status::IOError("rename failed for " + tmp_path + " -> " + path +
+                           ": " + std::strerror(saved));
+  }
+  SyncContainingDir(path);
+  return Status::OK();
+}
+
+}  // namespace prodsyn

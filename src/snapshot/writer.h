@@ -1,0 +1,28 @@
+// Crash-safe snapshot publication: serialize → write to `path + ".tmp"` →
+// fsync → atomic rename onto `path` → best-effort fsync of the directory.
+// A reader can never observe a partial file under the final name — either
+// the old snapshot (or nothing) is there, or the complete new one is.
+//
+// Fault sites (chaos suite): `snapshot.write` before the temp-file write,
+// `snapshot.fsync` before the data fsync. Both leave no temp file behind
+// when they fire.
+
+#ifndef PRODSYN_SNAPSHOT_WRITER_H_
+#define PRODSYN_SNAPSHOT_WRITER_H_
+
+#include <string>
+
+#include "src/snapshot/offline_snapshot.h"
+#include "src/util/status.h"
+
+namespace prodsyn {
+
+/// \brief Serializes `snapshot` and atomically publishes it at `path`.
+/// IOError on any filesystem failure; on failure the previous file at
+/// `path` (if any) is untouched and the temp file is removed.
+Status SaveOfflineSnapshot(const OfflineSnapshot& snapshot,
+                           const std::string& path);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_SNAPSHOT_WRITER_H_

@@ -35,7 +35,13 @@ double SoftTfIdf::Similarity(const SoftTfIdfProfile& a,
                              const SoftTfIdfProfile& b) const {
   if (a.empty() || b.empty()) return 0.0;
   double score = 0.0;
-  for (const auto& [wa, weight_a] : a.weights) {
+  // Accumulate in distinct_tokens order, not weights-map order: the
+  // profile's token list is part of its serialized identity, so a profile
+  // restored from a snapshot sums in exactly the order the saved profile
+  // did — float accumulation order is a property of the profile, not of
+  // the map's bucket layout.
+  for (const auto& wa : a.distinct_tokens) {
+    const double weight_a = a.weights.at(wa);
     double best_sim = 0.0;
     const std::string* best_token = nullptr;
     for (const auto& tb : b.distinct_tokens) {

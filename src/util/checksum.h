@@ -1,0 +1,30 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every snapshot section and the whole-file footer
+// (docs/PERSISTENCE.md). Deliberately the zlib variant so external
+// tooling (tools/snapshot_inspect.py) can verify a snapshot with
+// python's zlib.crc32 and no C++ in the loop.
+//
+// Not a cryptographic hash: it detects accidental corruption (torn
+// writes, bit rot, truncation), which is the snapshot threat model. An
+// adversarial writer is out of scope — snapshots live next to the data
+// they cache.
+
+#ifndef PRODSYN_UTIL_CHECKSUM_H_
+#define PRODSYN_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prodsyn {
+
+/// \brief CRC-32 of `size` bytes at `data`, zlib-compatible
+/// (crc32(0, data, size)). Crc32(nullptr, 0) == 0.
+uint32_t Crc32(const void* data, size_t size);
+
+/// \brief Incremental form: feeds `size` more bytes into a running CRC.
+/// Crc32Update(0, data, size) == Crc32(data, size).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_CHECKSUM_H_

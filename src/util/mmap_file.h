@@ -1,0 +1,52 @@
+// Read-only memory-mapped file: the zero-copy substrate of the snapshot
+// loader (src/snapshot/reader.h). The whole file is mapped once and
+// validated in place — no read() copies, no incremental parsing state.
+//
+// The mapping is private and read-only; a concurrent writer replacing
+// the file via rename (the snapshot writer's atomic-publish protocol)
+// never mutates the mapped bytes, because rename swaps the directory
+// entry while the old inode stays alive under the mapping.
+
+#ifndef PRODSYN_UTIL_MMAP_FILE_H_
+#define PRODSYN_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "src/util/result.h"
+
+namespace prodsyn {
+
+/// \brief A read-only mapping of one whole file. Move-only; unmaps on
+/// destruction.
+class MmapFile {
+ public:
+  /// \brief Maps `path` read-only. NotFound when the file does not
+  /// exist; IOError on open/stat/mmap failure. An empty file maps to
+  /// (data() == nullptr, size() == 0) without calling mmap.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(const unsigned char* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const unsigned char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace prodsyn
+
+#endif  // PRODSYN_UTIL_MMAP_FILE_H_

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <string>
@@ -20,6 +22,9 @@
 #include "src/catalog/feed.h"
 #include "src/datagen/world.h"
 #include "src/pipeline/synthesizer.h"
+#include "src/snapshot/offline_snapshot.h"
+#include "src/snapshot/reader.h"
+#include "src/snapshot/writer.h"
 #include "src/util/fault.h"
 #include "src/util/file.h"
 #include "src/util/thread_pool.h"
@@ -247,6 +252,13 @@ TEST_F(ChaosWorld, EveryRegisteredSiteFiresAndLedgerIsDumpable) {
                           "\tcategory\tspec\n"
                           "u\tt\td\t1\ts\tc\t\n")
                     .ok());
+    // A tiny save + load so the snapshot.* sites register too.
+    const std::string snap_path = ::testing::TempDir() + "/chaos_probe.snap";
+    OfflineSnapshot snap;
+    snap.lr_weights = {1.0};
+    ASSERT_TRUE(SaveOfflineSnapshot(snap, snap_path).ok());
+    ASSERT_TRUE(LoadOfflineSnapshot(snap_path).ok());
+    std::remove(snap_path.c_str());
   }
   const std::vector<std::string> sites =
       FaultInjector::Global().RegisteredSites();
@@ -298,6 +310,27 @@ TEST_F(ChaosWorld, EveryRegisteredSiteFiresAndLedgerIsDumpable) {
       Status st = ParseFeed("source_url\ttitle\tdescription\tprice\tseller"
                             "\tcategory\tspec\na\tb\tc\t1\td\te\t\n")
                       .status();
+      EXPECT_TRUE(st.IsInternal()) << st;
+      sweep_ledger.Add({kInvalidOffer, FailureStage::kIngestion, st, 0});
+    } else if (site.rfind("snapshot.", 0) == 0) {
+      // Writer sites (snapshot.write, snapshot.fsync) fail the save;
+      // reader sites (snapshot.map, snapshot.checksum, snapshot.read)
+      // fail the load of a freshly saved good file. Either way: clean
+      // Status, no temp-file leak, no partial publish.
+      FaultInjector::Global().Arm(site, spec);
+      const std::string path = ::testing::TempDir() + "/chaos_snapshot.snap";
+      std::remove(path.c_str());
+      OfflineSnapshot snap;
+      snap.lr_weights = {1.0};
+      Status st = SaveOfflineSnapshot(snap, path);
+      if (st.ok()) {
+        st = LoadOfflineSnapshot(path).status();
+      } else {
+        std::ifstream tmp(path + ".tmp");
+        EXPECT_FALSE(tmp.good()) << "failed save leaked its temp file";
+      }
+      std::remove(path.c_str());
+      std::remove((path + ".tmp").c_str());
       EXPECT_TRUE(st.IsInternal()) << st;
       sweep_ledger.Add({kInvalidOffer, FailureStage::kIngestion, st, 0});
     } else if (site == "thread_pool.task") {

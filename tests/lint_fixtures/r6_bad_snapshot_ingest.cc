@@ -1,0 +1,8 @@
+// R6 fixture (staged as src/snapshot/): a naked file read on the
+// snapshot load path bypasses both the retry discipline and the
+// mmap + checksum loader the persistence contract requires.
+namespace prodsyn {
+Result<std::string> LoadSnapshotBytes(const std::string& path) {
+  return ReadFileToString(path);
+}
+}  // namespace prodsyn

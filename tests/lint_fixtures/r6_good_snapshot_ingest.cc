@@ -1,0 +1,7 @@
+// R6 fixture (staged as src/snapshot/): snapshot-adjacent ingestion
+// absorbs transient I/O failures through the retry wrapper.
+namespace prodsyn {
+Result<std::string> LoadSnapshotBytes(const std::string& path) {
+  return ReadFileToStringWithRetry(path, RetryOptions{});
+}
+}  // namespace prodsyn

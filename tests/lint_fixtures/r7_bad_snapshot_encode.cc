@@ -1,0 +1,12 @@
+// R7 fixture (staged as src/snapshot/): serializing a hash map in
+// iteration order makes the snapshot's bytes hash-seed-dependent — the
+// file would differ run to run while claiming to be canonical.
+namespace prodsyn {
+void EncodeWeights(const std::unordered_map<std::string, double>& weights,
+                   ByteWriter* w) {
+  for (const auto& [token, weight] : weights) {
+    w->PutString(token);
+    w->PutF64(weight);
+  }
+}
+}  // namespace prodsyn

@@ -1,0 +1,13 @@
+// R7 fixture (staged as src/snapshot/): encoders walk an explicit
+// ordered key list and look values up, so the byte layout is a stable
+// property of the data, not of the hash seed.
+namespace prodsyn {
+void EncodeWeights(const std::vector<std::string>& ordered_tokens,
+                   const std::unordered_map<std::string, double>& weights,
+                   ByteWriter* w) {
+  for (const auto& token : ordered_tokens) {
+    w->PutString(token);
+    w->PutF64(weights.at(token));
+  }
+}
+}  // namespace prodsyn

@@ -1,0 +1,627 @@
+// Round-trip properties of the snapshot subsystem (docs/PERSISTENCE.md):
+// byte_io primitives, CRC32 vectors, codec encode→validate→decode
+// equality, crash-safe Save/Load over a real file, and the pipeline-level
+// contract — Load(Save(x)) yields bit-identical synthesis output and
+// bit-identical LR weights for any thread count — plus graceful
+// degradation when the snapshot is corrupt.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/datagen/world.h"
+#include "src/matching/bag_index.h"
+#include "src/matching/title_matcher.h"
+#include "src/pipeline/synthesizer.h"
+#include "src/snapshot/byte_io.h"
+#include "src/snapshot/codec.h"
+#include "src/snapshot/format.h"
+#include "src/snapshot/reader.h"
+#include "src/snapshot/writer.h"
+#include "src/util/checksum.h"
+#include "src/util/mmap_file.h"
+
+namespace prodsyn {
+namespace {
+
+// --- util primitives ---------------------------------------------------
+
+TEST(Checksum, MatchesKnownCrc32Vectors) {
+  // Standard IEEE CRC-32 check values (zlib-compatible).
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Checksum, UpdateIsStreamable) {
+  const char* data = "123456789";
+  uint32_t crc = Crc32Update(0, data, 4);
+  crc = Crc32Update(crc, data + 4, 5);
+  EXPECT_EQ(crc, Crc32(data, 9));
+}
+
+TEST(MmapFileTest, OpensReadsAndReportsMissing) {
+  const std::string path = ::testing::TempDir() + "/mmap_probe.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "hello mmap";
+  }
+  auto mapped = MmapFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_EQ(mapped->size(), 10u);
+  EXPECT_EQ(std::memcmp(mapped->data(), "hello mmap", 10), 0);
+  std::remove(path.c_str());
+
+  auto missing = MmapFile::Open(::testing::TempDir() + "/no_such_file.bin");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status();
+}
+
+TEST(MmapFileTest, EmptyFileMapsToZeroBytes) {
+  const std::string path = ::testing::TempDir() + "/mmap_empty.bin";
+  { std::ofstream out(path, std::ios::binary); }
+  auto mapped = MmapFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ByteIo, RoundTripsScalarsAndStrings) {
+  ByteWriter writer;
+  writer.PutU32(0xDEADBEEFu);
+  writer.PutU64(0x0123456789ABCDEFull);
+  writer.PutF64(-0.0);
+  writer.PutF64(std::nan(""));
+  writer.PutString("snapshot");
+  writer.PutString("");
+
+  ByteReader reader(writer.bytes());
+  auto u32 = reader.U32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(*u32, 0xDEADBEEFu);
+  auto u64 = reader.U64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0x0123456789ABCDEFull);
+  auto zero = reader.F64();
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(std::signbit(*zero));  // -0.0 bit pattern preserved
+  auto nan = reader.F64();
+  ASSERT_TRUE(nan.ok());
+  EXPECT_TRUE(std::isnan(*nan));
+  auto s = reader.String();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "snapshot");
+  auto empty = reader.String();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, "");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteIo, TruncatedReadsReturnParseErrorNotUb) {
+  ByteWriter writer;
+  writer.PutU32(7);
+  ByteReader reader(writer.bytes());
+  EXPECT_FALSE(reader.U64().ok());  // only 4 bytes available
+  ASSERT_TRUE(reader.U32().ok());
+  EXPECT_FALSE(reader.U32().ok());  // exhausted
+
+  // A corrupt string length larger than the payload must not allocate.
+  ByteWriter lying;
+  lying.PutU64(1ull << 40);
+  ByteReader liar(lying.bytes());
+  auto s = liar.String();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsParseError()) << s.status();
+}
+
+// --- codec -------------------------------------------------------------
+
+// A small synthetic snapshot exercising every section with non-trivial
+// content (including f64 edge bit patterns).
+OfflineSnapshot MakeSampleSnapshot() {
+  OfflineSnapshot snap;
+  snap.bag_index.attribute_names = {"brand", "model", "type"};
+  BagIndexParts::BagEntry product_bag;
+  product_bag.key.hi = 42;
+  product_bag.key.lo = (uint64_t(2) << 32) | 1;
+  product_bag.terms = {{"alpha", 2}, {"beta", 1}};
+  snap.bag_index.product_bags.push_back(product_bag);
+  BagIndexParts::BagEntry offer_bag;
+  offer_bag.key.hi = 43;
+  offer_bag.key.lo = (uint64_t(1) << 32) | 0;
+  offer_bag.terms = {{"gamma", 3}};
+  snap.bag_index.offer_bags.push_back(offer_bag);
+  CandidateTuple tuple;
+  tuple.catalog_attribute = "brand";
+  tuple.offer_attribute = "mfr";
+  tuple.merchant = 7;
+  tuple.category = 3;
+  snap.bag_index.candidates.push_back(tuple);
+  snap.bag_index.offer_attrs.push_back({11, {"mfr", "sku"}});
+  snap.bag_index.merchant_categories = {{7, 3}, {8, 3}};
+
+  snap.correspondences.push_back({tuple, 0.875});
+  snap.lr_weights = {1.5, -2.25, 0.0};
+  snap.lr_intercept = -0.5;
+  snap.lr_iterations = 37;
+  snap.scaler_means = {0.25, -0.0, 1e300};
+  snap.scaler_stds = {1.0, 2.0, 0.5};
+
+  NaiveBayesModel::ClassState cls;
+  cls.label = "3";
+  cls.documents = 5;
+  cls.total_tokens = 9;
+  cls.token_counts = {{"alpha", 4}, {"beta", 5}};
+  snap.title_model.alpha = 1.0;
+  snap.title_model.total_documents = 5;
+  snap.title_model.classes.push_back(cls);
+  snap.title_model.vocabulary = {"alpha", "beta"};
+
+  TitleProfileCacheEntry entry;
+  entry.category = 3;
+  entry.product = 1001;
+  entry.profile.distinct_tokens = {"alpha", "beta"};
+  entry.profile.weights = {{"alpha", 0.6}, {"beta", 0.8}};
+  snap.title_profiles.push_back(entry);
+  return snap;
+}
+
+void ExpectSnapshotsEqual(const OfflineSnapshot& a, const OfflineSnapshot& b) {
+  EXPECT_EQ(a.bag_index.attribute_names, b.bag_index.attribute_names);
+  ASSERT_EQ(a.bag_index.product_bags.size(), b.bag_index.product_bags.size());
+  for (size_t i = 0; i < a.bag_index.product_bags.size(); ++i) {
+    EXPECT_EQ(a.bag_index.product_bags[i].key.hi,
+              b.bag_index.product_bags[i].key.hi);
+    EXPECT_EQ(a.bag_index.product_bags[i].key.lo,
+              b.bag_index.product_bags[i].key.lo);
+    EXPECT_EQ(a.bag_index.product_bags[i].terms,
+              b.bag_index.product_bags[i].terms);
+  }
+  ASSERT_EQ(a.bag_index.offer_bags.size(), b.bag_index.offer_bags.size());
+  for (size_t i = 0; i < a.bag_index.offer_bags.size(); ++i) {
+    EXPECT_EQ(a.bag_index.offer_bags[i].key.hi,
+              b.bag_index.offer_bags[i].key.hi);
+    EXPECT_EQ(a.bag_index.offer_bags[i].key.lo,
+              b.bag_index.offer_bags[i].key.lo);
+    EXPECT_EQ(a.bag_index.offer_bags[i].terms, b.bag_index.offer_bags[i].terms);
+  }
+  ASSERT_EQ(a.bag_index.candidates.size(), b.bag_index.candidates.size());
+  for (size_t i = 0; i < a.bag_index.candidates.size(); ++i) {
+    EXPECT_TRUE(a.bag_index.candidates[i] == b.bag_index.candidates[i]);
+  }
+  ASSERT_EQ(a.bag_index.offer_attrs.size(), b.bag_index.offer_attrs.size());
+  for (size_t i = 0; i < a.bag_index.offer_attrs.size(); ++i) {
+    EXPECT_EQ(a.bag_index.offer_attrs[i].group, b.bag_index.offer_attrs[i].group);
+    EXPECT_EQ(a.bag_index.offer_attrs[i].names, b.bag_index.offer_attrs[i].names);
+  }
+  EXPECT_EQ(a.bag_index.merchant_categories, b.bag_index.merchant_categories);
+
+  ASSERT_EQ(a.correspondences.size(), b.correspondences.size());
+  for (size_t i = 0; i < a.correspondences.size(); ++i) {
+    EXPECT_TRUE(a.correspondences[i].tuple == b.correspondences[i].tuple);
+    // Bit identity, not approximate equality.
+    uint64_t bits_a, bits_b;
+    std::memcpy(&bits_a, &a.correspondences[i].score, sizeof(bits_a));
+    std::memcpy(&bits_b, &b.correspondences[i].score, sizeof(bits_b));
+    EXPECT_EQ(bits_a, bits_b);
+  }
+  EXPECT_EQ(a.lr_weights, b.lr_weights);
+  EXPECT_EQ(a.lr_intercept, b.lr_intercept);
+  EXPECT_EQ(a.lr_iterations, b.lr_iterations);
+  EXPECT_EQ(a.scaler_means, b.scaler_means);
+  EXPECT_EQ(a.scaler_stds, b.scaler_stds);
+
+  EXPECT_EQ(a.title_model.alpha, b.title_model.alpha);
+  EXPECT_EQ(a.title_model.total_documents, b.title_model.total_documents);
+  ASSERT_EQ(a.title_model.classes.size(), b.title_model.classes.size());
+  for (size_t i = 0; i < a.title_model.classes.size(); ++i) {
+    EXPECT_EQ(a.title_model.classes[i].label, b.title_model.classes[i].label);
+    EXPECT_EQ(a.title_model.classes[i].documents,
+              b.title_model.classes[i].documents);
+    EXPECT_EQ(a.title_model.classes[i].total_tokens,
+              b.title_model.classes[i].total_tokens);
+    EXPECT_EQ(a.title_model.classes[i].token_counts,
+              b.title_model.classes[i].token_counts);
+  }
+  EXPECT_EQ(a.title_model.vocabulary, b.title_model.vocabulary);
+
+  ASSERT_EQ(a.title_profiles.size(), b.title_profiles.size());
+  for (size_t i = 0; i < a.title_profiles.size(); ++i) {
+    EXPECT_EQ(a.title_profiles[i].category, b.title_profiles[i].category);
+    EXPECT_EQ(a.title_profiles[i].product, b.title_profiles[i].product);
+    EXPECT_EQ(a.title_profiles[i].profile.distinct_tokens,
+              b.title_profiles[i].profile.distinct_tokens);
+    EXPECT_EQ(a.title_profiles[i].profile.weights,
+              b.title_profiles[i].profile.weights);
+  }
+}
+
+TEST(SnapshotCodec, EncodeValidateDecodeRoundTrip) {
+  const OfflineSnapshot original = MakeSampleSnapshot();
+  const std::string bytes = EncodeSnapshotFile(original);
+  ASSERT_GE(bytes.size(), kHeaderSize + kFooterSize);
+
+  auto layout = ValidateSnapshotBytes(bytes.data(), bytes.size());
+  ASSERT_TRUE(layout.ok()) << layout.status();
+  EXPECT_EQ(layout->format_version, kFormatVersion);
+  EXPECT_EQ(layout->file_size, bytes.size());
+  ASSERT_EQ(layout->sections.size(), 7u);
+  // Sections tile the payload region exactly, in canonical order.
+  uint64_t expect_offset =
+      kHeaderSize + layout->sections.size() * kSectionEntrySize;
+  const uint32_t expected_ids[] = {
+      kSectionStringTable, kSectionBags,       kSectionCandidates,
+      kSectionLrModel,     kSectionCorrespondences,
+      kSectionNaiveBayes,  kSectionTitleProfiles};
+  for (size_t i = 0; i < layout->sections.size(); ++i) {
+    EXPECT_EQ(layout->sections[i].id, expected_ids[i]) << "section " << i;
+    EXPECT_EQ(layout->sections[i].offset, expect_offset) << "section " << i;
+    expect_offset += layout->sections[i].length;
+  }
+  EXPECT_EQ(expect_offset, bytes.size() - kFooterSize);
+
+  auto decoded = DecodeSnapshotSections(bytes.data(), bytes.size(), *layout);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectSnapshotsEqual(original, *decoded);
+}
+
+TEST(SnapshotCodec, EncodeIsDeterministic) {
+  const OfflineSnapshot snap = MakeSampleSnapshot();
+  EXPECT_EQ(EncodeSnapshotFile(snap), EncodeSnapshotFile(snap));
+}
+
+TEST(SnapshotCodec, EmptySnapshotRoundTrips) {
+  const OfflineSnapshot empty;
+  const std::string bytes = EncodeSnapshotFile(empty);
+  auto layout = ValidateSnapshotBytes(bytes.data(), bytes.size());
+  ASSERT_TRUE(layout.ok()) << layout.status();
+  auto decoded = DecodeSnapshotSections(bytes.data(), bytes.size(), *layout);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectSnapshotsEqual(empty, *decoded);
+}
+
+// --- writer / reader ---------------------------------------------------
+
+TEST(SnapshotFile, SaveThenLoadRoundTripsAndLeavesNoTempFile) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.snap";
+  std::remove(path.c_str());
+  const OfflineSnapshot original = MakeSampleSnapshot();
+  Status saved = SaveOfflineSnapshot(original, path);
+  ASSERT_TRUE(saved.ok()) << saved;
+  {
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "temp file leaked after successful publish";
+  }
+  auto loaded = LoadOfflineSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectSnapshotsEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, MissingFileIsNotFound) {
+  auto loaded =
+      LoadOfflineSnapshot(::testing::TempDir() + "/never_written.snap");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status();
+}
+
+TEST(SnapshotFile, EmptyPathIsInvalidArgument) {
+  EXPECT_FALSE(SaveOfflineSnapshot(OfflineSnapshot{}, "").ok());
+}
+
+TEST(SnapshotFile, SaveOverwritesAtomically) {
+  const std::string path = ::testing::TempDir() + "/overwrite.snap";
+  OfflineSnapshot first = MakeSampleSnapshot();
+  ASSERT_TRUE(SaveOfflineSnapshot(first, path).ok());
+  OfflineSnapshot second = MakeSampleSnapshot();
+  second.lr_weights = {9.0};
+  second.lr_iterations = 99;
+  ASSERT_TRUE(SaveOfflineSnapshot(second, path).ok());
+  auto loaded = LoadOfflineSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectSnapshotsEqual(second, *loaded);
+  std::remove(path.c_str());
+}
+
+// --- bag-index restore -------------------------------------------------
+
+TEST(BagIndexParts, ExportFromPartsPreservesParts) {
+  // Parts → index → parts is the identity: FromParts replays the exact
+  // interner symbols and bag contents ExportParts canonicalized.
+  WorldConfig config;
+  config.seed = 13;
+  config.categories_per_archetype = 1;
+  config.merchants = 10;
+  config.products_per_category = 8;
+  auto world = World::Generate(config);
+  ASSERT_TRUE(world.ok()) << world.status();
+  MatchingContext ctx;
+  ctx.catalog = &world->catalog;
+  ctx.offers = &world->historical_offers;
+  ctx.matches = &world->historical_matches;
+  auto index = MatchedBagIndex::Build(ctx);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const BagIndexParts parts = index->ExportParts();
+  EXPECT_FALSE(parts.attribute_names.empty());
+  EXPECT_FALSE(parts.product_bags.empty());
+
+  auto restored = MatchedBagIndex::FromParts(parts);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const BagIndexParts parts2 = restored->ExportParts();
+  EXPECT_EQ(parts.attribute_names, parts2.attribute_names);
+  ASSERT_EQ(parts.product_bags.size(), parts2.product_bags.size());
+  for (size_t i = 0; i < parts.product_bags.size(); ++i) {
+    EXPECT_EQ(parts.product_bags[i].key.hi, parts2.product_bags[i].key.hi);
+    EXPECT_EQ(parts.product_bags[i].key.lo, parts2.product_bags[i].key.lo);
+    EXPECT_EQ(parts.product_bags[i].terms, parts2.product_bags[i].terms);
+  }
+  ASSERT_EQ(parts.offer_bags.size(), parts2.offer_bags.size());
+  for (size_t i = 0; i < parts.offer_bags.size(); ++i) {
+    EXPECT_EQ(parts.offer_bags[i].key.hi, parts2.offer_bags[i].key.hi);
+    EXPECT_EQ(parts.offer_bags[i].key.lo, parts2.offer_bags[i].key.lo);
+    EXPECT_EQ(parts.offer_bags[i].terms, parts2.offer_bags[i].terms);
+  }
+  EXPECT_EQ(parts.merchant_categories, parts2.merchant_categories);
+}
+
+TEST(BagIndexParts, FromPartsRejectsOutOfRangeSymbol) {
+  BagIndexParts parts;
+  parts.attribute_names = {"brand"};
+  BagIndexParts::BagEntry bag;
+  bag.key.hi = 1;
+  bag.key.lo = (uint64_t(2) << 32) | 5;  // symbol 5 > interner size 1
+  bag.terms = {{"x", 1}};
+  parts.product_bags.push_back(bag);
+  auto restored = MatchedBagIndex::FromParts(parts);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument()) << restored.status();
+}
+
+// --- pipeline property tests ------------------------------------------
+
+class SnapshotPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig config;
+    config.seed = 13;
+    config.categories_per_archetype = 1;
+    config.merchants = 30;
+    config.products_per_category = 15;
+    world_ = new World(*World::Generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static World* world_;
+};
+
+World* SnapshotPipeline::world_ = nullptr;
+
+bool ProductsEqual(const std::vector<SynthesizedProduct>& a,
+                   const std::vector<SynthesizedProduct>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].category != b[i].category || a[i].key != b[i].key ||
+        !(a[i].spec == b[i].spec) ||
+        a[i].source_offers != b[i].source_offers) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t GaugeValue(const RegistrySnapshot& registry, const std::string& name) {
+  for (const auto& gauge : registry.gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  return -1;
+}
+
+// Bit-exact weight comparison: the contract is Load(Save(x)) restores the
+// exact f64 patterns, not approximately equal ones.
+void ExpectBitIdenticalModels(const ProductSynthesizer& a,
+                              const ProductSynthesizer& b) {
+  ASSERT_EQ(a.model().weights().size(), b.model().weights().size());
+  for (size_t i = 0; i < a.model().weights().size(); ++i) {
+    uint64_t wa, wb;
+    std::memcpy(&wa, &a.model().weights()[i], sizeof(wa));
+    std::memcpy(&wb, &b.model().weights()[i], sizeof(wb));
+    EXPECT_EQ(wa, wb) << "weight " << i;
+  }
+  uint64_t ia, ib;
+  double da = a.model().intercept(), db = b.model().intercept();
+  std::memcpy(&ia, &da, sizeof(ia));
+  std::memcpy(&ib, &db, sizeof(ib));
+  EXPECT_EQ(ia, ib);
+  EXPECT_EQ(a.scaler().means(), b.scaler().means());
+  EXPECT_EQ(a.scaler().stds(), b.scaler().stds());
+}
+
+TEST_F(SnapshotPipeline, LoadedSnapshotReproducesSynthesisBitIdentically) {
+  const std::string path = ::testing::TempDir() + "/pipeline.snap";
+  std::remove(path.c_str());
+
+  // Cold run: rebuild from feeds and save.
+  SynthesizerOptions cold_options;
+  cold_options.snapshot.path = path;
+  ProductSynthesizer cold(&world_->catalog, cold_options);
+  ASSERT_TRUE(cold.LearnOffline(world_->historical_offers,
+                                world_->historical_matches)
+                  .ok());
+  EXPECT_EQ(GaugeValue(cold.learning_stats().registry, "snapshot.saved"), 1);
+  auto cold_result = cold.Synthesize(world_->incoming_offers, world_->pages);
+  ASSERT_TRUE(cold_result.ok()) << cold_result.status();
+
+  // Warm runs: every thread count and chunk plan loads the same file and
+  // reproduces the cold output bit-identically.
+  struct Plan {
+    size_t offline_threads;
+    size_t runtime_threads;
+    ParallelForOptions parallel;
+  };
+  const std::vector<Plan> plans = {
+      {1, 1, {1, ParallelChunking::kStatic}},
+      {2, 2, {8, ParallelChunking::kDynamic}},
+      {4, 4, {4, ParallelChunking::kStatic}},
+      {0, 0, {16, ParallelChunking::kDynamic}},
+  };
+  for (const Plan& plan : plans) {
+    SCOPED_TRACE("offline=" + std::to_string(plan.offline_threads) +
+                 " runtime=" + std::to_string(plan.runtime_threads));
+    SynthesizerOptions warm_options;
+    warm_options.snapshot.path = path;
+    warm_options.offline_threads = plan.offline_threads;
+    warm_options.runtime_threads = plan.runtime_threads;
+    warm_options.parallel = plan.parallel;
+    ProductSynthesizer warm(&world_->catalog, warm_options);
+    ASSERT_TRUE(warm.LearnOffline(world_->historical_offers,
+                                  world_->historical_matches)
+                    .ok());
+    EXPECT_EQ(GaugeValue(warm.learning_stats().registry, "snapshot.loaded"),
+              1);
+    ASSERT_EQ(warm.correspondences().size(), cold.correspondences().size());
+    ExpectBitIdenticalModels(cold, warm);
+    auto warm_result =
+        warm.Synthesize(world_->incoming_offers, world_->pages);
+    ASSERT_TRUE(warm_result.ok()) << warm_result.status();
+    EXPECT_TRUE(ProductsEqual(cold_result->products, warm_result->products));
+    EXPECT_EQ(cold_result->stats.synthesized_attributes,
+              warm_result->stats.synthesized_attributes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotPipeline, CorruptSnapshotDegradesToRebuild) {
+  const std::string path = ::testing::TempDir() + "/corrupt_pipeline.snap";
+  std::remove(path.c_str());
+
+  // Reference run without snapshotting.
+  ProductSynthesizer reference(&world_->catalog, {});
+  ASSERT_TRUE(reference
+                  .LearnOffline(world_->historical_offers,
+                                world_->historical_matches)
+                  .ok());
+  auto reference_result =
+      reference.Synthesize(world_->incoming_offers, world_->pages);
+  ASSERT_TRUE(reference_result.ok());
+
+  // Plant a corrupt snapshot: valid prefix, one flipped payload byte.
+  SynthesizerOptions options;
+  options.snapshot.path = path;
+  {
+    ProductSynthesizer seeder(&world_->catalog, options);
+    ASSERT_TRUE(seeder
+                    .LearnOffline(world_->historical_offers,
+                                  world_->historical_matches)
+                    .ok());
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), kHeaderSize + kFooterSize);
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // The corrupt file degrades to a rebuild — and the rebuild re-publishes
+  // a good snapshot over it.
+  ProductSynthesizer fallback(&world_->catalog, options);
+  ASSERT_TRUE(fallback
+                  .LearnOffline(world_->historical_offers,
+                                world_->historical_matches)
+                  .ok());
+  EXPECT_EQ(
+      GaugeValue(fallback.learning_stats().registry, "snapshot.load_failed"),
+      1);
+  EXPECT_EQ(GaugeValue(fallback.learning_stats().registry, "snapshot.saved"),
+            1);
+  auto fallback_result =
+      fallback.Synthesize(world_->incoming_offers, world_->pages);
+  ASSERT_TRUE(fallback_result.ok());
+  EXPECT_TRUE(
+      ProductsEqual(reference_result->products, fallback_result->products));
+
+  // Second learner finds the re-published snapshot healthy.
+  ProductSynthesizer second(&world_->catalog, options);
+  ASSERT_TRUE(second
+                  .LearnOffline(world_->historical_offers,
+                                world_->historical_matches)
+                  .ok());
+  EXPECT_EQ(GaugeValue(second.learning_stats().registry, "snapshot.loaded"),
+            1);
+  auto second_result =
+      second.Synthesize(world_->incoming_offers, world_->pages);
+  ASSERT_TRUE(second_result.ok());
+  EXPECT_TRUE(
+      ProductsEqual(reference_result->products, second_result->products));
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotPipeline, LoadDisabledAlwaysRebuilds) {
+  const std::string path = ::testing::TempDir() + "/no_load.snap";
+  std::remove(path.c_str());
+  SynthesizerOptions options;
+  options.snapshot.path = path;
+  {
+    ProductSynthesizer seeder(&world_->catalog, options);
+    ASSERT_TRUE(seeder
+                    .LearnOffline(world_->historical_offers,
+                                  world_->historical_matches)
+                    .ok());
+  }
+  options.snapshot.load_if_present = false;
+  ProductSynthesizer rebuilt(&world_->catalog, options);
+  ASSERT_TRUE(rebuilt
+                  .LearnOffline(world_->historical_offers,
+                                world_->historical_matches)
+                  .ok());
+  EXPECT_EQ(GaugeValue(rebuilt.learning_stats().registry, "snapshot.loaded"),
+            -1);
+  EXPECT_EQ(GaugeValue(rebuilt.learning_stats().registry, "snapshot.saved"),
+            1);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotPipeline, WarmTitleProfilesMatchFreshProfiles) {
+  // TitleOfferProductMatcher seeded with cached profiles scores exactly
+  // like one that builds profiles from scratch.
+  TitleOfferProductMatcher matcher;
+  auto cache = matcher.BuildProfileCache(world_->catalog);
+  ASSERT_TRUE(cache.ok()) << cache.status();
+  ASSERT_FALSE(cache->empty());
+
+  TitleMatcherOptions fresh_options;
+  TitleOfferProductMatcher fresh(fresh_options);
+  auto fresh_result =
+      fresh.Match(world_->catalog, world_->historical_offers);
+  ASSERT_TRUE(fresh_result.ok()) << fresh_result.status();
+
+  TitleMatcherOptions warm_options;
+  warm_options.warm_profiles = &*cache;
+  TitleOfferProductMatcher warm(warm_options);
+  auto warm_result = warm.Match(world_->catalog, world_->historical_offers);
+  ASSERT_TRUE(warm_result.ok()) << warm_result.status();
+
+  ASSERT_EQ(fresh_result->size(), warm_result->size());
+  ASSERT_GT(fresh_result->size(), 0u);
+  for (const auto& [offer, product] : fresh_result->matches()) {
+    EXPECT_EQ(warm_result->ProductOf(offer), product) << "offer " << offer;
+  }
+}
+
+}  // namespace
+}  // namespace prodsyn

@@ -8,7 +8,8 @@ state inside parallel bodies. Complements lint_prodsyn.py (R1-R6) with:
 
   R7  unordered-iteration   Range-for over a std::unordered_map /
                             std::unordered_set in sequential-merge code
-                            (src/pipeline, src/matching): iteration order
+                            (src/pipeline, src/matching, src/snapshot):
+                            iteration order
                             is hash-seed- and load-factor-dependent, so
                             anything order-sensitive built from it breaks
                             the bit-identical contract. Sites whose loop
@@ -80,8 +81,11 @@ CC_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
 ENTRY_POINTS = ("ParallelFor", "Submit", "run_chunked")
 
 # Directories whose sequential merges the bit-identical contract runs
-# through; R7 (unordered-iteration) applies here.
-MERGE_DIRS = ("src/pipeline/", "src/matching/")
+# through; R7 (unordered-iteration) applies here. src/snapshot/ is
+# included because the codec serializes learned state whose byte layout
+# IS the contract: an unordered iteration in an encoder would make the
+# snapshot's bytes (and thus the warm-start state) hash-seed-dependent.
+MERGE_DIRS = ("src/pipeline/", "src/matching/", "src/snapshot/")
 
 OPT_OUT_R7 = "lint: order-independent"
 OPT_OUT_R8 = "lint: sharded"

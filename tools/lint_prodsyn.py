@@ -76,8 +76,12 @@ RAW_CLOCK_DIRS = ("src/pipeline/", "src/matching/", "src/util/thread_pool")
 RE_NAKED_READ = re.compile(r"\bReadFileToString\s*\(")
 
 # Directories where R6 (retry-ingestion) applies: ingestion entry points
-# must absorb transient I/O failures instead of surfacing them raw.
-RETRY_DIRS = ("src/pipeline/", "src/catalog/")
+# must absorb transient I/O failures instead of surfacing them raw. The
+# snapshot subsystem is covered too: its loader deliberately reads via
+# mmap + checksum validation (a failed load degrades to a rebuild), so
+# any naked ReadFileToString creeping into it would bypass both the
+# retry discipline and the corruption-tolerance contract.
+RETRY_DIRS = ("src/pipeline/", "src/catalog/", "src/snapshot/")
 
 
 def strip_comments_and_strings(text: str) -> str:

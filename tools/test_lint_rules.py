@@ -56,6 +56,11 @@ RE_NAME = re.compile(r"^(r\d+)_(bad|good)_\w+\.(cc|cpp|h|hpp)$")
 STAGE_OVERRIDES = {
     "r5_bad_sched_clock.cc": Path("src/util") / "thread_pool_r5_bad.cc",
     "r5_good_sched_clock.cc": Path("src/util") / "thread_pool_r5_good.cc",
+    # The snapshot pairs exercise R6's and R7's src/snapshot/ coverage.
+    "r6_bad_snapshot_ingest.cc": Path("src/snapshot") / "r6_bad.cc",
+    "r6_good_snapshot_ingest.cc": Path("src/snapshot") / "r6_good.cc",
+    "r7_bad_snapshot_encode.cc": Path("src/snapshot") / "r7_bad.cc",
+    "r7_good_snapshot_encode.cc": Path("src/snapshot") / "r7_good.cc",
 }
 RE_FINDING = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<tag>[^\]]+)\]")
 
